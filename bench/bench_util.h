@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction benches.
+
+#ifndef OSPROF_BENCH_BENCH_UTIL_H_
+#define OSPROF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/peaks.h"
+#include "src/core/prior.h"
+#include "src/core/report.h"
+
+namespace osbench {
+
+inline void Header(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// Prints a profile the way the paper's figures show them, plus detected
+// peaks annotated with prior-knowledge hypotheses.
+inline void ShowProfile(const osprof::Profile& profile,
+                        const osprof::RenderOptions& options = {}) {
+  std::printf("%s\n", osprof::RenderAscii(profile, options).c_str());
+  const auto peaks = osprof::FindPeaks(profile.histogram());
+  std::printf("  %s\n", osprof::DescribePeaks(peaks).c_str());
+  static const osprof::PriorKnowledge kPrior =
+      osprof::PriorKnowledge::PaperTestbed();
+  for (const auto& annotated : kPrior.Annotate(peaks)) {
+    if (!annotated.hypotheses.empty()) {
+      std::string names;
+      for (const std::string& h : annotated.hypotheses) {
+        if (!names.empty()) {
+          names += ", ";
+        }
+        names += h;
+      }
+      std::printf("  peak @%d: characteristic time match: %s\n",
+                  annotated.peak.mode_bucket, names.c_str());
+    }
+  }
+  std::printf("  %s\n", osprof::SummarizeProfile(profile).c_str());
+}
+
+}  // namespace osbench
+
+#endif  // OSPROF_BENCH_BENCH_UTIL_H_

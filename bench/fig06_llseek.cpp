@@ -1,0 +1,99 @@
+// Figure 6: the llseek operation under random reads (§6.1).
+//
+// Two processes randomly read the same file with O_DIRECT.  The unpatched
+// generic_file_llseek takes the inode's i_sem, which the other process's
+// direct read holds across its disk I/O -- so llseek grows a second peak
+// aligned with the READ profile.  One process shows no such peak; the
+// patched llseek (f_pos-only update) eliminates the semaphore entirely and
+// drops the mean from ~400 to ~120 cycles (a 70% reduction).  The
+// automated analyzer is also run, as in the paper, to show it flags
+// llseek on its own.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/analysis.h"
+#include "src/fs/ext2fs.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+constexpr int kIterations = 2'000;
+
+osprof::ProfileSet RunRandomRead(int processes, bool patched) {
+  osim::KernelConfig kcfg;
+  kcfg.num_cpus = 2;
+  kcfg.seed = 1234;
+  osim::Kernel kernel(kcfg);
+  osim::SimDisk disk(&kernel);
+  osfs::Ext2Config fcfg;
+  fcfg.llseek_takes_i_sem = !patched;
+  osfs::Ext2SimFs fs(&kernel, &disk, fcfg);
+  fs.AddFile("/data", 64ull << 20);
+  osprofilers::SimProfiler profiler(&kernel);
+  fs.SetProfiler(&profiler);
+  for (int p = 0; p < processes; ++p) {
+    kernel.Spawn("proc" + std::to_string(p),
+                 osworkloads::RandomReadWorkload(&kernel, &fs, "/data",
+                                                 kIterations,
+                                                 /*seed=*/100 + p));
+  }
+  kernel.RunUntilThreadsFinish();
+  return profiler.profiles();
+}
+
+double ContentionRate(const osprof::Histogram& llseek) {
+  // Contended seeks wait for a disk I/O: bucket 17 and up.
+  std::uint64_t slow = 0;
+  for (int b = 17; b < llseek.num_buckets(); ++b) {
+    slow += llseek.bucket(b);
+  }
+  return static_cast<double>(slow) /
+         static_cast<double>(llseek.TotalOperations());
+}
+
+}  // namespace
+
+int main() {
+  osbench::Header("Figure 6: llseek under random O_DIRECT reads (§6.1)");
+
+  const osprof::ProfileSet two = RunRandomRead(2, /*patched=*/false);
+  const osprof::ProfileSet one = RunRandomRead(1, /*patched=*/false);
+  const osprof::ProfileSet patched = RunRandomRead(2, /*patched=*/true);
+
+  osbench::Section("READ (2 processes, unpatched)");
+  osbench::ShowProfile(*two.Find("read"));
+  osbench::Section("LLSEEK-UNPATCHED (2 processes vs 1 process)");
+  osbench::ShowProfile(*two.Find("llseek"));
+  osbench::ShowProfile(*one.Find("llseek"));
+  osbench::Section("LLSEEK-PATCHED (2 processes)");
+  osbench::ShowProfile(*patched.Find("llseek"));
+
+  osbench::Section("Automated analysis: 1 process vs 2 processes");
+  const osprof::AnalysisReport report = osprof::CompareProfileSets(one, two);
+  std::printf("%s", report.Summary().c_str());
+
+  osbench::Section("Paper-vs-measured checks");
+  const double contention = ContentionRate(two.Find("llseek")->histogram());
+  const double contention1 = ContentionRate(one.Find("llseek")->histogram());
+  const double unpatched_fast_mean = [&] {
+    // Mean of the CPU-only mode (exclude contended waits).
+    const osprof::Histogram& h = one.Find("llseek")->histogram();
+    return h.MeanLatency();
+  }();
+  const double patched_mean = patched.Find("llseek")->histogram().MeanLatency();
+  std::printf("  llseek contention rate, 2 processes: %.1f%%  (paper: ~25%%)\n",
+              contention * 100.0);
+  std::printf("  llseek contention rate, 1 process:   %.1f%%  (paper: 0%%)\n",
+              contention1 * 100.0);
+  std::printf("  unpatched uncontended mean: %.0f cycles (paper: ~400)\n",
+              unpatched_fast_mean);
+  std::printf("  patched mean:               %.0f cycles (paper: ~120)\n",
+              patched_mean);
+  std::printf("  reduction: %.0f%%  (paper: ~70%%)\n",
+              100.0 * (1.0 - patched_mean / unpatched_fast_mean));
+  return 0;
+}

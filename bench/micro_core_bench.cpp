@@ -1,0 +1,149 @@
+// Real-hardware micro-benchmarks of the aggregate-stats library
+// (google-benchmark).  The honest counterpart to the paper's "about 200
+// CPU cycles per profiled OS entry point": what does a probe cost today?
+// Also covers the DESIGN.md ablations: bucket resolution r=1 vs r=2,
+// histogram locking policies, EMD vs bin-by-bin raters.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/compare.h"
+#include "src/core/histogram.h"
+#include "src/core/peaks.h"
+#include "src/core/probe.h"
+#include "src/core/profile.h"
+
+namespace {
+
+using osprof::Cycles;
+using osprof::Histogram;
+
+void BM_BucketIndexR1(benchmark::State& state) {
+  Cycles latency = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(osprof::BucketIndex(latency));
+    latency = latency * 3 + 1;
+  }
+}
+BENCHMARK(BM_BucketIndexR1);
+
+void BM_BucketIndexR2(benchmark::State& state) {
+  Cycles latency = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(osprof::BucketIndex(latency, 2));
+    latency = latency * 3 + 1;
+  }
+}
+BENCHMARK(BM_BucketIndexR2);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h(static_cast<int>(state.range(0)));
+  Cycles latency = 1;
+  for (auto _ : state) {
+    h.Add(latency);
+    latency = latency * 5 / 3 + 1;
+  }
+  benchmark::DoNotOptimize(h.TotalOperations());
+}
+BENCHMARK(BM_HistogramAdd)->Arg(1)->Arg(2)->ArgName("resolution");
+
+void BM_AtomicHistogramAdd(benchmark::State& state) {
+  osprof::AtomicHistogram h(1);
+  Cycles latency = 1;
+  for (auto _ : state) {
+    h.Add(latency);
+    latency = latency * 5 / 3 + 1;
+  }
+}
+BENCHMARK(BM_AtomicHistogramAdd)->Threads(1)->Threads(4);
+
+void BM_ShardedHistogramAdd(benchmark::State& state) {
+  static osprof::ShardedHistogram h(1);
+  Histogram* local = h.Local();
+  Cycles latency = 1;
+  for (auto _ : state) {
+    local->Add(latency);
+    latency = latency * 5 / 3 + 1;
+  }
+}
+BENCHMARK(BM_ShardedHistogramAdd)->Threads(1)->Threads(4);
+
+void BM_LatencyProbeRoundTrip(benchmark::State& state) {
+  // The full probe: two TSC reads plus a bucket sort -- the paper's
+  // per-operation overhead.
+  Histogram h(1);
+  for (auto _ : state) {
+    osprof::LatencyProbe probe(&h);
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(h.TotalOperations());
+}
+BENCHMARK(BM_LatencyProbeRoundTrip);
+
+Histogram MultiModal(int peaks, std::uint64_t seed) {
+  Histogram h(1);
+  std::uint64_t s = seed;
+  for (int p = 0; p < peaks; ++p) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int center = 5 + static_cast<int>((s >> 33) % 24);
+    h.set_bucket(center, 1'000 + (s & 0xFFFF));
+    h.set_bucket(center + 1, 100 + (s & 0xFF));
+  }
+  return h;
+}
+
+void BM_EarthMoversDistance(benchmark::State& state) {
+  const Histogram a = MultiModal(3, 1);
+  const Histogram b = MultiModal(3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(osprof::EarthMoversDistance(a, b));
+  }
+}
+BENCHMARK(BM_EarthMoversDistance);
+
+void BM_ChiSquareDistance(benchmark::State& state) {
+  const Histogram a = MultiModal(3, 1);
+  const Histogram b = MultiModal(3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(osprof::ChiSquareDistance(a, b));
+  }
+}
+BENCHMARK(BM_ChiSquareDistance);
+
+void BM_FindPeaks(benchmark::State& state) {
+  const Histogram h = MultiModal(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(osprof::FindPeaks(h));
+  }
+}
+BENCHMARK(BM_FindPeaks)->Arg(1)->Arg(4)->ArgName("peaks");
+
+void BM_ProfileSetSerialize(benchmark::State& state) {
+  osprof::ProfileSet set(1);
+  for (const char* op : {"read", "write", "llseek", "readdir", "open"}) {
+    for (int i = 0; i < 1'000; ++i) {
+      set.Add(op, static_cast<Cycles>(100 + i * 37));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.ToString());
+  }
+}
+BENCHMARK(BM_ProfileSetSerialize);
+
+void BM_ProfileSetParse(benchmark::State& state) {
+  osprof::ProfileSet set(1);
+  for (const char* op : {"read", "write", "llseek", "readdir", "open"}) {
+    for (int i = 0; i < 1'000; ++i) {
+      set.Add(op, static_cast<Cycles>(100 + i * 37));
+    }
+  }
+  const std::string text = set.ToString();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(osprof::ProfileSet::ParseString(text));
+  }
+}
+BENCHMARK(BM_ProfileSetParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Page-cache sweep: how the readdir/read peak structure responds to
+// cache pressure.
+//
+// The paper's multi-modal profiles are images of the cache hierarchy
+// (Figure 7): peak 2 is the page cache, peak 3 the disk's readahead
+// cache, peak 4 the mechanics.  Sweeping the page-cache capacity under a
+// two-pass grep moves mass between those peaks in a way the profiles
+// make directly visible -- the second pass is all peak-2 with a big
+// cache and regresses to peaks 3/4 as the cache shrinks below the
+// working set.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/fs/ext2fs.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+struct SweepRow {
+  std::uint64_t cache_pages;
+  double second_pass_s = 0.0;
+  double cached_mass = 0.0;  // Read ops in buckets <= 14 (CPU/page cache).
+  double io_mass = 0.0;      // Read ops in buckets >= 15 (disk involved).
+};
+
+SweepRow RunTwoPassGrep(std::uint64_t cache_pages) {
+  osim::KernelConfig kcfg;
+  kcfg.num_cpus = 1;
+  kcfg.seed = 12;
+  osim::Kernel kernel(kcfg);
+  osim::SimDisk disk(&kernel);
+  osfs::Ext2Config fcfg;
+  fcfg.cache_pages = cache_pages;
+  osfs::Ext2SimFs fs(&kernel, &disk, fcfg);
+  osworkloads::TreeSpec spec;
+  spec.top_dirs = 8;
+  spec.files_per_dir = 20;
+  osworkloads::BuildSourceTree(&fs, "/src", spec);
+
+  // Pass 1: populate the caches (unprofiled).
+  osworkloads::GrepStats warm;
+  kernel.Spawn("warm",
+               osworkloads::GrepWorkload(&kernel, &fs, "/src", 0.5, &warm));
+  kernel.RunUntilThreadsFinish();
+
+  // Pass 2: profiled.
+  osprofilers::SimProfiler prof(&kernel);
+  fs.SetProfiler(&prof);
+  const osprof::Cycles start = kernel.now();
+  osworkloads::GrepStats stats;
+  kernel.Spawn("grep",
+               osworkloads::GrepWorkload(&kernel, &fs, "/src", 0.5, &stats));
+  kernel.RunUntilThreadsFinish();
+
+  SweepRow row;
+  row.cache_pages = cache_pages;
+  row.second_pass_s =
+      static_cast<double>(kernel.now() - start) / osprof::kPaperCpuHz;
+  const osprof::Histogram& h = prof.profiles().Find("read")->histogram();
+  std::uint64_t cached = 0;
+  std::uint64_t io = 0;
+  for (int b = 0; b < h.num_buckets(); ++b) {
+    (b <= 14 ? cached : io) += h.bucket(b);
+  }
+  const double total = static_cast<double>(cached + io);
+  row.cached_mass = static_cast<double>(cached) / total;
+  row.io_mass = static_cast<double>(io) / total;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  osbench::Header("Page-cache sweep: peak masses vs cache capacity");
+  std::printf("two-pass grep; pass 2 profiled; working set ~10k pages.\n\n");
+  std::printf("  %-12s %-14s %-14s %-12s\n", "cache pages", "pass-2 elapsed",
+              "cached mass", "I/O mass");
+  double first_cached = -1.0;
+  double last_cached = -1.0;
+  for (const std::uint64_t pages : {256u, 2'048u, 8'192u, 12'288u, 16'384u, 65'536u}) {
+    const SweepRow row = RunTwoPassGrep(pages);
+    if (first_cached < 0) {
+      first_cached = row.cached_mass;
+    }
+    last_cached = row.cached_mass;
+    std::printf("  %-12llu %-14.3f %-14.3f %-12.3f\n",
+                static_cast<unsigned long long>(row.cache_pages),
+                row.second_pass_s, row.cached_mass, row.io_mass);
+  }
+  std::printf("\n  expected shape: below the working set the second pass\n"
+              "  scan-thrashes LRU (pages evicted just before re-use, so\n"
+              "  extra capacity buys nothing -- the flat plateau); once the\n"
+              "  working set fits, the I/O peaks drain into the page-cache\n"
+              "  peak and elapsed time collapses.  Shape holds: %s\n",
+              last_cached > first_cached ? "YES" : "NO");
+  return 0;
+}

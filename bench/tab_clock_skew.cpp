@@ -1,0 +1,81 @@
+// §3.4 "Clock Skew": per-CPU TSC offsets and their effect on profiles.
+//
+// A request that starts on one CPU and finishes on another (after a
+// migration) observes the counter difference.  The paper: logarithmic
+// filtering makes profiles insensitive to skews smaller than the
+// scheduling time; machines show ~20ns offsets after power-up, and Linux
+// software synchronization achieves ~130ns.  This bench profiles the
+// same migrating workload under zero, realistic (~20ns/130ns) and
+// pathological skew and rates the distortion with EMD.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/compare.h"
+#include "src/fs/ext2fs.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+// Three CPU-bound processes on two CPUs with a small quantum: constant
+// migrations, so probe start/end regularly land on different CPUs.
+osprof::Histogram RunWithSkew(std::int64_t skew_cycles) {
+  osim::KernelConfig kcfg;
+  kcfg.num_cpus = 2;
+  kcfg.quantum = 10'000;  // Aggressive rescheduling: frequent migrations.
+  kcfg.tsc_skew = {0, skew_cycles};
+  kcfg.seed = 21;
+  osim::Kernel kernel(kcfg);
+  osim::SimDisk disk(&kernel);
+  osfs::Ext2Config fcfg;
+  fcfg.cpu_noise_sigma = 0.15;
+  osfs::Ext2SimFs fs(&kernel, &disk, fcfg);
+  fs.AddFile("/probe", 4096);
+  osprofilers::SimProfiler profiler(&kernel);
+  fs.SetProfiler(&profiler);
+  for (int p = 0; p < 3; ++p) {
+    kernel.Spawn("p" + std::to_string(p),
+                 osworkloads::ZeroByteReadWorkload(&kernel, &fs, "/probe",
+                                                   60'000, 600));
+  }
+  kernel.RunUntilThreadsFinish();
+  return profiler.profiles().Find("read")->histogram();
+}
+
+}  // namespace
+
+int main() {
+  osbench::Header("§3.4: per-CPU TSC skew and profile sensitivity");
+
+  const osprof::Histogram baseline = RunWithSkew(0);
+  struct Case {
+    const char* name;
+    std::int64_t cycles;
+  };
+  const Case cases[] = {
+      {"power-up offset (~20ns)", 34},
+      {"Linux boot sync (~130ns)", 221},
+      {"pathological (~0.5ms)", 850'000},
+  };
+
+  std::printf("  %-28s %10s %12s %s\n", "skew", "cycles", "EMD vs 0",
+              "verdict");
+  std::printf("  %-28s %10d %12.4f %s\n", "none (baseline)", 0, 0.0, "-");
+  for (const Case& c : cases) {
+    const osprof::Histogram skewed = RunWithSkew(c.cycles);
+    const double emd = osprof::EarthMoversDistance(baseline, skewed);
+    const bool insensitive = emd < 0.05;
+    std::printf("  %-28s %10lld %12.4f %s\n", c.name,
+                static_cast<long long>(c.cycles), emd,
+                insensitive ? "indistinguishable" : "DISTORTED");
+  }
+  std::printf("\n  paper: log filtering makes profiles insensitive to\n"
+              "  counter differences smaller than the scheduling time;\n"
+              "  realistic skews (tens to hundreds of ns) vanish, while a\n"
+              "  grossly unsynchronized counter visibly distorts the\n"
+              "  profile of migrated requests.\n");
+  return 0;
+}

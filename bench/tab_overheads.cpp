@@ -1,0 +1,151 @@
+// §5.2: CPU-time overheads of file-system-level instrumentation, measured
+// with a Postmark workload.
+//
+// Four configurations isolate the per-probe components exactly like the
+// paper's three extra file systems: uninstrumented Ext2, empty probe
+// bodies (function-call cost only), TSC reads without sorting/storing,
+// and full profiling.  The paper's decomposition: +1.5% system time from
+// calls, +0.5% from TSC reads, +2.0% from sorting/storing = 4.0% total;
+// wait and user times unaffected; the measured floor between the TSC
+// reads is ~40 cycles, so the smallest populated bucket is 5.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/fs/ext2fs.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+enum class Mode { kOff, kCallsOnly, kCallsAndTsc, kFull };
+
+struct RunTimes {
+  double elapsed_s = 0.0;
+  double user_s = 0.0;
+  double sys_s = 0.0;
+  double wait_s = 0.0;
+  int min_bucket = -1;
+};
+
+RunTimes RunPostmark(Mode mode) {
+  osim::KernelConfig kcfg;
+  kcfg.num_cpus = 1;
+  kcfg.seed = 31;
+  osim::Kernel kernel(kcfg);
+  osim::SimDisk disk(&kernel);
+  osfs::Ext2Config fcfg;
+  // Match the paper's setup: the working set exceeds the page cache so
+  // I/O reaches the disk, and per-op system costs reflect a full kernel
+  // VFS stack (our minimal model's ops are ~2.5x cheaper than 2.6.11's,
+  // which would overstate the relative probe overhead).
+  fcfg.cache_pages = 3'000;
+  fcfg.costs.open_base *= 3;
+  fcfg.costs.lookup_per_component *= 3;
+  fcfg.costs.close_base *= 3;
+  fcfg.costs.read_base *= 3;
+  fcfg.costs.read_copy_per_page *= 3;
+  fcfg.costs.write_base *= 3;
+  fcfg.costs.write_per_page *= 3;
+  fcfg.costs.create_base *= 3;
+  fcfg.costs.unlink_base *= 3;
+  fcfg.costs.stat_base *= 3;
+  fcfg.costs.fsync_base *= 3;
+  osfs::Ext2SimFs fs(&kernel, &disk, fcfg);
+  fs.AddDir("/postmark");
+  osprofilers::SimProfiler profiler(&kernel);
+  if (mode != Mode::kOff) {
+    profiler.set_charge_overhead(true);
+    osprofilers::InstrumentationCosts& costs = profiler.costs();
+    if (mode == Mode::kCallsOnly) {
+      costs.tsc_inside_pre = 0;
+      costs.tsc_inside_post = 0;
+      costs.tsc_outside = 0;
+      costs.store = 0;
+    } else if (mode == Mode::kCallsAndTsc) {
+      costs.store = 0;
+    }
+    fs.SetProfiler(&profiler);
+  }
+
+  osworkloads::PostmarkConfig pcfg;
+  pcfg.initial_files = 2'000;
+  pcfg.transactions = 20'000;
+  osworkloads::PostmarkStats stats;
+  kernel.Spawn("postmark",
+               osworkloads::PostmarkWorkload(&kernel, &fs, pcfg, &stats));
+  kernel.RunUntilThreadsFinish();
+
+  RunTimes t;
+  const osim::SimThread* pm = kernel.threads()[0].get();
+  t.elapsed_s = static_cast<double>(kernel.now()) / osprof::kPaperCpuHz;
+  t.user_s = static_cast<double>(pm->user_time()) / osprof::kPaperCpuHz;
+  t.sys_s = static_cast<double>(pm->system_time()) / osprof::kPaperCpuHz;
+  t.wait_s = t.elapsed_s - t.user_s - t.sys_s;
+  if (mode == Mode::kFull) {
+    for (const auto& [name, profile] : profiler.profiles()) {
+      const int first = profile.histogram().FirstNonEmpty();
+      if (first >= 0 && (t.min_bucket < 0 || first < t.min_bucket)) {
+        t.min_bucket = first;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  osbench::Header("§5.2: instrumentation CPU-time overheads (Postmark)");
+
+  const RunTimes base = RunPostmark(Mode::kOff);
+  const RunTimes calls = RunPostmark(Mode::kCallsOnly);
+  const RunTimes tsc = RunPostmark(Mode::kCallsAndTsc);
+  const RunTimes full = RunPostmark(Mode::kFull);
+
+  auto row = [&](const char* name, const RunTimes& t) {
+    std::printf("  %-22s %8.3fs %8.3fs %8.3fs %8.3fs %+7.2f%%\n", name,
+                t.elapsed_s, t.user_s, t.sys_s, t.wait_s,
+                100.0 * (t.sys_s - base.sys_s) / base.sys_s);
+  };
+  std::printf("  %-22s %9s %9s %9s %9s %8s\n", "configuration", "elapsed",
+              "user", "system", "wait", "sys ovh");
+  row("uninstrumented", base);
+  row("empty probe bodies", calls);
+  row("probes + TSC reads", tsc);
+  row("full profiling", full);
+
+  osbench::Section("Decomposition (increments over the previous row)");
+  const double call_pct = 100.0 * (calls.sys_s - base.sys_s) / base.sys_s;
+  const double tsc_pct = 100.0 * (tsc.sys_s - calls.sys_s) / base.sys_s;
+  const double store_pct = 100.0 * (full.sys_s - tsc.sys_s) / base.sys_s;
+  const double total_pct = 100.0 * (full.sys_s - base.sys_s) / base.sys_s;
+  std::printf("  function calls:   %+5.2f%% of system time (paper: +1.5%%)\n",
+              call_pct);
+  std::printf("  TSC reads:        %+5.2f%% of system time (paper: +0.5%%)\n",
+              tsc_pct);
+  std::printf("  sorting/storing:  %+5.2f%% of system time (paper: +2.0%%)\n",
+              store_pct);
+  std::printf("  total:            %+5.2f%% of system time (paper: +4.0%%)\n",
+              total_pct);
+  std::printf("  ratio calls:tsc:store = %.1f : %.1f : %.1f "
+              "(paper: 3 : 1 : 4)\n",
+              call_pct / tsc_pct, 1.0, store_pct / tsc_pct);
+
+  osbench::Section("Other checks");
+  std::printf("  user time unaffected: base %.3fs vs full %.3fs (%+.2f%%)\n",
+              base.user_s, full.user_s,
+              100.0 * (full.user_s - base.user_s) / base.user_s);
+  std::printf("  wait time change: %+.2f%% (paper: unaffected)\n",
+              100.0 * (full.wait_s - base.wait_s) / base.wait_s);
+  std::printf("  elapsed overhead: %+.2f%% (paper: <1%% for I/O-bound runs)\n",
+              100.0 * (full.elapsed_s - base.elapsed_s) / base.elapsed_s);
+  std::printf("  smallest populated bucket under full profiling: %d\n"
+              "  (paper saw 5 because some VFS ops do near-zero work; the\n"
+              "   40-cycle floor itself -> bucket 5 is asserted by the unit\n"
+              "   test SimProfiler.OverheadChargingAddsCostsAndFloor)\n",
+              full.min_bucket);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// §3.3, Equation 3: the forced-preemption probability model.  Reproduces
+// the paper's headline number (Y=0.01, tperiod=2^10, tcpu=tperiod/2,
+// Q=2^26 -> ~1e-280), sweeps the parameter space, and validates the model
+// against simulated runs across quantum sizes.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/preemption.h"
+#include "src/fs/ext2fs.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+struct SimResult {
+  double expected = 0.0;
+  std::uint64_t measured = 0;
+};
+
+osprof::Histogram RunReads(osprof::Cycles quantum, std::uint64_t requests,
+                           bool preemptive) {
+  osim::KernelConfig cfg;
+  cfg.num_cpus = 1;
+  cfg.quantum = quantum;
+  cfg.kernel_preemption = preemptive;
+  cfg.timer_tick_period = 0;  // Isolate pure preemption effects.
+  osim::Kernel kernel(cfg);
+  osim::SimDisk disk(&kernel);
+  osfs::Ext2Config fs_cfg;
+  fs_cfg.cpu_noise_sigma = 0.1;
+  osfs::Ext2SimFs fs(&kernel, &disk, fs_cfg);
+  fs.AddFile("/probe", 4096);
+  osprofilers::SimProfiler profiler(&kernel);
+  fs.SetProfiler(&profiler);
+  for (int p = 0; p < 2; ++p) {
+    kernel.Spawn("p" + std::to_string(p),
+                 osworkloads::ZeroByteReadWorkload(&kernel, &fs, "/probe",
+                                                   requests, 120));
+  }
+  kernel.RunUntilThreadsFinish();
+  return profiler.profiles().Find("read")->histogram();
+}
+
+SimResult ValidateAgainstSim(osprof::Cycles quantum, std::uint64_t requests) {
+  // The Eq. 3 expectation needs the pure tcpu distribution: compute it
+  // from a non-preemptive twin run (at the paper's scale the preempted
+  // tail is negligible in the sum; at ours it is not).
+  const osprof::Histogram baseline = RunReads(quantum, requests, false);
+  const osprof::Histogram h = RunReads(quantum, requests, true);
+  SimResult r;
+  r.expected = osprof::ExpectedPreemptedRequests(baseline,
+                                                 static_cast<double>(quantum));
+  const int q_bucket = osprof::PreemptionBucket(static_cast<double>(quantum));
+  for (int b = q_bucket - 1; b < h.num_buckets(); ++b) {
+    r.measured += h.bucket(b);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  osbench::Header("Equation 3: forced-preemption probability model (§3.3)");
+
+  osbench::Section("The paper's headline configuration");
+  {
+    osprof::PreemptionParams p;
+    p.tperiod = std::exp2(10);
+    p.tcpu = std::exp2(9);
+    p.yield_probability = 0.01;
+    p.quantum = std::exp2(26);
+    const double pr = osprof::ForcedPreemptionProbability(p);
+    std::printf("  Y=0.01, tperiod=2^10, tcpu=2^9, Q=2^26\n");
+    std::printf("  Pr(fp) = %.3g  (paper: ~2.3e-280)\n", pr);
+  }
+
+  osbench::Section("Sweep: Pr(fp) vs yield probability Y (tperiod=2^10, Q=2^26)");
+  std::printf("  %-8s %-14s\n", "Y", "Pr(fp)");
+  for (double y : {0.0, 1e-4, 1e-3, 0.01, 0.05, 0.1}) {
+    osprof::PreemptionParams p;
+    p.tperiod = std::exp2(10);
+    p.tcpu = std::exp2(9);
+    p.yield_probability = y;
+    p.quantum = std::exp2(26);
+    std::printf("  %-8.4f %-14.4g\n", y,
+                osprof::ForcedPreemptionProbability(p));
+  }
+
+  osbench::Section("Sweep: Pr(fp) vs tperiod (Y=0.01, Q=2^26)");
+  std::printf("  %-12s %-14s %-14s\n", "tperiod", "Q*Y/tperiod", "Pr(fp)");
+  for (int log2_tp = 8; log2_tp <= 24; log2_tp += 4) {
+    osprof::PreemptionParams p;
+    p.tperiod = std::exp2(log2_tp);
+    p.tcpu = p.tperiod / 2;
+    p.yield_probability = 0.01;
+    p.quantum = std::exp2(26);
+    std::printf("  2^%-10d %-14.3g %-14.4g\n", log2_tp,
+                p.quantum * p.yield_probability / p.tperiod,
+                osprof::ForcedPreemptionProbability(p));
+  }
+
+  osbench::Section("Model vs simulation (Y=0, 2 processes, varying Q)");
+  std::printf("  %-8s %-12s %-12s %-8s\n", "Q", "expected", "measured",
+              "ratio");
+  for (int log2_q : {18, 19, 20, 21}) {
+    const SimResult r = ValidateAgainstSim(osprof::Cycles{1} << log2_q,
+                                           120'000);
+    const double ratio =
+        r.expected > 0 ? static_cast<double>(r.measured) / r.expected : 0.0;
+    std::printf("  2^%-6d %-12.1f %-12llu %-8.2f\n", log2_q, r.expected,
+                static_cast<unsigned long long>(r.measured), ratio);
+  }
+  std::printf("\n  paper shape: measured within a small factor of the Eq. 3\n"
+              "  expectation, scaling ~linearly with 1/Q (they saw 278 vs\n"
+              "  388 +- 33%%).\n");
+  return 0;
+}

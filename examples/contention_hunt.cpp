@@ -1,0 +1,77 @@
+// Contention hunt: the paper's §6.1 investigation as a workflow.
+//
+// 1. Capture a complete profile of a random-read workload with ONE
+//    process, and again with TWO processes.
+// 2. Let the automated analyzer (§3.2) select the interesting profiles.
+// 3. Inspect the flagged llseek profile: its new peak lines up with the
+//    READ profile (differential analysis + prior knowledge).
+// 4. Apply the fix (llseek without i_sem) and re-measure: the peak is
+//    gone and the mean drops ~70%.
+//
+//   $ ./contention_hunt
+
+#include <cstdio>
+
+#include "src/core/analysis.h"
+#include "src/core/peaks.h"
+#include "src/core/report.h"
+#include "src/fs/ext2fs.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+osprof::ProfileSet Capture(int processes, bool patched) {
+  osim::KernelConfig kcfg;
+  kcfg.num_cpus = 2;
+  kcfg.seed = 101;
+  osim::Kernel kernel(kcfg);
+  osim::SimDisk disk(&kernel);
+  osfs::Ext2Config fcfg;
+  fcfg.llseek_takes_i_sem = !patched;
+  osfs::Ext2SimFs fs(&kernel, &disk, fcfg);
+  fs.AddFile("/data", 64ull << 20);
+  osprofilers::SimProfiler profiler(&kernel);
+  fs.SetProfiler(&profiler);
+  for (int p = 0; p < processes; ++p) {
+    kernel.Spawn("proc" + std::to_string(p),
+                 osworkloads::RandomReadWorkload(&kernel, &fs, "/data", 1'000,
+                                                 200 + p));
+  }
+  kernel.RunUntilThreadsFinish();
+  return profiler.profiles();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Step 1: capture profiles (1 process, then 2 processes)\n");
+  const osprof::ProfileSet one = Capture(1, /*patched=*/false);
+  const osprof::ProfileSet two = Capture(2, /*patched=*/false);
+
+  std::printf("\nStep 2: automated analysis selects what changed\n");
+  const osprof::AnalysisReport report = osprof::CompareProfileSets(one, two);
+  std::printf("%s", report.Summary().c_str());
+
+  std::printf("\nStep 3: inspect the flagged profiles\n");
+  for (const osprof::PairReport* pair : report.Interesting()) {
+    std::printf("%s",
+                osprof::RenderAscii(*two.Find(pair->op_name)).c_str());
+    std::printf("  peaks: %s\n\n",
+                osprof::DescribePeaks(pair->peaks_b).c_str());
+  }
+  std::printf("observation: llseek's new right-hand peak sits in the same\n"
+              "buckets as READ -- llseek is waiting on something a read\n"
+              "holds (the inode semaphore, held across O_DIRECT I/O).\n");
+
+  std::printf("\nStep 4: apply the fix (llseek without i_sem), re-measure\n");
+  const osprof::ProfileSet fixed = Capture(2, /*patched=*/true);
+  std::printf("%s", osprof::RenderAscii(*fixed.Find("llseek")).c_str());
+  const double before = two.Find("llseek")->histogram().MeanLatency();
+  const double after = fixed.Find("llseek")->histogram().MeanLatency();
+  std::printf("\nllseek mean latency: %.0f -> %.0f cycles (%.0f%% reduction)\n",
+              before, after, 100.0 * (1.0 - after / before));
+  return 0;
+}

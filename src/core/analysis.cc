@@ -1,0 +1,188 @@
+#include "src/core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace osprof {
+
+double DefaultThreshold(CompareMethod method) {
+  switch (method) {
+    case CompareMethod::kChiSquare:
+      return 0.25;
+    case CompareMethod::kTotalOps:
+      return 0.22;
+    case CompareMethod::kTotalLatency:
+      return 0.30;
+    case CompareMethod::kEarthMovers:
+      return 0.2;
+    case CompareMethod::kIntersection:
+      return 0.25;
+    case CompareMethod::kJeffrey:
+      return 0.20;
+    case CompareMethod::kMinkowskiL1:
+      return 0.40;
+    case CompareMethod::kMinkowskiL2:
+      return 0.25;
+  }
+  return 0.2;
+}
+
+std::vector<const PairReport*> AnalysisReport::Interesting() const {
+  std::vector<const PairReport*> out;
+  for (const PairReport& p : pairs) {
+    if (p.interesting) {
+      out.push_back(&p);
+    }
+  }
+  return out;
+}
+
+std::string AnalysisReport::Summary() const {
+  std::ostringstream os;
+  int selected = 0;
+  for (const PairReport& p : pairs) {
+    selected += p.interesting ? 1 : 0;
+  }
+  os << "selected " << selected << " of " << pairs.size() << " profile pairs\n";
+  for (const PairReport& p : pairs) {
+    if (!p.interesting) {
+      continue;
+    }
+    os.precision(3);
+    os << "  " << p.op_name << " score=" << p.score << " (" << p.reason
+       << "); peaks " << p.peak_diff.peaks_a << " vs " << p.peak_diff.peaks_b
+       << "\n";
+  }
+  return os.str();
+}
+
+AnalysisReport CompareProfileSets(const ProfileSet& a, const ProfileSet& b,
+                                  const AnalysisOptions& options) {
+  AnalysisReport report;
+
+  // The significance yardstick: the busiest profile on either side.
+  Cycles max_latency = 0;
+  std::uint64_t max_ops = 0;
+  for (const ProfileSet* set : {&a, &b}) {
+    for (const auto& [name, profile] : *set) {
+      max_latency = std::max(max_latency, profile.total_latency());
+      max_ops = std::max(max_ops, profile.total_operations());
+    }
+  }
+
+  std::set<std::string> ops;
+  for (const auto& [name, profile] : a) {
+    ops.insert(name);
+  }
+  for (const auto& [name, profile] : b) {
+    ops.insert(name);
+  }
+
+  static const Histogram kEmpty(1);
+  for (const std::string& op : ops) {
+    PairReport pr;
+    pr.op_name = op;
+    const Profile* pa = a.Find(op);
+    const Profile* pb = b.Find(op);
+    const Histogram& ha = pa != nullptr ? pa->histogram() : kEmpty;
+    const Histogram& hb = pb != nullptr ? pb->histogram() : kEmpty;
+    pr.ops_a = ha.TotalOperations();
+    pr.ops_b = hb.TotalOperations();
+    pr.latency_a = ha.total_latency();
+    pr.latency_b = hb.total_latency();
+
+    // Operations missing on one side are execution paths that appeared or
+    // vanished -- always interesting (if they carry any weight at all).
+    if (pa == nullptr || pb == nullptr) {
+      pr.score = 1.0;
+      pr.interesting = true;
+      pr.reason = pa == nullptr ? "only in second set" : "only in first set";
+      pr.peaks_a = FindPeaks(ha, options.peak_options);
+      pr.peaks_b = FindPeaks(hb, options.peak_options);
+      pr.peak_diff =
+          DiffPeaks(pr.peaks_a, pr.peaks_b, options.peak_mode_tolerance);
+      report.pairs.push_back(std::move(pr));
+      continue;
+    }
+
+    // Phase 1: insignificance filter.
+    const double lat_frac =
+        max_latency == 0
+            ? 0.0
+            : static_cast<double>(std::max(pr.latency_a, pr.latency_b)) /
+                  static_cast<double>(max_latency);
+    const double ops_frac =
+        max_ops == 0 ? 0.0
+                     : static_cast<double>(std::max(pr.ops_a, pr.ops_b)) /
+                           static_cast<double>(max_ops);
+    if (lat_frac < options.insignificance_fraction &&
+        ops_frac < options.insignificance_fraction) {
+      pr.reason = "insignificant (latency and ops below threshold)";
+      report.pairs.push_back(std::move(pr));
+      continue;
+    }
+
+    // Phase 2: peak structure.
+    pr.peaks_a = FindPeaks(ha, options.peak_options);
+    pr.peaks_b = FindPeaks(hb, options.peak_options);
+    pr.peak_diff =
+        DiffPeaks(pr.peaks_a, pr.peaks_b, options.peak_mode_tolerance);
+
+    // Phase 3: rate the difference.
+    pr.score = Distance(options.method, ha, hb);
+
+    const double rel_latency_delta = TotalLatencyDifference(ha, hb);
+    if (rel_latency_delta <= options.similar_latency_tolerance &&
+        pr.score < options.score_threshold && pr.peak_diff.SameStructure()) {
+      pr.reason = "similar totals and shape";
+      report.pairs.push_back(std::move(pr));
+      continue;
+    }
+    if (pr.score >= options.score_threshold) {
+      pr.interesting = true;
+      pr.reason = "score above threshold";
+    } else if (!pr.peak_diff.SameStructure()) {
+      pr.interesting = true;
+      pr.reason = "peak structure changed";
+    } else {
+      pr.reason = "below threshold";
+    }
+    report.pairs.push_back(std::move(pr));
+  }
+
+  std::stable_sort(report.pairs.begin(), report.pairs.end(),
+                   [](const PairReport& x, const PairReport& y) {
+                     if (x.interesting != y.interesting) {
+                       return x.interesting;
+                     }
+                     return x.score > y.score;
+                   });
+  return report;
+}
+
+std::vector<RankedOp> RankByLatency(const ProfileSet& set) {
+  std::vector<RankedOp> out;
+  const Cycles total = set.TotalLatency();
+  for (const std::string& name : set.ByTotalLatency()) {
+    const Profile* p = set.Find(name);
+    RankedOp r;
+    r.op_name = name;
+    r.total_latency = p->total_latency();
+    r.total_ops = p->total_operations();
+    r.latency_fraction =
+        total == 0 ? 0.0
+                   : static_cast<double>(r.total_latency) /
+                         static_cast<double>(total);
+    out.push_back(r);
+  }
+  double cum = 0.0;
+  for (RankedOp& r : out) {
+    cum += r.latency_fraction;
+    r.cumulative_fraction = cum;
+  }
+  return out;
+}
+
+}  // namespace osprof

@@ -1,0 +1,93 @@
+// The automated profile analysis tool (paper §3.2).
+//
+// Given two complete profile sets (e.g. "one process" vs "two processes",
+// or "before patch" vs "after patch"), the tool selects the small set of
+// interesting profiles a person should look at.  It operates in three
+// phases:
+//   1. Ignore pairs whose total latency and operation counts are tiny
+//      compared to the rest, or whose totals are nearly identical
+//      (configurable thresholds).
+//   2. Segment both profiles into peaks and report differences in peak
+//      count and location.
+//   3. Rate the remaining pairs with one of the comparison methods and
+//      rank by score.
+//
+// The same machinery also ranks a single profile set by total latency
+// (profile preprocessing, §3.1).
+
+#ifndef OSPROF_SRC_CORE_ANALYSIS_H_
+#define OSPROF_SRC_CORE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/compare.h"
+#include "src/core/peaks.h"
+#include "src/core/profile.h"
+
+namespace osprof {
+
+struct AnalysisOptions {
+  CompareMethod method = CompareMethod::kEarthMovers;
+  // Phase 1: drop a pair when both sides contribute less than this fraction
+  // of the busiest profile's total latency AND operation count.
+  double insignificance_fraction = 0.01;
+  // Phase 1: drop a pair whose total latencies agree within this relative
+  // tolerance AND whose distance score is below `score_threshold`.
+  double similar_latency_tolerance = 0.05;
+  // Phase 3: pairs scoring >= this are reported as interesting.  The range
+  // of scores is method-dependent; see DefaultThreshold().
+  double score_threshold = 0.2;
+  // Peak segmentation knobs (phase 2).
+  PeakOptions peak_options;
+  int peak_mode_tolerance = 1;
+};
+
+// A sensible score threshold per method, calibrated on the synthetic corpus
+// used by the §5.3 accuracy benchmark.
+double DefaultThreshold(CompareMethod method);
+
+// The verdict for one operation's pair of profiles.
+struct PairReport {
+  std::string op_name;
+  double score = 0.0;          // Distance under the chosen method.
+  bool interesting = false;    // Selected for manual analysis.
+  std::string reason;          // Why it was selected / dropped.
+  PeakDiff peak_diff;
+  std::vector<Peak> peaks_a;
+  std::vector<Peak> peaks_b;
+  std::uint64_t ops_a = 0;
+  std::uint64_t ops_b = 0;
+  Cycles latency_a = 0;
+  Cycles latency_b = 0;
+};
+
+struct AnalysisReport {
+  // All operation pairs, interesting ones first, then by descending score.
+  std::vector<PairReport> pairs;
+
+  // Convenience view of the selected subset.
+  std::vector<const PairReport*> Interesting() const;
+  std::string Summary() const;
+};
+
+// Compares two complete profile sets and selects interesting pairs.
+// Operations present in only one set are always interesting (a path that
+// appeared or vanished).
+AnalysisReport CompareProfileSets(const ProfileSet& a, const ProfileSet& b,
+                                  const AnalysisOptions& options = {});
+
+// Ranks one profile set: operations by descending total latency, with the
+// cumulative latency fraction.  (Profile preprocessing, §3.1.)
+struct RankedOp {
+  std::string op_name;
+  Cycles total_latency = 0;
+  std::uint64_t total_ops = 0;
+  double latency_fraction = 0.0;
+  double cumulative_fraction = 0.0;
+};
+std::vector<RankedOp> RankByLatency(const ProfileSet& set);
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_ANALYSIS_H_

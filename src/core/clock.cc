@@ -1,0 +1,59 @@
+#include "src/core/clock.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace osprof {
+
+double EstimateTscHz(int sample_ms) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const Cycles tsc_start = ReadTsc();
+  const auto deadline = wall_start + std::chrono::milliseconds(sample_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy-wait: the sample window is tiny and we want cycle fidelity.
+  }
+  const Cycles tsc_end = ReadTsc();
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double elapsed_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (elapsed_s <= 0.0) {
+    return kPaperCpuHz;
+  }
+  return static_cast<double>(tsc_end - tsc_start) / elapsed_s;
+}
+
+std::string FormatSeconds(double seconds) {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 4> kUnits = {{
+      {1e-9, "ns"},
+      {1e-6, "us"},
+      {1e-3, "ms"},
+      {1.0, "s"},
+  }};
+  // Pick the largest unit in which the value is >= 1, like the paper's
+  // figure labels (28ns, 903ns, 28us, ...).
+  const Unit* chosen = &kUnits[0];
+  for (const Unit& u : kUnits) {
+    if (seconds >= u.scale) {
+      chosen = &u;
+    }
+  }
+  const double value = seconds / chosen->scale;
+  char buf[32];
+  if (value >= 100.0 || value == std::floor(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", value, chosen->suffix);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g%s", value, chosen->suffix);
+  }
+  return buf;
+}
+
+std::string FormatCycles(Cycles cycles, double hz) {
+  return FormatSeconds(CyclesToSeconds(cycles, hz));
+}
+
+}  // namespace osprof

@@ -1,0 +1,100 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "src/core/analysis.h"
+
+namespace osprof {
+
+ProfileSet MergeCluster(const std::vector<MachineProfile>& machines) {
+  if (machines.empty()) {
+    return ProfileSet(1);
+  }
+  const int resolution = machines.front().profiles.resolution();
+  ProfileSet merged(resolution);
+  for (const MachineProfile& m : machines) {
+    if (m.profiles.resolution() != resolution) {
+      throw std::invalid_argument(
+          "MergeCluster: profile sets differ in resolution");
+    }
+    for (const auto& [name, profile] : m.profiles) {
+      merged[name].histogram().Merge(profile.histogram());
+    }
+  }
+  return merged;
+}
+
+ProfileSet PrefixOperations(const ProfileSet& set, const std::string& prefix) {
+  ProfileSet out(set.resolution());
+  for (const auto& [name, profile] : set) {
+    out[prefix + name].histogram().Merge(profile.histogram());
+  }
+  return out;
+}
+
+std::vector<MachineDeviation> FindOutliers(
+    const std::vector<MachineProfile>& machines, CompareMethod method) {
+  std::vector<MachineDeviation> out;
+  if (machines.size() < 2) {
+    return out;
+  }
+  const int resolution = machines.front().profiles.resolution();
+  const double threshold = DefaultThreshold(method);
+
+  std::set<std::string> ops;
+  for (const MachineProfile& m : machines) {
+    for (const auto& [name, profile] : m.profiles) {
+      ops.insert(name);
+    }
+  }
+
+  const Histogram kEmpty(resolution);
+  auto histogram_of = [&kEmpty](const MachineProfile& m,
+                                const std::string& op) -> const Histogram& {
+    const Profile* p = m.profiles.Find(op);
+    return p != nullptr ? p->histogram() : kEmpty;
+  };
+
+  for (const std::string& op : ops) {
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      const Histogram& mine = histogram_of(machines[i], op);
+      std::vector<double> distances;
+      distances.reserve(machines.size() - 1);
+      for (std::size_t j = 0; j < machines.size(); ++j) {
+        if (j == i) {
+          continue;
+        }
+        const Histogram& theirs = histogram_of(machines[j], op);
+        if (mine.empty() != theirs.empty()) {
+          distances.push_back(1.0);  // Op runs on one side only.
+        } else if (mine.empty()) {
+          distances.push_back(0.0);
+        } else {
+          distances.push_back(Distance(method, mine, theirs));
+        }
+      }
+      // Lower median: with a strict minority of sick machines, a healthy
+      // node's median distance pairs it with another healthy node.
+      const std::size_t mid = (distances.size() - 1) / 2;
+      std::nth_element(distances.begin(),
+                       distances.begin() + static_cast<std::ptrdiff_t>(mid),
+                       distances.end());
+      MachineDeviation d;
+      d.machine = machines[i].machine;
+      d.op_name = op;
+      d.score = distances[mid];
+      d.outlier = d.score >= threshold;
+      out.push_back(std::move(d));
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MachineDeviation& a, const MachineDeviation& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+}  // namespace osprof

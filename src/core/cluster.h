@@ -1,0 +1,57 @@
+// Cluster-scale profile aggregation (the paper's future work, §7:
+// "Because of the compactness of our proles, we believe that OSprof is
+// suitable for clusters and distributed systems").
+//
+// Profile sets are tiny and text-serializable, so a fleet can ship one
+// per machine to an aggregation point.  This module merges them, and --
+// the operationally interesting part -- finds *outlier machines*: nodes
+// whose per-operation latency distribution deviates from the fleet
+// consensus (a failing disk, a mis-tuned kernel, a hot shard).
+
+#ifndef OSPROF_SRC_CORE_CLUSTER_H_
+#define OSPROF_SRC_CORE_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/compare.h"
+#include "src/core/profile.h"
+
+namespace osprof {
+
+struct MachineProfile {
+  std::string machine;
+  ProfileSet profiles;
+};
+
+// Merges per-machine profile sets into one fleet-wide set (histograms of
+// the same operation are summed).  All sets must share a resolution.
+ProfileSet MergeCluster(const std::vector<MachineProfile>& machines);
+
+// Prefixes every operation name ("web03." + "read" -> "web03.read"), so
+// per-machine profiles can coexist in one set for the standard analysis
+// tooling.
+ProfileSet PrefixOperations(const ProfileSet& set, const std::string& prefix);
+
+// One machine's deviation from the rest of the fleet for one operation.
+struct MachineDeviation {
+  std::string machine;
+  std::string op_name;
+  // Median of the machine's pairwise distances to every other machine's
+  // histogram for this operation.  The median (not a merge or a mean)
+  // keeps a minority of sick machines from contaminating the consensus:
+  // a healthy node's median distance is to another healthy node.
+  double score = 0.0;
+  bool outlier = false;  // Score above the method's default threshold.
+};
+
+// Scores every (machine, operation) pair; sorted by descending score.
+// A machine missing an operation that its peer has is at distance 1 from
+// that peer.
+std::vector<MachineDeviation> FindOutliers(
+    const std::vector<MachineProfile>& machines,
+    CompareMethod method = CompareMethod::kEarthMovers);
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_CLUSTER_H_

@@ -1,0 +1,167 @@
+#include "src/core/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace osprof {
+namespace {
+
+void RequireSameShape(const Histogram& a, const Histogram& b) {
+  if (a.resolution() != b.resolution()) {
+    throw std::invalid_argument("cannot compare histograms of different resolution");
+  }
+}
+
+}  // namespace
+
+double ChiSquareDistance(const Histogram& a, const Histogram& b) {
+  RequireSameShape(a, b);
+  const std::vector<double> pa = a.Normalized();
+  const std::vector<double> pb = b.Normalized();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double denom = pa[i] + pb[i];
+    if (denom > 0.0) {
+      const double d = pa[i] - pb[i];
+      sum += d * d / denom;
+    }
+  }
+  return sum;
+}
+
+double MinkowskiDistance(const Histogram& a, const Histogram& b, double p) {
+  RequireSameShape(a, b);
+  if (p < 1.0) {
+    throw std::invalid_argument("Minkowski order must be >= 1");
+  }
+  const std::vector<double> pa = a.Normalized();
+  const std::vector<double> pb = b.Normalized();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    sum += std::pow(std::abs(pa[i] - pb[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+double IntersectionDistance(const Histogram& a, const Histogram& b) {
+  RequireSameShape(a, b);
+  if (a.TotalOperations() == 0 && b.TotalOperations() == 0) {
+    return 0.0;  // Two empty profiles are identical.
+  }
+  const std::vector<double> pa = a.Normalized();
+  const std::vector<double> pb = b.Normalized();
+  double overlap = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    overlap += std::min(pa[i], pb[i]);
+  }
+  return 1.0 - overlap;
+}
+
+double JeffreyDivergence(const Histogram& a, const Histogram& b) {
+  RequireSameShape(a, b);
+  // Smooth with a small epsilon so empty bins do not produce infinities.
+  constexpr double kEpsilon = 1e-12;
+  const std::vector<double> pa = a.Normalized();
+  const std::vector<double> pb = b.Normalized();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double x = pa[i] + kEpsilon;
+    const double y = pb[i] + kEpsilon;
+    const double m = (x + y) / 2.0;
+    sum += x * std::log(x / m) + y * std::log(y / m);
+  }
+  return std::max(sum, 0.0);
+}
+
+double EarthMoversWork(const Histogram& a, const Histogram& b) {
+  RequireSameShape(a, b);
+  // In one dimension with unit adjacent-bucket distance, the minimum-work
+  // transport plan moves the running surplus one bucket at a time, so the
+  // total work is the L1 distance between the cumulative distributions.
+  const std::vector<double> pa = a.Normalized();
+  const std::vector<double> pb = b.Normalized();
+  double carried = 0.0;
+  double work = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    carried += pa[i] - pb[i];
+    work += std::abs(carried);
+  }
+  return work;
+}
+
+double EarthMoversDistance(const Histogram& a, const Histogram& b) {
+  // Normalize the transport work by a fixed "significant shift" of 3
+  // buckets: with log2 buckets, moving a whole profile 3 buckets is
+  // nearly an order of magnitude in latency -- unmistakably a behavioural
+  // change -- while sampling noise drifts mass at most one bucket.
+  constexpr double kSignificantShiftBuckets = 3.0;
+  const double work = EarthMoversWork(a, b);
+  return std::min(1.0, work / kSignificantShiftBuckets);
+}
+
+double TotalOpsDifference(const Histogram& a, const Histogram& b) {
+  const double na = static_cast<double>(a.TotalOperations());
+  const double nb = static_cast<double>(b.TotalOperations());
+  const double mx = std::max(na, nb);
+  if (mx == 0.0) {
+    return 0.0;
+  }
+  return std::abs(na - nb) / mx;
+}
+
+double TotalLatencyDifference(const Histogram& a, const Histogram& b) {
+  const double la = static_cast<double>(a.total_latency());
+  const double lb = static_cast<double>(b.total_latency());
+  const double mx = std::max(la, lb);
+  if (mx == 0.0) {
+    return 0.0;
+  }
+  return std::abs(la - lb) / mx;
+}
+
+std::string CompareMethodName(CompareMethod method) {
+  switch (method) {
+    case CompareMethod::kChiSquare:
+      return "chi-square";
+    case CompareMethod::kTotalOps:
+      return "total-ops";
+    case CompareMethod::kTotalLatency:
+      return "total-latency";
+    case CompareMethod::kEarthMovers:
+      return "earth-movers";
+    case CompareMethod::kIntersection:
+      return "intersection";
+    case CompareMethod::kJeffrey:
+      return "jeffrey";
+    case CompareMethod::kMinkowskiL1:
+      return "minkowski-l1";
+    case CompareMethod::kMinkowskiL2:
+      return "minkowski-l2";
+  }
+  return "unknown";
+}
+
+double Distance(CompareMethod method, const Histogram& a, const Histogram& b) {
+  switch (method) {
+    case CompareMethod::kChiSquare:
+      return ChiSquareDistance(a, b);
+    case CompareMethod::kTotalOps:
+      return TotalOpsDifference(a, b);
+    case CompareMethod::kTotalLatency:
+      return TotalLatencyDifference(a, b);
+    case CompareMethod::kEarthMovers:
+      return EarthMoversDistance(a, b);
+    case CompareMethod::kIntersection:
+      return IntersectionDistance(a, b);
+    case CompareMethod::kJeffrey:
+      return JeffreyDivergence(a, b);
+    case CompareMethod::kMinkowskiL1:
+      return MinkowskiDistance(a, b, 1.0);
+    case CompareMethod::kMinkowskiL2:
+      return MinkowskiDistance(a, b, 2.0);
+  }
+  throw std::invalid_argument("unknown CompareMethod");
+}
+
+}  // namespace osprof

@@ -1,0 +1,37 @@
+#include "src/core/correlate.h"
+
+namespace osprof {
+
+ValueCorrelator::ValueCorrelator(std::string value_name,
+                                 std::vector<Peak> peaks, int resolution)
+    : value_name_(std::move(value_name)),
+      peaks_(std::move(peaks)),
+      unmatched_(resolution) {
+  per_peak_.reserve(peaks_.size());
+  for (std::size_t i = 0; i < peaks_.size(); ++i) {
+    per_peak_.emplace_back(resolution);
+  }
+}
+
+void ValueCorrelator::Record(Cycles latency, std::uint64_t value) {
+  const int bucket = BucketIndex(latency, unmatched_.resolution());
+  for (std::size_t i = 0; i < peaks_.size(); ++i) {
+    if (peaks_[i].Contains(bucket)) {
+      per_peak_[i].Add(value);
+      return;
+    }
+  }
+  unmatched_.Add(value);
+}
+
+Histogram ValueCorrelator::OtherPeaksValues(int i) const {
+  Histogram out(unmatched_.resolution());
+  for (int j = 0; j < num_peaks(); ++j) {
+    if (j != i) {
+      out.Merge(per_peak_[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace osprof

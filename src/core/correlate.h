@@ -1,0 +1,56 @@
+// Direct profile and value correlation (paper §3.1, Figure 8).
+//
+// After a latency profile reveals peaks, the profiler can be re-armed to
+// correlate an internal variable with the peaks: for every request, the
+// value of the variable is bucketed into a *separate* histogram per peak,
+// selected by which peak the request's measured latency falls into.  The
+// paper's Figure 8 proves the first readdir peak is past-EOF reads by
+// correlating `readdir_past_EOF * 1024` with the peaks this way.
+
+#ifndef OSPROF_SRC_CORE_CORRELATE_H_
+#define OSPROF_SRC_CORE_CORRELATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/histogram.h"
+#include "src/core/peaks.h"
+
+namespace osprof {
+
+// Correlates a value with the latency peaks of one operation.
+class ValueCorrelator {
+ public:
+  // `peaks` are the latency-bucket ranges to classify against (from
+  // FindPeaks on a previously captured profile).  Requests whose latency
+  // matches none of the ranges go to the overflow histogram.
+  ValueCorrelator(std::string value_name, std::vector<Peak> peaks,
+                  int resolution = 1);
+
+  // Records one request: which peak `latency` belongs to, and the log2
+  // histogram of `value` for that peak.
+  void Record(Cycles latency, std::uint64_t value);
+
+  const std::string& value_name() const { return value_name_; }
+  int num_peaks() const { return static_cast<int>(peaks_.size()); }
+  const Peak& peak(int i) const { return peaks_[i]; }
+
+  // The value histogram of requests whose latency fell in peak `i`.
+  const Histogram& peak_values(int i) const { return per_peak_[i]; }
+  // Requests that matched no configured peak.
+  const Histogram& unmatched_values() const { return unmatched_; }
+
+  // Merges the value histograms of every peak except `i` (the paper's
+  // "other peaks" profile in Figure 8).
+  Histogram OtherPeaksValues(int i) const;
+
+ private:
+  std::string value_name_;
+  std::vector<Peak> peaks_;
+  std::vector<Histogram> per_peak_;
+  Histogram unmatched_;
+};
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_CORRELATE_H_

@@ -1,0 +1,159 @@
+#include "src/core/peaks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace osprof {
+namespace {
+
+// Builds a Peak over buckets [first, last] of `h`.
+Peak MakePeak(const Histogram& h, int first, int last, std::uint64_t total) {
+  Peak p;
+  p.first_bucket = first;
+  p.last_bucket = last;
+  std::uint64_t best = 0;
+  double latency_sum = 0.0;
+  for (int b = first; b <= last; ++b) {
+    const std::uint64_t c = h.bucket(b);
+    p.count += c;
+    latency_sum += static_cast<double>(c) * BucketMidLatency(b, h.resolution());
+    if (c > best) {
+      best = c;
+      p.mode_bucket = b;
+    }
+  }
+  p.mass = total == 0 ? 0.0
+                      : static_cast<double>(p.count) / static_cast<double>(total);
+  p.mean_latency = p.count == 0 ? 0.0 : latency_sum / static_cast<double>(p.count);
+  return p;
+}
+
+}  // namespace
+
+std::vector<Peak> FindPeaks(const Histogram& h, const PeakOptions& options) {
+  std::vector<Peak> peaks;
+  const std::uint64_t total = h.TotalOperations();
+  if (total == 0) {
+    return peaks;
+  }
+  std::uint64_t tallest = 0;
+  for (int b = 0; b < h.num_buckets(); ++b) {
+    tallest = std::max(tallest, h.bucket(b));
+  }
+  const double noise_floor =
+      options.noise_floor_fraction * static_cast<double>(tallest);
+
+  int run_start = -1;
+  auto flush_run = [&](int run_end) {
+    // Split the contiguous run [run_start, run_end] at significant valleys
+    // using hysteresis on the log10 scale: a split happens where the counts
+    // dip at least `min_valley_depth_decades` below the maxima on both
+    // sides of the dip.
+    const double depth = options.min_valley_depth_decades;
+    int seg_start = run_start;
+    double seg_max = -1.0;        // Max log-count since segment start.
+    double valley = 1e300;        // Min log-count since seg_max was set.
+    int valley_bucket = run_start;
+    for (int b = run_start; b <= run_end; ++b) {
+      const double logc = std::log10(static_cast<double>(h.bucket(b)));
+      if (logc > seg_max) {
+        seg_max = logc;
+        valley = logc;
+        valley_bucket = b;
+      }
+      if (logc < valley) {
+        valley = logc;
+        valley_bucket = b;
+      }
+      const bool deep_on_left = seg_max - valley >= depth;
+      const bool rising_on_right = logc - valley >= depth;
+      if (deep_on_left && rising_on_right && valley_bucket > seg_start) {
+        peaks.push_back(MakePeak(h, seg_start, valley_bucket, total));
+        seg_start = valley_bucket + 1;
+        seg_max = logc;
+        valley = logc;
+        valley_bucket = b;
+      }
+    }
+    if (seg_start <= run_end) {
+      peaks.push_back(MakePeak(h, seg_start, run_end, total));
+    }
+  };
+
+  for (int b = 0; b < h.num_buckets(); ++b) {
+    if (h.bucket(b) != 0) {
+      if (run_start < 0) {
+        run_start = b;
+      }
+    } else if (run_start >= 0) {
+      flush_run(b - 1);
+      run_start = -1;
+    }
+  }
+  if (run_start >= 0) {
+    flush_run(h.num_buckets() - 1);
+  }
+
+  // Drop noise-floor-only and tiny peaks.
+  std::vector<Peak> kept;
+  for (const Peak& p : peaks) {
+    if (p.count < options.min_count) {
+      continue;
+    }
+    if (static_cast<double>(h.bucket(p.mode_bucket)) <= noise_floor) {
+      continue;
+    }
+    kept.push_back(p);
+  }
+  return kept;
+}
+
+PeakDiff DiffPeaks(const std::vector<Peak>& a, const std::vector<Peak>& b,
+                   int mode_tolerance_buckets) {
+  PeakDiff diff;
+  diff.peaks_a = static_cast<int>(a.size());
+  diff.peaks_b = static_cast<int>(b.size());
+  std::vector<bool> b_matched(b.size(), false);
+  for (const Peak& pa : a) {
+    bool matched = false;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b_matched[j]) {
+        continue;
+      }
+      if (std::abs(pa.mode_bucket - b[j].mode_bucket) <= mode_tolerance_buckets) {
+        b_matched[j] = true;
+        matched = true;
+        diff.max_matched_mass_delta = std::max(
+            diff.max_matched_mass_delta, std::abs(pa.mass - b[j].mass));
+        break;
+      }
+    }
+    if (!matched) {
+      diff.only_in_a.push_back(pa.mode_bucket);
+    }
+  }
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    if (!b_matched[j]) {
+      diff.only_in_b.push_back(b[j].mode_bucket);
+    }
+  }
+  return diff;
+}
+
+std::string DescribePeaks(const std::vector<Peak>& peaks) {
+  std::ostringstream os;
+  os << peaks.size() << (peaks.size() == 1 ? " peak: " : " peaks: ");
+  for (std::size_t i = 0; i < peaks.size(); ++i) {
+    if (i != 0) {
+      os << ", ";
+    }
+    const Peak& p = peaks[i];
+    os << "[" << p.first_bucket << "-" << p.last_bucket << "]@" << p.mode_bucket;
+    os.precision(3);
+    os << " mass=" << p.mass;
+  }
+  return os.str();
+}
+
+}  // namespace osprof

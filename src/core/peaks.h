@@ -1,0 +1,78 @@
+// Peak detection on log-bucket latency profiles.
+//
+// Different internal OS activities create different peaks on a latency
+// distribution (paper §3): a two-peak clone profile means one lock-free and
+// one contended path; readdir's four peaks are past-EOF returns, page-cache
+// hits, disk-cache hits, and mechanical disk accesses.  The automated
+// analysis tool (§3.2 phase two) segments profiles into peaks and reports
+// differences in their number and location.
+//
+// Segmentation works on log10 of the bucket counts -- the same transform the
+// paper's figures use for the Y axis -- because a peak that is visually
+// obvious on the published plots spans orders of magnitude in raw counts.
+
+#ifndef OSPROF_SRC_CORE_PEAKS_H_
+#define OSPROF_SRC_CORE_PEAKS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/histogram.h"
+
+namespace osprof {
+
+// One detected peak: a contiguous bucket range.
+struct Peak {
+  int first_bucket = 0;     // Inclusive.
+  int last_bucket = 0;      // Inclusive.
+  int mode_bucket = 0;      // Bucket with the largest count.
+  std::uint64_t count = 0;  // Total operations in the peak.
+  double mass = 0.0;        // count / total operations in the histogram.
+  double mean_latency = 0.0;  // Estimated from bucket mid-points, cycles.
+
+  bool Contains(int bucket) const {
+    return bucket >= first_bucket && bucket <= last_bucket;
+  }
+};
+
+struct PeakOptions {
+  // Buckets whose count is below this fraction of the tallest bucket are
+  // treated as noise floor (they still belong to an adjacent peak if
+  // contiguous with it, but cannot form a peak on their own).
+  double noise_floor_fraction = 0.0;
+  // A local minimum splits a run into two peaks if, on the log10 scale,
+  // both neighbouring maxima rise at least this many decades above it.
+  double min_valley_depth_decades = 0.5;
+  // Peaks with fewer operations than this are dropped.
+  std::uint64_t min_count = 1;
+};
+
+// Segments `h` into peaks.  Returned peaks are ordered left to right.
+std::vector<Peak> FindPeaks(const Histogram& h, const PeakOptions& options = {});
+
+// Difference report between the peak structures of two profiles (phase two
+// of the automated analysis tool).
+struct PeakDiff {
+  int peaks_a = 0;
+  int peaks_b = 0;
+  // Mode buckets present in one profile with no mode within +-tolerance in
+  // the other.
+  std::vector<int> only_in_a;
+  std::vector<int> only_in_b;
+  // Largest |mass_a - mass_b| among matched peaks.
+  double max_matched_mass_delta = 0.0;
+
+  bool SameStructure() const {
+    return peaks_a == peaks_b && only_in_a.empty() && only_in_b.empty();
+  }
+};
+
+PeakDiff DiffPeaks(const std::vector<Peak>& a, const std::vector<Peak>& b,
+                   int mode_tolerance_buckets = 1);
+
+// Human-readable one-line summary, e.g. "2 peaks: [5-9]@7 mass=0.75, ...".
+std::string DescribePeaks(const std::vector<Peak>& peaks);
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_PEAKS_H_

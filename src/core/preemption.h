@@ -1,0 +1,47 @@
+// The forcible-preemption model (paper §3.3, Equation 3).
+//
+// Early code profilers rejected latency as a metric because a multitasking
+// OS can reschedule a process at an arbitrary point.  The paper shows that
+// for typical workloads the probability of being *forcibly* preempted while
+// inside a profiled request is negligible:
+//
+//     Pr(fp) = tcpu / tperiod * (1 - Y)^(Q / tperiod)              (Eq. 3)
+//
+// where tcpu is the request's CPU time, tperiod the average CPU time
+// (user + system) between request arrivals, Y the probability that the
+// process voluntarily yields during a request, and Q the scheduling
+// quantum.  The model also predicts how many preempted requests a profile
+// with a given bucket population should show: a request from bucket b has
+// tcpu = 3/2 * 2^b, so the expected count of preempted requests is
+// sum_b n_b * (3/2 * 2^b) / Q, and they surface near bucket log2(Q).
+
+#ifndef OSPROF_SRC_CORE_PREEMPTION_H_
+#define OSPROF_SRC_CORE_PREEMPTION_H_
+
+#include "src/core/histogram.h"
+
+namespace osprof {
+
+struct PreemptionParams {
+  double tcpu = 0.0;     // CPU time of the profiled request, cycles.
+  double tperiod = 0.0;  // Average CPU time between requests, cycles.
+  double yield_probability = 0.0;  // Y: chance of a voluntary yield.
+  double quantum = 0.0;  // Q: scheduling quantum, cycles.
+};
+
+// Evaluates Equation 3.  Returns a probability in [0, 1].
+double ForcedPreemptionProbability(const PreemptionParams& params);
+
+// Expected number of forcibly preempted requests for a captured profile of
+// a non-yielding workload (Y = 0): sum over buckets of
+// n_b * BucketMid(b) / quantum.  This is the paper's "expected 388 +- 33%
+// elements in the 26th bucket" computation for Figure 3.
+double ExpectedPreemptedRequests(const Histogram& profile, double quantum);
+
+// The bucket where preempted requests surface: preemption adds a wait of
+// roughly one quantum, so floor(log2(Q)).
+int PreemptionBucket(double quantum, int resolution = 1);
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_PREEMPTION_H_

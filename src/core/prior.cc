@@ -1,0 +1,50 @@
+#include "src/core/prior.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace osprof {
+
+void PriorKnowledge::Add(std::string name, Cycles cycles,
+                         int bucket_tolerance) {
+  entries_.push_back(
+      CharacteristicTime{std::move(name), cycles, bucket_tolerance});
+}
+
+PriorKnowledge PriorKnowledge::PaperTestbed() {
+  PriorKnowledge pk;
+  const double hz = kPaperCpuHz;
+  pk.Add("context switch", SecondsToCycles(5.6e-6, hz));
+  pk.Add("track-to-track seek", SecondsToCycles(0.3e-3, hz));
+  pk.Add("full disk rotation", SecondsToCycles(4e-3, hz));
+  pk.Add("full-stroke seek", SecondsToCycles(8e-3, hz));
+  pk.Add("network round trip", SecondsToCycles(112e-6, hz));
+  pk.Add("scheduling quantum", SecondsToCycles(58e-3, hz));
+  pk.Add("timer tick", SecondsToCycles(4e-3, hz));
+  pk.Add("delayed ACK timeout", SecondsToCycles(200e-3, hz));
+  return pk;
+}
+
+std::vector<std::string> PriorKnowledge::MatchBucket(int bucket,
+                                                     int resolution) const {
+  std::vector<std::string> matches;
+  for (const CharacteristicTime& ct : entries_) {
+    const int ct_bucket = BucketIndex(ct.cycles, resolution);
+    if (std::abs(ct_bucket - bucket) <= ct.bucket_tolerance * resolution) {
+      matches.push_back(ct.name);
+    }
+  }
+  return matches;
+}
+
+std::vector<PriorKnowledge::AnnotatedPeak> PriorKnowledge::Annotate(
+    const std::vector<Peak>& peaks, int resolution) const {
+  std::vector<AnnotatedPeak> out;
+  out.reserve(peaks.size());
+  for (const Peak& p : peaks) {
+    out.push_back(AnnotatedPeak{p, MatchBucket(p.mode_bucket, resolution)});
+  }
+  return out;
+}
+
+}  // namespace osprof

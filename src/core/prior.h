@@ -1,0 +1,63 @@
+// Prior-knowledge-based peak analysis (paper §3.1).
+//
+// Many OS operations have characteristic times that can be measured once
+// per test setup: the paper's machines have a ~5.6us context switch, ~8ms
+// full-stroke seek, ~4ms full disk rotation, ~112us network round trip and
+// a ~58ms scheduling quantum.  When a profile peak lands near one of these
+// times, the analyst can hypothesize its cause immediately.  This module
+// keeps a table of characteristic times and annotates peaks with matches.
+
+#ifndef OSPROF_SRC_CORE_PRIOR_H_
+#define OSPROF_SRC_CORE_PRIOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/histogram.h"
+#include "src/core/peaks.h"
+
+namespace osprof {
+
+// A named characteristic time of the profiled system.
+struct CharacteristicTime {
+  std::string name;      // e.g. "full disk rotation".
+  Cycles cycles = 0;     // Typical duration.
+  // A peak matches if its mode bucket is within this many buckets of the
+  // characteristic time's bucket (log scale tolerance).
+  int bucket_tolerance = 1;
+};
+
+// The table of known times for one machine/configuration.
+class PriorKnowledge {
+ public:
+  PriorKnowledge() = default;
+
+  void Add(std::string name, Cycles cycles, int bucket_tolerance = 1);
+
+  // The paper's test-bed table (§3.1) at 1.7 GHz: context switch 5.6us,
+  // full-stroke seek 8ms, track-to-track seek 0.3ms, full rotation 4ms,
+  // network RTT 112us, scheduling quantum ~58ms, timer tick 4ms.
+  static PriorKnowledge PaperTestbed();
+
+  const std::vector<CharacteristicTime>& entries() const { return entries_; }
+
+  // Names of all characteristic times whose bucket is within tolerance of
+  // `bucket` (empty if none).
+  std::vector<std::string> MatchBucket(int bucket, int resolution = 1) const;
+
+  // Annotates each peak with its matching characteristic times.
+  struct AnnotatedPeak {
+    Peak peak;
+    std::vector<std::string> hypotheses;
+  };
+  std::vector<AnnotatedPeak> Annotate(const std::vector<Peak>& peaks,
+                                      int resolution = 1) const;
+
+ private:
+  std::vector<CharacteristicTime> entries_;
+};
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_PRIOR_H_

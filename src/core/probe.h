@@ -1,0 +1,59 @@
+// Latency probes: the FSPROF_PRE / FSPROF_POST pair of the paper as a C++
+// RAII guard, for profiling real code paths (the simulated kernel has its
+// own probes that read simulated time).
+
+#ifndef OSPROF_SRC_CORE_PROBE_H_
+#define OSPROF_SRC_CORE_PROBE_H_
+
+#include "src/core/clock.h"
+#include "src/core/histogram.h"
+#include "src/core/profile.h"
+
+namespace osprof {
+
+// Measures the TSC latency of a scope and adds it to a histogram:
+//
+//   void MyOp() {
+//     LatencyProbe probe(&histogram);
+//     ...  // profiled code
+//   }       // <- latency recorded here
+//
+// The probe costs two TSC reads plus one bucket sort (~40 cycles between
+// the reads on the paper's hardware, §5.2), so only the fastest operations
+// are perturbed.
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(Histogram* histogram)
+      : histogram_(histogram), start_(ReadTsc()) {}
+  explicit LatencyProbe(Profile* profile)
+      : LatencyProbe(&profile->histogram()) {}
+
+  LatencyProbe(const LatencyProbe&) = delete;
+  LatencyProbe& operator=(const LatencyProbe&) = delete;
+
+  ~LatencyProbe() {
+    if (histogram_ != nullptr) {
+      const Cycles end = ReadTsc();
+      histogram_->Add(end >= start_ ? end - start_ : 0);
+    }
+  }
+
+  // Abandons the measurement (e.g. the operation failed in a way that
+  // should not pollute the profile).
+  void Cancel() { histogram_ = nullptr; }
+
+ private:
+  Histogram* histogram_;
+  Cycles start_;
+};
+
+// Times a callable and records its latency; returns the callable's result.
+template <typename Fn>
+auto Timed(Histogram* histogram, Fn&& fn) -> decltype(fn()) {
+  LatencyProbe probe(histogram);
+  return fn();
+}
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_PROBE_H_

@@ -1,0 +1,184 @@
+#include "src/core/profile.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace osprof {
+
+Profile& ProfileSet::operator[](const std::string& op) {
+  auto it = profiles_.find(op);
+  if (it == profiles_.end()) {
+    it = profiles_.emplace(op, Profile(op, resolution_)).first;
+  }
+  return it->second;
+}
+
+const Profile* ProfileSet::Find(const std::string& op) const {
+  auto it = profiles_.find(op);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ProfileSet::OperationNames() const {
+  std::vector<std::string> names;
+  names.reserve(profiles_.size());
+  for (const auto& [name, profile] : profiles_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> ProfileSet::ByTotalLatency() const {
+  std::vector<std::string> names = OperationNames();
+  std::sort(names.begin(), names.end(),
+            [this](const std::string& a, const std::string& b) {
+              const Cycles la = profiles_.at(a).total_latency();
+              const Cycles lb = profiles_.at(b).total_latency();
+              if (la != lb) {
+                return la > lb;
+              }
+              return a < b;
+            });
+  return names;
+}
+
+Cycles ProfileSet::TotalLatency() const {
+  Cycles sum = 0;
+  for (const auto& [name, profile] : profiles_) {
+    sum += profile.total_latency();
+  }
+  return sum;
+}
+
+std::uint64_t ProfileSet::TotalOperations() const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, profile] : profiles_) {
+    sum += profile.total_operations();
+  }
+  return sum;
+}
+
+void ProfileSet::Serialize(std::ostream& os) const {
+  os << "# osprof profile set v1\n";
+  os << "resolution " << resolution_ << "\n";
+  for (const auto& [name, profile] : profiles_) {
+    const Histogram& h = profile.histogram();
+    os << "profile " << name << " recorded=" << h.recorded()
+       << " total_latency=" << h.total_latency() << "\n";
+    for (int b = 0; b < h.num_buckets(); ++b) {
+      if (h.bucket(b) != 0) {
+        os << "  bucket " << b << " " << h.bucket(b) << "\n";
+      }
+    }
+    os << "end\n";
+  }
+}
+
+std::string ProfileSet::ToString() const {
+  std::ostringstream os;
+  Serialize(os);
+  return os.str();
+}
+
+ProfileSet ProfileSet::Parse(std::istream& is) {
+  std::string line;
+  int resolution = 1;
+  ProfileSet set(1);
+  Profile* current = nullptr;
+  std::uint64_t current_recorded = 0;
+  std::uint64_t current_total_latency = 0;
+  bool saw_resolution = false;
+  int lineno = 0;
+
+  auto fail = [&lineno](const std::string& msg) {
+    throw std::runtime_error("ProfileSet::Parse line " +
+                             std::to_string(lineno) + ": " + msg);
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') {
+      continue;
+    }
+    if (tok == "resolution") {
+      if (!(ls >> resolution)) {
+        fail("malformed resolution");
+      }
+      if (saw_resolution) {
+        fail("duplicate resolution line");
+      }
+      saw_resolution = true;
+      set = ProfileSet(resolution);
+      current = nullptr;
+    } else if (tok == "profile") {
+      std::string name;
+      if (!(ls >> name)) {
+        fail("profile line missing name");
+      }
+      current = &set[name];
+      current_recorded = 0;
+      current_total_latency = 0;
+      std::string kv;
+      while (ls >> kv) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) {
+          fail("malformed key=value: " + kv);
+        }
+        const std::string key = kv.substr(0, eq);
+        const std::uint64_t value = std::stoull(kv.substr(eq + 1));
+        if (key == "recorded") {
+          current_recorded = value;
+        } else if (key == "total_latency") {
+          current_total_latency = value;
+        } else {
+          fail("unknown profile attribute: " + key);
+        }
+      }
+    } else if (tok == "bucket") {
+      if (current == nullptr) {
+        fail("bucket outside profile block");
+      }
+      int index = 0;
+      std::uint64_t count = 0;
+      if (!(ls >> index >> count)) {
+        fail("malformed bucket line");
+      }
+      if (index < 0 || index >= current->histogram().num_buckets()) {
+        fail("bucket index out of range");
+      }
+      current->histogram().set_bucket(index, count);
+    } else if (tok == "end") {
+      if (current == nullptr) {
+        fail("end outside profile block");
+      }
+      current->histogram().SetTotals(current_recorded, current_total_latency);
+      current = nullptr;
+    } else {
+      fail("unknown directive: " + tok);
+    }
+  }
+  if (current != nullptr) {
+    fail("unterminated profile block");
+  }
+  return set;
+}
+
+ProfileSet ProfileSet::ParseString(const std::string& text) {
+  std::istringstream is(text);
+  return Parse(is);
+}
+
+bool ProfileSet::CheckConsistency() const {
+  for (const auto& [name, profile] : profiles_) {
+    if (!profile.histogram().CheckConsistency()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace osprof

@@ -1,0 +1,100 @@
+// Profiles and profile sets.
+//
+// A Profile is the latency histogram of one OS operation (e.g. "read",
+// "llseek", "readdir").  A ProfileSet is a "complete profile" in the
+// paper's terms: the collection of per-operation profiles captured during
+// one workload run, at one layer (user / file-system / driver).
+//
+// ProfileSet serializes to a line-oriented text format modelled on the
+// paper's /proc reporting interface, and parses it back, so profiles can be
+// captured in one process and analyzed in another.
+
+#ifndef OSPROF_SRC_CORE_PROFILE_H_
+#define OSPROF_SRC_CORE_PROFILE_H_
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/histogram.h"
+
+namespace osprof {
+
+// The latency profile of a single operation.
+class Profile {
+ public:
+  Profile() : Profile("", 1) {}
+  explicit Profile(std::string op_name, int resolution = 1)
+      : op_name_(std::move(op_name)), histogram_(resolution) {}
+  Profile(std::string op_name, Histogram histogram)
+      : op_name_(std::move(op_name)), histogram_(std::move(histogram)) {}
+
+  const std::string& op_name() const { return op_name_; }
+  Histogram& histogram() { return histogram_; }
+  const Histogram& histogram() const { return histogram_; }
+
+  void Add(Cycles latency) { histogram_.Add(latency); }
+
+  std::uint64_t total_operations() const {
+    return histogram_.TotalOperations();
+  }
+  Cycles total_latency() const { return histogram_.total_latency(); }
+
+ private:
+  std::string op_name_;
+  Histogram histogram_;
+};
+
+// A complete profile: one Profile per operation name.
+class ProfileSet {
+ public:
+  explicit ProfileSet(int resolution = 1) : resolution_(resolution) {}
+
+  // Returns the profile for `op`, creating it if absent.
+  Profile& operator[](const std::string& op);
+
+  // Returns the profile for `op` or nullptr.
+  const Profile* Find(const std::string& op) const;
+
+  void Add(const std::string& op, Cycles latency) { (*this)[op].Add(latency); }
+
+  bool empty() const { return profiles_.empty(); }
+  std::size_t size() const { return profiles_.size(); }
+  int resolution() const { return resolution_; }
+
+  // Operation names present, sorted lexicographically.
+  std::vector<std::string> OperationNames() const;
+
+  // Operation names sorted by descending total latency: the paper's profile
+  // preprocessing step ("select profiles ... that contribute the most to the
+  // total latency").
+  std::vector<std::string> ByTotalLatency() const;
+
+  // Sum of total_latency over all operations.
+  Cycles TotalLatency() const;
+  std::uint64_t TotalOperations() const;
+
+  // Iteration (sorted by name, since std::map).
+  auto begin() const { return profiles_.begin(); }
+  auto end() const { return profiles_.end(); }
+
+  // Text serialization.
+  void Serialize(std::ostream& os) const;
+  std::string ToString() const;
+  // Parses a serialized set; throws std::runtime_error on malformed input.
+  static ProfileSet Parse(std::istream& is);
+  static ProfileSet ParseString(const std::string& text);
+
+  // True iff every contained histogram passes its checksum test.
+  bool CheckConsistency() const;
+
+ private:
+  int resolution_;
+  std::map<std::string, Profile> profiles_;
+};
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_PROFILE_H_

@@ -1,0 +1,47 @@
+// Profile rendering: ASCII plots like the paper's figures, and gnuplot
+// script generation (paper §4, "Representing results").
+
+#ifndef OSPROF_SRC_CORE_REPORT_H_
+#define OSPROF_SRC_CORE_REPORT_H_
+
+#include <string>
+
+#include "src/core/profile.h"
+
+namespace osprof {
+
+struct RenderOptions {
+  // CPU frequency for the human-readable latency labels above the plot.
+  double cpu_hz = kPaperCpuHz;
+  // Bucket range to show; -1 auto-fits to the occupied range (with one
+  // bucket of margin, clamped to >= first_bucket floor 0).
+  int first_bucket = -1;
+  int last_bucket = -1;
+  // Height of the plot in character rows; the Y axis is log10 like the
+  // paper's figures.
+  int height = 8;
+};
+
+// Renders one profile as an ASCII log-log plot:
+//
+//   CLONE                                          28ns ... 947ms
+//   10^4 |        #
+//   10^3 |        ##            #
+//   ...
+//        +5----10----15----20----25----30
+//
+std::string RenderAscii(const Profile& profile, const RenderOptions& options = {});
+
+// Renders every profile of a set, busiest (by total latency) first.
+std::string RenderAsciiSet(const ProfileSet& set, const RenderOptions& options = {});
+
+// Emits a self-contained gnuplot script reproducing the paper's plot style
+// (logscale y, boxes, bucket number on x, latency labels on top).
+std::string RenderGnuplot(const Profile& profile, const RenderOptions& options = {});
+
+// One-line textual summary: ops, total latency, mean, occupied range.
+std::string SummarizeProfile(const Profile& profile, double cpu_hz = kPaperCpuHz);
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_REPORT_H_

@@ -1,0 +1,35 @@
+#include "src/fs/ext3.h"
+
+namespace osfs {
+
+Ext3SimFs::Ext3SimFs(osim::Kernel* kernel, osim::SimDisk* disk,
+                     Ext2Config config, Ext3Journal journal)
+    : Ext2SimFs(kernel, disk, config),
+      journal_(journal),
+      journal_lock_(kernel, 1, "jbd_transaction") {}
+
+Task<void> Ext3SimFs::Fsync(int fd) {
+  return Profiled("fsync", FsyncOrderedImpl(fd));
+}
+
+Task<void> Ext3SimFs::FsyncOrderedImpl(int fd) {
+  // Ordered mode: data before metadata.  Reuse Ext2's data writeback...
+  co_await FsyncImpl(fd);
+  // ...then commit the metadata transaction to the journal.  Journal
+  // writes are sequential at the journal head, so after the first seek
+  // they are cheap -- the "journal commit" fsync mode sits between a pure
+  // cache commit and a full data writeback.
+  co_await journal_lock_.Acquire();
+  co_await kernel_->Cpu(journal_.commit_cpu);
+  const std::uint64_t lba =
+      journal_.journal_lba + journal_head_ * kBlocksPerPage;
+  journal_head_ =
+      (journal_head_ + journal_.commit_record_blocks) %
+      (journal_.journal_blocks / kBlocksPerPage);
+  (void)co_await disk_->SyncWrite(
+      lba, journal_.commit_record_blocks * kBlocksPerPage);
+  ++commits_;
+  journal_lock_.Release();
+}
+
+}  // namespace osfs

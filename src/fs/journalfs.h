@@ -1,0 +1,57 @@
+// A journaling file system with the Reiserfs 3.6 write_super pathology
+// (paper §6.3, Figure 9).
+//
+// Reiserfs on Linux 2.4.24 holds a coarse lock while write_super flushes
+// the journal; reads contend on the same lock, so every five seconds (the
+// metadata flush interval of bdflush) concurrent reads stall for the whole
+// journal-commit duration.  JournalFs reproduces this: reads take
+// `super_lock_` around their page lookup/submission, and WriteSuper -- run
+// by a 5-second daemon -- holds it across a multi-block journal commit.
+
+#ifndef OSPROF_SRC_FS_JOURNALFS_H_
+#define OSPROF_SRC_FS_JOURNALFS_H_
+
+#include "src/fs/ext2fs.h"
+
+namespace osfs {
+
+struct JournalConfig {
+  // Journal area start and commit size.
+  std::uint64_t journal_lba = 2'000'000;
+  int commit_pages = 8;
+  // Interval between write_super runs (5s at 1.7 GHz).
+  osim::Cycles super_interval = static_cast<osim::Cycles>(5.0 * 1.7e9);
+  // CPU cost of assembling a commit.
+  osim::Cycles commit_cpu = 20'000;
+};
+
+class JournalFs : public Ext2SimFs {
+ public:
+  JournalFs(osim::Kernel* kernel, osim::SimDisk* disk, Ext2Config config = {},
+            JournalConfig journal = {});
+
+  // Flushes the superblock + journal while holding the coarse lock.
+  // Profiled as "write_super".
+  Task<void> WriteSuper();
+
+  // Spawns the flush daemon that calls WriteSuper every super_interval.
+  void SpawnSuperDaemon();
+
+  std::uint64_t write_super_count() const { return write_super_count_; }
+  const osim::SimSemaphore& super_lock() const { return super_lock_; }
+
+ protected:
+  // Reads contend with write_super on the coarse lock.
+  Task<std::int64_t> ReadImpl(int fd, std::uint64_t bytes) override;
+
+ private:
+  Task<void> WriteSuperImpl();
+
+  JournalConfig journal_;
+  osim::SimSemaphore super_lock_;
+  std::uint64_t write_super_count_ = 0;
+};
+
+}  // namespace osfs
+
+#endif  // OSPROF_SRC_FS_JOURNALFS_H_

@@ -1,0 +1,68 @@
+// A stackable profiling layer (paper Figure 2, "User Level Profiler" /
+// nullfs-style layered profiling).
+//
+// Wraps any Vfs and records the latency of every operation that crosses
+// the boundary into its own SimProfiler.  Stacking one of these above an
+// in-fs-instrumented Ext2SimFs gives the two-layer view the paper uses to
+// separate VFS/syscall overhead from lower-file-system behaviour:
+// comparing the layers' profiles isolates where time is spent.
+
+#ifndef OSPROF_SRC_FS_PROFILED_VFS_H_
+#define OSPROF_SRC_FS_PROFILED_VFS_H_
+
+#include <string>
+
+#include "src/fs/vfs.h"
+#include "src/profilers/sim_profiler.h"
+
+namespace osfs {
+
+class ProfiledVfs : public Vfs {
+ public:
+  // `prefix` distinguishes layers in reports (e.g. "user." or "fs.").
+  ProfiledVfs(Vfs* inner, osprofilers::SimProfiler* profiler,
+              std::string prefix = "")
+      : inner_(inner), profiler_(profiler), prefix_(std::move(prefix)) {}
+
+  Task<int> Open(const std::string& path, bool direct_io) override {
+    return profiler_->Wrap(prefix_ + "open", inner_->Open(path, direct_io));
+  }
+  Task<void> Close(int fd) override {
+    return profiler_->Wrap(prefix_ + "close", inner_->Close(fd));
+  }
+  Task<std::int64_t> Read(int fd, std::uint64_t bytes) override {
+    return profiler_->Wrap(prefix_ + "read", inner_->Read(fd, bytes));
+  }
+  Task<std::int64_t> Write(int fd, std::uint64_t bytes) override {
+    return profiler_->Wrap(prefix_ + "write", inner_->Write(fd, bytes));
+  }
+  Task<std::uint64_t> Llseek(int fd, std::uint64_t pos) override {
+    return profiler_->Wrap(prefix_ + "llseek", inner_->Llseek(fd, pos));
+  }
+  Task<DirentBatch> Readdir(int fd) override {
+    return profiler_->Wrap(prefix_ + "readdir", inner_->Readdir(fd));
+  }
+  Task<void> Fsync(int fd) override {
+    return profiler_->Wrap(prefix_ + "fsync", inner_->Fsync(fd));
+  }
+  Task<int> Create(const std::string& path) override {
+    return profiler_->Wrap(prefix_ + "create", inner_->Create(path));
+  }
+  Task<void> Unlink(const std::string& path) override {
+    return profiler_->Wrap(prefix_ + "unlink", inner_->Unlink(path));
+  }
+  Task<FileAttr> Stat(const std::string& path) override {
+    return profiler_->Wrap(prefix_ + "stat", inner_->Stat(path));
+  }
+
+  Vfs* inner() const { return inner_; }
+
+ private:
+  Vfs* inner_;
+  osprofilers::SimProfiler* profiler_;
+  std::string prefix_;
+};
+
+}  // namespace osfs
+
+#endif  // OSPROF_SRC_FS_PROFILED_VFS_H_

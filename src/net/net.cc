@@ -1,0 +1,120 @@
+#include "src/net/net.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace osnet {
+
+std::string PacketTrace::Render(double cpu_hz, Cycles origin) const {
+  std::ostringstream os;
+  for (const PacketRecord& r : records_) {
+    const double ms =
+        static_cast<double>(r.received_at - origin) / cpu_hz * 1e3;
+    char time_buf[32];
+    std::snprintf(time_buf, sizeof(time_buf), "%8.1fms", ms);
+    const char* kind = r.kind == PacketKind::kRequest ? "REQ "
+                       : r.kind == PacketKind::kData  ? "DATA"
+                                                      : "ACK ";
+    os << time_buf << "  " << kind << "  " << r.from << "  " << r.label
+       << " (" << r.bytes << "B)\n";
+  }
+  return os.str();
+}
+
+void NetPipe::Send(std::uint32_t bytes, PacketKind kind,
+                   const std::string& label, std::function<void()> deliver) {
+  const Cycles now = kernel_->now();
+  const Cycles start = std::max(now, busy_until_);
+  const auto serialization = static_cast<Cycles>(
+      std::max(1.0, static_cast<double>(bytes) / config_.bytes_per_cycle));
+  busy_until_ = start + serialization;
+  const Cycles arrive = busy_until_ + config_.one_way_latency;
+  ++packets_sent_;
+  PacketRecord record;
+  record.sent_at = now;
+  record.received_at = arrive;
+  record.from = from_;
+  record.label = label;
+  record.kind = kind;
+  record.bytes = bytes;
+  Kernel* k = kernel_;
+  PacketTrace* trace = trace_;
+  k->events().At(arrive, [record = std::move(record), trace,
+                          deliver = std::move(deliver)]() mutable {
+    if (trace != nullptr) {
+      trace->Record(std::move(record));
+    }
+    if (deliver) {
+      deliver();
+    }
+  });
+}
+
+int NetPipe::SendSegmented(std::uint32_t bytes, const std::string& label,
+                           std::function<void(int, int)> on_segment) {
+  const int total = static_cast<int>(
+      std::max<std::uint32_t>(1, (bytes + config_.mss_bytes - 1) / config_.mss_bytes));
+  std::uint32_t remaining = bytes;
+  for (int i = 0; i < total; ++i) {
+    const std::uint32_t chunk = std::min(remaining, config_.mss_bytes);
+    remaining -= chunk;
+    std::string seg_label = label;
+    if (total > 1) {
+      seg_label += i == 0 ? " reply" : " reply continuation " + std::to_string(i);
+    }
+    Send(chunk, PacketKind::kData, seg_label,
+         [on_segment, i, total] { on_segment(i, total); });
+  }
+  return total;
+}
+
+void DelayedAckPolicy::SendAckNow(const std::string& label) {
+  unacked_ = 0;
+  ++timer_generation_;  // Invalidate any pending timer.
+  timer_armed_ = false;
+  AckLedger* ledger = peer_ledger_;
+  const std::uint64_t upto = received_total_;
+  ack_pipe_->Send(64, PacketKind::kAck, label,
+                  [ledger, upto] { ledger->OnAckReceived(upto); });
+}
+
+void DelayedAckPolicy::OnDataSegment() {
+  ++received_total_;
+  if (!delayed_enabled_) {
+    ++immediate_acks_;
+    SendAckNow("ACK (immediate)");
+    return;
+  }
+  ++unacked_;
+  if (unacked_ >= 2) {
+    // Every second segment is acknowledged at once (RFC 1122 behaviour).
+    ++immediate_acks_;
+    SendAckNow("ACK of continuation");
+    return;
+  }
+  if (!timer_armed_) {
+    timer_armed_ = true;
+    const std::uint64_t generation = ++timer_generation_;
+    kernel_->events().After(config_.delayed_ack_timeout, [this, generation] {
+      if (generation != timer_generation_ || !timer_armed_) {
+        return;  // Cancelled: an ACK went out some other way.
+      }
+      ++delayed_acks_fired_;
+      SendAckNow("ACK (delayed 200ms)");
+    });
+  }
+}
+
+std::uint64_t DelayedAckPolicy::ConsumePendingAck() {
+  if (unacked_ > 0 || timer_armed_) {
+    ++piggybacked_acks_;
+    unacked_ = 0;
+    ++timer_generation_;
+    timer_armed_ = false;
+    return received_total_;
+  }
+  return 0;
+}
+
+}  // namespace osnet

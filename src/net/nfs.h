@@ -1,0 +1,148 @@
+// An NFSv3-style network file system over the same link model
+// (paper Figure 2: the NFS / NFSD path beside CIFS).
+//
+// NFS contrasts with CIFS in exactly the ways a latency profile exposes:
+//
+//  * Stateless request/reply RPCs -- every reply is a single burst the
+//    client immediately consumes, and the next RPC carries the ACK, so
+//    the delayed-ACK pathology of the Windows CIFS client cannot occur
+//    regardless of server behaviour.
+//  * LOOKUP walks one path component per RPC: opening "/a/b/c/f" costs
+//    four round trips when the dentry cache is cold -- a characteristic
+//    "lookup storm" mode at N x RTT that batched SMB opens do not have.
+//  * READDIR returns one page of entries per RPC (no server push).
+//  * Attribute caching with a timeout (ac-timeo): GETATTR results are
+//    reused for a window, after which a revalidation RPC appears as a
+//    separate latency mode.
+//
+// The server executes against a real exported Vfs (typically Ext2SimFs),
+// so cold directories and files pay genuine disk latencies.
+
+#ifndef OSPROF_SRC_NET_NFS_H_
+#define OSPROF_SRC_NET_NFS_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/fs/vfs.h"
+#include "src/net/net.h"
+#include "src/profilers/sim_profiler.h"
+
+namespace osnet {
+
+struct NfsConfig {
+  NetConfig net;
+  // Attribute-cache lifetime (Linux default acregmin = 3s).
+  osim::Cycles attr_cache_timeout = static_cast<osim::Cycles>(3.0 * 1.7e9);
+  // Dentry (name-lookup) cache lifetime.
+  osim::Cycles dentry_cache_timeout = static_cast<osim::Cycles>(30.0 * 1.7e9);
+  int entries_per_readdir = 64;
+  std::uint32_t bytes_per_entry = 60;
+  std::uint32_t request_bytes = 160;
+  std::uint32_t small_reply_bytes = 112;
+  osim::Cycles client_op_cpu = 1'000;
+  osim::Cycles server_op_cpu = 3'500;
+};
+
+class NfsMount : public osfs::Vfs {
+ public:
+  NfsMount(osim::Kernel* kernel, osfs::Vfs* server_fs, NfsConfig config);
+
+  // --- Vfs ----------------------------------------------------------------
+  Task<int> Open(const std::string& path, bool direct_io) override;
+  Task<void> Close(int fd) override;
+  Task<std::int64_t> Read(int fd, std::uint64_t bytes) override;
+  Task<std::int64_t> Write(int fd, std::uint64_t bytes) override;
+  Task<std::uint64_t> Llseek(int fd, std::uint64_t pos) override;
+  Task<osfs::DirentBatch> Readdir(int fd) override;
+  Task<void> Fsync(int fd) override;
+  Task<int> Create(const std::string& path) override;
+  Task<void> Unlink(const std::string& path) override;
+  Task<osfs::FileAttr> Stat(const std::string& path) override;
+
+  // Records per-RPC latencies ("lookup", "getattr", "nfs_read", ...) and
+  // the Vfs-level operations, like the paper's client-side profiles.
+  void SetProfiler(osprofilers::SimProfiler* profiler) { profiler_ = profiler; }
+
+  PacketTrace& trace() { return trace_; }
+  std::uint64_t rpcs_sent() const { return rpcs_; }
+  std::uint64_t lookup_rpcs() const { return lookups_; }
+  std::uint64_t attr_cache_hits() const { return attr_hits_; }
+
+ private:
+  struct CachedAttr {
+    osfs::FileAttr attr;
+    osim::Cycles fetched_at = 0;
+  };
+  struct ClientFile {
+    std::string path;
+    std::uint64_t pos = 0;
+    osfs::FileAttr attr;
+    std::vector<std::string> dir_names;  // Fetched entries.
+    std::size_t dir_served = 0;
+    std::uint64_t dir_cookie = 0;
+    bool dir_eof = false;
+    bool in_use = false;
+  };
+  // One in-flight RPC: the client blocks until `complete`.
+  struct Rpc {
+    bool complete = false;
+    std::unique_ptr<osim::WaitQueue> done;
+    // Reply payload (filled by the server handler before the reply lands).
+    osfs::FileAttr attr;
+    std::vector<std::string> names;
+    std::uint64_t cookie = 0;
+    bool eof = false;
+    std::int64_t result = 0;
+  };
+
+  ClientFile& file(int fd);
+  int AllocFd();
+
+  // Issues one RPC: request packet, server handler, single reply burst.
+  // The request consumes any pending ACK state implicitly (every reply is
+  // acked by the next request -- standard RPC behaviour), so no delayed
+  // ACKs ever fire.
+  Task<void> Call(const std::string& op, std::uint32_t reply_bytes,
+                  Task<void> server_work, Rpc* rpc);
+
+  // Path walk: one LOOKUP RPC per uncached component; fills attr_cache_.
+  Task<void> WalkPath(const std::string& path);
+
+  // Server-side handlers (each runs as a spawned kernel thread).
+  Task<void> ServerGetattr(std::string path, Rpc* rpc);
+  Task<void> ServerReaddir(std::string path, std::uint64_t cookie, Rpc* rpc);
+  Task<void> ServerRead(std::string path, std::uint64_t offset,
+                        std::uint64_t bytes, Rpc* rpc);
+  Task<void> ServerWrite(std::string path, std::uint64_t offset,
+                         std::uint64_t bytes, Rpc* rpc);
+  Task<void> ServerCreate(std::string path, Rpc* rpc);
+  Task<void> ServerUnlink(std::string path, Rpc* rpc);
+  Task<void> ServerCommit(std::string path, Rpc* rpc);
+
+  bool AttrFresh(const std::string& path) const;
+
+  osim::Kernel* kernel_;
+  osfs::Vfs* server_fs_;
+  NfsConfig config_;
+  PacketTrace trace_;
+  NetPipe c2s_;
+  NetPipe s2c_;
+  osprofilers::SimProfiler* profiler_ = nullptr;
+
+  std::deque<ClientFile> fds_;
+  std::map<std::string, CachedAttr> attr_cache_;
+  std::map<std::string, osim::Cycles> dentry_cache_;  // path -> cached at.
+  std::set<std::pair<std::string, std::uint64_t>> page_cache_;
+  std::uint64_t rpcs_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t attr_hits_ = 0;
+};
+
+}  // namespace osnet
+
+#endif  // OSPROF_SRC_NET_NFS_H_

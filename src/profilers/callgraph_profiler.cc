@@ -1,0 +1,100 @@
+#include "src/profilers/callgraph_profiler.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/clock.h"
+
+namespace osprofilers {
+
+int CallGraphProfiler::CurrentThreadId() const {
+  const osim::SimThread* t = kernel_->current();
+  if (t == nullptr) {
+    throw std::logic_error("CallGraphProfiler used outside thread context");
+  }
+  return t->id();
+}
+
+void CallGraphProfiler::Push(int tid, const std::string& op) {
+  (void)op;
+  stacks_[tid].push_back(op);
+  child_time_[tid].push_back(0);
+}
+
+void CallGraphProfiler::Pop(int tid, const std::string& op,
+                            osim::Cycles latency) {
+  std::vector<std::string>& stack = stacks_[tid];
+  std::vector<osim::Cycles>& child = child_time_[tid];
+  if (stack.empty() || stack.back() != op) {
+    throw std::logic_error("CallGraphProfiler: mismatched Pop for " + op);
+  }
+  stack.pop_back();
+  const osim::Cycles my_children = child.back();
+  child.pop_back();
+  child_totals_[op] += my_children;
+
+  flat_.Add(op, latency);
+  const std::string caller = stack.empty() ? "-" : stack.back();
+  edges_.Add(caller + "->" + op, latency);
+  if (!child.empty()) {
+    child.back() += latency;  // My whole latency is my caller's child time.
+  }
+}
+
+std::vector<CallGraphProfiler::EdgeSummary>
+CallGraphProfiler::EdgeSummaries() const {
+  std::vector<EdgeSummary> out;
+  for (const auto& [key, profile] : edges_) {
+    const auto arrow = key.find("->");
+    EdgeSummary e;
+    e.caller = key.substr(0, arrow);
+    e.callee = key.substr(arrow + 2);
+    e.calls = profile.total_operations();
+    e.total_latency = profile.total_latency();
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EdgeSummary& a, const EdgeSummary& b) {
+              return a.total_latency > b.total_latency;
+            });
+  return out;
+}
+
+std::string CallGraphProfiler::Report(double cpu_hz) const {
+  std::ostringstream os;
+  os << "call-graph profile (gprof-style)\n";
+  os << "  operation        calls        total        self       children\n";
+  for (const std::string& op : flat_.ByTotalLatency()) {
+    const osprof::Profile* p = flat_.Find(op);
+    const osim::Cycles total = p->total_latency();
+    auto it = child_totals_.find(op);
+    const osim::Cycles children = it == child_totals_.end() ? 0 : it->second;
+    const osim::Cycles self = total > children ? total - children : 0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %-12llu %-12s %-12s %-12s\n", op.c_str(),
+                  static_cast<unsigned long long>(p->total_operations()),
+                  osprof::FormatSeconds(static_cast<double>(total) / cpu_hz)
+                      .c_str(),
+                  osprof::FormatSeconds(static_cast<double>(self) / cpu_hz)
+                      .c_str(),
+                  osprof::FormatSeconds(static_cast<double>(children) / cpu_hz)
+                      .c_str());
+    os << line;
+  }
+  os << "  edges (heaviest first):\n";
+  for (const EdgeSummary& e : EdgeSummaries()) {
+    char line[160];
+    std::snprintf(
+        line, sizeof(line), "    %s -> %s: %llu calls, %s\n",
+        e.caller.c_str(), e.callee.c_str(),
+        static_cast<unsigned long long>(e.calls),
+        osprof::FormatSeconds(static_cast<double>(e.total_latency) / cpu_hz)
+            .c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace osprofilers

@@ -1,0 +1,52 @@
+#include "src/profilers/posix_profiler.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace osprofilers {
+
+int PosixProfiler::Open(const std::string& path, int flags) {
+  return Measure("open", [&] { return ::open(path.c_str(), flags); });
+}
+
+int PosixProfiler::Open(const std::string& path, int flags, mode_t mode) {
+  return Measure("open", [&] { return ::open(path.c_str(), flags, mode); });
+}
+
+long PosixProfiler::Read(int fd, void* buf, std::size_t count) {
+  return Measure("read",
+                 [&] { return static_cast<long>(::read(fd, buf, count)); });
+}
+
+long PosixProfiler::Write(int fd, const void* buf, std::size_t count) {
+  return Measure("write",
+                 [&] { return static_cast<long>(::write(fd, buf, count)); });
+}
+
+long PosixProfiler::Lseek(int fd, long offset, int whence) {
+  return Measure("llseek", [&] {
+    return static_cast<long>(::lseek(fd, static_cast<off_t>(offset), whence));
+  });
+}
+
+int PosixProfiler::Close(int fd) {
+  return Measure("close", [&] { return ::close(fd); });
+}
+
+int PosixProfiler::Stat(const std::string& path, struct stat* out) {
+  return Measure("stat", [&] { return ::stat(path.c_str(), out); });
+}
+
+int PosixProfiler::Fsync(int fd) {
+  return Measure("fsync", [&] { return ::fsync(fd); });
+}
+
+int PosixProfiler::Unlink(const std::string& path) {
+  return Measure("unlink", [&] { return ::unlink(path.c_str()); });
+}
+
+int PosixProfiler::Mkdir(const std::string& path, mode_t mode) {
+  return Measure("mkdir", [&] { return ::mkdir(path.c_str(), mode); });
+}
+
+}  // namespace osprofilers

@@ -1,0 +1,65 @@
+// The real-OS user-level profiler: POSIX syscall interposition.
+//
+// This is the paper's user-level profiling path, unchanged in spirit: each
+// system call is replaced by a wrapper that reads the TSC, executes the
+// call, reads the TSC again, and sorts the latency into a log2 bucket
+// (paper §4, "POSIX user-level prolers").  Because only the interface is
+// instrumented, the kernel runs unmodified; the per-call overhead is two
+// TSC reads and a bucket store.
+//
+// Used by examples/real_syscalls.cpp to profile the host OS.  Tests only
+// assert mechanics (counts, op names), never latency shapes -- those are
+// host-dependent.
+
+#ifndef OSPROF_SRC_PROFILERS_POSIX_PROFILER_H_
+#define OSPROF_SRC_PROFILERS_POSIX_PROFILER_H_
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+#include "src/core/clock.h"
+#include "src/core/profile.h"
+
+namespace osprofilers {
+
+class PosixProfiler {
+ public:
+  explicit PosixProfiler(int resolution = 1) : profiles_(resolution) {}
+
+  // Instrumented wrappers.  Same return values and errno behaviour as the
+  // raw syscalls; the measurement covers the call itself.
+  int Open(const std::string& path, int flags);
+  int Open(const std::string& path, int flags, mode_t mode);
+  long Read(int fd, void* buf, std::size_t count);
+  long Write(int fd, const void* buf, std::size_t count);
+  long Lseek(int fd, long offset, int whence);
+  int Close(int fd);
+  int Stat(const std::string& path, struct stat* out);
+  int Fsync(int fd);
+  int Unlink(const std::string& path);
+  int Mkdir(const std::string& path, mode_t mode);
+
+  const osprof::ProfileSet& profiles() const { return profiles_; }
+  osprof::ProfileSet& mutable_profiles() { return profiles_; }
+
+  // Measures a user-supplied callable under an operation name (for
+  // workloads whose interesting unit is larger than one syscall).
+  template <typename Fn>
+  auto Measure(const std::string& op, Fn&& fn) -> decltype(fn()) {
+    const osprof::Cycles start = osprof::ReadTsc();
+    auto result = fn();
+    const osprof::Cycles end = osprof::ReadTsc();
+    profiles_.Add(op, end >= start ? end - start : 0);
+    return result;
+  }
+
+ private:
+  osprof::ProfileSet profiles_;
+};
+
+}  // namespace osprofilers
+
+#endif  // OSPROF_SRC_PROFILERS_POSIX_PROFILER_H_

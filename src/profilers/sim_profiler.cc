@@ -1,0 +1,50 @@
+#include "src/profilers/sim_profiler.h"
+
+namespace osprofilers {
+
+void SimProfiler::EnableSampling(Cycles epoch_cycles) {
+  sampling_epoch_ = epoch_cycles;
+  sampled_ = std::make_unique<osprof::SampledProfileSet>(epoch_cycles,
+                                                         resolution_);
+}
+
+void SimProfiler::AttachCorrelator(const std::string& op,
+                                   osprof::ValueCorrelator* c) {
+  correlators_[op] = c;
+}
+
+void SimProfiler::Record(const std::string& op, Cycles latency) {
+  profiles_.Add(op, latency);
+  if (sampled_ != nullptr) {
+    sampled_->Add(op, kernel_->now(), latency);
+  }
+}
+
+void SimProfiler::RecordWithValue(const std::string& op, Cycles latency,
+                                  std::uint64_t value) {
+  Record(op, latency);
+  auto it = correlators_.find(op);
+  if (it != correlators_.end()) {
+    it->second->Record(latency, value);
+  }
+}
+
+void SimProfiler::Reset() {
+  profiles_ = osprof::ProfileSet(resolution_);
+  if (sampled_ != nullptr) {
+    sampled_ = std::make_unique<osprof::SampledProfileSet>(sampling_epoch_,
+                                                           resolution_);
+  }
+}
+
+DriverProfiler::DriverProfiler(Kernel* kernel, SimDisk* disk, int resolution)
+    : profiler_(kernel, resolution) {
+  disk->SetRequestObserver([this](const osim::DiskRequestInfo& info) {
+    const bool read = info.op == osim::DiskOp::kRead;
+    profiler_.Record(read ? "disk_read" : "disk_write", info.total_latency());
+    profiler_.Record(read ? "disk_read_queue" : "disk_write_queue",
+                     info.queue_latency());
+  });
+}
+
+}  // namespace osprofilers

@@ -1,0 +1,202 @@
+#include "src/sim/disk.h"
+
+#include <stdexcept>
+
+namespace osim {
+
+SimDisk::SimDisk(Kernel* kernel, DiskConfig config)
+    : kernel_(kernel), config_(config) {
+  if (config_.blocks_per_track == 0 || config_.num_blocks == 0) {
+    throw std::invalid_argument("disk geometry must be non-zero");
+  }
+}
+
+void SimDisk::Submit(DiskOp op, std::uint64_t lba, std::uint64_t count,
+                     Completion done) {
+  if (count == 0 || lba + count > config_.num_blocks) {
+    throw std::out_of_range("disk request outside device");
+  }
+  queue_.push_back(Request{op, lba, count, std::move(done), kernel_->now()});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+SimDisk::Request SimDisk::PopNext() {
+  std::size_t chosen = 0;
+  if (config_.sched == DiskSchedPolicy::kElevator && queue_.size() > 1) {
+    // C-LOOK: smallest LBA at or above the head; if the upward sweep is
+    // exhausted, restart from the smallest pending LBA.
+    bool found_above = false;
+    std::uint64_t best_above = 0;
+    std::size_t best_above_idx = 0;
+    std::uint64_t best_low = ~std::uint64_t{0};
+    std::size_t best_low_idx = 0;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const std::uint64_t lba = queue_[i].lba;
+      if (lba >= head_ && (!found_above || lba < best_above)) {
+        found_above = true;
+        best_above = lba;
+        best_above_idx = i;
+      }
+      if (lba < best_low) {
+        best_low = lba;
+        best_low_idx = i;
+      }
+    }
+    chosen = found_above ? best_above_idx : best_low_idx;
+  }
+  Request request = std::move(queue_[chosen]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(chosen));
+  return request;
+}
+
+void SimDisk::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request request = PopNext();
+
+  DiskRequestInfo info;
+  info.op = request.op;
+  info.lba = request.lba;
+  info.count = request.count;
+  info.queued_at = request.queued_at;
+  info.started_at = kernel_->now();
+
+  bool cache_hit = false;
+  const Cycles service = ServiceTime(request, &cache_hit);
+  info.cache_hit = cache_hit;
+
+  Completion done = std::move(request.done);
+  kernel_->events().After(service, [this, info, done = std::move(done)]() mutable {
+    DiskRequestInfo completed = info;
+    completed.completed_at = kernel_->now();
+    ++completed_;
+    if (observer_) {
+      observer_(completed);
+    }
+    if (done) {
+      done(completed);
+    }
+    StartNext();
+  });
+}
+
+Cycles SimDisk::ServiceTime(const Request& request, bool* cache_hit) {
+  const Cycles transfer = config_.transfer_per_block * request.count;
+  if (request.op == DiskOp::kRead &&
+      CacheContains(request.lba, request.count)) {
+    *cache_hit = true;
+    ++cache_hits_;
+    return config_.controller_overhead + transfer;
+  }
+  *cache_hit = false;
+  ++mechanical_;
+
+  // Seek: linear interpolation between track-to-track and full stroke.
+  const std::uint64_t track_now = head_ / config_.blocks_per_track;
+  const std::uint64_t track_target = request.lba / config_.blocks_per_track;
+  const std::uint64_t distance =
+      track_now > track_target ? track_now - track_target : track_target - track_now;
+  Cycles seek = 0;
+  if (distance > 0) {
+    const std::uint64_t total_tracks =
+        config_.num_blocks / config_.blocks_per_track;
+    const double frac =
+        static_cast<double>(distance) / static_cast<double>(total_tracks);
+    seek = config_.track_to_track_seek +
+           static_cast<Cycles>(
+               frac * static_cast<double>(config_.full_stroke_seek -
+                                          config_.track_to_track_seek));
+  }
+
+  // Rotational delay: uniform over a revolution.
+  const Cycles rotation =
+      static_cast<Cycles>(kernel_->rng().Below(config_.full_rotation));
+
+  head_ = request.lba + request.count;
+
+  if (request.op == DiskOp::kRead) {
+    // Firmware readahead: the rest of the segment streams into the disk
+    // cache, so sequential successors become cache hits (Figure 7's third
+    // peak).
+    InsertCacheRun(request.lba, config_.readahead_blocks);
+  } else {
+    // Writes invalidate overlapping cached data; keep it simple and treat
+    // the written run as cached afterwards (write-through segment reuse).
+    InsertCacheRun(request.lba, request.count);
+  }
+
+  return config_.controller_overhead + seek + rotation + transfer;
+}
+
+void SimDisk::InsertCacheRun(std::uint64_t lba, std::uint64_t count) {
+  if (lba + count > config_.num_blocks) {
+    count = config_.num_blocks - lba;
+  }
+  for (std::uint64_t b = lba; b < lba + count; ++b) {
+    if (cache_.insert(b).second) {
+      ++cached_blocks_;
+    }
+  }
+  cache_runs_.emplace_back(lba, count);
+  while (cached_blocks_ > config_.cache_blocks && !cache_runs_.empty()) {
+    const auto [run_lba, run_count] = cache_runs_.front();
+    cache_runs_.pop_front();
+    for (std::uint64_t b = run_lba; b < run_lba + run_count; ++b) {
+      if (cache_.erase(b) != 0) {
+        --cached_blocks_;
+      }
+    }
+  }
+}
+
+bool SimDisk::CacheContains(std::uint64_t lba, std::uint64_t count) const {
+  for (std::uint64_t b = lba; b < lba + count; ++b) {
+    if (cache_.find(b) == cache_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SimDisk::DropCache() {
+  cache_.clear();
+  cache_runs_.clear();
+  cached_blocks_ = 0;
+}
+
+Task<DiskRequestInfo> SimDisk::SyncRead(std::uint64_t lba, std::uint64_t count) {
+  WaitQueue done(kernel_);
+  DiskRequestInfo result;
+  bool complete = false;
+  Submit(DiskOp::kRead, lba, count, [&result, &complete, &done](const DiskRequestInfo& info) {
+    result = info;
+    complete = true;
+    done.WakeAll();
+  });
+  while (!complete) {
+    co_await done.Wait();
+  }
+  co_return result;
+}
+
+Task<DiskRequestInfo> SimDisk::SyncWrite(std::uint64_t lba, std::uint64_t count) {
+  WaitQueue done(kernel_);
+  DiskRequestInfo result;
+  bool complete = false;
+  Submit(DiskOp::kWrite, lba, count, [&result, &complete, &done](const DiskRequestInfo& info) {
+    result = info;
+    complete = true;
+    done.WakeAll();
+  });
+  while (!complete) {
+    co_await done.Wait();
+  }
+  co_return result;
+}
+
+}  // namespace osim

@@ -1,0 +1,48 @@
+#include "src/sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace osim {
+
+void EventQueue::At(Cycles when, Action action) {
+  if (when < now_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  events_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::Step() {
+  if (events_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast is the standard
+  // workaround, safe because we pop immediately.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.when;
+  event.action();
+  return true;
+}
+
+std::uint64_t EventQueue::RunUntil(Cycles until) {
+  std::uint64_t executed = 0;
+  while (!events_.empty() && events_.top().when <= until) {
+    Step();
+    ++executed;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+std::uint64_t EventQueue::RunAll() {
+  std::uint64_t executed = 0;
+  while (Step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace osim

@@ -1,0 +1,261 @@
+#include "src/sim/kernel.h"
+
+#include <stdexcept>
+
+namespace osim {
+namespace {
+
+Cycles SaturatingSub(Cycles a, Cycles b) { return a > b ? a - b : 0; }
+
+}  // namespace
+
+Kernel::Kernel(KernelConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.num_cpus < 1) {
+    throw std::invalid_argument("Kernel needs at least one CPU");
+  }
+  if (config_.quantum == 0) {
+    throw std::invalid_argument("quantum must be positive");
+  }
+  cpus_.resize(static_cast<std::size_t>(config_.num_cpus));
+  config_.tsc_skew.resize(static_cast<std::size_t>(config_.num_cpus), 0);
+}
+
+Cycles Kernel::ReadTsc() const {
+  const Cycles base = events_.now();
+  if (current_ != nullptr && current_->cpu_ >= 0) {
+    const std::int64_t skew =
+        config_.tsc_skew[static_cast<std::size_t>(current_->cpu_)];
+    return static_cast<Cycles>(static_cast<std::int64_t>(base) + skew);
+  }
+  return base;
+}
+
+SimThread* Kernel::Spawn(std::string name, Task<void> body) {
+  const int id = static_cast<int>(threads_.size());
+  threads_.push_back(std::make_unique<SimThread>(id, std::move(name)));
+  SimThread* t = threads_.back().get();
+  t->body_ = std::move(body);
+  if (!t->body_.valid()) {
+    throw std::invalid_argument("Spawn requires a valid coroutine body");
+  }
+  t->resume_point_ = t->body_.handle();
+  ++live_threads_;
+  MakeRunnable(t);
+  return t;
+}
+
+void Kernel::MakeRunnable(SimThread* t) {
+  t->state_ = ThreadState::kRunnable;
+  run_queue_.push_back(t);
+  DispatchIdleCpus();
+}
+
+void Kernel::DispatchIdleCpus() {
+  for (int c = 0; c < config_.num_cpus; ++c) {
+    if (run_queue_.empty()) {
+      return;
+    }
+    CpuState& cpu = cpus_[static_cast<std::size_t>(c)];
+    if (cpu.running == nullptr && !cpu.switching) {
+      BeginSwitch(c);
+    }
+  }
+}
+
+void Kernel::BeginSwitch(int c) {
+  cpus_[static_cast<std::size_t>(c)].switching = true;
+  ++context_switches_;
+  events_.After(config_.context_switch_cost, [this, c] { CompleteSwitch(c); });
+}
+
+void Kernel::CompleteSwitch(int c) {
+  CpuState& cpu = cpus_[static_cast<std::size_t>(c)];
+  cpu.switching = false;
+  if (run_queue_.empty()) {
+    return;  // Everyone found a CPU elsewhere; stay idle.
+  }
+  SimThread* t = run_queue_.front();
+  run_queue_.pop_front();
+  t->cpu_ = c;
+  cpu.running = t;
+  t->quantum_remaining_ = config_.quantum;
+  if (t->burst_remaining_ > 0) {
+    // The thread was preempted mid-burst; continue the burst rather than
+    // resuming the coroutine.
+    t->state_ = ThreadState::kOnBurst;
+    ScheduleSlice(t);
+  } else {
+    ResumeThread(t);
+  }
+}
+
+void Kernel::ResumeThread(SimThread* t) {
+  t->state_ = ThreadState::kRunning;
+  SimThread* const prev = current_;
+  current_ = t;
+  t->resume_point_.resume();
+  current_ = prev;
+  if (t->body_.done()) {
+    t->state_ = ThreadState::kFinished;
+    --live_threads_;
+    ReleaseCpuOf(t);
+    // Propagate escaped exceptions to the simulation driver: a crashed
+    // simulated thread is a bug in the scenario, not something to swallow.
+    t->body_.RethrowIfFailed();
+    return;
+  }
+  // Otherwise the awaitable that suspended the thread has already moved it
+  // to its next state (kOnBurst, kBlocked, kSpinning or kRunnable) and
+  // performed the CPU bookkeeping.
+}
+
+void Kernel::ReleaseCpuOf(SimThread* t) {
+  if (t->cpu_ >= 0) {
+    cpus_[static_cast<std::size_t>(t->cpu_)].running = nullptr;
+    t->cpu_ = -1;
+    DispatchIdleCpus();
+  }
+}
+
+bool Kernel::BurstPreemptible(const SimThread* t) const {
+  return t->burst_mode_ == ExecMode::kUser || config_.kernel_preemption;
+}
+
+void Kernel::StartBurst(SimThread* t, Cycles cycles, ExecMode mode) {
+  t->burst_remaining_ = cycles;
+  t->burst_mode_ = mode;
+  t->state_ = ThreadState::kOnBurst;
+  ScheduleSlice(t);
+}
+
+void Kernel::ScheduleSlice(SimThread* t) {
+  const bool preemptible = BurstPreemptible(t);
+  if (t->quantum_remaining_ == 0) {
+    if (preemptible && !run_queue_.empty()) {
+      // Forced preemption: the quantum is gone and someone is waiting.
+      ++t->forced_preemptions_;
+      t->state_ = ThreadState::kRunnable;
+      run_queue_.push_back(t);
+      ReleaseCpuOf(t);
+      return;
+    }
+    t->quantum_remaining_ = config_.quantum;
+  }
+  Cycles slice = t->burst_remaining_;
+  if (preemptible && slice > t->quantum_remaining_) {
+    slice = t->quantum_remaining_;
+  }
+  t->slice_in_flight_ = slice;
+  const Cycles wall = WallClockFor(events_.now(), slice);
+  events_.After(wall, [this, t] { OnSliceEnd(t); });
+}
+
+void Kernel::OnSliceEnd(SimThread* t) {
+  const Cycles slice = t->slice_in_flight_;
+  t->slice_in_flight_ = 0;
+  t->burst_remaining_ -= slice;
+  t->quantum_remaining_ = SaturatingSub(t->quantum_remaining_, slice);
+  t->cpu_time_ += slice;
+  if (t->burst_mode_ == ExecMode::kUser) {
+    t->user_time_ += slice;
+  }
+  if (t->burst_remaining_ > 0) {
+    // Quantum expired mid-burst; ScheduleSlice preempts or refreshes.
+    ScheduleSlice(t);
+    return;
+  }
+  ResumeThread(t);
+}
+
+Cycles Kernel::WallClockFor(Cycles start, Cycles slice) {
+  const Cycles period = config_.timer_tick_period;
+  const Cycles irq_cost = config_.timer_irq_cost;
+  if (period == 0 || irq_cost == 0 || slice == 0) {
+    return slice;
+  }
+  // Interrupt service time stretches the slice, which can pull in further
+  // ticks; iterate to the fixed point (converges immediately because
+  // irq_cost << period).
+  Cycles wall = slice;
+  std::uint64_t ticks = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t t = (start + wall) / period - start / period;
+    const Cycles next = slice + t * irq_cost;
+    ticks = t;
+    if (next == wall) {
+      break;
+    }
+    wall = next;
+  }
+  timer_irqs_ += ticks;
+  return wall;
+}
+
+void Kernel::GrantSpin(SimThread* t) {
+  const Cycles spun = events_.now() - t->spin_started_;
+  t->spin_wait_time_ += spun;
+  t->cpu_time_ += spun;
+  // Spinning burns quantum; kernel spinlock sections are not preemption
+  // points, so expiry is handled at the next burst boundary.
+  t->quantum_remaining_ = SaturatingSub(t->quantum_remaining_, spun);
+  ResumeThread(t);
+}
+
+void Kernel::RunUntilThreadsFinish() {
+  while (live_threads_ > 0) {
+    if (!events_.Step()) {
+      throw std::logic_error(
+          "Kernel: event queue drained with live threads (deadlock in the "
+          "simulated scenario)");
+    }
+  }
+}
+
+void Kernel::RunFor(Cycles duration) { RunUntil(events_.now() + duration); }
+
+void Kernel::RunUntil(Cycles until) { events_.RunUntil(until); }
+
+std::uint64_t Kernel::total_forced_preemptions() const {
+  std::uint64_t total = 0;
+  for (const auto& t : threads_) {
+    total += t->forced_preemptions_;
+  }
+  return total;
+}
+
+// --- Awaitable implementations ---------------------------------------------
+
+void Kernel::CpuAwaitable::await_suspend(std::coroutine_handle<> h) {
+  SimThread* t = kernel->current();
+  if (t == nullptr) {
+    throw std::logic_error("Cpu awaited outside thread context");
+  }
+  t->resume_point_ = h;
+  kernel->StartBurst(t, cycles, mode);
+}
+
+void Kernel::SleepAwaitable::await_suspend(std::coroutine_handle<> h) {
+  SimThread* t = kernel->current();
+  if (t == nullptr) {
+    throw std::logic_error("Sleep awaited outside thread context");
+  }
+  t->resume_point_ = h;
+  t->state_ = ThreadState::kBlocked;
+  kernel->ReleaseCpuOf(t);
+  Kernel* k = kernel;
+  k->events_.After(cycles, [k, t] { k->Wake(t); });
+}
+
+void Kernel::YieldAwaitable::await_suspend(std::coroutine_handle<> h) {
+  SimThread* t = kernel->current();
+  if (t == nullptr) {
+    throw std::logic_error("Yield awaited outside thread context");
+  }
+  t->resume_point_ = h;
+  ++t->voluntary_switches_;
+  kernel->ReleaseCpuOf(t);
+  kernel->MakeRunnable(t);
+}
+
+}  // namespace osim

@@ -1,0 +1,94 @@
+// Deterministic random number generation for the simulated OS.
+//
+// Every simulated scenario owns a seeded xoshiro256++ generator, so
+// profiles, benches and tests reproduce bit-for-bit.  (std::mt19937 would
+// work, but xoshiro is the idiom in event simulators: tiny state, fast,
+// and splittable via SplitMix64 seeding.)
+
+#ifndef OSPROF_SRC_SIM_RNG_H_
+#define OSPROF_SRC_SIM_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace osim {
+
+// SplitMix64: seeds the main generator and derives independent streams.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ by Blackman & Vigna (public domain reference construction).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound), bound > 0.  Uses 128-bit multiply-shift
+  // (Lemire); the modulo bias is negligible for simulation purposes.
+  std::uint64_t Below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  bool Chance(double probability) { return Uniform() < probability; }
+
+  // Standard normal via Box-Muller (one value per call; simple and fine at
+  // simulation rates).
+  double Normal() {
+    double u1 = Uniform();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    const double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Log-normal distribution specified by the median and a log-space sigma;
+  // natural for code-path execution times, which are multiplicatively
+  // noisy (cache hits/misses, branch behaviour).
+  double LogNormal(double median, double sigma) {
+    return median * std::exp(sigma * Normal());
+  }
+
+  // Derives an independent generator (for per-component streams).
+  Rng Split() { return Rng(Next() ^ 0xD2B74407B1CE6E93ULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace osim
+
+#endif  // OSPROF_SRC_SIM_RNG_H_

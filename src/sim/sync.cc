@@ -1,0 +1,112 @@
+#include "src/sim/sync.h"
+
+#include <stdexcept>
+
+namespace osim {
+
+bool SimSemaphore::TryAcquire() {
+  if (count_ > 0) {
+    --count_;
+    ++acquisitions_;
+    return true;
+  }
+  return false;
+}
+
+void SimSemaphore::ParkAwaitable::await_suspend(std::coroutine_handle<> h) {
+  SimSemaphore* s = sem;
+  SimThread* t = s->kernel_->current();
+  if (t == nullptr) {
+    throw std::logic_error("SimSemaphore::Acquire outside thread context");
+  }
+  t->resume_point_ = h;
+  t->state_ = ThreadState::kBlocked;
+  s->waiters_.push_back(t);
+  s->kernel_->ReleaseCpuOf(t);
+}
+
+Task<void> SimSemaphore::Acquire() {
+  if (TryAcquire()) {
+    co_return;
+  }
+  const Cycles started = kernel_->now();
+  ++contended_;
+  // Competitive wakeup: park, then race for the count when woken; a
+  // barging acquirer may win, in which case park again (Release always
+  // wakes another waiter, so no wakeup is lost).
+  do {
+    co_await ParkAwaitable{this};
+  } while (!TryAcquire());
+  const Cycles waited = kernel_->now() - started;
+  total_wait_ += waited;
+  kernel_->current()->sem_wait_time_ += waited;
+}
+
+void SimSemaphore::Release() {
+  ++count_;
+  if (!waiters_.empty()) {
+    SimThread* t = waiters_.front();
+    waiters_.pop_front();
+    kernel_->Wake(t);
+  }
+}
+
+void SimSpinlock::LockAwaitable::await_suspend(std::coroutine_handle<> h) {
+  SimSpinlock* l = lock;
+  SimThread* t = l->kernel_->current();
+  if (t == nullptr) {
+    throw std::logic_error("SimSpinlock::Lock outside thread context");
+  }
+  t->resume_point_ = h;
+  t->state_ = ThreadState::kSpinning;
+  t->spin_started_ = l->kernel_->now();
+  l->waiters_.push_back(t);
+  ++l->contended_;
+  // The thread keeps its CPU: it is burning cycles in the spin loop.
+}
+
+void SimSpinlock::Unlock() {
+  if (!held_) {
+    throw std::logic_error("SimSpinlock::Unlock of a free lock");
+  }
+  if (!waiters_.empty()) {
+    SimThread* t = waiters_.front();
+    waiters_.pop_front();
+    ++acquisitions_;
+    total_spin_ += kernel_->now() - t->spin_started_;
+    // The lock stays held; ownership passes to the spinner.  Resume it via
+    // the event queue to keep resumption non-reentrant.
+    Kernel* k = kernel_;
+    k->events_.Now([k, t] { k->GrantSpin(t); });
+    return;
+  }
+  held_ = false;
+}
+
+void WaitQueue::WaitAwaitable::await_suspend(std::coroutine_handle<> h) {
+  WaitQueue* q = queue;
+  SimThread* t = q->kernel_->current();
+  if (t == nullptr) {
+    throw std::logic_error("WaitQueue::Wait outside thread context");
+  }
+  t->resume_point_ = h;
+  t->state_ = ThreadState::kBlocked;
+  q->waiters_.push_back(t);
+  q->kernel_->ReleaseCpuOf(t);
+}
+
+void WaitQueue::WakeOne() {
+  if (!waiters_.empty()) {
+    SimThread* t = waiters_.front();
+    waiters_.pop_front();
+    kernel_->Wake(t);
+  }
+}
+
+void WaitQueue::WakeAll() {
+  while (!waiters_.empty()) {
+    WakeOne();
+  }
+}
+
+}  // namespace osim

@@ -1,0 +1,158 @@
+// Coroutine task types for simulated kernel code.
+//
+// Simulated OS code (file system operations, workload processes, kernel
+// daemons) is written as C++20 coroutines over Task<T>:
+//
+//   Task<int64_t> Ext2Fs::Read(OpenFile& f, std::uint64_t len) {
+//     co_await kernel().Cpu(kReadCpuCost);
+//     co_await inode.sem.Acquire();
+//     ...
+//     co_return bytes;
+//   }
+//
+// Task<T> is lazy (suspends at initial_suspend) and resumes its awaiter by
+// symmetric transfer when it completes, so arbitrarily deep call chains
+// cost no native stack.  The simulated kernel owns all resumption: a task
+// only ever advances while Kernel::current() points at its thread.
+
+#ifndef OSPROF_SRC_SIM_TASK_H_
+#define OSPROF_SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace osim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromise;
+
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  // Default-constructed storage; assigned by return_value.  T must be
+  // default-constructible and movable, which holds for all sim result
+  // types (integers, small structs).
+  T value{};
+
+  Task<T> get_return_object();
+  FinalAwaiter<TaskPromise> final_suspend() noexcept { return {}; }
+  void return_value(T v) { value = std::move(v); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object();
+  FinalAwaiter<TaskPromise> final_suspend() noexcept { return {}; }
+  void return_void() {}
+};
+
+}  // namespace detail
+
+// A lazily-started coroutine returning T.  Move-only; owns the frame.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  Handle handle() const { return handle_; }
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  // Awaiting a Task starts it (symmetric transfer into the child) and
+  // resumes the awaiter when the child runs to completion.
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      T await_resume() {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(handle.promise().value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  // For top-level tasks driven by the kernel: rethrows any escaped
+  // exception after completion.
+  void RethrowIfFailed() const {
+    if (handle_ && handle_.done() && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace osim
+
+#endif  // OSPROF_SRC_SIM_TASK_H_

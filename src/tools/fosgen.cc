@@ -1,0 +1,531 @@
+#include "src/tools/fosgen.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace ostools {
+namespace {
+
+// --- Lexical helpers ---------------------------------------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Marks every byte inside a comment, string or char literal, so the
+// scanner never matches inside them.
+std::vector<bool> BuildCodeMask(const std::string& src) {
+  std::vector<bool> masked(src.size(), false);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          masked[i] = true;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          masked[i] = true;
+        } else if (c == '"') {
+          state = State::kString;
+          masked[i] = true;
+        } else if (c == '\'') {
+          state = State::kChar;
+          masked[i] = true;
+        }
+        break;
+      case State::kLineComment:
+        masked[i] = true;
+        if (c == '\n') {
+          state = State::kCode;
+        }
+        break;
+      case State::kBlockComment:
+        masked[i] = true;
+        if (c == '*' && next == '/') {
+          masked[i + 1] = true;
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        masked[i] = true;
+        if (c == '\\') {
+          if (i + 1 < src.size()) {
+            masked[i + 1] = true;
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        masked[i] = true;
+        if (c == '\\') {
+          if (i + 1 < src.size()) {
+            masked[i + 1] = true;
+          }
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return masked;
+}
+
+// Finds the matching close for the opener at `open` (src[open] must be
+// the opener).  Returns npos if unbalanced.
+std::size_t MatchBrace(const std::string& src, const std::vector<bool>& mask,
+                       std::size_t open, char open_ch, char close_ch) {
+  int depth = 0;
+  for (std::size_t i = open; i < src.size(); ++i) {
+    if (mask[i]) {
+      continue;
+    }
+    if (src[i] == open_ch) {
+      ++depth;
+    } else if (src[i] == close_ch) {
+      --depth;
+      if (depth == 0) {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// --- VFS knowledge ------------------------------------------------------------
+
+struct OpSignature {
+  const char* ret;
+  const char* params;
+  const char* args;
+};
+
+// 2.6-era VFS signatures for the operations FoSgen wraps when a file
+// system uses a generic kernel export (paper Figure 4: Ext2's
+// generic_read_dir).
+const std::map<std::string, OpSignature>& SignatureTable() {
+  static const std::map<std::string, OpSignature> kTable = {
+      {"read",
+       {"ssize_t", "struct file *file, char *buf, size_t count, loff_t *ppos",
+        "file, buf, count, ppos"}},
+      {"write",
+       {"ssize_t",
+        "struct file *file, const char *buf, size_t count, loff_t *ppos",
+        "file, buf, count, ppos"}},
+      {"readdir",
+       {"int", "struct file *file, void *dirent, filldir_t filldir",
+        "file, dirent, filldir"}},
+      {"llseek",
+       {"loff_t", "struct file *file, loff_t offset, int origin",
+        "file, offset, origin"}},
+      {"ioctl",
+       {"int",
+        "struct inode *inode, struct file *file, unsigned int cmd, "
+        "unsigned long arg",
+        "inode, file, cmd, arg"}},
+      {"fsync",
+       {"int", "struct file *file, struct dentry *dentry, int datasync",
+        "file, dentry, datasync"}},
+      {"open", {"int", "struct inode *inode, struct file *file", "inode, file"}},
+      {"release",
+       {"int", "struct inode *inode, struct file *file", "inode, file"}},
+      {"readpage", {"int", "struct file *file, struct page *page", "file, page"}},
+      {"mmap",
+       {"int", "struct file *file, struct vm_area_struct *vma", "file, vma"}},
+  };
+  return kTable;
+}
+
+// --- Structure discovery -------------------------------------------------------
+
+struct VectorEntry {
+  std::string op;
+  std::string function;
+  std::size_t function_pos;  // Position of the function token in `src`.
+};
+
+struct OperationVector {
+  std::size_t begin = 0;  // '{' of the initializer.
+  std::size_t end = 0;    // Matching '}'.
+  std::vector<VectorEntry> entries;
+};
+
+// Scans for `..._operations <name> = { entries };` blocks and extracts
+// their op:function pairs (both GNU `op: func` and C99 `.op = func`).
+std::vector<OperationVector> FindOperationVectors(const std::string& src,
+                                                  const std::vector<bool>& mask) {
+  std::vector<OperationVector> vectors;
+  const std::string kKey = "_operations";
+  for (std::size_t pos = src.find(kKey); pos != std::string::npos;
+       pos = src.find(kKey, pos + 1)) {
+    if (mask[pos]) {
+      continue;
+    }
+    // Must be the tail of an identifier, then "name = {".
+    const std::size_t after = pos + kKey.size();
+    std::size_t i = after;
+    while (i < src.size() && std::isspace(static_cast<unsigned char>(src[i]))) {
+      ++i;
+    }
+    // Variable name.
+    std::size_t name_end = i;
+    while (name_end < src.size() && IsIdentChar(src[name_end])) {
+      ++name_end;
+    }
+    if (name_end == i) {
+      continue;  // A declaration like `struct file_operations;`.
+    }
+    i = name_end;
+    while (i < src.size() && std::isspace(static_cast<unsigned char>(src[i]))) {
+      ++i;
+    }
+    if (i >= src.size() || src[i] != '=') {
+      continue;
+    }
+    ++i;
+    while (i < src.size() && std::isspace(static_cast<unsigned char>(src[i]))) {
+      ++i;
+    }
+    if (i >= src.size() || src[i] != '{') {
+      continue;
+    }
+    OperationVector vec;
+    vec.begin = i;
+    vec.end = MatchBrace(src, mask, i, '{', '}');
+    if (vec.end == std::string::npos) {
+      continue;
+    }
+    // Parse entries between begin+1 and end.
+    std::size_t p = vec.begin + 1;
+    while (p < vec.end) {
+      // Skip whitespace, commas and masked regions.
+      while (p < vec.end &&
+             (mask[p] || std::isspace(static_cast<unsigned char>(src[p])) ||
+              src[p] == ',')) {
+        ++p;
+      }
+      if (p >= vec.end) {
+        break;
+      }
+      std::size_t entry_start = p;
+      bool c99 = false;
+      if (src[p] == '.') {
+        c99 = true;
+        ++p;
+      }
+      std::size_t op_end = p;
+      while (op_end < vec.end && IsIdentChar(src[op_end])) {
+        ++op_end;
+      }
+      const std::string op = src.substr(p, op_end - p);
+      p = op_end;
+      while (p < vec.end && std::isspace(static_cast<unsigned char>(src[p]))) {
+        ++p;
+      }
+      const char sep = c99 ? '=' : ':';
+      if (p >= vec.end || src[p] != sep || op.empty()) {
+        // Not an entry we understand; skip to the next comma.
+        p = src.find(',', entry_start);
+        if (p == std::string::npos || p > vec.end) {
+          break;
+        }
+        continue;
+      }
+      ++p;
+      while (p < vec.end && std::isspace(static_cast<unsigned char>(src[p]))) {
+        ++p;
+      }
+      std::size_t fn_end = p;
+      while (fn_end < vec.end && IsIdentChar(src[fn_end])) {
+        ++fn_end;
+      }
+      const std::string fn = src.substr(p, fn_end - p);
+      if (!fn.empty() && fn != "NULL") {
+        vec.entries.push_back(VectorEntry{op, fn, p});
+      }
+      p = fn_end;
+    }
+    vectors.push_back(std::move(vec));
+  }
+  return vectors;
+}
+
+// Finds the body of a function definition `name(...) {` in the unit.
+struct FunctionDef {
+  std::size_t body_open = 0;   // The '{'.
+  std::size_t body_close = 0;  // The matching '}'.
+  std::string return_type;     // e.g. "static int" with qualifiers.
+};
+
+std::optional<FunctionDef> FindDefinition(const std::string& src,
+                                          const std::vector<bool>& mask,
+                                          const std::string& name) {
+  for (std::size_t pos = src.find(name); pos != std::string::npos;
+       pos = src.find(name, pos + 1)) {
+    if (mask[pos]) {
+      continue;
+    }
+    // Whole-token match.
+    if (pos > 0 && IsIdentChar(src[pos - 1])) {
+      continue;
+    }
+    const std::size_t after = pos + name.size();
+    if (after < src.size() && IsIdentChar(src[after])) {
+      continue;
+    }
+    // The token before must not make this a call site or member access.
+    std::size_t back = pos;
+    while (back > 0 &&
+           std::isspace(static_cast<unsigned char>(src[back - 1])) != 0) {
+      --back;
+    }
+    if (back > 0 && (src[back - 1] == '.' || src[back - 1] == ':' ||
+                     src[back - 1] == '=' || src[back - 1] == '(' ||
+                     src[back - 1] == ',' || src[back - 1] == '&')) {
+      continue;
+    }
+    // Must be followed by a parameter list and then '{'.
+    std::size_t i = after;
+    while (i < src.size() && std::isspace(static_cast<unsigned char>(src[i]))) {
+      ++i;
+    }
+    if (i >= src.size() || src[i] != '(') {
+      continue;
+    }
+    const std::size_t params_close = MatchBrace(src, mask, i, '(', ')');
+    if (params_close == std::string::npos) {
+      continue;
+    }
+    std::size_t j = params_close + 1;
+    while (j < src.size() && std::isspace(static_cast<unsigned char>(src[j]))) {
+      ++j;
+    }
+    if (j >= src.size() || src[j] != '{') {
+      continue;  // A declaration/prototype, not a definition.
+    }
+    FunctionDef def;
+    def.body_open = j;
+    def.body_close = MatchBrace(src, mask, j, '{', '}');
+    if (def.body_close == std::string::npos) {
+      continue;
+    }
+    // Return type: the text back to the previous ';', '}' or file start.
+    std::size_t type_begin = back;
+    while (type_begin > 0) {
+      const char c = src[type_begin - 1];
+      if (c == ';' || c == '}' || c == '{' || c == '#') {
+        break;
+      }
+      if (c == '/' && type_begin >= 2 && src[type_begin - 2] == '*') {
+        break;  // End of a block comment.
+      }
+      --type_begin;
+    }
+    def.return_type = Trim(src.substr(type_begin, back - type_begin));
+    return def;
+  }
+  return std::nullopt;
+}
+
+// Strips storage-class qualifiers for the temporary-variable type.
+std::string ValueType(const std::string& return_type) {
+  std::istringstream is(return_type);
+  std::string word;
+  std::string out;
+  while (is >> word) {
+    if (word == "static" || word == "inline" || word == "__inline__") {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += word;
+  }
+  return out;
+}
+
+// Instruments one function body in `src`; returns the number of macro
+// insertions.  `src` is edited in place (positions found fresh inside).
+int InstrumentBody(std::string* src, const std::string& op,
+                   const FunctionDef& def) {
+  const std::string value_type = ValueType(def.return_type);
+  const bool is_void = value_type == "void";
+  std::string body =
+      src->substr(def.body_open, def.body_close - def.body_open + 1);
+  const std::vector<bool> mask = BuildCodeMask(body);
+
+  int insertions = 0;
+  // Rewrite returns, scanning backwards so positions stay valid.
+  std::vector<std::size_t> returns;
+  for (std::size_t pos = body.find("return"); pos != std::string::npos;
+       pos = body.find("return", pos + 1)) {
+    if (mask[pos]) {
+      continue;
+    }
+    if (pos > 0 && IsIdentChar(body[pos - 1])) {
+      continue;
+    }
+    const std::size_t after = pos + 6;
+    if (after < body.size() && IsIdentChar(body[after])) {
+      continue;
+    }
+    returns.push_back(pos);
+  }
+  for (auto it = returns.rbegin(); it != returns.rend(); ++it) {
+    const std::size_t pos = *it;
+    std::size_t semi = pos;
+    int paren = 0;
+    while (semi < body.size() && (body[semi] != ';' || paren != 0)) {
+      if (!mask[semi]) {
+        if (body[semi] == '(') {
+          ++paren;
+        } else if (body[semi] == ')') {
+          --paren;
+        }
+      }
+      ++semi;
+    }
+    if (semi >= body.size()) {
+      continue;
+    }
+    const std::string expr = Trim(body.substr(pos + 6, semi - (pos + 6)));
+    std::string replacement;
+    if (expr.empty() || is_void) {
+      replacement = "{ FSPROF_POST(" + op + "); return " + expr + "; }";
+    } else {
+      // The paper's transformation for non-void returns.
+      replacement = "{ " + value_type + " tmp_return_variable = " + expr +
+                    "; FSPROF_POST(" + op +
+                    "); return tmp_return_variable; }";
+    }
+    body.replace(pos, semi - pos + 1, replacement);
+    ++insertions;
+  }
+  // Entry probe right after the opening brace.
+  body.insert(1, "\n\tFSPROF_PRE(" + op + ");");
+  ++insertions;
+  // A void function may fall off the end without a return.
+  if (is_void) {
+    const std::size_t close = body.rfind('}');
+    body.insert(close, "\tFSPROF_POST(" + op + ");\n");
+    ++insertions;
+  }
+  src->replace(def.body_open, def.body_close - def.body_open + 1, body);
+  return insertions;
+}
+
+}  // namespace
+
+FosgenResult FosgenInstrument(const std::string& source) {
+  FosgenResult result;
+  result.source = source;
+  if (source.find("FSPROF_") != std::string::npos) {
+    return result;  // Already instrumented; FoSgen is idempotent.
+  }
+
+  std::vector<bool> mask = BuildCodeMask(result.source);
+  const std::vector<OperationVector> vectors =
+      FindOperationVectors(result.source, mask);
+
+  // Collect unique (op, function) pairs; a function serving several ops is
+  // instrumented under its first op, as the paper's tool does.
+  std::vector<VectorEntry> todo;
+  std::set<std::string> seen_functions;
+  for (const OperationVector& vec : vectors) {
+    for (const VectorEntry& entry : vec.entries) {
+      if (seen_functions.insert(entry.function).second) {
+        todo.push_back(entry);
+      }
+    }
+  }
+
+  std::string wrappers;
+  std::vector<std::pair<std::string, std::string>> renames;
+  for (const VectorEntry& entry : todo) {
+    const auto def = FindDefinition(result.source, mask, entry.function);
+    if (def.has_value()) {
+      result.insertions += InstrumentBody(&result.source, entry.op, *def);
+      result.instrumented.push_back(entry.op + ":" + entry.function);
+      mask = BuildCodeMask(result.source);  // Positions moved.
+      continue;
+    }
+    // A generic kernel export: synthesize an instrumented wrapper
+    // (paper §4: "FoSgen creates wrapper functions for such operations").
+    const auto sig = SignatureTable().find(entry.op);
+    if (sig == SignatureTable().end()) {
+      continue;  // Unknown signature: leave untouched.
+    }
+    const std::string wrapper_name = "fsprof_" + entry.function;
+    std::ostringstream w;
+    w << "static " << sig->second.ret << " " << wrapper_name << "("
+      << sig->second.params << ")\n{\n";
+    w << "\tFSPROF_PRE(" << entry.op << ");\n";
+    if (std::string(sig->second.ret) == "void") {
+      w << "\t" << entry.function << "(" << sig->second.args << ");\n";
+      w << "\tFSPROF_POST(" << entry.op << ");\n";
+    } else {
+      w << "\t" << sig->second.ret << " tmp_return_variable = "
+        << entry.function << "(" << sig->second.args << ");\n";
+      w << "\tFSPROF_POST(" << entry.op << ");\n";
+      w << "\treturn tmp_return_variable;\n";
+    }
+    w << "}\n\n";
+    wrappers += w.str();
+    renames.emplace_back(entry.function, wrapper_name);
+    result.wrapped.push_back(entry.op + ":" + entry.function);
+    result.insertions += 2;
+  }
+
+  // Point the vector entries at the wrappers (token-exact replacement,
+  // outside the wrappers themselves).
+  for (const auto& [from, to] : renames) {
+    mask = BuildCodeMask(result.source);
+    std::string& src = result.source;
+    std::size_t pos = src.find(from);
+    while (pos != std::string::npos) {
+      if (mask[pos] || (pos > 0 && IsIdentChar(src[pos - 1])) ||
+          (pos + from.size() < src.size() &&
+           IsIdentChar(src[pos + from.size()]))) {
+        pos = src.find(from, pos + 1);
+        continue;
+      }
+      src.replace(pos, from.size(), to);
+      mask = BuildCodeMask(src);
+      pos = src.find(from, pos + to.size());
+    }
+  }
+
+  // Prepend the wrappers and the macro header (paper step 3).
+  std::string prologue = "#include \"fsprof.h\"\n\n";
+  if (!wrappers.empty()) {
+    prologue += "/* FoSgen wrappers for generic kernel functions */\n";
+    prologue += wrappers;
+  }
+  result.source = prologue + result.source;
+  return result;
+}
+
+}  // namespace ostools

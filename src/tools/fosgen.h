@@ -1,0 +1,49 @@
+// FoSgen: automatic file-system instrumentation (paper §4).
+//
+// The paper's FoSgen (607 lines of perl) instruments any Linux/FreeBSD
+// file system in four steps: (1) scan the sources for VFS operation
+// vectors, (2) insert latency-calculation macros into the operation
+// functions' bodies -- FSPROF_PRE(op) at entry and FSPROF_POST(op) at
+// every return point, transforming `return foo(x);` into
+//
+//   {
+//     f_type tmp_return_variable = foo(x);
+//     FSPROF_POST(op);
+//     return tmp_return_variable;
+//   }
+//
+// (3) include the macro header, and (4) wrap generic kernel functions
+// (e.g. Ext2's use of generic_read_dir) with local instrumented wrappers.
+//
+// This is the C++ analogue, operating on a single translation unit of
+// C-like source.  It understands the `op: func` (GNU) and `.op = func`
+// (C99) initializer styles shown in the paper's Figure 4, counts braces
+// to find function bodies, and uses a built-in VFS signature table to
+// synthesize wrappers for functions not defined in the unit.
+
+#ifndef OSPROF_SRC_TOOLS_FOSGEN_H_
+#define OSPROF_SRC_TOOLS_FOSGEN_H_
+
+#include <string>
+#include <vector>
+
+namespace ostools {
+
+struct FosgenResult {
+  std::string source;  // The instrumented translation unit.
+  // Operations whose local implementations were instrumented, as
+  // "op:function" pairs.
+  std::vector<std::string> instrumented;
+  // Generic (extern) functions that got local wrappers, as "op:function".
+  std::vector<std::string> wrapped;
+  // Total number of FSPROF_PRE/FSPROF_POST insertions.
+  int insertions = 0;
+};
+
+// Instruments one source file.  Idempotent: a file that already contains
+// FSPROF_ macros is returned unchanged.
+FosgenResult FosgenInstrument(const std::string& source);
+
+}  // namespace ostools
+
+#endif  // OSPROF_SRC_TOOLS_FOSGEN_H_

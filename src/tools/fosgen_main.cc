@@ -1,0 +1,41 @@
+// CLI for FoSgen: instruments a file-system source file.
+//
+//   $ fosgen ext2_dir.c > ext2_dir_instrumented.c
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/tools/fosgen.h"
+
+int main(int argc, char** argv) {
+  std::string source;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "fosgen: cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  }
+
+  const ostools::FosgenResult result = ostools::FosgenInstrument(source);
+  std::cout << result.source;
+  std::cerr << "fosgen: instrumented " << result.instrumented.size()
+            << " operation(s), wrapped " << result.wrapped.size()
+            << " generic function(s), " << result.insertions
+            << " probe insertion(s)\n";
+  for (const std::string& op : result.instrumented) {
+    std::cerr << "  instrumented " << op << "\n";
+  }
+  for (const std::string& op : result.wrapped) {
+    std::cerr << "  wrapped      " << op << "\n";
+  }
+  return 0;
+}

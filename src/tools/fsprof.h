@@ -1,0 +1,125 @@
+/*
+ * The aggregate statistics library, C edition (paper §4: "This C library
+ * provides routines to allocate and free statistics buffers, store
+ * request start times in context variables, calculate request latencies,
+ * and store them in the appropriate bucket" -- 141 lines of C, portable
+ * across Unix applications, Windows applications, and both kernels).
+ *
+ * This header is what FoSgen-instrumented sources include.  FSPROF_PRE
+ * stores the request start time in a context variable; FSPROF_POST
+ * computes the latency and sorts it into a log2 bucket.  fsprof_dump()
+ * is the reporting interface: it emits the same text format the C++
+ * ProfileSet parses, so osprof_tool can render/compare C-side profiles.
+ */
+
+#ifndef FSPROF_H
+#define FSPROF_H
+
+#include <stdint.h>
+#include <stdio.h>
+#include <string.h>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+static inline uint64_t fsprof_rdtsc(void) { return __rdtsc(); }
+#else
+#include <time.h>
+static inline uint64_t fsprof_rdtsc(void) {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (uint64_t)ts.tv_sec * 1000000000ull + (uint64_t)ts.tv_nsec;
+}
+#endif
+
+#ifndef FSPROF_MAX_OPS
+#define FSPROF_MAX_OPS 64
+#endif
+
+struct fsprof_op_stats {
+  const char *name;
+  uint64_t buckets[64];
+  uint64_t recorded; /* The checksum counter (paper §4). */
+  uint64_t total_latency;
+};
+
+static struct fsprof_op_stats fsprof_table[FSPROF_MAX_OPS];
+static int fsprof_op_count;
+
+static inline int fsprof_bucket(uint64_t latency) {
+  int bucket = 0;
+  if (latency <= 1) {
+    return 0;
+  }
+  while (latency > 1) {
+    latency >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+static inline struct fsprof_op_stats *fsprof_lookup(const char *name) {
+  int i;
+  for (i = 0; i < fsprof_op_count; ++i) {
+    if (strcmp(fsprof_table[i].name, name) == 0) {
+      return &fsprof_table[i];
+    }
+  }
+  if (fsprof_op_count >= FSPROF_MAX_OPS) {
+    return &fsprof_table[0]; /* Overflow: merge into slot 0. */
+  }
+  fsprof_table[fsprof_op_count].name = name;
+  return &fsprof_table[fsprof_op_count++];
+}
+
+static inline void fsprof_record(const char *name, uint64_t start) {
+  const uint64_t end = fsprof_rdtsc();
+  const uint64_t latency = end >= start ? end - start : 0;
+  struct fsprof_op_stats *stats = fsprof_lookup(name);
+  stats->recorded += 1;
+  stats->total_latency += latency;
+  stats->buckets[fsprof_bucket(latency)] += 1;
+}
+
+/* The instrumentation macros FoSgen inserts. */
+#define FSPROF_PRE(op) uint64_t fsprof_start_##op = fsprof_rdtsc()
+#define FSPROF_POST(op) fsprof_record(#op, fsprof_start_##op)
+
+/* Reporting: the /proc-interface analogue.  The output is the osprof
+ * ProfileSet text format. */
+static inline void fsprof_dump(FILE *out) {
+  int i, b;
+  fprintf(out, "# osprof profile set v1\n");
+  fprintf(out, "resolution 1\n");
+  for (i = 0; i < fsprof_op_count; ++i) {
+    const struct fsprof_op_stats *stats = &fsprof_table[i];
+    fprintf(out, "profile %s recorded=%llu total_latency=%llu\n", stats->name,
+            (unsigned long long)stats->recorded,
+            (unsigned long long)stats->total_latency);
+    for (b = 0; b < 64; ++b) {
+      if (stats->buckets[b] != 0) {
+        fprintf(out, "  bucket %d %llu\n", b,
+                (unsigned long long)stats->buckets[b]);
+      }
+    }
+    fprintf(out, "end\n");
+  }
+}
+
+/* Consistency verification (paper §4: checksums of the number of time
+ * measurements).  Returns 0 if every profile's bucket sum matches its
+ * checksum counter. */
+static inline int fsprof_check(void) {
+  int i, b;
+  for (i = 0; i < fsprof_op_count; ++i) {
+    uint64_t sum = 0;
+    for (b = 0; b < 64; ++b) {
+      sum += fsprof_table[i].buckets[b];
+    }
+    if (sum != fsprof_table[i].recorded) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+#endif /* FSPROF_H */

@@ -1,0 +1,15 @@
+// CLI entry point for the osprof post-processing tool.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/tools/profile_tool.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  return ostools::RunProfileTool(args, std::cout, std::cerr);
+}

@@ -1,0 +1,35 @@
+// The osprof post-processing tool (paper §4, "Representing results": the
+// scripts that generate formatted text views and gnuplot scripts, check
+// consistency, and run the automated analysis).
+//
+// Exposed as a library function so the CLI stays a thin shim and the
+// whole tool is unit-testable.  Subcommands:
+//
+//   osprof_tool render  <set.prof> [op]           ASCII plots
+//   osprof_tool rank    <set.prof>                ops by total latency
+//   osprof_tool peaks   <set.prof> <op>           peak report + hypotheses
+//   osprof_tool compare <a.prof> <b.prof> [--method <name>]
+//                                                 automated analysis (§3.2)
+//   osprof_tool gnuplot <set.prof> <op>           gnuplot script to stdout
+//   osprof_tool check   <set.prof>                checksum verification
+//
+// Profile-set files are the text format ProfileSet::Serialize emits (the
+// /proc-style reporting interface).
+
+#ifndef OSPROF_SRC_TOOLS_PROFILE_TOOL_H_
+#define OSPROF_SRC_TOOLS_PROFILE_TOOL_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ostools {
+
+// Runs one tool invocation; `args` excludes argv[0].  Returns the process
+// exit code (0 success, 1 usage error, 2 bad input).
+int RunProfileTool(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
+
+}  // namespace ostools
+
+#endif  // OSPROF_SRC_TOOLS_PROFILE_TOOL_H_

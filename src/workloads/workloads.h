@@ -1,0 +1,152 @@
+// Workload generators (paper §5-§6).
+//
+// The paper's profiles come from a handful of deliberately simple
+// workloads; these are their simulated counterparts:
+//
+//  * BuildSourceTree  -- mkfs-time construction of a kernel-source-like
+//    file tree (many small files, nested directories, mostly-contiguous
+//    allocation).
+//  * GrepWorkload     -- `grep -r` over the tree: recursive readdir +
+//    stat + open/read/close of every file (§6.2's workload).
+//  * RandomReadWorkload -- N processes randomly llseek + read 512 bytes of
+//    the same file with O_DIRECT (§6.1's workload).
+//  * ZeroByteReadWorkload -- the §3.3 preemption probe: a tight loop of
+//    zero-byte reads with a little user-time between them.
+//  * CloneWorkload    -- concurrent clone()-like calls contending on the
+//    process-table lock (Figure 1).
+//  * PostmarkWorkload -- the mail-server create/append/read/delete mix
+//    used for the §5.2 overhead measurements.
+
+#ifndef OSPROF_SRC_WORKLOADS_WORKLOADS_H_
+#define OSPROF_SRC_WORKLOADS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fs/ext2fs.h"
+#include "src/fs/vfs.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/kernel.h"
+#include "src/sim/rng.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace osworkloads {
+
+using osim::Cycles;
+using osim::Kernel;
+using osim::Task;
+using osprofilers::SimProfiler;
+
+// --- File tree construction -------------------------------------------------
+
+struct TreeSpec {
+  int top_dirs = 12;             // Like the kernel's top-level directories.
+  int subdirs_per_dir = 3;
+  int depth = 2;                 // Levels of subdirectories below the top.
+  int files_per_dir = 18;
+  std::uint64_t median_file_bytes = 9'000;
+  double file_size_sigma = 1.0;  // Log-normal spread.
+  std::uint64_t seed = 1234;
+};
+
+struct BuiltTree {
+  std::string root;
+  std::vector<std::string> directories;
+  std::vector<std::string> files;
+  std::uint64_t total_bytes = 0;
+};
+
+// Builds the tree under `root` (created if missing) at mkfs time.
+BuiltTree BuildSourceTree(osfs::Ext2SimFs* fs, const std::string& root,
+                          const TreeSpec& spec);
+
+// --- Workload bodies (spawn these as kernel threads) ------------------------
+
+struct GrepStats {
+  std::uint64_t files_read = 0;
+  std::uint64_t directories_visited = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+// grep -r: recursively readdir, stat every entry, read every file.
+// `per_byte_cpu` models grep's user-time string matching.
+Task<void> GrepWorkload(Kernel* kernel, osfs::Vfs* vfs, std::string root,
+                        double per_byte_cpu, GrepStats* stats);
+
+// One random-read process of §6.1: `iterations` of llseek(random) +
+// read(512) with O_DIRECT on the shared `path`.
+Task<void> RandomReadWorkload(Kernel* kernel, osfs::Vfs* vfs, std::string path,
+                              int iterations, std::uint64_t seed);
+
+// The §3.3 preemption probe: `requests` zero-byte reads with
+// `user_cycles` of user time before each.
+Task<void> ZeroByteReadWorkload(Kernel* kernel, osfs::Vfs* vfs,
+                                std::string path, std::uint64_t requests,
+                                Cycles user_cycles);
+
+// Figure 1: `iterations` clone() calls.  Each clone costs `lock_free_cpu`
+// outside and `locked_cpu` inside the process-table lock; latency is
+// recorded into `profiler` under "clone".
+Task<void> CloneWorkload(Kernel* kernel, osim::SimSemaphore* process_table_lock,
+                         SimProfiler* profiler, int iterations,
+                         Cycles lock_free_cpu, Cycles locked_cpu,
+                         Cycles user_think_cpu);
+
+// --- Postmark (§5.2) --------------------------------------------------------
+
+struct PostmarkConfig {
+  int initial_files = 500;
+  int transactions = 2'000;
+  std::uint64_t min_file_bytes = 512;
+  std::uint64_t max_file_bytes = 16'384;
+  std::uint64_t read_chunk = 4'096;
+  double read_bias = 0.5;    // P(read) vs append in a transaction.
+  double create_bias = 0.5;  // P(create) vs delete in a transaction.
+  std::uint64_t seed = 7;
+  std::string directory = "/postmark";
+};
+
+struct PostmarkStats {
+  std::uint64_t creates = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+// Runs the full postmark lifecycle (create pool, transactions, cleanup).
+// The directory must already exist as an fs dir (AddDir).
+Task<void> PostmarkWorkload(Kernel* kernel, osfs::Vfs* vfs,
+                            PostmarkConfig config, PostmarkStats* stats);
+
+// --- Compilation (§3.1's non-monotonic workload) ----------------------------
+
+struct CompileConfig {
+  // The source tree to "compile" (paths from BuildSourceTree).
+  std::vector<std::string> sources;
+  std::string output_dir = "/obj";  // Must exist (AddDir).
+  // CPU cycles of "compilation" per source byte read.
+  double compile_cpu_per_byte = 40.0;
+  std::uint64_t object_bytes = 12'288;  // Per-source object file size.
+  std::uint64_t binary_bytes = 1u << 20;  // Final link output.
+};
+
+struct CompileStats {
+  std::uint64_t sources_compiled = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+// A make-like build: per source, read it (I/O phase), burn compile CPU
+// (CPU phase), write the object (write phase); finally re-read all
+// objects and write the linked binary.  The phases give sampled (3-D)
+// profiles their non-monotonic structure (paper §3.1, "Prole sampling").
+Task<void> CompileWorkload(Kernel* kernel, osfs::Vfs* vfs,
+                           CompileConfig config, CompileStats* stats);
+
+}  // namespace osworkloads
+
+#endif  // OSPROF_SRC_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,140 @@
+#include "src/core/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace osprof {
+namespace {
+
+void FillPeak(ProfileSet* set, const std::string& op, int bucket,
+              std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    set->Add(op, BucketLowerBound(bucket) + 1);
+  }
+}
+
+TEST(CompareProfileSets, IdenticalSetsSelectNothing) {
+  ProfileSet a(1);
+  FillPeak(&a, "read", 10, 1000);
+  FillPeak(&a, "write", 14, 500);
+  const AnalysisReport report = CompareProfileSets(a, a);
+  EXPECT_TRUE(report.Interesting().empty());
+  EXPECT_EQ(report.pairs.size(), 2u);
+}
+
+TEST(CompareProfileSets, NewPeakIsInteresting) {
+  // The llseek scenario: one process vs two -- a contention peak appears.
+  ProfileSet one(1);
+  FillPeak(&one, "llseek", 8, 10'000);
+  FillPeak(&one, "read", 20, 10'000);
+  ProfileSet two(1);
+  FillPeak(&two, "llseek", 8, 7'500);
+  FillPeak(&two, "llseek", 21, 2'500);  // Contended path.
+  FillPeak(&two, "read", 20, 10'000);
+
+  const AnalysisReport report = CompareProfileSets(one, two);
+  const auto interesting = report.Interesting();
+  ASSERT_EQ(interesting.size(), 1u);
+  EXPECT_EQ(interesting[0]->op_name, "llseek");
+  EXPECT_FALSE(interesting[0]->peak_diff.SameStructure());
+}
+
+TEST(CompareProfileSets, VanishedOperationIsInteresting) {
+  ProfileSet a(1);
+  FillPeak(&a, "read", 10, 1000);
+  FillPeak(&a, "fsync", 22, 800);
+  ProfileSet b(1);
+  FillPeak(&b, "read", 10, 1000);
+  const AnalysisReport report = CompareProfileSets(a, b);
+  const auto interesting = report.Interesting();
+  ASSERT_EQ(interesting.size(), 1u);
+  EXPECT_EQ(interesting[0]->op_name, "fsync");
+  EXPECT_EQ(interesting[0]->reason, "only in first set");
+}
+
+TEST(CompareProfileSets, InsignificantOperationsAreDropped) {
+  ProfileSet a(1);
+  FillPeak(&a, "read", 10, 1'000'000);
+  FillPeak(&a, "rare", 10, 3);
+  ProfileSet b(1);
+  FillPeak(&b, "read", 10, 1'000'000);
+  FillPeak(&b, "rare", 12, 3);  // Shape changed, but negligible weight.
+  const AnalysisReport report = CompareProfileSets(a, b);
+  for (const PairReport& p : report.pairs) {
+    if (p.op_name == "rare") {
+      EXPECT_FALSE(p.interesting);
+      EXPECT_NE(p.reason.find("insignificant"), std::string::npos);
+    }
+  }
+}
+
+TEST(CompareProfileSets, InterestingPairsSortFirst) {
+  ProfileSet a(1);
+  FillPeak(&a, "calm", 10, 10'000);
+  FillPeak(&a, "wild", 10, 10'000);
+  ProfileSet b(1);
+  FillPeak(&b, "calm", 10, 10'000);
+  FillPeak(&b, "wild", 24, 10'000);
+  const AnalysisReport report = CompareProfileSets(a, b);
+  ASSERT_GE(report.pairs.size(), 2u);
+  EXPECT_EQ(report.pairs[0].op_name, "wild");
+  EXPECT_TRUE(report.pairs[0].interesting);
+}
+
+TEST(CompareProfileSets, MethodIsConfigurable) {
+  ProfileSet a(1);
+  FillPeak(&a, "op", 10, 1000);
+  ProfileSet b(1);
+  FillPeak(&b, "op", 10, 4000);  // Same shape, more ops.
+  AnalysisOptions emd_opts;
+  emd_opts.method = CompareMethod::kEarthMovers;
+  emd_opts.score_threshold = DefaultThreshold(CompareMethod::kEarthMovers);
+  const AnalysisReport by_shape = CompareProfileSets(a, b, emd_opts);
+  EXPECT_TRUE(by_shape.Interesting().empty());  // Shape is identical.
+
+  AnalysisOptions ops_opts;
+  ops_opts.method = CompareMethod::kTotalOps;
+  ops_opts.score_threshold = DefaultThreshold(CompareMethod::kTotalOps);
+  const AnalysisReport by_ops = CompareProfileSets(a, b, ops_opts);
+  ASSERT_EQ(by_ops.Interesting().size(), 1u);  // 4x the operations.
+}
+
+TEST(CompareProfileSets, SummaryMentionsSelectedOps) {
+  ProfileSet a(1);
+  FillPeak(&a, "findfirst", 12, 1000);
+  ProfileSet b(1);
+  FillPeak(&b, "findfirst", 28, 1000);
+  const AnalysisReport report = CompareProfileSets(a, b);
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("findfirst"), std::string::npos);
+  EXPECT_NE(summary.find("selected 1 of 1"), std::string::npos);
+}
+
+TEST(RankByLatency, OrdersAndAccumulates) {
+  ProfileSet set(1);
+  FillPeak(&set, "big", 20, 100);     // 100 * ~1.5M cycles.
+  FillPeak(&set, "small", 10, 100);   // 100 * ~1.5K cycles.
+  const auto ranked = RankByLatency(set);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].op_name, "big");
+  EXPECT_GT(ranked[0].latency_fraction, 0.99);
+  EXPECT_NEAR(ranked.back().cumulative_fraction, 1.0, 1e-9);
+}
+
+TEST(RankByLatency, EmptySet) {
+  ProfileSet set(1);
+  EXPECT_TRUE(RankByLatency(set).empty());
+}
+
+TEST(DefaultThreshold, DefinedForAllMethods) {
+  for (CompareMethod m :
+       {CompareMethod::kChiSquare, CompareMethod::kTotalOps,
+        CompareMethod::kTotalLatency, CompareMethod::kEarthMovers,
+        CompareMethod::kIntersection, CompareMethod::kJeffrey,
+        CompareMethod::kMinkowskiL1, CompareMethod::kMinkowskiL2}) {
+    EXPECT_GT(DefaultThreshold(m), 0.0);
+    EXPECT_LT(DefaultThreshold(m), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace osprof

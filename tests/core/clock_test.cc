@@ -1,0 +1,69 @@
+#include "src/core/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace osprof {
+namespace {
+
+TEST(ReadTsc, IsMonotonicNonDecreasing) {
+  Cycles last = ReadTsc();
+  for (int i = 0; i < 1000; ++i) {
+    const Cycles now = ReadTsc();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(ReadTsc, AdvancesOverBusyWork) {
+  const Cycles start = ReadTsc();
+  volatile double sink = 1.0;
+  for (int i = 0; i < 100'000; ++i) {
+    sink = sink * 1.0000001 + 0.1;
+  }
+  EXPECT_GT(ReadTsc(), start);
+}
+
+TEST(EstimateTscHz, ReturnsPlausibleFrequency) {
+  const double hz = EstimateTscHz(5);
+  // Anything between 100 MHz and 10 GHz is a working clock.
+  EXPECT_GT(hz, 1e8);
+  EXPECT_LT(hz, 1e10);
+}
+
+TEST(FormatSeconds, MatchesPaperFigureLabels) {
+  EXPECT_EQ(FormatSeconds(28e-9), "28ns");
+  EXPECT_EQ(FormatSeconds(903e-9), "903ns");
+  EXPECT_EQ(FormatSeconds(28e-6), "28us");
+  EXPECT_EQ(FormatSeconds(925e-6), "925us");
+  EXPECT_EQ(FormatSeconds(29e-3), "29ms");
+  EXPECT_EQ(FormatSeconds(947e-3), "947ms");
+  EXPECT_EQ(FormatSeconds(30.0), "30s");
+}
+
+TEST(FormatSeconds, SubNanosecondUsesNs) {
+  const std::string s = FormatSeconds(0.4e-9);
+  EXPECT_NE(s.find("ns"), std::string::npos);
+}
+
+TEST(CyclesConversions, RoundTrip) {
+  const double hz = kPaperCpuHz;
+  EXPECT_EQ(SecondsToCycles(1.0, hz), static_cast<Cycles>(hz));
+  EXPECT_DOUBLE_EQ(CyclesToSeconds(SecondsToCycles(0.004, hz), hz), 0.004);
+}
+
+TEST(FormatCycles, UsesFrequency) {
+  // 1.7e9 cycles at 1.7 GHz is one second.
+  EXPECT_EQ(FormatCycles(static_cast<Cycles>(1.7e9), kPaperCpuHz), "1s");
+}
+
+TEST(FakeClock, AdvancesManually) {
+  FakeClock clock(100);
+  EXPECT_EQ(clock.Now(), 100u);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150u);
+  clock.Set(7);
+  EXPECT_EQ(clock.Now(), 7u);
+}
+
+}  // namespace
+}  // namespace osprof

@@ -1,0 +1,130 @@
+#include "src/core/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace osprof {
+namespace {
+
+ProfileSet MakeSet(int read_bucket, std::uint64_t n = 1'000) {
+  ProfileSet set(1);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    set.Add("read", BucketLowerBound(read_bucket) + 1);
+    set.Add("write", BucketLowerBound(12) + 1);
+  }
+  return set;
+}
+
+TEST(MergeCluster, SumsHistogramsAcrossMachines) {
+  std::vector<MachineProfile> fleet;
+  fleet.push_back({"a", MakeSet(10)});
+  fleet.push_back({"b", MakeSet(10)});
+  fleet.push_back({"c", MakeSet(10)});
+  const ProfileSet merged = MergeCluster(fleet);
+  EXPECT_EQ(merged.Find("read")->total_operations(), 3'000u);
+  EXPECT_EQ(merged.Find("read")->histogram().bucket(10), 3'000u);
+  EXPECT_TRUE(merged.CheckConsistency());
+}
+
+TEST(MergeCluster, EmptyFleetYieldsEmptySet) {
+  EXPECT_TRUE(MergeCluster({}).empty());
+}
+
+TEST(MergeCluster, HandlesDisjointOperations) {
+  ProfileSet only_a(1);
+  only_a.Add("fsync", 1'000);
+  std::vector<MachineProfile> fleet;
+  fleet.push_back({"a", std::move(only_a)});
+  fleet.push_back({"b", MakeSet(10)});
+  const ProfileSet merged = MergeCluster(fleet);
+  EXPECT_NE(merged.Find("fsync"), nullptr);
+  EXPECT_NE(merged.Find("read"), nullptr);
+}
+
+TEST(MergeCluster, RejectsMixedResolutions) {
+  std::vector<MachineProfile> fleet;
+  fleet.push_back({"a", ProfileSet(1)});
+  fleet.push_back({"b", ProfileSet(2)});
+  fleet[0].profiles.Add("x", 10);
+  fleet[1].profiles.Add("x", 10);
+  EXPECT_THROW(MergeCluster(fleet), std::invalid_argument);
+}
+
+TEST(PrefixOperations, RenamesEveryOp) {
+  const ProfileSet prefixed = PrefixOperations(MakeSet(10), "web03.");
+  EXPECT_NE(prefixed.Find("web03.read"), nullptr);
+  EXPECT_NE(prefixed.Find("web03.write"), nullptr);
+  EXPECT_EQ(prefixed.Find("read"), nullptr);
+  EXPECT_EQ(prefixed.Find("web03.read")->total_operations(), 1'000u);
+}
+
+TEST(FindOutliers, FlagsTheMachineWithTheShiftedDistribution) {
+  std::vector<MachineProfile> fleet;
+  fleet.push_back({"web01", MakeSet(10)});
+  fleet.push_back({"web02", MakeSet(10)});
+  fleet.push_back({"web03", MakeSet(22)});  // Failing disk: reads 4000x slower.
+  fleet.push_back({"web04", MakeSet(10)});
+  const auto deviations = FindOutliers(fleet);
+  ASSERT_FALSE(deviations.empty());
+  // The top deviation is web03's read profile.
+  EXPECT_EQ(deviations[0].machine, "web03");
+  EXPECT_EQ(deviations[0].op_name, "read");
+  EXPECT_TRUE(deviations[0].outlier);
+  // Healthy machines' read profiles are not outliers.
+  for (const MachineDeviation& d : deviations) {
+    if (d.machine != "web03" && d.op_name == "read") {
+      EXPECT_FALSE(d.outlier) << d.machine;
+    }
+    // Write profiles are identical fleet-wide.
+    if (d.op_name == "write") {
+      EXPECT_FALSE(d.outlier) << d.machine;
+    }
+  }
+}
+
+TEST(FindOutliers, IdenticalFleetHasNoOutliers) {
+  std::vector<MachineProfile> fleet;
+  for (const char* name : {"a", "b", "c"}) {
+    fleet.push_back({name, MakeSet(10)});
+  }
+  for (const MachineDeviation& d : FindOutliers(fleet)) {
+    EXPECT_FALSE(d.outlier) << d.machine << "/" << d.op_name;
+    EXPECT_DOUBLE_EQ(d.score, 0.0);
+  }
+}
+
+TEST(FindOutliers, MissingOperationScoresOne) {
+  std::vector<MachineProfile> fleet;
+  fleet.push_back({"a", MakeSet(10)});
+  fleet.push_back({"b", MakeSet(10)});
+  ProfileSet no_write(1);
+  no_write.Add("read", BucketLowerBound(10) + 1);
+  fleet.push_back({"c", std::move(no_write)});
+  const auto deviations = FindOutliers(fleet);
+  bool found = false;
+  for (const MachineDeviation& d : deviations) {
+    if (d.machine == "c" && d.op_name == "write") {
+      found = true;
+      EXPECT_DOUBLE_EQ(d.score, 1.0);
+      EXPECT_TRUE(d.outlier);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FindOutliers, NeedsAtLeastTwoMachines) {
+  std::vector<MachineProfile> fleet;
+  fleet.push_back({"solo", MakeSet(10)});
+  EXPECT_TRUE(FindOutliers(fleet).empty());
+}
+
+TEST(FindOutliers, SupportsAlternativeMethods) {
+  std::vector<MachineProfile> fleet;
+  fleet.push_back({"a", MakeSet(10)});
+  fleet.push_back({"b", MakeSet(22)});
+  const auto by_chi = FindOutliers(fleet, CompareMethod::kChiSquare);
+  ASSERT_FALSE(by_chi.empty());
+  EXPECT_TRUE(by_chi[0].outlier);
+}
+
+}  // namespace
+}  // namespace osprof

@@ -1,0 +1,162 @@
+#include "src/core/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace osprof {
+namespace {
+
+Histogram MakePeakAt(int bucket, std::uint64_t count = 1000) {
+  Histogram h(1);
+  h.set_bucket(bucket, count);
+  return h;
+}
+
+class AllMethodsTest : public ::testing::TestWithParam<CompareMethod> {};
+
+TEST_P(AllMethodsTest, IdenticalProfilesScoreZero) {
+  Histogram a(1);
+  for (int i = 0; i < 100; ++i) {
+    a.Add(static_cast<Cycles>(100 + i * 37));
+  }
+  EXPECT_DOUBLE_EQ(Distance(GetParam(), a, a), 0.0);
+}
+
+TEST_P(AllMethodsTest, EmptyVsEmptyScoreZero) {
+  Histogram a(1);
+  Histogram b(1);
+  EXPECT_DOUBLE_EQ(Distance(GetParam(), a, b), 0.0);
+}
+
+TEST_P(AllMethodsTest, DistanceIsSymmetric) {
+  Histogram a = MakePeakAt(5);
+  Histogram b = MakePeakAt(12, 400);
+  b.set_bucket(6, 100);
+  EXPECT_DOUBLE_EQ(Distance(GetParam(), a, b), Distance(GetParam(), b, a));
+}
+
+TEST_P(AllMethodsTest, DisjointPeaksScorePositive) {
+  Histogram a = MakePeakAt(5);
+  // Different location AND different magnitude, so shape raters and the
+  // total-ops/total-latency raters all see a difference.
+  Histogram b = MakePeakAt(20, 900);
+  EXPECT_GT(Distance(GetParam(), a, b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AllMethodsTest,
+    ::testing::Values(CompareMethod::kChiSquare, CompareMethod::kTotalOps,
+                      CompareMethod::kTotalLatency, CompareMethod::kEarthMovers,
+                      CompareMethod::kIntersection, CompareMethod::kJeffrey,
+                      CompareMethod::kMinkowskiL1, CompareMethod::kMinkowskiL2),
+    [](const ::testing::TestParamInfo<CompareMethod>& info) {
+      std::string name = CompareMethodName(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// The key property from §3.2: bin-by-bin methods cannot tell a small peak
+// shift from a large one, but EMD (cross-bin) can.
+TEST(EarthMovers, GrowsWithShiftDistanceUnlikeChiSquare) {
+  Histogram base = MakePeakAt(10);
+  Histogram near = MakePeakAt(11);
+  Histogram far = MakePeakAt(25);
+
+  const double emd_near = EarthMoversDistance(base, near);
+  const double emd_far = EarthMoversDistance(base, far);
+  EXPECT_LT(emd_near, emd_far);
+
+  // Chi-square saturates: disjoint is disjoint, regardless of distance.
+  const double chi_near = ChiSquareDistance(base, near);
+  const double chi_far = ChiSquareDistance(base, far);
+  EXPECT_DOUBLE_EQ(chi_near, chi_far);
+}
+
+TEST(EarthMovers, WorkMatchesHandComputedTransport) {
+  // Two unit masses one bucket apart: work = 1 * 1 bucket over normalized
+  // mass 1.
+  Histogram a = MakePeakAt(10, 100);
+  Histogram b = MakePeakAt(11, 100);
+  EXPECT_NEAR(EarthMoversWork(a, b), 1.0, 1e-12);
+
+  // Half the mass moves two buckets: work = 0.5 * 2 = 1.
+  Histogram c(1);
+  c.set_bucket(10, 50);
+  c.set_bucket(12, 50);
+  Histogram d = MakePeakAt(10, 100);
+  EXPECT_NEAR(EarthMoversWork(c, d), 1.0, 1e-12);
+}
+
+TEST(EarthMovers, NormalizedIsScaleInvariant) {
+  Histogram small = MakePeakAt(10, 10);
+  Histogram small2 = MakePeakAt(12, 10);
+  Histogram big = MakePeakAt(10, 1'000'000);
+  Histogram big2 = MakePeakAt(12, 1'000'000);
+  EXPECT_NEAR(EarthMoversDistance(small, small2),
+              EarthMoversDistance(big, big2), 1e-12);
+}
+
+TEST(ChiSquare, BoundedByTwo) {
+  Histogram a = MakePeakAt(5);
+  Histogram b = MakePeakAt(30);
+  const double d = ChiSquareDistance(a, b);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 2.0);
+}
+
+TEST(Intersection, FullOverlapZeroNoOverlapOne) {
+  Histogram a = MakePeakAt(8);
+  EXPECT_DOUBLE_EQ(IntersectionDistance(a, a), 0.0);
+  Histogram b = MakePeakAt(20);
+  EXPECT_DOUBLE_EQ(IntersectionDistance(a, b), 1.0);
+}
+
+TEST(Jeffrey, NonNegativeAndZeroOnIdentical) {
+  Histogram a = MakePeakAt(8);
+  Histogram b = MakePeakAt(9, 500);
+  EXPECT_GE(JeffreyDivergence(a, b), 0.0);
+  EXPECT_NEAR(JeffreyDivergence(a, a), 0.0, 1e-9);
+}
+
+TEST(Minkowski, L1DominatesL2) {
+  Histogram a(1);
+  a.set_bucket(5, 50);
+  a.set_bucket(9, 50);
+  Histogram b(1);
+  b.set_bucket(6, 50);
+  b.set_bucket(12, 50);
+  EXPECT_GE(MinkowskiDistance(a, b, 1.0), MinkowskiDistance(a, b, 2.0));
+}
+
+TEST(Minkowski, RejectsOrderBelowOne) {
+  Histogram a = MakePeakAt(5);
+  EXPECT_THROW(MinkowskiDistance(a, a, 0.5), std::invalid_argument);
+}
+
+TEST(TotalRaters, SeeMagnitudeNotShape) {
+  Histogram a = MakePeakAt(10, 1000);
+  Histogram b = MakePeakAt(10, 4000);  // Same shape, 4x the ops.
+  EXPECT_DOUBLE_EQ(EarthMoversDistance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(TotalOpsDifference(a, b), 0.75);
+  EXPECT_GT(TotalLatencyDifference(a, b), 0.5);
+}
+
+TEST(Compare, RejectsResolutionMismatch) {
+  Histogram a(1);
+  Histogram b(2);
+  EXPECT_THROW(ChiSquareDistance(a, b), std::invalid_argument);
+  EXPECT_THROW(EarthMoversDistance(a, b), std::invalid_argument);
+}
+
+TEST(Compare, MethodNamesAreUnique) {
+  EXPECT_EQ(CompareMethodName(CompareMethod::kEarthMovers), "earth-movers");
+  EXPECT_EQ(CompareMethodName(CompareMethod::kChiSquare), "chi-square");
+  EXPECT_NE(CompareMethodName(CompareMethod::kTotalOps),
+            CompareMethodName(CompareMethod::kTotalLatency));
+}
+
+}  // namespace
+}  // namespace osprof

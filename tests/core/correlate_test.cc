@@ -1,0 +1,92 @@
+#include "src/core/correlate.h"
+
+#include <gtest/gtest.h>
+
+namespace osprof {
+namespace {
+
+std::vector<Peak> TwoPeaks() {
+  Peak first;
+  first.first_bucket = 6;
+  first.last_bucket = 7;
+  Peak second;
+  second.first_bucket = 16;
+  second.last_bucket = 23;
+  return {first, second};
+}
+
+TEST(ValueCorrelator, RoutesValuesByLatencyPeak) {
+  ValueCorrelator c("readdir_past_EOF", TwoPeaks());
+  // Figure 8's scheme: value is past_EOF * 1024, so 0 -> bucket 0 and
+  // 1024 -> bucket 10.
+  c.Record(100, 1024);     // Latency bucket 6 -> first peak, past EOF.
+  c.Record(90, 1024);      // First peak again.
+  c.Record(100'000, 0);    // Bucket 16 -> second peak, not past EOF.
+  c.Record(2'000'000, 0);  // Bucket 20 -> second peak.
+
+  EXPECT_EQ(c.peak_values(0).TotalOperations(), 2u);
+  EXPECT_EQ(c.peak_values(0).bucket(10), 2u);  // All past-EOF.
+  EXPECT_EQ(c.peak_values(1).TotalOperations(), 2u);
+  EXPECT_EQ(c.peak_values(1).bucket(0), 2u);  // None past-EOF.
+  EXPECT_EQ(c.unmatched_values().TotalOperations(), 0u);
+}
+
+TEST(ValueCorrelator, UnmatchedLatenciesGoToOverflow) {
+  ValueCorrelator c("v", TwoPeaks());
+  c.Record(1 << 30, 7);  // Bucket 30: outside both peaks.
+  EXPECT_EQ(c.unmatched_values().TotalOperations(), 1u);
+  EXPECT_EQ(c.peak_values(0).TotalOperations(), 0u);
+  EXPECT_EQ(c.peak_values(1).TotalOperations(), 0u);
+}
+
+TEST(ValueCorrelator, FirstMatchingPeakWinsOnOverlap) {
+  Peak a;
+  a.first_bucket = 5;
+  a.last_bucket = 10;
+  Peak b;
+  b.first_bucket = 8;
+  b.last_bucket = 12;
+  ValueCorrelator c("v", {a, b});
+  c.Record(512, 1);  // Bucket 9, in both; must go to the first.
+  EXPECT_EQ(c.peak_values(0).TotalOperations(), 1u);
+  EXPECT_EQ(c.peak_values(1).TotalOperations(), 0u);
+}
+
+TEST(ValueCorrelator, OtherPeaksValuesMergesComplement) {
+  ValueCorrelator c("v", TwoPeaks());
+  c.Record(100, 1024);
+  c.Record(100'000, 0);
+  c.Record(2'000'000, 0);
+  const Histogram others = c.OtherPeaksValues(0);
+  EXPECT_EQ(others.TotalOperations(), 2u);
+  EXPECT_EQ(others.bucket(0), 2u);
+}
+
+TEST(ValueCorrelator, ExposesConfiguredPeaks) {
+  ValueCorrelator c("v", TwoPeaks());
+  EXPECT_EQ(c.num_peaks(), 2);
+  EXPECT_EQ(c.peak(0).first_bucket, 6);
+  EXPECT_EQ(c.peak(1).last_bucket, 23);
+  EXPECT_EQ(c.value_name(), "v");
+}
+
+// The Figure 8 demonstration end to end: when every first-peak request is
+// past-EOF and no other request is, the correlation separates perfectly.
+TEST(ValueCorrelator, Figure8SeparationProperty) {
+  ValueCorrelator c("readdir_past_EOF", TwoPeaks());
+  for (int i = 0; i < 1000; ++i) {
+    const bool past_eof = i % 3 == 0;
+    const Cycles latency = past_eof ? 100 : 200'000;
+    c.Record(latency, past_eof ? 1024 : 0);
+  }
+  // First peak: all values at bucket 10 (1024), none at 0.
+  EXPECT_EQ(c.peak_values(0).bucket(0), 0u);
+  EXPECT_GT(c.peak_values(0).bucket(10), 0u);
+  // Other peaks: all values at bucket 0.
+  const Histogram others = c.OtherPeaksValues(0);
+  EXPECT_EQ(others.bucket(10), 0u);
+  EXPECT_GT(others.bucket(0), 0u);
+}
+
+}  // namespace
+}  // namespace osprof

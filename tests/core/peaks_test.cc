@@ -1,0 +1,196 @@
+#include "src/core/peaks.h"
+
+#include <gtest/gtest.h>
+
+namespace osprof {
+namespace {
+
+TEST(FindPeaks, EmptyHistogramHasNoPeaks) {
+  Histogram h(1);
+  EXPECT_TRUE(FindPeaks(h).empty());
+}
+
+TEST(FindPeaks, SinglePeak) {
+  Histogram h(1);
+  h.set_bucket(6, 10);
+  h.set_bucket(7, 100);
+  h.set_bucket(8, 12);
+  const auto peaks = FindPeaks(h);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].first_bucket, 6);
+  EXPECT_EQ(peaks[0].last_bucket, 8);
+  EXPECT_EQ(peaks[0].mode_bucket, 7);
+  EXPECT_EQ(peaks[0].count, 122u);
+  EXPECT_DOUBLE_EQ(peaks[0].mass, 1.0);
+}
+
+TEST(FindPeaks, TwoPeaksSeparatedByEmptyBuckets) {
+  // The clone profile of Figure 1: an uncontended peak and a contended one.
+  Histogram h(1);
+  h.set_bucket(13, 9000);
+  h.set_bucket(14, 2000);
+  h.set_bucket(20, 500);
+  h.set_bucket(21, 800);
+  h.set_bucket(22, 300);
+  const auto peaks = FindPeaks(h);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].mode_bucket, 13);
+  EXPECT_EQ(peaks[1].mode_bucket, 21);
+  EXPECT_NEAR(peaks[0].mass, 11000.0 / 12600.0, 1e-9);
+  EXPECT_NEAR(peaks[1].mass, 1600.0 / 12600.0, 1e-9);
+}
+
+TEST(FindPeaks, SplitsAtDeepInteriorValley) {
+  // Two modes connected by a shallow floor of counts: still two peaks.
+  Histogram h(1);
+  h.set_bucket(8, 10'000);
+  h.set_bucket(9, 1'000);
+  h.set_bucket(10, 20);   // Valley, ~2.7 decades below left, 1.7 below right.
+  h.set_bucket(11, 1'000);
+  h.set_bucket(12, 5'000);
+  const auto peaks = FindPeaks(h);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].mode_bucket, 8);
+  EXPECT_EQ(peaks[1].mode_bucket, 12);
+}
+
+TEST(FindPeaks, KeepsShallowDipAsOnePeak) {
+  Histogram h(1);
+  h.set_bucket(8, 1000);
+  h.set_bucket(9, 800);  // Dip of ~0.1 decades: not a valley.
+  h.set_bucket(10, 1000);
+  const auto peaks = FindPeaks(h);
+  ASSERT_EQ(peaks.size(), 1u);
+}
+
+TEST(FindPeaks, MinCountFiltersTinyPeaks) {
+  Histogram h(1);
+  h.set_bucket(6, 100'000);
+  h.set_bucket(26, 3);  // A few preempted requests.
+  PeakOptions opts;
+  opts.min_count = 10;
+  EXPECT_EQ(FindPeaks(h, opts).size(), 1u);
+  opts.min_count = 1;
+  EXPECT_EQ(FindPeaks(h, opts).size(), 2u);
+}
+
+TEST(FindPeaks, NoiseFloorSuppressssLoneSpecks) {
+  Histogram h(1);
+  h.set_bucket(6, 100'000);
+  h.set_bucket(30, 1);
+  PeakOptions opts;
+  opts.noise_floor_fraction = 1e-4;
+  const auto peaks = FindPeaks(h, opts);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].mode_bucket, 6);
+}
+
+TEST(FindPeaks, MeanLatencyUsesBucketMidpoints) {
+  Histogram h(1);
+  h.set_bucket(10, 100);
+  const auto peaks = FindPeaks(h);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_DOUBLE_EQ(peaks[0].mean_latency, 1.5 * 1024.0);
+}
+
+TEST(Peak, ContainsChecksRange) {
+  Peak p;
+  p.first_bucket = 5;
+  p.last_bucket = 9;
+  EXPECT_TRUE(p.Contains(5));
+  EXPECT_TRUE(p.Contains(9));
+  EXPECT_FALSE(p.Contains(4));
+  EXPECT_FALSE(p.Contains(10));
+}
+
+TEST(DiffPeaks, IdenticalStructureMatches) {
+  Histogram h(1);
+  h.set_bucket(6, 1000);
+  h.set_bucket(20, 200);
+  const auto pa = FindPeaks(h);
+  const auto pb = FindPeaks(h);
+  const PeakDiff d = DiffPeaks(pa, pb);
+  EXPECT_TRUE(d.SameStructure());
+  EXPECT_EQ(d.max_matched_mass_delta, 0.0);
+}
+
+TEST(DiffPeaks, DetectsNewPeak) {
+  Histogram a(1);
+  a.set_bucket(6, 1000);
+  Histogram b(1);
+  b.set_bucket(6, 1000);
+  b.set_bucket(22, 300);  // Contention appeared.
+  const PeakDiff d = DiffPeaks(FindPeaks(a), FindPeaks(b));
+  EXPECT_FALSE(d.SameStructure());
+  ASSERT_EQ(d.only_in_b.size(), 1u);
+  EXPECT_EQ(d.only_in_b[0], 22);
+  EXPECT_TRUE(d.only_in_a.empty());
+}
+
+TEST(DiffPeaks, ToleratesSmallModeShift) {
+  Histogram a(1);
+  a.set_bucket(10, 1000);
+  Histogram b(1);
+  b.set_bucket(11, 1000);
+  EXPECT_TRUE(DiffPeaks(FindPeaks(a), FindPeaks(b), 1).SameStructure());
+  EXPECT_FALSE(DiffPeaks(FindPeaks(a), FindPeaks(b), 0).SameStructure());
+}
+
+TEST(DiffPeaks, ReportsMassDelta) {
+  Histogram a(1);
+  a.set_bucket(10, 900);
+  a.set_bucket(20, 100);
+  Histogram b(1);
+  b.set_bucket(10, 500);
+  b.set_bucket(20, 500);
+  const PeakDiff d = DiffPeaks(FindPeaks(a), FindPeaks(b));
+  EXPECT_TRUE(d.SameStructure());
+  EXPECT_NEAR(d.max_matched_mass_delta, 0.4, 1e-9);
+}
+
+TEST(DescribePeaks, FormatsHumanReadably) {
+  Histogram h(1);
+  h.set_bucket(6, 100);
+  const std::string s = DescribePeaks(FindPeaks(h));
+  EXPECT_NE(s.find("1 peak"), std::string::npos);
+  EXPECT_NE(s.find("[6-6]@6"), std::string::npos);
+}
+
+// Property sweep: segmentation must cover every non-empty bucket exactly
+// once when no filters are active.
+class PeakCoverageTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeakCoverageTest, PeaksPartitionOccupiedBuckets) {
+  const int seed = GetParam();
+  Histogram h(1);
+  // Deterministic pseudo-random multi-modal histogram.
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 0x9E3779B97F4A7C15ULL + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int m = 0; m < 3 + seed % 3; ++m) {
+    const int center = 5 + static_cast<int>(next() % 25);
+    const std::uint64_t height = 10 + next() % 100000;
+    h.set_bucket(center, h.bucket(center) + height);
+    if (center + 1 < h.num_buckets()) {
+      h.set_bucket(center + 1, h.bucket(center + 1) + height / 10 + 1);
+    }
+  }
+  const auto peaks = FindPeaks(h);
+  std::uint64_t covered = 0;
+  int last_end = -1;
+  for (const Peak& p : peaks) {
+    EXPECT_GT(p.first_bucket, last_end);  // Disjoint and ordered.
+    last_end = p.last_bucket;
+    covered += p.count;
+  }
+  EXPECT_EQ(covered, h.TotalOperations());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeakCoverageTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace osprof

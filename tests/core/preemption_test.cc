@@ -1,0 +1,117 @@
+#include "src/core/preemption.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace osprof {
+namespace {
+
+TEST(ForcedPreemption, PaperNumbersAreAstronomicallySmall) {
+  // §3.3: Y = 0.01, tperiod = 2^10, tcpu = tperiod/2, Q = 2^26 gives a
+  // probability around 1e-280 (the paper reports 2.3e-280 with the same
+  // first-order approximation of ln(0.99)).
+  PreemptionParams p;
+  p.tperiod = std::exp2(10);
+  p.tcpu = std::exp2(9);
+  p.yield_probability = 0.01;
+  p.quantum = std::exp2(26);
+  const double pr = ForcedPreemptionProbability(p);
+  EXPECT_GT(pr, 0.0);
+  EXPECT_LT(pr, 1e-270);
+  EXPECT_NEAR(std::log10(pr), -286.0, 8.0);
+}
+
+TEST(ForcedPreemption, ZeroYieldReducesToBusyFraction) {
+  PreemptionParams p;
+  p.tperiod = 200.0;
+  p.tcpu = 100.0;
+  p.yield_probability = 0.0;
+  p.quantum = 1e6;
+  EXPECT_DOUBLE_EQ(ForcedPreemptionProbability(p), 0.5);
+}
+
+TEST(ForcedPreemption, MonotoneInYieldProbability) {
+  PreemptionParams p;
+  p.tperiod = 1000.0;
+  p.tcpu = 500.0;
+  p.quantum = 100'000.0;
+  double last = 1.0;
+  for (double y : {0.0, 0.001, 0.01, 0.1, 0.5}) {
+    p.yield_probability = y;
+    const double pr = ForcedPreemptionProbability(p);
+    EXPECT_LE(pr, last);
+    last = pr;
+  }
+}
+
+TEST(ForcedPreemption, DeclinesRapidlyWhenTperiodBelowQY) {
+  // The paper's differential analysis: the function collapses once
+  // tperiod << Q * Y.
+  PreemptionParams p;
+  p.tcpu = 100.0;
+  p.yield_probability = 0.01;
+  p.quantum = 1e6;  // Q * Y = 1e4.
+  p.tperiod = 1e5;  // Above QY: mild attenuation.
+  const double above = ForcedPreemptionProbability(p);
+  p.tperiod = 1e3;  // Below QY: severe attenuation.
+  p.tcpu = 1.0;     // Keep busy fraction comparable (1e-3 vs 1e-3).
+  const double below = ForcedPreemptionProbability(p);
+  EXPECT_LT(below, above * 1e-3);
+}
+
+TEST(ForcedPreemption, ValidatesArguments) {
+  PreemptionParams p;
+  p.tcpu = 1;
+  p.tperiod = 0;
+  p.quantum = 10;
+  EXPECT_THROW(ForcedPreemptionProbability(p), std::invalid_argument);
+  p.tperiod = 10;
+  p.quantum = 0;
+  EXPECT_THROW(ForcedPreemptionProbability(p), std::invalid_argument);
+  p.quantum = 10;
+  p.yield_probability = 1.5;
+  EXPECT_THROW(ForcedPreemptionProbability(p), std::invalid_argument);
+}
+
+TEST(ExpectedPreempted, MatchesHandComputation) {
+  // The paper's formula: expected = sum_b n_b * (3/2 * 2^b) / Q.
+  Histogram h(1);
+  h.set_bucket(6, 1'000'000);   // tcpu = 96 cycles each.
+  h.set_bucket(10, 1'000);      // tcpu = 1536 cycles each.
+  const double q = std::exp2(26);
+  const double expected = ExpectedPreemptedRequests(h, q);
+  const double hand =
+      (1e6 * 1.5 * 64.0 + 1e3 * 1.5 * 1024.0) / q;
+  EXPECT_NEAR(expected, hand, hand * 1e-12);
+}
+
+TEST(ExpectedPreempted, EmptyProfileExpectsZero) {
+  Histogram h(1);
+  EXPECT_DOUBLE_EQ(ExpectedPreemptedRequests(h, 1e6), 0.0);
+}
+
+TEST(ExpectedPreempted, RejectsNonPositiveQuantum) {
+  Histogram h(1);
+  EXPECT_THROW(ExpectedPreemptedRequests(h, 0.0), std::invalid_argument);
+}
+
+TEST(PreemptionBucket, IsLogOfQuantum) {
+  EXPECT_EQ(PreemptionBucket(std::exp2(26)), 26);
+  EXPECT_EQ(PreemptionBucket(std::exp2(20)), 20);
+  EXPECT_EQ(PreemptionBucket(std::exp2(26), 2), 52);
+}
+
+// Paper cross-check: Linux profile with 2e8 requests in bucket 6-ish CPU
+// time and Q = 2^26 expects a few hundred preemptions -- i.e. observable
+// only with enormous request counts, which is the paper's whole point.
+TEST(ForcedPreemption, Figure3ScaleExpectation) {
+  Histogram h(1);
+  h.set_bucket(6, 200'000'000);
+  const double expected = ExpectedPreemptedRequests(h, std::exp2(26));
+  EXPECT_GT(expected, 100.0);
+  EXPECT_LT(expected, 1000.0);
+}
+
+}  // namespace
+}  // namespace osprof

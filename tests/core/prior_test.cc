@@ -1,0 +1,71 @@
+#include "src/core/prior.h"
+
+#include <gtest/gtest.h>
+
+namespace osprof {
+namespace {
+
+TEST(PriorKnowledge, PaperTestbedHasTheDocumentedTimes) {
+  const PriorKnowledge pk = PriorKnowledge::PaperTestbed();
+  bool saw_rotation = false;
+  bool saw_quantum = false;
+  for (const CharacteristicTime& ct : pk.entries()) {
+    if (ct.name == "full disk rotation") {
+      saw_rotation = true;
+      EXPECT_NEAR(static_cast<double>(ct.cycles), 4e-3 * kPaperCpuHz, 1.0);
+    }
+    if (ct.name == "scheduling quantum") {
+      saw_quantum = true;
+    }
+  }
+  EXPECT_TRUE(saw_rotation);
+  EXPECT_TRUE(saw_quantum);
+}
+
+TEST(PriorKnowledge, MatchBucketFindsNearbyTimes) {
+  PriorKnowledge pk;
+  pk.Add("context switch", 9520);  // Bucket 13.
+  EXPECT_EQ(pk.MatchBucket(13).size(), 1u);
+  EXPECT_EQ(pk.MatchBucket(12).size(), 1u);  // Within default tolerance 1.
+  EXPECT_EQ(pk.MatchBucket(14).size(), 1u);
+  EXPECT_TRUE(pk.MatchBucket(16).empty());
+  EXPECT_TRUE(pk.MatchBucket(5).empty());
+}
+
+TEST(PriorKnowledge, ToleranceIsConfigurable) {
+  PriorKnowledge pk;
+  pk.Add("exact", 1 << 10, 0);
+  EXPECT_EQ(pk.MatchBucket(10).size(), 1u);
+  EXPECT_TRUE(pk.MatchBucket(11).empty());
+}
+
+TEST(PriorKnowledge, AnnotatePairsPeaksWithHypotheses) {
+  const PriorKnowledge pk = PriorKnowledge::PaperTestbed();
+  Histogram h(1);
+  // A peak at the disk-rotation time (4ms = 6.8M cycles -> bucket 22) and
+  // one at 100 cycles (bucket 6, no characteristic time).
+  h.set_bucket(22, 1000);
+  h.set_bucket(6, 5000);
+  const auto annotated = pk.Annotate(FindPeaks(h));
+  ASSERT_EQ(annotated.size(), 2u);
+  EXPECT_TRUE(annotated[0].hypotheses.empty());  // Bucket 6.
+  bool rotation_hypothesis = false;
+  for (const std::string& name : annotated[1].hypotheses) {
+    if (name == "full disk rotation" || name == "timer tick") {
+      rotation_hypothesis = true;
+    }
+  }
+  EXPECT_TRUE(rotation_hypothesis);
+}
+
+TEST(PriorKnowledge, MatchScalesWithResolution) {
+  PriorKnowledge pk;
+  pk.Add("t", 1024, 1);
+  // At resolution 2 the characteristic bucket is 20; tolerance scales to 2.
+  EXPECT_FALSE(pk.MatchBucket(20, 2).empty());
+  EXPECT_FALSE(pk.MatchBucket(22, 2).empty());
+  EXPECT_TRUE(pk.MatchBucket(23, 2).empty());
+}
+
+}  // namespace
+}  // namespace osprof

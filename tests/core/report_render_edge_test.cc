@@ -1,0 +1,84 @@
+// Rendering and reporting edge cases across resolutions and degenerate
+// inputs.
+
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+
+namespace osprof {
+namespace {
+
+TEST(RenderAscii, HighResolutionProfilesRender) {
+  Profile p("fine", 4);
+  for (int i = 0; i < 1'000; ++i) {
+    p.Add(1'050);
+    p.Add(1'800);
+  }
+  const std::string plot = RenderAscii(p);
+  EXPECT_NE(plot.find("fine"), std::string::npos);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  // At r=4, 1050 lands in bucket 40 and 1800 in bucket 43.
+  EXPECT_EQ(BucketIndex(1'050, 4), 40);
+  EXPECT_EQ(BucketIndex(1'800, 4), 43);
+}
+
+TEST(RenderAscii, SingleBucketProfileLabelsItsEndpoints) {
+  Profile p("narrow", 1);
+  for (int i = 0; i < 10; ++i) {
+    p.Add(100);  // Bucket 6 only.
+  }
+  const std::string plot = RenderAscii(p);
+  // Narrow auto-fitted ranges label their endpoints instead of silence.
+  EXPECT_NE(plot.find(":"), std::string::npos);
+}
+
+TEST(RenderGnuplot, EmptyProfileStillEmitsValidScript) {
+  Profile p("empty", 1);
+  const std::string script = RenderGnuplot(p);
+  EXPECT_NE(script.find("set logscale y"), std::string::npos);
+  EXPECT_NE(script.find("\ne\n"), std::string::npos);
+}
+
+TEST(RenderAscii, CustomCpuHzChangesLabels) {
+  Profile p("op", 1);
+  p.Add(1'700'000);  // 1ms at 1.7GHz; 0.5ms at 3.4GHz.
+  RenderOptions slow;
+  slow.cpu_hz = 1.7e9;
+  RenderOptions fast;
+  fast.cpu_hz = 3.4e9;
+  const std::string a = RenderAscii(p, slow);
+  const std::string b = RenderAscii(p, fast);
+  EXPECT_NE(a, b);
+}
+
+TEST(SummarizeProfile, EmptyProfileOmitsBucketRange) {
+  Profile p("none", 1);
+  const std::string s = SummarizeProfile(p);
+  EXPECT_NE(s.find("0 ops"), std::string::npos);
+  EXPECT_EQ(s.find("buckets"), std::string::npos);
+}
+
+TEST(RenderAsciiSet, EmptySetRendersNothing) {
+  ProfileSet set(1);
+  EXPECT_TRUE(RenderAsciiSet(set).empty());
+}
+
+class ResolutionRenderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResolutionRenderTest, RoundTripThroughSerializationAndRender) {
+  const int r = GetParam();
+  ProfileSet set(r);
+  for (int i = 0; i < 500; ++i) {
+    set.Add("op", static_cast<Cycles>(100 + i * 7));
+  }
+  const ProfileSet parsed = ProfileSet::ParseString(set.ToString());
+  EXPECT_EQ(parsed.resolution(), r);
+  const std::string plot = RenderAscii(*parsed.Find("op"));
+  EXPECT_NE(plot.find('#'), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, ResolutionRenderTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace osprof

@@ -1,0 +1,107 @@
+#include "src/core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace osprof {
+namespace {
+
+Profile SampleProfile() {
+  Profile p("READ", 1);
+  for (int i = 0; i < 10'000; ++i) {
+    p.Add(100);  // Bucket 6.
+  }
+  for (int i = 0; i < 50; ++i) {
+    p.Add(1 << 20);  // Bucket 20.
+  }
+  return p;
+}
+
+TEST(RenderAscii, ContainsNameBarsAndAxis) {
+  const std::string plot = RenderAscii(SampleProfile());
+  EXPECT_NE(plot.find("READ"), std::string::npos);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+}
+
+TEST(RenderAscii, AutoRangeCoversOccupiedBuckets) {
+  const std::string plot = RenderAscii(SampleProfile());
+  // Ticks for buckets 5..20 must appear in the axis labels.
+  EXPECT_NE(plot.find("5"), std::string::npos);
+  EXPECT_NE(plot.find("20"), std::string::npos);
+}
+
+TEST(RenderAscii, TallerPeakGetsMoreInk) {
+  const std::string plot = RenderAscii(SampleProfile());
+  // Count '#' per column: bucket 6 has 10k ops, bucket 20 has 50; the
+  // bucket-6 column must be strictly taller.  Count total '#' occurrences
+  // in lines as proxy: find columns via per-line character positions.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < plot.size()) {
+    const std::size_t eol = plot.find('\n', pos);
+    lines.push_back(plot.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  // Locate bar rows (start with "10^").
+  int col6 = 0;
+  int col20 = 0;
+  for (const std::string& line : lines) {
+    if (line.rfind("10^", 0) == 0) {
+      const std::size_t bar_start = line.find('|') + 1;
+      // Auto-fit makes bucket 5 the first column.
+      const std::size_t c6 = bar_start + (6 - 5);
+      const std::size_t c20 = bar_start + (20 - 5);
+      if (c6 < line.size() && line[c6] == '#') {
+        ++col6;
+      }
+      if (c20 < line.size() && line[c20] == '#') {
+        ++col20;
+      }
+    }
+  }
+  EXPECT_GT(col6, col20);
+  EXPECT_GT(col20, 0);
+}
+
+TEST(RenderAscii, EmptyProfileDoesNotCrash) {
+  Profile p("EMPTY", 1);
+  const std::string plot = RenderAscii(p);
+  EXPECT_NE(plot.find("EMPTY"), std::string::npos);
+}
+
+TEST(RenderAscii, ExplicitRangeIsHonored) {
+  RenderOptions opts;
+  opts.first_bucket = 0;
+  opts.last_bucket = 30;
+  const std::string plot = RenderAscii(SampleProfile(), opts);
+  EXPECT_NE(plot.find("30"), std::string::npos);
+}
+
+TEST(RenderAsciiSet, OrdersByTotalLatency) {
+  ProfileSet set(1);
+  for (int i = 0; i < 100; ++i) {
+    set.Add("cheap", 100);
+    set.Add("costly", 1 << 22);
+  }
+  const std::string plots = RenderAsciiSet(set);
+  EXPECT_LT(plots.find("costly"), plots.find("cheap"));
+}
+
+TEST(RenderGnuplot, EmitsValidScriptSkeleton) {
+  const std::string script = RenderGnuplot(SampleProfile());
+  EXPECT_NE(script.find("set logscale y"), std::string::npos);
+  EXPECT_NE(script.find("with boxes"), std::string::npos);
+  EXPECT_NE(script.find("6 10000"), std::string::npos);
+  EXPECT_NE(script.find("20 50"), std::string::npos);
+  EXPECT_NE(script.find("\ne\n"), std::string::npos);
+}
+
+TEST(SummarizeProfile, MentionsOpsMeanAndRange) {
+  const std::string s = SummarizeProfile(SampleProfile());
+  EXPECT_NE(s.find("READ"), std::string::npos);
+  EXPECT_NE(s.find("10050 ops"), std::string::npos);
+  EXPECT_NE(s.find("buckets 6-20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osprof

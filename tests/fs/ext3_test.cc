@@ -1,0 +1,116 @@
+#include "src/fs/ext3.h"
+
+#include <gtest/gtest.h>
+
+#include "src/profilers/sim_profiler.h"
+
+namespace osfs {
+namespace {
+
+using osim::Kernel;
+using osim::KernelConfig;
+using osim::SimDisk;
+using osim::Task;
+
+KernelConfig QuietConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 1;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+Task<void> WriteAndFsync(Vfs* vfs, std::string path, std::uint64_t bytes) {
+  const int fd = co_await vfs->Create(path);
+  EXPECT_GE(fd, 0);
+  (void)co_await vfs->Write(fd, bytes);
+  co_await vfs->Fsync(fd);
+  co_await vfs->Close(fd);
+}
+
+TEST(Ext3SimFs, FsyncCommitsTheJournal) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext3SimFs fs(&k, &disk);
+  fs.AddDir("/d");
+  k.Spawn("w", WriteAndFsync(&fs, "/d/f", 8'192));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(fs.commits(), 1u);
+  // Data pages + the journal commit record both reached the disk.
+  EXPECT_GE(disk.requests_completed(), 3u);
+}
+
+TEST(Ext3SimFs, FsyncCostsMoreThanExt2s) {
+  auto run = [](bool ext3) {
+    Kernel k(QuietConfig());
+    SimDisk disk(&k);
+    std::unique_ptr<Ext2SimFs> fs;
+    if (ext3) {
+      fs = std::make_unique<Ext3SimFs>(&k, &disk);
+    } else {
+      fs = std::make_unique<Ext2SimFs>(&k, &disk);
+    }
+    fs->AddDir("/d");
+    osprofilers::SimProfiler prof(&k);
+    fs->SetProfiler(&prof);
+    k.Spawn("w", WriteAndFsync(fs.get(), "/d/f", 8'192));
+    k.RunUntilThreadsFinish();
+    return prof.profiles().Find("fsync")->histogram().MeanLatency();
+  };
+  const double ext2 = run(false);
+  const double ext3 = run(true);
+  // The journal commit adds real I/O: Ext3's fsync mode sits to the right.
+  EXPECT_GT(ext3, ext2);
+}
+
+TEST(Ext3SimFs, SequentialCommitsAdvanceTheJournalHead) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext3SimFs fs(&k, &disk);
+  fs.AddDir("/d");
+  auto body = [](Vfs* vfs) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await WriteAndFsync(vfs, "/d/f" + std::to_string(i), 4'096);
+    }
+  };
+  k.Spawn("w", body(&fs));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(fs.commits(), 5u);
+}
+
+TEST(Ext3SimFs, ConcurrentFsyncsSerializeOnTheTransactionLock) {
+  KernelConfig cfg = QuietConfig();
+  cfg.num_cpus = 2;
+  Kernel k(cfg);
+  SimDisk disk(&k);
+  Ext3SimFs fs(&k, &disk);
+  fs.AddDir("/d");
+  k.Spawn("w1", WriteAndFsync(&fs, "/d/a", 4'096));
+  k.Spawn("w2", WriteAndFsync(&fs, "/d/b", 4'096));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(fs.commits(), 2u);  // Both committed, one at a time.
+}
+
+TEST(Ext3SimFs, InheritsEverythingElseFromExt2) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext3SimFs fs(&k, &disk);
+  fs.AddDir("/d");
+  fs.AddFile("/d/f", 10'000);
+  auto body = [](Vfs* vfs) -> Task<void> {
+    const int fd = co_await vfs->Open("/d/f", false);
+    std::int64_t total = 0;
+    std::int64_t got = 0;
+    do {
+      got = co_await vfs->Read(fd, 4096);
+      total += got;
+    } while (got > 0);
+    EXPECT_EQ(total, 10'000);
+    co_await vfs->Close(fd);
+  };
+  k.Spawn("r", body(&fs));
+  k.RunUntilThreadsFinish();
+}
+
+}  // namespace
+}  // namespace osfs

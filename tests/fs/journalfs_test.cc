@@ -1,0 +1,142 @@
+#include "src/fs/journalfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/sampling.h"
+
+namespace osfs {
+namespace {
+
+using osim::Cycles;
+using osim::Kernel;
+using osim::KernelConfig;
+using osim::SimDisk;
+using osim::Task;
+using osprofilers::SimProfiler;
+
+KernelConfig QuietConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 1;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+TEST(JournalFs, WriteSuperHoldsLockForMilliseconds) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  JournalFs fs(&k, &disk);
+  SimProfiler prof(&k);
+  fs.SetProfiler(&prof);
+  auto body = [](JournalFs* f) -> Task<void> { co_await f->WriteSuper(); };
+  k.Spawn("flush", body(&fs));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(fs.write_super_count(), 1u);
+  const osprof::Profile* ws = prof.profiles().Find("write_super");
+  ASSERT_NE(ws, nullptr);
+  // 8 journal pages: several ms of synchronous I/O (>= bucket 22 ~ 2.5ms).
+  EXPECT_GE(ws->histogram().FirstNonEmpty(), 21);
+}
+
+TEST(JournalFs, ReadsStallBehindWriteSuper) {
+  Kernel k([] {
+    KernelConfig cfg = QuietConfig();
+    cfg.num_cpus = 2;
+    return cfg;
+  }());
+  SimDisk disk(&k);
+  JournalFs fs(&k, &disk);
+  fs.AddFile("/data", 1u << 22);
+  SimProfiler prof(&k);
+  fs.SetProfiler(&prof);
+
+  // Warm the page cache so reads are CPU-only when uncontended.
+  auto warm = [](Vfs* vfs) -> Task<void> {
+    const int fd = co_await vfs->Open("/data", false);
+    std::int64_t got = 0;
+    do {
+      got = co_await vfs->Read(fd, 65'536);
+    } while (got > 0);
+    co_await vfs->Close(fd);
+  };
+  k.Spawn("warm", warm(&fs));
+  k.RunUntilThreadsFinish();
+
+  prof.Reset();
+  // Reader loop + a concurrent write_super.
+  auto reader = [](Kernel* kk, Vfs* vfs, int iters) -> Task<void> {
+    const int fd = co_await vfs->Open("/data", false);
+    for (int i = 0; i < iters; ++i) {
+      (void)co_await vfs->Llseek(fd, 0);
+      (void)co_await vfs->Read(fd, 4096);
+      co_await kk->CpuUser(2'000);
+    }
+    co_await vfs->Close(fd);
+  };
+  auto flusher = [](Kernel* kk, JournalFs* f) -> Task<void> {
+    co_await kk->Sleep(1'000'000);  // Let some uncontended reads happen.
+    co_await f->WriteSuper();
+  };
+  k.Spawn("reader", reader(&k, &fs, 400));
+  k.Spawn("flusher", flusher(&k, &fs));
+  k.RunUntilThreadsFinish();
+
+  const osprof::Histogram& h = prof.profiles().Find("read")->histogram();
+  // Fast mode: cached reads (~buckets 10-13).  Stalled mode: reads that
+  // waited for the journal commit (>= bucket 21).
+  std::uint64_t fast = 0;
+  std::uint64_t stalled = 0;
+  for (int b = 0; b <= 14; ++b) {
+    fast += h.bucket(b);
+  }
+  for (int b = 21; b < h.num_buckets(); ++b) {
+    stalled += h.bucket(b);
+  }
+  EXPECT_GT(fast, 300u);
+  EXPECT_GE(stalled, 1u);
+}
+
+TEST(JournalFs, SuperDaemonProducesPeriodicStripes) {
+  // Figure 9 in miniature: sample profiles in epochs of half the flush
+  // interval; write_super activity appears in alternating epochs.
+  Kernel k([] {
+    KernelConfig cfg = QuietConfig();
+    cfg.num_cpus = 2;
+    return cfg;
+  }());
+  SimDisk disk(&k);
+  Ext2Config ecfg;
+  JournalConfig jcfg;
+  jcfg.super_interval = 100'000'000;  // Shrunk for test speed.
+  JournalFs fs(&k, &disk, ecfg, jcfg);
+  fs.AddFile("/data", 1u << 20);
+  SimProfiler prof(&k);
+  prof.EnableSampling(jcfg.super_interval / 2);
+  fs.SetProfiler(&prof);
+  fs.SpawnSuperDaemon();
+
+  auto reader = [](Kernel* kk, Vfs* vfs) -> Task<void> {
+    const int fd = co_await vfs->Open("/data", false);
+    while (true) {
+      (void)co_await vfs->Llseek(fd, 0);
+      (void)co_await vfs->Read(fd, 4096);
+      co_await kk->CpuUser(20'000);
+    }
+  };
+  k.Spawn("reader", reader(&k, &fs));
+  k.RunFor(jcfg.super_interval * 4);
+
+  EXPECT_GE(fs.write_super_count(), 3u);
+  const osprof::SampledProfile* ws = prof.sampled()->Find("write_super");
+  ASSERT_NE(ws, nullptr);
+  // write_super fires once per interval = every other epoch.
+  int epochs_with_ws = 0;
+  for (int e = 0; e < ws->num_epochs(); ++e) {
+    epochs_with_ws += ws->epoch(e).TotalOperations() > 0 ? 1 : 0;
+  }
+  EXPECT_GE(epochs_with_ws, 3);
+  EXPECT_LE(epochs_with_ws, ws->num_epochs() / 2 + 1);
+}
+
+}  // namespace
+}  // namespace osfs

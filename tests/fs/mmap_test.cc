@@ -1,0 +1,148 @@
+// The mmap / page-fault path: demand paging, minor vs major faults, and
+// the nopage latency profile.
+
+#include <gtest/gtest.h>
+
+#include "src/core/peaks.h"
+#include "src/fs/ext2fs.h"
+#include "src/profilers/sim_profiler.h"
+
+namespace osfs {
+namespace {
+
+using osim::Kernel;
+using osim::KernelConfig;
+using osim::SimDisk;
+using osim::Task;
+
+KernelConfig QuietConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 1;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() : kernel(QuietConfig()), disk(&kernel), fs(&kernel, &disk) {}
+  Kernel kernel;
+  SimDisk disk;
+  Ext2SimFs fs;
+};
+
+TEST(Mmap, DemandPagingFaultsOncePerPage) {
+  Fixture fx;
+  fx.fs.AddFile("/f", 16'384);  // 4 pages.
+  auto body = [](Ext2SimFs* fs) -> Task<void> {
+    const int fd = co_await fs->Open("/f", false);
+    const int map = co_await fs->Mmap(fd);
+    EXPECT_GE(map, 0);
+    // Touch every byte stride: only the first touch of a page faults.
+    for (std::uint64_t off = 0; off < 16'384; off += 512) {
+      co_await fs->MemAccess(map, off);
+    }
+    co_await fs->Close(fd);
+  };
+  fx.kernel.Spawn("t", body(&fx.fs));
+  fx.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(fx.fs.major_faults(), 4u);
+  EXPECT_EQ(fx.fs.minor_faults(), 0u);
+}
+
+TEST(Mmap, CachedPagesMinorFault) {
+  Fixture fx;
+  fx.fs.AddFile("/f", 8'192);
+  auto body = [](Ext2SimFs* fs) -> Task<void> {
+    // Read the file first: pages land in the page cache.
+    const int fd = co_await fs->Open("/f", false);
+    std::int64_t got = 0;
+    do {
+      got = co_await fs->Read(fd, 4'096);
+    } while (got > 0);
+    const int map = co_await fs->Mmap(fd);
+    co_await fs->MemAccess(map, 0);
+    co_await fs->MemAccess(map, 4'096);
+    co_await fs->Close(fd);
+  };
+  fx.kernel.Spawn("t", body(&fx.fs));
+  fx.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(fx.fs.minor_faults(), 2u);
+  EXPECT_EQ(fx.fs.major_faults(), 0u);
+}
+
+TEST(Mmap, NopageProfileIsBimodal) {
+  // Minor faults are microseconds; major faults are milliseconds: the
+  // nopage profile shows both modes, like any other two-path operation.
+  Fixture fx;
+  fx.fs.AddFile("/f", 64u << 10);  // 16 pages.
+  osprofilers::SimProfiler prof(&fx.kernel);
+  fx.fs.SetProfiler(&prof);
+  auto body = [](Ext2SimFs* fs) -> Task<void> {
+    const int fd = co_await fs->Open("/f", false);
+    // Warm half the file through read().
+    (void)co_await fs->Read(fd, 32u << 10);
+    const int map = co_await fs->Mmap(fd);
+    for (std::uint64_t page = 0; page < 16; ++page) {
+      co_await fs->MemAccess(map, page * 4'096);
+    }
+    co_await fs->Close(fd);
+  };
+  fx.kernel.Spawn("t", body(&fx.fs));
+  fx.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(fx.fs.minor_faults(), 8u);
+  EXPECT_EQ(fx.fs.major_faults(), 8u);
+  const osprof::Profile* nopage = prof.profiles().Find("nopage");
+  ASSERT_NE(nopage, nullptr);
+  EXPECT_EQ(nopage->total_operations(), 16u);
+  const auto peaks = osprof::FindPeaks(nopage->histogram());
+  ASSERT_GE(peaks.size(), 2u);
+  // Minor mode ~1.5k cycles (bucket ~10-11); major mode in disk range.
+  EXPECT_LE(peaks.front().mode_bucket, 12);
+  EXPECT_GE(peaks.back().mode_bucket, 15);
+  // The mmap op itself was profiled too.
+  EXPECT_EQ(prof.profiles().Find("mmap")->total_operations(), 1u);
+}
+
+TEST(Mmap, PresentPagesCostAlmostNothing) {
+  Fixture fx;
+  fx.fs.AddFile("/f", 4'096);
+  osim::Cycles hot_access_time = 0;
+  auto body = [](Ext2SimFs* fs, Kernel* k, osim::Cycles* out) -> Task<void> {
+    const int fd = co_await fs->Open("/f", false);
+    const int map = co_await fs->Mmap(fd);
+    co_await fs->MemAccess(map, 0);  // Fault once.
+    const osim::Cycles t0 = k->now();
+    for (int i = 0; i < 100; ++i) {
+      co_await fs->MemAccess(map, 0);
+    }
+    *out = k->now() - t0;
+    co_await fs->Close(fd);
+  };
+  fx.kernel.Spawn("t", body(&fx.fs, &fx.kernel, &hot_access_time));
+  fx.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(hot_access_time, 400u);  // 100 accesses x 4 cycles.
+}
+
+TEST(Mmap, MappingDirectoryFails) {
+  Fixture fx;
+  fx.fs.AddDir("/d");
+  auto body = [](Ext2SimFs* fs) -> Task<void> {
+    const int fd = co_await fs->Open("/d", false);
+    EXPECT_EQ(co_await fs->Mmap(fd), -1);
+    co_await fs->Close(fd);
+  };
+  fx.kernel.Spawn("t", body(&fx.fs));
+  fx.kernel.RunUntilThreadsFinish();
+}
+
+TEST(Mmap, BadMappingIdThrows) {
+  Fixture fx;
+  auto body = [](Ext2SimFs* fs) -> Task<void> {
+    co_await fs->MemAccess(7, 0);
+  };
+  fx.kernel.Spawn("t", body(&fx.fs));
+  EXPECT_THROW(fx.kernel.RunUntilThreadsFinish(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osfs

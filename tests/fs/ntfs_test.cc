@@ -1,0 +1,164 @@
+#include "src/fs/ntfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/peaks.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/rng.h"
+
+namespace osfs {
+namespace {
+
+using osim::Kernel;
+using osim::KernelConfig;
+using osim::SimDisk;
+using osim::Task;
+using osprofilers::SimProfiler;
+
+KernelConfig QuietConfig(int cpus = 1) {
+  KernelConfig cfg;
+  cfg.num_cpus = cpus;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(int cpus = 1)
+      : kernel(QuietConfig(cpus)), disk(&kernel), fs(&kernel, &disk) {}
+  Kernel kernel;
+  SimDisk disk;
+  NtfsSimFs fs;
+};
+
+Task<void> ReadWhole(Vfs* vfs, std::string path) {
+  const int fd = co_await vfs->Open(path, false);
+  std::int64_t got = 0;
+  do {
+    got = co_await vfs->Read(fd, 4096);
+  } while (got > 0);
+  co_await vfs->Close(fd);
+}
+
+TEST(NtfsSimFs, ColdReadsUseIrpsWarmReadsUseFastIo) {
+  Fixture fx;
+  fx.fs.AddFile("/f", 16'384);
+  fx.kernel.Spawn("cold", ReadWhole(&fx.fs, "/f"));
+  fx.kernel.RunUntilThreadsFinish();
+  const std::uint64_t irps_after_cold = fx.fs.irp_reads();
+  EXPECT_GT(irps_after_cold, 0u);
+  const std::uint64_t fast_after_cold = fx.fs.fast_io_reads();
+
+  fx.kernel.Spawn("warm", ReadWhole(&fx.fs, "/f"));
+  fx.kernel.RunUntilThreadsFinish();
+  // The warm pass adds only Fast I/O reads (plus the EOF probes).
+  EXPECT_EQ(fx.fs.irp_reads(), irps_after_cold);
+  EXPECT_GT(fx.fs.fast_io_reads(), fast_after_cold);
+}
+
+TEST(NtfsSimFs, FastIoIsCheaperThanIrpPathEvenWhenCached) {
+  // Compare warm-read latency on NTFS (Fast I/O) vs the IRP constants.
+  Fixture fx;
+  fx.fs.AddFile("/f", 4'096);
+  SimProfiler prof(&fx.kernel);
+  fx.fs.SetProfiler(&prof);
+  fx.kernel.Spawn("cold", ReadWhole(&fx.fs, "/f"));
+  fx.kernel.RunUntilThreadsFinish();
+  prof.Reset();
+  fx.kernel.Spawn("warm", ReadWhole(&fx.fs, "/f"));
+  fx.kernel.RunUntilThreadsFinish();
+  const osprof::Histogram& h = prof.profiles().Find("read")->histogram();
+  // Warm single-page read: fast_io_read + copy, well under the IRP
+  // build+complete constants alone.
+  EXPECT_LT(h.MeanLatency(), 2.0 * (900 + 1400));
+}
+
+TEST(NtfsSimFs, MixedWorkloadShowsBimodalReadProfile) {
+  Fixture fx;
+  for (int i = 0; i < 40; ++i) {
+    fx.fs.AddFile("/f" + std::to_string(i), 8'192);
+  }
+  SimProfiler prof(&fx.kernel);
+  fx.fs.SetProfiler(&prof);
+  auto body = [](Vfs* vfs) -> Task<void> {
+    // Two passes: cold (IRP + disk) then warm (Fast I/O).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int i = 0; i < 40; ++i) {
+        co_await ReadWhole(vfs, "/f" + std::to_string(i));
+      }
+    }
+  };
+  fx.kernel.Spawn("reader", body(&fx.fs));
+  fx.kernel.RunUntilThreadsFinish();
+  const auto peaks =
+      osprof::FindPeaks(prof.profiles().Find("read")->histogram());
+  EXPECT_GE(peaks.size(), 2u);  // Fast I/O mode + IRP/disk mode.
+}
+
+TEST(NtfsSimFs, LlseekNeverContendsUnderRandomDirectReads) {
+  // §6.1's NTFS control experiment: same workload as Figure 6, no lock
+  // contention, because the file position is per-handle.
+  Fixture fx(2);
+  fx.fs.AddFile("/data", 16u << 20);
+  SimProfiler prof(&fx.kernel);
+  fx.fs.SetProfiler(&prof);
+  auto proc = [](Kernel* k, Vfs* vfs, std::uint64_t seed) -> Task<void> {
+    osim::Rng rng(seed);
+    const int fd = co_await vfs->Open("/data", /*direct_io=*/true);
+    for (int i = 0; i < 150; ++i) {
+      (void)co_await vfs->Llseek(fd, rng.Below(32'000) * 512);
+      (void)co_await vfs->Read(fd, 512);
+      co_await k->CpuUser(10'000);
+    }
+    co_await vfs->Close(fd);
+  };
+  fx.kernel.Spawn("p1", proc(&fx.kernel, &fx.fs, 1));
+  fx.kernel.Spawn("p2", proc(&fx.kernel, &fx.fs, 2));
+  fx.kernel.RunUntilThreadsFinish();
+  const osprof::Histogram& h = prof.profiles().Find("llseek")->histogram();
+  // Every llseek stays in the CPU-cost range; no disk-latency mode.
+  EXPECT_LT(h.LastNonEmpty(), 14);
+  EXPECT_EQ(h.TotalOperations(), 300u);
+}
+
+TEST(NtfsSimFs, DirectReadsRunConcurrentlyAtTheDisk) {
+  // Without the i_sem both processes' reads queue at the disk together.
+  Fixture fx(2);
+  fx.fs.AddFile("/data", 16u << 20);
+  std::uint64_t max_queue_latency = 0;
+  fx.disk.SetRequestObserver(
+      [&max_queue_latency](const osim::DiskRequestInfo& info) {
+        max_queue_latency = std::max(max_queue_latency, info.queue_latency());
+      });
+  auto proc = [](Vfs* vfs, std::uint64_t start) -> Task<void> {
+    const int fd = co_await vfs->Open("/data", /*direct_io=*/true);
+    for (int i = 0; i < 20; ++i) {
+      (void)co_await vfs->Llseek(fd, (start + i * 997) % 30'000 * 512);
+      (void)co_await vfs->Read(fd, 512);
+    }
+    co_await vfs->Close(fd);
+  };
+  fx.kernel.Spawn("p1", proc(&fx.fs, 3));
+  fx.kernel.Spawn("p2", proc(&fx.fs, 7777));
+  fx.kernel.RunUntilThreadsFinish();
+  // Concurrency at the disk: somebody had to queue.
+  EXPECT_GT(max_queue_latency, 0u);
+}
+
+TEST(NtfsSimFs, ZeroByteReadStaysOnFastPath) {
+  Fixture fx;
+  fx.fs.AddFile("/f", 4096);
+  auto body = [](Vfs* vfs) -> Task<void> {
+    const int fd = co_await vfs->Open("/f", false);
+    EXPECT_EQ(co_await vfs->Read(fd, 0), 0);
+    co_await vfs->Close(fd);
+  };
+  fx.kernel.Spawn("r", body(&fx.fs));
+  fx.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(fx.fs.irp_reads(), 0u);
+  EXPECT_EQ(fx.fs.fast_io_reads(), 1u);
+  EXPECT_EQ(fx.disk.requests_completed(), 0u);
+}
+
+}  // namespace
+}  // namespace osfs

@@ -1,0 +1,179 @@
+// Cross-cutting invariants: determinism, accounting conservation, and
+// metric properties that every module combination must preserve.
+
+#include <gtest/gtest.h>
+
+#include "src/core/compare.h"
+#include "src/fs/ext2fs.h"
+#include "src/net/cifs.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/sim/rng.h"
+#include "src/workloads/workloads.h"
+
+namespace {
+
+using osfs::Ext2SimFs;
+using osim::Kernel;
+using osim::KernelConfig;
+using osim::SimDisk;
+
+// Runs a mixed workload and returns the serialized profile set plus the
+// final simulated time.
+std::pair<std::string, osprof::Cycles> RunScenario(std::uint64_t seed) {
+  KernelConfig kcfg;
+  kcfg.num_cpus = 2;
+  kcfg.seed = seed;
+  Kernel kernel(kcfg);
+  SimDisk disk(&kernel);
+  Ext2SimFs fs(&kernel, &disk);
+  osworkloads::TreeSpec spec;
+  spec.top_dirs = 3;
+  spec.files_per_dir = 8;
+  osworkloads::BuildSourceTree(&fs, "/src", spec);
+  fs.AddFile("/db", 8u << 20);
+  osprofilers::SimProfiler prof(&kernel);
+  fs.SetProfiler(&prof);
+  osworkloads::GrepStats stats;
+  kernel.Spawn("grep",
+               osworkloads::GrepWorkload(&kernel, &fs, "/src", 0.5, &stats));
+  kernel.Spawn("rand",
+               osworkloads::RandomReadWorkload(&kernel, &fs, "/db", 150, 5));
+  kernel.RunUntilThreadsFinish();
+  return {prof.profiles().ToString(), kernel.now()};
+}
+
+TEST(Determinism, SameSeedSameProfilesBitForBit) {
+  const auto first = RunScenario(42);
+  const auto second = RunScenario(42);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const auto first = RunScenario(42);
+  const auto second = RunScenario(43);
+  EXPECT_NE(first.first, second.first);
+}
+
+TEST(Accounting, CpuTimeNeverExceedsWallTimesCpus) {
+  KernelConfig kcfg;
+  kcfg.num_cpus = 2;
+  kcfg.seed = 9;
+  Kernel kernel(kcfg);
+  SimDisk disk(&kernel);
+  Ext2SimFs fs(&kernel, &disk);
+  osworkloads::TreeSpec spec;
+  spec.top_dirs = 2;
+  osworkloads::BuildSourceTree(&fs, "/src", spec);
+  osworkloads::GrepStats g1;
+  osworkloads::GrepStats g2;
+  kernel.Spawn("g1", osworkloads::GrepWorkload(&kernel, &fs, "/src", 0.5, &g1));
+  kernel.Spawn("g2", osworkloads::GrepWorkload(&kernel, &fs, "/src", 0.5, &g2));
+  kernel.RunUntilThreadsFinish();
+  osprof::Cycles total_cpu = 0;
+  for (const auto& t : kernel.threads()) {
+    total_cpu += t->cpu_time();
+    EXPECT_EQ(t->cpu_time(), t->user_time() + t->system_time());
+  }
+  EXPECT_LE(total_cpu, kernel.now() * 2);
+  EXPECT_GT(total_cpu, 0u);
+}
+
+TEST(Accounting, ProfiledLatencyCoversAllOperations) {
+  // Checksum invariants hold for every profile after a busy run.
+  KernelConfig kcfg;
+  kcfg.seed = 3;
+  Kernel kernel(kcfg);
+  SimDisk disk(&kernel);
+  Ext2SimFs fs(&kernel, &disk);
+  fs.AddDir("/postmark");
+  osprofilers::SimProfiler prof(&kernel);
+  fs.SetProfiler(&prof);
+  osworkloads::PostmarkConfig pcfg;
+  pcfg.initial_files = 80;
+  pcfg.transactions = 300;
+  osworkloads::PostmarkStats stats;
+  kernel.Spawn("pm", osworkloads::PostmarkWorkload(&kernel, &fs, pcfg, &stats));
+  kernel.RunUntilThreadsFinish();
+  EXPECT_TRUE(prof.profiles().CheckConsistency());
+  EXPECT_GT(prof.profiles().TotalOperations(), 1'000u);
+}
+
+// EMD on normalized histograms is a pseudometric; spot-check the axioms
+// on pseudo-random data.
+class EmdMetricTest : public ::testing::TestWithParam<int> {};
+
+osprof::Histogram RandomHistogram(osim::Rng* rng) {
+  osprof::Histogram h(1);
+  const int peaks = 1 + static_cast<int>(rng->Below(4));
+  for (int p = 0; p < peaks; ++p) {
+    h.set_bucket(5 + static_cast<int>(rng->Below(25)), 1 + rng->Below(10'000));
+  }
+  return h;
+}
+
+TEST_P(EmdMetricTest, SymmetryIdentityAndTriangle) {
+  osim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const osprof::Histogram a = RandomHistogram(&rng);
+  const osprof::Histogram b = RandomHistogram(&rng);
+  const osprof::Histogram c = RandomHistogram(&rng);
+  // Identity and symmetry.
+  EXPECT_DOUBLE_EQ(osprof::EarthMoversWork(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(osprof::EarthMoversWork(a, b), osprof::EarthMoversWork(b, a));
+  // Triangle inequality on the raw transport work.
+  const double ab = osprof::EarthMoversWork(a, b);
+  const double bc = osprof::EarthMoversWork(b, c);
+  const double ac = osprof::EarthMoversWork(a, c);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmdMetricTest, ::testing::Range(0, 16));
+
+// Serialization round-trips arbitrary histograms exactly.
+class SerializationFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationFuzzTest, RoundTripIsExact) {
+  osim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  osprof::ProfileSet set(1 + static_cast<int>(rng.Below(3)));
+  const int ops = 1 + static_cast<int>(rng.Below(6));
+  for (int o = 0; o < ops; ++o) {
+    const std::string name = "op" + std::to_string(o);
+    const int samples = static_cast<int>(rng.Below(200));
+    for (int s = 0; s < samples; ++s) {
+      set.Add(name, rng.Next() >> (rng.Below(50)));
+    }
+  }
+  const osprof::ProfileSet parsed = osprof::ProfileSet::ParseString(set.ToString());
+  EXPECT_EQ(parsed.ToString(), set.ToString());
+  EXPECT_TRUE(parsed.CheckConsistency());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationFuzzTest, ::testing::Range(0, 12));
+
+TEST(Integration, CifsDeterministicAcrossRuns) {
+  auto run = [] {
+    KernelConfig kcfg;
+    kcfg.num_cpus = 4;
+    kcfg.seed = 5;
+    Kernel kernel(kcfg);
+    SimDisk disk(&kernel);
+    Ext2SimFs server_fs(&kernel, &disk);
+    server_fs.AddDir("/share");
+    for (int i = 0; i < 120; ++i) {
+      server_fs.AddFile("/share/f" + std::to_string(i), 3'000);
+    }
+    osnet::CifsMount mount(&kernel, &server_fs, osnet::CifsConfig{});
+    osprofilers::SimProfiler prof(&kernel);
+    mount.SetProfiler(&prof);
+    osworkloads::GrepStats stats;
+    kernel.Spawn("grep", osworkloads::GrepWorkload(&kernel, &mount, "/share",
+                                                   0.5, &stats));
+    kernel.RunUntilThreadsFinish();
+    return prof.profiles().ToString();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// CIFS protocol edge cases: transaction sizing, attribute piggybacking,
+// multi-stall transactions, tiny/empty directories.
+
+#include <gtest/gtest.h>
+
+#include "src/fs/ext2fs.h"
+#include "src/net/cifs.h"
+#include "src/profilers/sim_profiler.h"
+
+namespace osnet {
+namespace {
+
+using osfs::Ext2SimFs;
+using osim::Kernel;
+using osim::KernelConfig;
+using osim::SimDisk;
+using osim::Task;
+
+KernelConfig QuietConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 4;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+struct Harness {
+  explicit Harness(CifsConfig cfg = {})
+      : kernel(QuietConfig()),
+        disk(&kernel),
+        server_fs(&kernel, &disk),
+        mount(&kernel, &server_fs, cfg) {}
+  Kernel kernel;
+  SimDisk disk;
+  Ext2SimFs server_fs;
+  CifsMount mount;
+};
+
+Task<void> ListAll(osfs::Vfs* vfs, std::string path, std::size_t* count) {
+  const int fd = co_await vfs->Open(path, false);
+  while (true) {
+    const osfs::DirentBatch batch = co_await vfs->Readdir(fd);
+    if (batch.names.empty()) {
+      break;
+    }
+    *count += batch.names.size();
+  }
+  co_await vfs->Close(fd);
+}
+
+TEST(CifsEdge, EmptyDirectoryEnumeratesCleanly) {
+  Harness h;
+  h.server_fs.AddDir("/share");
+  std::size_t count = 1;
+  h.kernel.Spawn("c", ListAll(&h.mount, "/share", &count));
+  h.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(count, 1u);  // Unchanged except init value.
+}
+
+TEST(CifsEdge, SingleBatchDirectoryHasNoStall) {
+  CifsConfig cfg;
+  cfg.client_os = ClientOs::kWindows;
+  Harness h(cfg);
+  h.server_fs.AddDir("/share");
+  for (int i = 0; i < 10; ++i) {  // Fits in one 40-entry batch.
+    h.server_fs.AddFile("/share/f" + std::to_string(i), 100);
+  }
+  std::size_t count = 0;
+  h.kernel.Spawn("c", ListAll(&h.mount, "/share", &count));
+  h.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(count, 10u);
+  EXPECT_EQ(h.mount.delayed_ack_stalls(), 0u);
+}
+
+TEST(CifsEdge, ThreeBatchTransactionStallsTwice) {
+  CifsConfig cfg;
+  cfg.client_os = ClientOs::kWindows;
+  cfg.batches_per_transaction = 3;
+  Harness h(cfg);
+  h.server_fs.AddDir("/share");
+  for (int i = 0; i < 120; ++i) {  // Exactly three 40-entry batches.
+    h.server_fs.AddFile("/share/f" + std::to_string(i), 100);
+  }
+  std::size_t count = 0;
+  h.kernel.Spawn("c", ListAll(&h.mount, "/share", &count));
+  h.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(count, 120u);
+  // Two inter-burst gates blocked (between bursts 1-2 and 2-3).
+  EXPECT_EQ(h.mount.delayed_ack_stalls(), 2u);
+}
+
+TEST(CifsEdge, FindRepliesPopulateTheAttrCache) {
+  Harness h;
+  h.server_fs.AddDir("/share");
+  for (int i = 0; i < 20; ++i) {
+    h.server_fs.AddFile("/share/f" + std::to_string(i), 1'234);
+  }
+  std::size_t count = 0;
+  h.kernel.Spawn("c", ListAll(&h.mount, "/share", &count));
+  h.kernel.RunUntilThreadsFinish();
+  const std::uint64_t requests_after_list = h.mount.server_requests();
+
+  // Stats of every listed file are now client-local: no new requests.
+  auto stat_all = [](osfs::Vfs* vfs) -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      const osfs::FileAttr attr =
+          co_await vfs->Stat("/share/f" + std::to_string(i));
+      EXPECT_EQ(attr.size, 1'234u);
+    }
+  };
+  h.kernel.Spawn("s", stat_all(&h.mount));
+  h.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(h.mount.server_requests(), requests_after_list);
+}
+
+TEST(CifsEdge, LinuxClientIssuesOneFindNextPerBatch) {
+  CifsConfig cfg;
+  cfg.client_os = ClientOs::kLinux;
+  Harness h(cfg);
+  h.server_fs.AddDir("/share");
+  for (int i = 0; i < 100; ++i) {  // 3 batches: 40+40+20.
+    h.server_fs.AddFile("/share/f" + std::to_string(i), 100);
+  }
+  osprofilers::SimProfiler prof(&h.kernel);
+  h.mount.SetProfiler(&prof);
+  std::size_t count = 0;
+  h.kernel.Spawn("c", ListAll(&h.mount, "/share", &count));
+  h.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(prof.profiles().Find("findfirst")->total_operations(), 1u);
+  EXPECT_EQ(prof.profiles().Find("findnext")->total_operations(), 2u);
+}
+
+TEST(CifsEdge, RereadingADirectoryIsClientLocal) {
+  Harness h;
+  h.server_fs.AddDir("/share");
+  for (int i = 0; i < 30; ++i) {
+    h.server_fs.AddFile("/share/f" + std::to_string(i), 100);
+  }
+  std::size_t count = 0;
+  h.kernel.Spawn("c1", ListAll(&h.mount, "/share", &count));
+  h.kernel.RunUntilThreadsFinish();
+  const std::uint64_t requests = h.mount.server_requests();
+  // A fresh fd re-fetches (the dir state is per-open), but attrs are
+  // cached, so only Find traffic goes out -- no stat storm.
+  std::size_t count2 = 0;
+  h.kernel.Spawn("c2", ListAll(&h.mount, "/share", &count2));
+  h.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(count2, 30u);
+  EXPECT_GT(h.mount.server_requests(), requests);
+  EXPECT_LE(h.mount.server_requests(), requests + 2);
+}
+
+}  // namespace
+}  // namespace osnet

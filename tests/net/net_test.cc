@@ -1,0 +1,180 @@
+#include "src/net/net.h"
+
+#include <gtest/gtest.h>
+
+namespace osnet {
+namespace {
+
+using osim::KernelConfig;
+
+KernelConfig QuietConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 2;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+TEST(NetPipe, DeliversAfterSerializationPlusLatency) {
+  Kernel k(QuietConfig());
+  NetConfig net;
+  PacketTrace trace;
+  NetPipe pipe(&k, net, "client", &trace);
+  Cycles arrived = 0;
+  pipe.Send(1460, PacketKind::kData, "pkt", [&] { arrived = k.now(); });
+  k.RunFor(Cycles{1} << 32);
+  const auto serialization =
+      static_cast<Cycles>(1460.0 / net.bytes_per_cycle);
+  EXPECT_NEAR(static_cast<double>(arrived),
+              static_cast<double>(serialization + net.one_way_latency), 2.0);
+  ASSERT_EQ(trace.records().size(), 1u);
+  EXPECT_EQ(trace.records()[0].bytes, 1460u);
+}
+
+TEST(NetPipe, BackToBackPacketsSerializeFifo) {
+  Kernel k(QuietConfig());
+  NetConfig net;
+  NetPipe pipe(&k, net, "s", nullptr);
+  std::vector<int> order;
+  Cycles first = 0;
+  Cycles second = 0;
+  pipe.Send(1460, PacketKind::kData, "a", [&] {
+    order.push_back(1);
+    first = k.now();
+  });
+  pipe.Send(1460, PacketKind::kData, "b", [&] {
+    order.push_back(2);
+    second = k.now();
+  });
+  k.RunFor(Cycles{1} << 32);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  const auto serialization =
+      static_cast<Cycles>(1460.0 / net.bytes_per_cycle);
+  // The second packet waits for the first to clear the link.
+  EXPECT_NEAR(static_cast<double>(second - first),
+              static_cast<double>(serialization), 2.0);
+}
+
+TEST(NetPipe, SegmentsLargePayloadsAtMss) {
+  Kernel k(QuietConfig());
+  NetConfig net;
+  NetPipe pipe(&k, net, "s", nullptr);
+  int segments = 0;
+  int last_total = 0;
+  const int n = pipe.SendSegmented(4000, "FIND_FIRST", [&](int i, int total) {
+    EXPECT_EQ(i, segments);
+    ++segments;
+    last_total = total;
+  });
+  EXPECT_EQ(n, 3);  // 4000B / 1460 MSS.
+  k.RunFor(Cycles{1} << 32);
+  EXPECT_EQ(segments, 3);
+  EXPECT_EQ(last_total, 3);
+}
+
+struct AckHarness {
+  explicit AckHarness(Kernel* k)
+      : ack_pipe(k, NetConfig{}, "client", nullptr),
+        ledger(k),
+        policy(k, NetConfig{}, &ack_pipe, &ledger) {}
+  NetPipe ack_pipe;
+  AckLedger ledger;
+  DelayedAckPolicy policy;
+};
+
+TEST(DelayedAck, EverySecondSegmentAckedImmediately) {
+  Kernel k(QuietConfig());
+  AckHarness h(&k);
+  h.ledger.OnSegmentSent();
+  h.ledger.OnSegmentSent();
+  h.policy.OnDataSegment();  // 1 unacked: delayed.
+  EXPECT_EQ(h.policy.immediate_acks(), 0u);
+  h.policy.OnDataSegment();  // 2 unacked: immediate ACK.
+  EXPECT_EQ(h.policy.immediate_acks(), 1u);
+  k.RunFor(NetConfig{}.one_way_latency * 2);
+  EXPECT_TRUE(h.ledger.AllAcked());
+}
+
+TEST(DelayedAck, OddTrailingSegmentWaits200ms) {
+  Kernel k(QuietConfig());
+  AckHarness h(&k);
+  h.ledger.OnSegmentSent();
+  h.policy.OnDataSegment();  // 1 unacked: timer armed.
+  k.RunFor(NetConfig{}.delayed_ack_timeout / 2);
+  EXPECT_FALSE(h.ledger.AllAcked());  // Still waiting.
+  k.RunFor(NetConfig{}.delayed_ack_timeout);
+  EXPECT_TRUE(h.ledger.AllAcked());
+  EXPECT_EQ(h.policy.delayed_acks_fired(), 1u);
+}
+
+TEST(DelayedAck, DisabledAcksEverything) {
+  Kernel k(QuietConfig());
+  AckHarness h(&k);
+  h.policy.set_delayed_ack_enabled(false);
+  h.ledger.OnSegmentSent();
+  h.policy.OnDataSegment();
+  k.RunFor(NetConfig{}.one_way_latency * 2);
+  EXPECT_TRUE(h.ledger.AllAcked());
+  EXPECT_EQ(h.policy.delayed_acks_fired(), 0u);
+}
+
+TEST(DelayedAck, PiggybackCancelsTimerAndCoversReceived) {
+  Kernel k(QuietConfig());
+  AckHarness h(&k);
+  h.ledger.OnSegmentSent();
+  h.policy.OnDataSegment();  // Timer armed.
+  const std::uint64_t upto = h.policy.ConsumePendingAck();
+  EXPECT_EQ(upto, 1u);
+  h.ledger.OnAckReceived(upto);  // As if the request arrived.
+  EXPECT_TRUE(h.ledger.AllAcked());
+  // The cancelled timer must not fire a duplicate ACK.
+  k.RunFor(NetConfig{}.delayed_ack_timeout * 2);
+  EXPECT_EQ(h.policy.delayed_acks_fired(), 0u);
+}
+
+TEST(DelayedAck, NoPendingAckMeansNoPiggyback) {
+  Kernel k(QuietConfig());
+  AckHarness h(&k);
+  EXPECT_EQ(h.policy.ConsumePendingAck(), 0u);
+}
+
+TEST(AckLedger, CumulativeAcksAndBlockedWaits) {
+  Kernel k(QuietConfig());
+  AckLedger ledger(&k);
+  ledger.OnSegmentSent();
+  ledger.OnSegmentSent();
+  ledger.OnSegmentSent();
+  ledger.OnAckReceived(2);
+  EXPECT_FALSE(ledger.AllAcked());
+  auto waiter = [](AckLedger* l, bool* done) -> Task<void> {
+    co_await l->WaitAllAcked();
+    *done = true;
+  };
+  bool done = false;
+  k.Spawn("w", waiter(&ledger, &done));
+  k.RunFor(1'000'000);
+  EXPECT_FALSE(done);
+  ledger.OnAckReceived(3);
+  k.RunFor(1'000'000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(ledger.blocked_waits(), 1u);
+}
+
+TEST(PacketTrace, RendersTimeline) {
+  PacketTrace trace;
+  PacketRecord r;
+  r.sent_at = 0;
+  r.received_at = static_cast<Cycles>(0.020 * 1.7e9);  // 20ms.
+  r.from = "server";
+  r.label = "FIND_FIRST reply";
+  r.kind = PacketKind::kData;
+  r.bytes = 1460;
+  trace.Record(r);
+  const std::string rendered = trace.Render(1.7e9);
+  EXPECT_NE(rendered.find("20.0ms"), std::string::npos);
+  EXPECT_NE(rendered.find("FIND_FIRST reply"), std::string::npos);
+  EXPECT_NE(rendered.find("DATA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osnet

@@ -1,0 +1,137 @@
+#include "src/profilers/callgraph_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fs/ext2fs.h"
+#include "src/sim/disk.h"
+#include "src/workloads/workloads.h"
+
+namespace osprofilers {
+namespace {
+
+using osim::Kernel;
+using osim::KernelConfig;
+using osim::Task;
+
+KernelConfig QuietConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 2;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+Task<void> Leaf(Kernel* k, Cycles cycles) { co_await k->Cpu(cycles); }
+
+Task<void> Parent(Kernel* k, CallGraphProfiler* cg) {
+  co_await k->Cpu(1'000);
+  co_await cg->Wrap("leaf", Leaf(k, 500));
+  co_await cg->Wrap("leaf", Leaf(k, 500));
+}
+
+Task<void> Root(Kernel* k, CallGraphProfiler* cg) {
+  co_await cg->Wrap("parent", Parent(k, cg));
+}
+
+TEST(CallGraphProfiler, SplitsSelfAndChildTime) {
+  Kernel k(QuietConfig());
+  CallGraphProfiler cg(&k);
+  k.Spawn("t", Root(&k, &cg));
+  k.RunUntilThreadsFinish();
+
+  // Flat totals.
+  EXPECT_EQ(cg.flat().Find("parent")->total_operations(), 1u);
+  EXPECT_EQ(cg.flat().Find("leaf")->total_operations(), 2u);
+  EXPECT_EQ(cg.flat().Find("parent")->total_latency(), 2'000u);
+  EXPECT_EQ(cg.flat().Find("leaf")->total_latency(), 1'000u);
+
+  // Edges: "-"->parent once, parent->leaf twice.
+  EXPECT_EQ(cg.edges().Find("-->parent")->total_operations(), 1u);
+  EXPECT_EQ(cg.edges().Find("parent->leaf")->total_operations(), 2u);
+
+  // The report attributes half of parent's time to its children.
+  const std::string report = cg.Report(osprof::kPaperCpuHz);
+  EXPECT_NE(report.find("parent"), std::string::npos);
+  EXPECT_NE(report.find("parent -> leaf: 2 calls"), std::string::npos);
+}
+
+TEST(CallGraphProfiler, EdgeSummariesSortByWeight) {
+  Kernel k(QuietConfig());
+  CallGraphProfiler cg(&k);
+  auto body = [](Kernel* kk, CallGraphProfiler* c) -> Task<void> {
+    co_await c->Wrap("heavy", Leaf(kk, 100'000));
+    co_await c->Wrap("light", Leaf(kk, 100));
+  };
+  k.Spawn("t", body(&k, &cg));
+  k.RunUntilThreadsFinish();
+  const auto edges = cg.EdgeSummaries();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].callee, "heavy");
+  EXPECT_EQ(edges[1].callee, "light");
+}
+
+TEST(CallGraphProfiler, PerThreadStacksDoNotCrossTalk) {
+  Kernel k(QuietConfig());
+  CallGraphProfiler cg(&k);
+  auto body = [](Kernel* kk, CallGraphProfiler* c,
+                 const char* outer) -> Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      co_await c->Wrap(outer, Root(kk, c));
+    }
+  };
+  k.Spawn("a", body(&k, &cg, "opA"));
+  k.Spawn("b", body(&k, &cg, "opB"));
+  k.RunUntilThreadsFinish();
+  // Every leaf call attributes to "parent", never to opA/opB directly.
+  EXPECT_EQ(cg.edges().Find("parent->leaf")->total_operations(), 200u);
+  EXPECT_EQ(cg.edges().Find("opA->leaf"), nullptr);
+  EXPECT_EQ(cg.edges().Find("opB->leaf"), nullptr);
+  EXPECT_EQ(cg.edges().Find("opA->parent")->total_operations(), 50u);
+  EXPECT_EQ(cg.edges().Find("opB->parent")->total_operations(), 50u);
+}
+
+TEST(CallGraphProfiler, CapturesReaddirReadpageNesting) {
+  // The paper's own example: Ext2 readdir calls readpage for cold pages.
+  Kernel k(QuietConfig());
+  osim::SimDisk disk(&k);
+  osfs::Ext2SimFs fs(&k, &disk);
+  fs.AddDir("/d");
+  for (int i = 0; i < 80; ++i) {
+    fs.AddFile("/d/f" + std::to_string(i), 200);
+  }
+  CallGraphProfiler cg(&k);
+  fs.SetCallGraphProfiler(&cg);
+  auto body = [](osfs::Vfs* vfs) -> Task<void> {
+    const int fd = co_await vfs->Open("/d", false);
+    while (true) {
+      const osfs::DirentBatch batch = co_await vfs->Readdir(fd);
+      if (batch.names.empty()) {
+        break;
+      }
+    }
+    co_await vfs->Close(fd);
+  };
+  k.Spawn("r", body(&fs));
+  k.RunUntilThreadsFinish();
+
+  const osprof::Profile* edge = cg.edges().Find("readdir->readpage");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_GT(edge->total_operations(), 0u);
+  // No readpage happened outside readdir.
+  EXPECT_EQ(cg.edges().Find("-->readpage"), nullptr);
+  // And readdir itself is a top-level op here.
+  EXPECT_NE(cg.edges().Find("-->readdir"), nullptr);
+}
+
+TEST(CallGraphProfiler, OutsideThreadContextThrows) {
+  Kernel k(QuietConfig());
+  CallGraphProfiler cg(&k);
+  osim::Task<void> wrapped = cg.Wrap("op", Leaf(&k, 1));
+  // Driving the coroutine outside a simulated thread must fail loudly
+  // (the exception is stored in the promise and rethrown on inspection).
+  wrapped.handle().resume();
+  EXPECT_THROW(wrapped.RethrowIfFailed(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace osprofilers

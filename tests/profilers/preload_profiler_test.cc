@@ -1,0 +1,70 @@
+// End-to-end test of the LD_PRELOAD interposition profiler: inject it
+// into an unmodified system binary, then parse the dumped profile set.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/profile.h"
+
+namespace {
+
+#ifndef OSPROF_PRELOAD_PATH
+#define OSPROF_PRELOAD_PATH ""
+#endif
+
+std::string PreloadPath() { return OSPROF_PRELOAD_PATH; }
+
+std::string TempPath(const std::string& name) {
+  const char* dir = ::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(PreloadProfiler, ProfilesAnUnmodifiedBinary) {
+  const std::string lib = PreloadPath();
+  ASSERT_FALSE(lib.empty());
+  ASSERT_EQ(::access(lib.c_str(), R_OK), 0) << lib;
+
+  const std::string out = TempPath("osprof_preload_test.prof");
+  std::remove(out.c_str());
+  const std::string cmd = "OSPROF_OUT=" + out + " LD_PRELOAD=" + lib +
+                          " /bin/cat /etc/hostname > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good()) << out;
+  const osprof::ProfileSet set = osprof::ProfileSet::Parse(in);
+  // cat reads its input and writes it out.
+  ASSERT_NE(set.Find("read"), nullptr);
+  EXPECT_GT(set.Find("read")->total_operations(), 0u);
+  EXPECT_GT(set.Find("read")->total_latency(), 0u);
+  EXPECT_TRUE(set.CheckConsistency());
+  std::remove(out.c_str());
+}
+
+TEST(PreloadProfiler, DumpIsParseableAfterHeavyIo) {
+  const std::string lib = PreloadPath();
+  ASSERT_FALSE(lib.empty());
+  const std::string out = TempPath("osprof_preload_heavy.prof");
+  const std::string data = TempPath("osprof_preload_data");
+  std::remove(out.c_str());
+  // dd generates a long read/write stream through the hooks.
+  const std::string cmd =
+      "OSPROF_OUT=" + out + " LD_PRELOAD=" + lib +
+      " dd if=/dev/zero of=" + data +
+      " bs=4096 count=200 > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good());
+  const osprof::ProfileSet set = osprof::ProfileSet::Parse(in);
+  ASSERT_NE(set.Find("write"), nullptr);
+  EXPECT_GE(set.Find("write")->total_operations(), 200u);
+  std::remove(out.c_str());
+  std::remove(data.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include "src/profilers/sim_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/peaks.h"
+
+namespace osprofilers {
+namespace {
+
+using osim::KernelConfig;
+using osim::Task;
+
+KernelConfig QuietConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 1;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+Task<int> Burn(Kernel* k, Cycles cycles) {
+  co_await k->Cpu(cycles);
+  co_return 7;
+}
+
+TEST(SimProfiler, WrapMeasuresSimulatedLatency) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
+    const int v = co_await p->Wrap("op", Burn(kk, 1000));
+    EXPECT_EQ(v, 7);
+  };
+  k.Spawn("t", body(&k, &prof));
+  k.RunUntilThreadsFinish();
+  const osprof::Profile* op = prof.profiles().Find("op");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->total_operations(), 1u);
+  EXPECT_EQ(op->total_latency(), 1000u);  // Exact: no overhead charging.
+}
+
+TEST(SimProfiler, OverheadChargingAddsCostsAndFloor) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  prof.set_charge_overhead(true);
+  auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
+    (void)co_await p->Wrap("noop", Burn(kk, 0));
+  };
+  k.Spawn("t", body(&k, &prof));
+  k.RunUntilThreadsFinish();
+  const osprof::Profile* op = prof.profiles().Find("noop");
+  ASSERT_NE(op, nullptr);
+  // The measured window contains exactly the inside-TSC costs: the
+  // 40-cycle floor of §5.2, i.e. bucket 5.
+  EXPECT_EQ(op->total_latency(), prof.costs().MeasuredFloor());
+  EXPECT_EQ(op->histogram().FirstNonEmpty(), 5);
+  // The simulation consumed the full per-op instrumentation cost.
+  EXPECT_EQ(k.now(), prof.costs().Total());
+}
+
+TEST(SimProfiler, DefaultCostsMatchPaperDecomposition) {
+  // §5.2 pins three facts: ~200 cycles total per probed operation, a
+  // 40-cycle floor between the TSC reads (the smallest recordable value,
+  // bucket 5), and sort/store accounting for half the overhead (2.0% of
+  // the 4.0% total).
+  InstrumentationCosts costs;
+  EXPECT_NEAR(static_cast<double>(costs.Total()), 200.0, 25.0);
+  EXPECT_EQ(costs.MeasuredFloor(), 40u);
+  // The §5.2 component ratio: calls : TSC : store = 1.5% : 0.5% : 2.0%.
+  EXPECT_NEAR(static_cast<double>(costs.CallTotal()) /
+                  static_cast<double>(costs.TscTotal()),
+              3.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(costs.store) /
+                  static_cast<double>(costs.TscTotal()),
+              4.0, 0.1);
+}
+
+TEST(SimProfiler, SamplingSplitsEpochs) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  prof.EnableSampling(10'000);
+  auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      (void)co_await p->Wrap("op", Burn(kk, 4'000));
+    }
+  };
+  k.Spawn("t", body(&k, &prof));
+  k.RunUntilThreadsFinish();
+  const osprof::SampledProfile* sp = prof.sampled()->Find("op");
+  ASSERT_NE(sp, nullptr);
+  EXPECT_GE(sp->num_epochs(), 2);
+  EXPECT_EQ(sp->Flatten().TotalOperations(), 5u);
+}
+
+TEST(SimProfiler, CorrelatorReceivesValues) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  osprof::Peak fast;
+  fast.first_bucket = 0;
+  fast.last_bucket = 11;
+  osprof::Peak slow;
+  slow.first_bucket = 12;
+  slow.last_bucket = 40;
+  osprof::ValueCorrelator corr("flag", {fast, slow});
+  prof.AttachCorrelator("op", &corr);
+  prof.RecordWithValue("op", 100, 1024);     // Fast peak, flag set.
+  prof.RecordWithValue("op", 100'000, 0);    // Slow peak, flag clear.
+  EXPECT_EQ(corr.peak_values(0).bucket(10), 1u);
+  EXPECT_EQ(corr.peak_values(1).bucket(0), 1u);
+}
+
+TEST(SimProfiler, ResetClearsDataKeepsConfig) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  prof.EnableSampling(1'000);
+  prof.Record("op", 100);
+  prof.Reset();
+  EXPECT_TRUE(prof.profiles().empty());
+  ASSERT_NE(prof.sampled(), nullptr);
+  EXPECT_EQ(prof.sampled()->OperationNames().size(), 0u);
+}
+
+TEST(DriverProfiler, SeesReadsAndWritesWithQueueing) {
+  Kernel k(QuietConfig());
+  osim::SimDisk disk(&k);
+  DriverProfiler driver(&k, &disk);
+  disk.Submit(osim::DiskOp::kRead, 1'000, 8, nullptr);
+  disk.Submit(osim::DiskOp::kWrite, 500'000, 8, nullptr);
+  k.RunFor(Cycles{1} << 33);
+  const osprof::ProfileSet& p = driver.profiles();
+  ASSERT_NE(p.Find("disk_read"), nullptr);
+  ASSERT_NE(p.Find("disk_write"), nullptr);
+  EXPECT_EQ(p.Find("disk_read")->total_operations(), 1u);
+  EXPECT_EQ(p.Find("disk_write")->total_operations(), 1u);
+  // The write queued behind the read.
+  EXPECT_GT(p.Find("disk_write_queue")->total_latency(), 0u);
+}
+
+}  // namespace
+}  // namespace osprofilers

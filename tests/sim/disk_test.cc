@@ -1,0 +1,248 @@
+#include "src/sim/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/histogram.h"
+
+namespace osim {
+namespace {
+
+KernelConfig QuietConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 1;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+Task<void> ReadBlocks(Kernel& k, SimDisk& disk, std::uint64_t lba,
+                      std::uint64_t count, DiskRequestInfo* out) {
+  *out = co_await disk.SyncRead(lba, count);
+  (void)k;
+}
+
+TEST(SimDisk, ColdReadIsMechanical) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  DiskRequestInfo info;
+  k.Spawn("r", ReadBlocks(k, disk, 500'000, 8, &info));
+  k.RunUntilThreadsFinish();
+  EXPECT_FALSE(info.cache_hit);
+  // Must include a seek (head starts at 0) plus some rotation.
+  EXPECT_GT(info.service_latency(), disk.config().track_to_track_seek);
+  EXPECT_EQ(disk.mechanical_accesses(), 1u);
+}
+
+Task<void> TwoSequentialReads(Kernel& k, SimDisk& disk,
+                              std::vector<DiskRequestInfo>* out) {
+  out->push_back(co_await disk.SyncRead(1'000'000, 8));
+  out->push_back(co_await disk.SyncRead(1'000'008, 8));
+  (void)k;
+}
+
+TEST(SimDisk, ReadaheadMakesSequentialSuccessorCheap) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  std::vector<DiskRequestInfo> infos;
+  k.Spawn("r", TwoSequentialReads(k, disk, &infos));
+  k.RunUntilThreadsFinish();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_FALSE(infos[0].cache_hit);
+  EXPECT_TRUE(infos[1].cache_hit);
+  // The cache hit pays only controller + transfer: orders of magnitude
+  // cheaper than the mechanical access (Figure 7's peak 3 vs peak 4).
+  EXPECT_LT(infos[1].service_latency() * 4, infos[0].service_latency());
+  const Cycles expected = disk.config().controller_overhead +
+                          8 * disk.config().transfer_per_block;
+  EXPECT_EQ(infos[1].service_latency(), expected);
+}
+
+TEST(SimDisk, CacheHitLandsInPaperBuckets) {
+  // At the paper's constants a disk-cache hit is ~46us: bucket 16-17.
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  std::vector<DiskRequestInfo> infos;
+  k.Spawn("r", TwoSequentialReads(k, disk, &infos));
+  k.RunUntilThreadsFinish();
+  const int bucket = osprof::BucketIndex(infos[1].service_latency());
+  EXPECT_GE(bucket, 16);
+  EXPECT_LE(bucket, 17);
+}
+
+TEST(SimDisk, MechanicalAccessLandsInPaperBuckets) {
+  // Seek + rotation + transfer: 0.3..12ms -> buckets 18-24.
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  osprof::Histogram h(1);
+  auto reader = [](Kernel& kk, SimDisk& d, osprof::Histogram* hist) -> Task<void> {
+    for (int i = 0; i < 200; ++i) {
+      // Far-apart random-ish locations: always mechanical.
+      const std::uint64_t lba = (static_cast<std::uint64_t>(i) * 997'003) %
+                                (d.config().num_blocks - 8);
+      const DiskRequestInfo info = co_await d.SyncRead(lba, 8);
+      hist->Add(info.service_latency());
+    }
+    (void)kk;
+  };
+  k.Spawn("r", reader(k, disk, &h));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(h.TotalOperations(), 200u);
+  EXPECT_GE(h.FirstNonEmpty(), 17);
+  EXPECT_LE(h.LastNonEmpty(), 24);
+}
+
+TEST(SimDisk, FifoQueueingDelaysConcurrentRequests) {
+  KernelConfig cfg = QuietConfig();
+  cfg.num_cpus = 2;
+  Kernel k(cfg);
+  SimDisk disk(&k);
+  DiskRequestInfo a;
+  DiskRequestInfo b;
+  k.Spawn("a", ReadBlocks(k, disk, 100'000, 8, &a));
+  k.Spawn("b", ReadBlocks(k, disk, 3'000'000, 8, &b));
+  k.RunUntilThreadsFinish();
+  // The second submission waits for the first to finish service.
+  const bool a_first = a.started_at <= b.started_at;
+  const DiskRequestInfo& later = a_first ? b : a;
+  const DiskRequestInfo& earlier = a_first ? a : b;
+  EXPECT_GE(later.started_at, earlier.completed_at);
+  EXPECT_GT(later.queue_latency(), 0u);
+}
+
+TEST(SimDisk, ObserverSeesEveryRequest) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  int observed = 0;
+  disk.SetRequestObserver([&observed](const DiskRequestInfo&) { ++observed; });
+  std::vector<DiskRequestInfo> infos;
+  k.Spawn("r", TwoSequentialReads(k, disk, &infos));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(observed, 2);
+  EXPECT_EQ(disk.requests_completed(), 2u);
+}
+
+TEST(SimDisk, AsyncWriteCompletesWithoutBlockingThreads) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  bool completed = false;
+  disk.Submit(DiskOp::kWrite, 10'000, 16,
+              [&completed](const DiskRequestInfo& info) {
+                completed = true;
+                EXPECT_EQ(info.op, DiskOp::kWrite);
+                EXPECT_GT(info.service_latency(), 0u);
+              });
+  k.RunFor(Cycles{1} << 30);
+  EXPECT_TRUE(completed);
+}
+
+TEST(SimDisk, DropCacheForcesMechanicalAgain) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  std::vector<DiskRequestInfo> first;
+  k.Spawn("r1", TwoSequentialReads(k, disk, &first));
+  k.RunUntilThreadsFinish();
+  EXPECT_TRUE(first[1].cache_hit);
+  disk.DropCache();
+  // Note: a fresh kernel cannot reuse the old disk (head position is kept,
+  // but threads finished); reuse the same kernel with a new thread.
+  std::vector<DiskRequestInfo> second;
+  k.Spawn("r2", TwoSequentialReads(k, disk, &second));
+  k.RunUntilThreadsFinish();
+  EXPECT_FALSE(second[0].cache_hit);
+}
+
+TEST(SimDisk, ElevatorServesUpwardSweepFirst) {
+  Kernel k(QuietConfig());
+  DiskConfig cfg;
+  cfg.sched = DiskSchedPolicy::kElevator;
+  SimDisk disk(&k, cfg);
+  // Park the head high by reading there first, then queue requests on
+  // both sides while the disk is busy.
+  std::vector<std::uint64_t> service_order;
+  auto track = [&service_order](const osim::DiskRequestInfo& info) {
+    service_order.push_back(info.lba);
+  };
+  disk.Submit(DiskOp::kRead, 2'000'000, 8, track);  // Head -> 2'000'008.
+  disk.Submit(DiskOp::kRead, 100'000, 8, track);    // Below the head.
+  disk.Submit(DiskOp::kRead, 3'000'000, 8, track);  // Above the head.
+  disk.Submit(DiskOp::kRead, 2'500'000, 8, track);  // Above, closer.
+  k.RunFor(Cycles{1} << 34);
+  // C-LOOK: finish 2.0M, then sweep up (2.5M, 3.0M), then wrap to 100k.
+  ASSERT_EQ(service_order.size(), 4u);
+  EXPECT_EQ(service_order[0], 2'000'000u);
+  EXPECT_EQ(service_order[1], 2'500'000u);
+  EXPECT_EQ(service_order[2], 3'000'000u);
+  EXPECT_EQ(service_order[3], 100'000u);
+}
+
+TEST(SimDisk, FifoKeepsArrivalOrder) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);  // Default FIFO.
+  std::vector<std::uint64_t> service_order;
+  auto track = [&service_order](const osim::DiskRequestInfo& info) {
+    service_order.push_back(info.lba);
+  };
+  disk.Submit(DiskOp::kRead, 2'000'000, 8, track);
+  disk.Submit(DiskOp::kRead, 100'000, 8, track);
+  disk.Submit(DiskOp::kRead, 3'000'000, 8, track);
+  k.RunFor(Cycles{1} << 34);
+  EXPECT_EQ(service_order,
+            (std::vector<std::uint64_t>{2'000'000, 100'000, 3'000'000}));
+}
+
+TEST(SimDisk, ElevatorReducesTotalSeekTimeOnScatteredLoad) {
+  auto run = [](DiskSchedPolicy policy) {
+    Kernel k(QuietConfig());
+    DiskConfig cfg;
+    cfg.sched = policy;
+    SimDisk disk(&k, cfg);
+    Cycles batch_done = 0;
+    disk.SetRequestObserver([&batch_done, &k](const osim::DiskRequestInfo&) {
+      batch_done = k.now();
+    });
+    // A scattered batch submitted at once.
+    std::uint64_t lba = 12345;
+    for (int i = 0; i < 64; ++i) {
+      lba = (lba * 1103515245 + 12345) % (cfg.num_blocks - 8);
+      disk.Submit(DiskOp::kRead, lba, 8, nullptr);
+    }
+    k.RunFor(Cycles{1} << 36);
+    EXPECT_EQ(disk.requests_completed(), 64u);
+    return batch_done;
+  };
+  const Cycles fifo = run(DiskSchedPolicy::kFifo);
+  const Cycles elevator = run(DiskSchedPolicy::kElevator);
+  EXPECT_LT(elevator, fifo);  // The sweep amortizes seeks.
+}
+
+TEST(SimDisk, RejectsOutOfRangeRequests) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  EXPECT_THROW(disk.Submit(DiskOp::kRead, disk.config().num_blocks, 1, nullptr),
+               std::out_of_range);
+  EXPECT_THROW(disk.Submit(DiskOp::kRead, 0, 0, nullptr), std::out_of_range);
+}
+
+TEST(SimDisk, CacheEvictsOldRunsAtCapacity) {
+  Kernel k(QuietConfig());
+  DiskConfig cfg;
+  cfg.cache_blocks = 128;
+  cfg.readahead_blocks = 64;
+  SimDisk disk(&k, cfg);
+  auto reader = [](Kernel& kk, SimDisk& d) -> Task<void> {
+    // Touch three distinct segments: the first must be evicted.
+    (void)co_await d.SyncRead(0, 8);
+    (void)co_await d.SyncRead(100'000, 8);
+    (void)co_await d.SyncRead(200'000, 8);
+    const DiskRequestInfo again = co_await d.SyncRead(0, 8);
+    EXPECT_FALSE(again.cache_hit);
+    (void)kk;
+  };
+  k.Spawn("r", reader(k, disk));
+  k.RunUntilThreadsFinish();
+}
+
+}  // namespace
+}  // namespace osim

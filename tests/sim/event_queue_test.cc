@@ -1,0 +1,97 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace osim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.At(30, [&] { order.push_back(3); });
+  q.At(10, [&] { order.push_back(1); });
+  q.At(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTimestampRunsInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.At(5, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) {
+      q.After(10, chain);
+    }
+  };
+  q.After(10, chain);
+  q.RunAll();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, NowSchedulesAfterPendingSameTimeEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.At(10, [&] {
+    order.push_back(1);
+    q.Now([&] { order.push_back(3); });
+  });
+  q.At(10, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.At(10, [&] { ++fired; });
+  q.At(100, [&] { ++fired; });
+  const std::uint64_t n = q.RunUntil(50);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 50u);
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilIncludesBoundaryEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.At(50, [&] { ++fired; });
+  q.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.At(100, [] {});
+  q.RunAll();
+  EXPECT_THROW(q.At(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.Step());
+  q.At(1, [] {});
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+}
+
+}  // namespace
+}  // namespace osim

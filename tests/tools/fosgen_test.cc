@@ -1,0 +1,231 @@
+// FoSgen tests, built around the paper's own example (Figure 4): Ext2's
+// directory operations, where readdir/ioctl/fsync have local
+// implementations and read uses the kernel's generic_read_dir export.
+
+#include "src/tools/fosgen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ostools {
+namespace {
+
+// The paper's Figure 4, fleshed out with plausible 2.6-era bodies.
+constexpr const char* kExt2Dir = R"(
+/* ext2 directory handling */
+static int ext2_readdir(struct file *filp, void *dirent, filldir_t filldir)
+{
+	loff_t pos = filp->f_pos;
+	if (pos > inode->i_size - EXT2_DIR_REC_LEN(1))
+		return 0;
+	while (!error && filp->f_pos < inode->i_size) {
+		error = ext2_fill_dir(filp, dirent, filldir);
+	}
+	return error;
+}
+
+static int ext2_ioctl(struct inode *inode, struct file *filp,
+		unsigned int cmd, unsigned long arg)
+{
+	switch (cmd) {
+	case EXT2_IOC_GETFLAGS:
+		return put_user(flags, (int *) arg);
+	default:
+		return -ENOTTY;
+	}
+}
+
+static int ext2_sync_file(struct file *file, struct dentry *dentry,
+		int datasync)
+{
+	int err = ext2_fsync_inode(dentry->d_inode, datasync);
+	return err;
+}
+
+struct file_operations ext2_dir_operations = {
+	read: generic_read_dir,
+	readdir: ext2_readdir,
+	ioctl: ext2_ioctl,
+	fsync: ext2_sync_file,
+};
+)";
+
+TEST(Fosgen, InstrumentsThePaperFigure4Example) {
+  const FosgenResult result = FosgenInstrument(kExt2Dir);
+
+  // The three local implementations were instrumented...
+  EXPECT_EQ(result.instrumented.size(), 3u);
+  EXPECT_NE(std::find(result.instrumented.begin(), result.instrumented.end(),
+                      "readdir:ext2_readdir"),
+            result.instrumented.end());
+  // ...and the generic export got a wrapper, exactly the paper's example.
+  ASSERT_EQ(result.wrapped.size(), 1u);
+  EXPECT_EQ(result.wrapped[0], "read:generic_read_dir");
+
+  // Entry probes at the top of each body.
+  EXPECT_NE(result.source.find("FSPROF_PRE(readdir);"), std::string::npos);
+  EXPECT_NE(result.source.find("FSPROF_PRE(ioctl);"), std::string::npos);
+  EXPECT_NE(result.source.find("FSPROF_PRE(fsync);"), std::string::npos);
+  EXPECT_NE(result.source.find("FSPROF_PRE(read);"), std::string::npos);
+
+  // The wrapper exists and the vector now points at it.
+  EXPECT_NE(result.source.find("static ssize_t fsprof_generic_read_dir("),
+            std::string::npos);
+  EXPECT_NE(result.source.find("read: fsprof_generic_read_dir,"),
+            std::string::npos);
+
+  // The header include was prepended.
+  EXPECT_EQ(result.source.rfind("#include \"fsprof.h\"", 0), 0u);
+}
+
+TEST(Fosgen, TransformsNonVoidReturnsLikeThePaper) {
+  const FosgenResult result = FosgenInstrument(kExt2Dir);
+  // `return error;` became the temporary-variable pattern from §4.
+  EXPECT_NE(
+      result.source.find("int tmp_return_variable = error; "
+                         "FSPROF_POST(readdir); return tmp_return_variable;"),
+      std::string::npos);
+  // A return with a call expression is transformed whole.
+  EXPECT_NE(result.source.find(
+                "int tmp_return_variable = put_user(flags, (int *) arg);"),
+            std::string::npos);
+  // Every return path of every instrumented function got a POST.
+  int posts = 0;
+  for (std::size_t pos = result.source.find("FSPROF_POST(");
+       pos != std::string::npos;
+       pos = result.source.find("FSPROF_POST(", pos + 1)) {
+    ++posts;
+  }
+  EXPECT_EQ(posts, 6);  // readdir x2, ioctl x2, fsync x1, wrapper x1.
+}
+
+TEST(Fosgen, IsIdempotent) {
+  const FosgenResult once = FosgenInstrument(kExt2Dir);
+  const FosgenResult twice = FosgenInstrument(once.source);
+  EXPECT_EQ(twice.source, once.source);
+  EXPECT_TRUE(twice.instrumented.empty());
+  EXPECT_EQ(twice.insertions, 0);
+}
+
+TEST(Fosgen, HandlesC99DesignatedInitializers) {
+  const std::string src = R"(
+static loff_t myfs_llseek(struct file *file, loff_t offset, int origin)
+{
+	return offset;
+}
+struct file_operations myfs_file_operations = {
+	.llseek = myfs_llseek,
+	.read = generic_file_read,
+};
+)";
+  const FosgenResult result = FosgenInstrument(src);
+  ASSERT_EQ(result.instrumented.size(), 1u);
+  EXPECT_EQ(result.instrumented[0], "llseek:myfs_llseek");
+  ASSERT_EQ(result.wrapped.size(), 1u);
+  EXPECT_EQ(result.wrapped[0], "read:generic_file_read");
+  EXPECT_NE(result.source.find(".read = fsprof_generic_file_read,"),
+            std::string::npos);
+  EXPECT_NE(result.source.find("FSPROF_PRE(llseek);"), std::string::npos);
+}
+
+TEST(Fosgen, VoidFunctionsGetPostBeforeFallOffTheEnd) {
+  const std::string src = R"(
+static void myfs_truncate(struct inode *inode)
+{
+	if (!inode)
+		return;
+	do_truncate(inode);
+}
+struct inode_operations myfs_inode_operations = {
+	truncate: myfs_truncate,
+};
+)";
+  const FosgenResult result = FosgenInstrument(src);
+  ASSERT_EQ(result.instrumented.size(), 1u);
+  // Early return and fall-off-the-end both get a POST.
+  EXPECT_NE(result.source.find("{ FSPROF_POST(truncate); return ; }"),
+            std::string::npos);
+  int posts = 0;
+  for (std::size_t pos = result.source.find("FSPROF_POST(truncate)");
+       pos != std::string::npos;
+       pos = result.source.find("FSPROF_POST(truncate)", pos + 1)) {
+    ++posts;
+  }
+  EXPECT_EQ(posts, 2);
+}
+
+TEST(Fosgen, IgnoresReturnsInCommentsAndStrings) {
+  const std::string src = R"(
+static int myfs_open(struct inode *inode, struct file *file)
+{
+	/* early return is handled above */
+	printk("no return here\n");
+	return 0;
+}
+struct file_operations myfs_ops = {
+	open: myfs_open,
+};
+)";
+  const FosgenResult result = FosgenInstrument(src);
+  int posts = 0;
+  for (std::size_t pos = result.source.find("FSPROF_POST(open)");
+       pos != std::string::npos;
+       pos = result.source.find("FSPROF_POST(open)", pos + 1)) {
+    ++posts;
+  }
+  EXPECT_EQ(posts, 1);  // Only the real return.
+  // Comment and string text are untouched.
+  EXPECT_NE(result.source.find("/* early return is handled above */"),
+            std::string::npos);
+  EXPECT_NE(result.source.find("\"no return here\\n\""), std::string::npos);
+}
+
+TEST(Fosgen, SharedImplementationInstrumentedOnce) {
+  const std::string src = R"(
+static int myfs_fsync(struct file *file, struct dentry *dentry, int datasync)
+{
+	return 0;
+}
+struct file_operations a_ops = {
+	fsync: myfs_fsync,
+};
+struct file_operations b_ops = {
+	fsync: myfs_fsync,
+};
+)";
+  const FosgenResult result = FosgenInstrument(src);
+  EXPECT_EQ(result.instrumented.size(), 1u);
+  int pres = 0;
+  for (std::size_t pos = result.source.find("FSPROF_PRE(");
+       pos != std::string::npos;
+       pos = result.source.find("FSPROF_PRE(", pos + 1)) {
+    ++pres;
+  }
+  EXPECT_EQ(pres, 1);
+}
+
+TEST(Fosgen, UnknownGenericOpsAreLeftAlone) {
+  const std::string src = R"(
+struct super_operations myfs_super_operations = {
+	put_super: generic_shutdown_super,
+};
+)";
+  const FosgenResult result = FosgenInstrument(src);
+  EXPECT_TRUE(result.wrapped.empty());
+  EXPECT_NE(result.source.find("put_super: generic_shutdown_super,"),
+            std::string::npos);
+}
+
+TEST(Fosgen, SourceWithoutVectorsPassesThrough) {
+  const std::string src = "int main(void) { return 0; }\n";
+  const FosgenResult result = FosgenInstrument(src);
+  EXPECT_TRUE(result.instrumented.empty());
+  EXPECT_EQ(result.insertions, 0);
+  // Only the header include was added.
+  EXPECT_NE(result.source.find("int main(void) { return 0; }"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ostools

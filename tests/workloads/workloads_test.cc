@@ -1,0 +1,280 @@
+#include "src/workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/peaks.h"
+
+namespace osworkloads {
+namespace {
+
+using osfs::Ext2Config;
+using osfs::Ext2SimFs;
+using osim::KernelConfig;
+using osim::SimDisk;
+
+KernelConfig QuietConfig(int cpus = 1) {
+  KernelConfig cfg;
+  cfg.num_cpus = cpus;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+TEST(BuildSourceTree, CreatesTheAdvertisedShape) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  TreeSpec spec;
+  spec.top_dirs = 2;
+  spec.subdirs_per_dir = 2;
+  spec.depth = 2;
+  spec.files_per_dir = 5;
+  const BuiltTree tree = BuildSourceTree(&fs, "/linux", spec);
+  // Dirs per top: 1 + 2 + 4 = 7; two tops = 14.
+  EXPECT_EQ(tree.directories.size(), 14u);
+  EXPECT_EQ(tree.files.size(), 14u * 5u);
+  for (const std::string& f : tree.files) {
+    EXPECT_TRUE(fs.Exists(f)) << f;
+    EXPECT_GE(fs.FileSize(f), 64u);
+  }
+  EXPECT_GT(tree.total_bytes, 0u);
+}
+
+TEST(BuildSourceTree, DeterministicForSameSeed) {
+  for (int run = 0; run < 2; ++run) {
+    // (Separate kernels; sizes must match across runs.)
+    Kernel k(QuietConfig());
+    SimDisk disk(&k);
+    Ext2SimFs fs(&k, &disk);
+    TreeSpec spec;
+    spec.top_dirs = 1;
+    spec.files_per_dir = 3;
+    static std::vector<std::uint64_t> first_sizes;
+    const BuiltTree tree = BuildSourceTree(&fs, "/t", spec);
+    std::vector<std::uint64_t> sizes;
+    for (const std::string& f : tree.files) {
+      sizes.push_back(fs.FileSize(f));
+    }
+    if (run == 0) {
+      first_sizes = sizes;
+    } else {
+      EXPECT_EQ(sizes, first_sizes);
+    }
+  }
+}
+
+TEST(GrepWorkload, VisitsEveryFileAndDirectory) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  TreeSpec spec;
+  spec.top_dirs = 2;
+  spec.subdirs_per_dir = 1;
+  spec.depth = 1;
+  spec.files_per_dir = 4;
+  spec.median_file_bytes = 2'000;
+  const BuiltTree tree = BuildSourceTree(&fs, "/src", spec);
+  GrepStats stats;
+  k.Spawn("grep", GrepWorkload(&k, &fs, "/src", 0.5, &stats));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(stats.files_read, tree.files.size());
+  // +1: the root itself.
+  EXPECT_EQ(stats.directories_visited, tree.directories.size() + 1);
+  EXPECT_EQ(stats.bytes_read, tree.total_bytes);
+}
+
+TEST(GrepWorkload, GeneratesTheFigure7OperationMix) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  TreeSpec spec;
+  spec.top_dirs = 3;
+  spec.files_per_dir = 10;
+  BuildSourceTree(&fs, "/src", spec);
+  osprofilers::SimProfiler prof(&k);
+  fs.SetProfiler(&prof);
+  GrepStats stats;
+  k.Spawn("grep", GrepWorkload(&k, &fs, "/src", 0.5, &stats));
+  k.RunUntilThreadsFinish();
+  // The op mix: readdir (incl. past-EOF probes), stat, open, read,
+  // readpage, close.
+  for (const char* op :
+       {"readdir", "stat", "open", "read", "readpage", "close"}) {
+    ASSERT_NE(prof.profiles().Find(op), nullptr) << op;
+    EXPECT_GT(prof.profiles().Find(op)->total_operations(), 0u) << op;
+  }
+  // Every directory produces at least one past-EOF readdir, which lands
+  // in buckets 5-8.
+  const osprof::Histogram& rd = prof.profiles().Find("readdir")->histogram();
+  std::uint64_t eof_zone = 0;
+  for (int b = 5; b <= 8; ++b) {
+    eof_zone += rd.bucket(b);
+  }
+  EXPECT_GE(eof_zone, stats.directories_visited);
+}
+
+TEST(ZeroByteReadWorkload, IssuesExactRequestCount) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  fs.AddFile("/f", 4096);
+  osprofilers::SimProfiler prof(&k);
+  fs.SetProfiler(&prof);
+  k.Spawn("z", ZeroByteReadWorkload(&k, &fs, "/f", 5'000, 100));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(prof.profiles().Find("read")->total_operations(), 5'000u);
+  EXPECT_EQ(disk.requests_completed(), 0u);
+}
+
+TEST(RandomReadWorkload, UsesDirectIoAndSeeks) {
+  Kernel k(QuietConfig(2));
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  fs.AddFile("/data", 8u << 20);
+  osprofilers::SimProfiler prof(&k);
+  fs.SetProfiler(&prof);
+  k.Spawn("p", RandomReadWorkload(&k, &fs, "/data", 50, 99));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(prof.profiles().Find("llseek")->total_operations(), 50u);
+  EXPECT_EQ(prof.profiles().Find("read")->total_operations(), 50u);
+  EXPECT_GT(disk.requests_completed(), 0u);  // O_DIRECT hits the disk.
+}
+
+TEST(CloneWorkload, SingleProcessHasOnePeakFourHaveTwo) {
+  // Figure 1 end to end.
+  auto run = [](int processes) {
+    // Real context-switch cost: a blocked clone pays wakeup + dispatch,
+    // which is what pushes the contended mode visibly to the right.
+    KernelConfig cfg = QuietConfig(2);
+    cfg.context_switch_cost = 9'520;
+    Kernel k(cfg);
+    osim::SimSemaphore proc_lock(&k, 1, "proc_table");
+    osprofilers::SimProfiler prof(&k);
+    for (int p = 0; p < processes; ++p) {
+      k.Spawn("proc" + std::to_string(p),
+              CloneWorkload(&k, &proc_lock, &prof, 500, 4'000, 2'000, 10'000));
+    }
+    k.RunUntilThreadsFinish();
+    return osprof::FindPeaks(prof.profiles().Find("clone")->histogram());
+  };
+  const auto one = run(1);
+  ASSERT_EQ(one.size(), 1u);
+  const auto four = run(4);
+  ASSERT_GE(four.size(), 2u);
+  // The contended mode sits to the right of the lock-free mode.
+  EXPECT_GT(four.back().mode_bucket, one[0].mode_bucket);
+}
+
+TEST(PostmarkWorkload, RunsFullLifecycle) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  fs.AddDir("/postmark");
+  PostmarkConfig cfg;
+  cfg.initial_files = 50;
+  cfg.transactions = 200;
+  PostmarkStats stats;
+  k.Spawn("postmark", PostmarkWorkload(&k, &fs, cfg, &stats));
+  k.RunUntilThreadsFinish();
+  EXPECT_GE(stats.creates, 50u);
+  EXPECT_EQ(stats.creates, stats.deletes);  // Cleanup removes everything.
+  EXPECT_GT(stats.reads + stats.appends, 0u);
+  EXPECT_GT(stats.bytes_written, 0u);
+}
+
+TEST(CompileWorkload, CompilesEverySourceAndLinks) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  TreeSpec spec;
+  spec.top_dirs = 2;
+  spec.subdirs_per_dir = 1;
+  spec.depth = 1;
+  spec.files_per_dir = 5;
+  const BuiltTree tree = BuildSourceTree(&fs, "/src", spec);
+  fs.AddDir("/obj");
+  CompileConfig cfg;
+  cfg.sources = tree.files;
+  CompileStats stats;
+  k.Spawn("make", CompileWorkload(&k, &fs, cfg, &stats));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(stats.sources_compiled, tree.files.size());
+  EXPECT_TRUE(fs.Exists("/obj/a.out"));
+  EXPECT_TRUE(fs.Exists("/obj/o0.o"));
+  // Read every source byte plus every object byte back for the link.
+  EXPECT_EQ(stats.bytes_read,
+            tree.total_bytes + tree.files.size() * cfg.object_bytes);
+}
+
+TEST(CompileWorkload, PhasesShowUpInSampledProfiles) {
+  // §3.1: sampling is "useful when ... analyzing proles generated by
+  // non-monotonic workload generators (e.g., a program compilation)".
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  TreeSpec spec;
+  spec.top_dirs = 3;
+  spec.files_per_dir = 12;
+  spec.median_file_bytes = 60'000;
+  const BuiltTree tree = BuildSourceTree(&fs, "/src", spec);
+  fs.AddDir("/obj");
+  osprofilers::SimProfiler prof(&k);
+  fs.SetProfiler(&prof);
+  CompileConfig cfg;
+  cfg.sources = tree.files;
+  CompileStats stats;
+  k.Spawn("make", CompileWorkload(&k, &fs, cfg, &stats));
+  k.RunUntilThreadsFinish();
+  const osprof::Cycles elapsed = k.now();
+  // Re-run with sampling at ~1/8 of the elapsed time per epoch.
+  Kernel k2(QuietConfig());
+  SimDisk disk2(&k2);
+  Ext2SimFs fs2(&k2, &disk2);
+  BuildSourceTree(&fs2, "/src", spec);
+  fs2.AddDir("/obj");
+  osprofilers::SimProfiler prof2(&k2);
+  prof2.EnableSampling(elapsed / 8 + 1);
+  fs2.SetProfiler(&prof2);
+  CompileStats stats2;
+  k2.Spawn("make", CompileWorkload(&k2, &fs2, cfg, &stats2));
+  k2.RunUntilThreadsFinish();
+  // Writes concentrate in later epochs than reads: the write phase of
+  // each compile plus the link tail.
+  const osprof::SampledProfile* wr = prof2.sampled()->Find("write");
+  const osprof::SampledProfile* rd = prof2.sampled()->Find("read");
+  ASSERT_NE(wr, nullptr);
+  ASSERT_NE(rd, nullptr);
+  auto centroid = [](const osprof::SampledProfile* p) {
+    double weighted = 0.0;
+    double total = 0.0;
+    for (int e = 0; e < p->num_epochs(); ++e) {
+      const auto n = static_cast<double>(p->epoch(e).TotalOperations());
+      weighted += n * e;
+      total += n;
+    }
+    return weighted / total;
+  };
+  EXPECT_GT(centroid(wr), centroid(rd) * 0.9);
+  EXPECT_GT(rd->num_epochs(), 3);
+}
+
+TEST(PostmarkWorkload, GeneratesEveryVfsOpForOverheadBench) {
+  Kernel k(QuietConfig());
+  SimDisk disk(&k);
+  Ext2SimFs fs(&k, &disk);
+  fs.AddDir("/postmark");
+  osprofilers::SimProfiler prof(&k);
+  fs.SetProfiler(&prof);
+  PostmarkConfig cfg;
+  cfg.initial_files = 30;
+  cfg.transactions = 100;
+  PostmarkStats stats;
+  k.Spawn("postmark", PostmarkWorkload(&k, &fs, cfg, &stats));
+  k.RunUntilThreadsFinish();
+  for (const char* op : {"create", "write", "read", "open", "close", "unlink"}) {
+    ASSERT_NE(prof.profiles().Find(op), nullptr) << op;
+  }
+}
+
+}  // namespace
+}  // namespace osworkloads

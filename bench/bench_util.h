@@ -4,13 +4,51 @@
 #define OSPROF_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/core/peaks.h"
 #include "src/core/prior.h"
 #include "src/core/report.h"
+#include "src/runner/runner.h"
 
 namespace osbench {
+
+// Benches ported onto the multi-trial runner accept `--trials=N` and
+// `--jobs=J` (defaults 1/1 keep the single-run figure output).
+inline osrunner::RunOptions ParseRunCli(int argc, char** argv) {
+  osrunner::RunOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trials=", 0) == 0) {
+      options.trials = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::atoi(arg.c_str() + 7);
+    }
+  }
+  return options;
+}
+
+inline void ShowRunSummary(const osrunner::RunResult& result) {
+  std::printf("%d trial(s) on %d job(s), %.3f s wall\n",
+              result.options.trials, result.options.jobs,
+              result.wall_seconds);
+}
+
+// Cross-trial dispersion for one layer, only worth printing for trials > 1.
+inline void ShowDispersion(const osrunner::RunResult& result,
+                           const std::string& layer) {
+  if (result.options.trials < 2) {
+    return;
+  }
+  const auto it = result.layers.find(layer);
+  if (it == result.layers.end()) {
+    return;
+  }
+  std::printf("\n--- Cross-trial dispersion [%s] ---\n%s", layer.c_str(),
+              osrunner::RenderDispersion(it->second, result.options.trials)
+                  .c_str());
+}
 
 inline void Header(const std::string& title) {
   std::printf("\n==============================================================\n");

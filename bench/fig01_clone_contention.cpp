@@ -3,58 +3,53 @@
 // path; the right peak is contention on the process-table lock.  With a
 // single process the right peak disappears (the differential-analysis
 // observation of §3.1).
+//
+// Runs on the multi-trial runner: pass --trials=N --jobs=J to merge N
+// independently-seeded runs (the peak structure must survive merging).
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "src/core/analysis.h"
-#include "src/profilers/sim_profiler.h"
-#include "src/sim/kernel.h"
-#include "src/sim/sync.h"
-#include "src/workloads/workloads.h"
+#include "src/runner/runner.h"
+#include "src/runner/scenario.h"
 
 namespace {
 
-osprof::ProfileSet RunClone(int processes, int iterations) {
-  osim::KernelConfig cfg;
-  cfg.num_cpus = 2;  // The paper's dual-CPU SMP machine.
-  cfg.seed = 42;
-  osim::Kernel kernel(cfg);
-  osim::SimSemaphore process_table_lock(&kernel, 1, "proc_table");
-  osprofilers::SimProfiler profiler(&kernel);
-  for (int p = 0; p < processes; ++p) {
-    kernel.Spawn("proc" + std::to_string(p),
-                 osworkloads::CloneWorkload(&kernel, &process_table_lock,
-                                            &profiler, iterations,
-                                            /*lock_free_cpu=*/4'000,
-                                            /*locked_cpu=*/2'000,
-                                            /*user_think_cpu=*/60'000));
-  }
-  kernel.RunUntilThreadsFinish();
-  std::printf("  [%d process(es)] contended acquisitions: %llu of %llu\n",
-              processes,
+osrunner::RunResult RunClone(const char* scenario_name,
+                             const osrunner::RunOptions& options) {
+  const osrunner::Scenario* scenario =
+      osrunner::BuiltinScenarios().Find(scenario_name);
+  const osrunner::RunResult result = osrunner::RunScenario(*scenario, options);
+  std::printf("  [%s] contended acquisitions: %llu of %llu\n", scenario_name,
               static_cast<unsigned long long>(
-                  process_table_lock.contended_acquisitions()),
-              static_cast<unsigned long long>(process_table_lock.acquisitions()));
-  return profiler.profiles();
+                  result.TotalCounter("contended_acquisitions")),
+              static_cast<unsigned long long>(
+                  result.TotalCounter("acquisitions")));
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   osbench::Header(
       "Figure 1: FreeBSD-style clone() profile, 4 processes on 2 CPUs");
+  const osrunner::RunOptions options = osbench::ParseRunCli(argc, argv);
 
-  const osprof::ProfileSet four = RunClone(4, 4'000);
+  const osrunner::RunResult four = RunClone("fig01", options);
+  const osprof::ProfileSet& four_set = four.layers.at("user").merged;
   osbench::Section("CLONE, 4 concurrent processes");
-  osbench::ShowProfile(*four.Find("clone"));
+  osbench::ShowProfile(*four_set.Find("clone"));
+  osbench::ShowRunSummary(four);
+  osbench::ShowDispersion(four, "user");
 
-  const osprof::ProfileSet one = RunClone(1, 4'000);
+  const osrunner::RunResult one = RunClone("fig01_single", options);
+  const osprof::ProfileSet& one_set = one.layers.at("user").merged;
   osbench::Section("CLONE, 1 process (differential analysis control)");
-  osbench::ShowProfile(*one.Find("clone"));
+  osbench::ShowProfile(*one_set.Find("clone"));
 
-  const auto peaks4 = osprof::FindPeaks(four.Find("clone")->histogram());
-  const auto peaks1 = osprof::FindPeaks(one.Find("clone")->histogram());
+  const auto peaks4 = osprof::FindPeaks(four_set.Find("clone")->histogram());
+  const auto peaks1 = osprof::FindPeaks(one_set.Find("clone")->histogram());
   osbench::Section("Paper-vs-measured checks");
   std::printf("  1 process  -> %zu peak(s)   (paper: 1)\n", peaks1.size());
   std::printf("  4 processes -> %zu peak(s)  (paper: 2, right = contention)\n",

@@ -8,47 +8,31 @@
 // simulation shrinks the quantum to 2^20 and the request count to 1e6;
 // the expectation sum_b n_b * mid(b) / Q scales identically, so the model
 // validation is unchanged (see EXPERIMENTS.md).
+//
+// Runs on the multi-trial runner (--trials=N --jobs=J); both the tail
+// count and the Eq. 3 expectation scale linearly with the trial count,
+// so the validation holds at any N.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "src/core/preemption.h"
-#include "src/fs/ext2fs.h"
-#include "src/profilers/sim_profiler.h"
-#include "src/sim/disk.h"
-#include "src/sim/kernel.h"
-#include "src/workloads/workloads.h"
+#include "src/runner/runner.h"
+#include "src/runner/scenario.h"
 
 namespace {
 
 constexpr osprof::Cycles kQuantum = osprof::Cycles{1} << 20;
-constexpr std::uint64_t kRequestsPerProcess = 500'000;
 
-osprof::Histogram RunZeroByteReads(bool kernel_preemption) {
-  osim::KernelConfig cfg;
-  cfg.num_cpus = 1;
-  cfg.quantum = kQuantum;
-  cfg.kernel_preemption = kernel_preemption;
-  cfg.seed = 7;
-  osim::Kernel kernel(cfg);
-  osim::SimDisk disk(&kernel);
-  osfs::Ext2Config fs_cfg;
-  fs_cfg.cpu_noise_sigma = 0.15;
-  osfs::Ext2SimFs fs(&kernel, &disk, fs_cfg);
-  fs.AddFile("/probe", 4096);
-  osprofilers::SimProfiler profiler(&kernel);
-  fs.SetProfiler(&profiler);
-  for (int p = 0; p < 2; ++p) {
-    kernel.Spawn("proc" + std::to_string(p),
-                 osworkloads::ZeroByteReadWorkload(
-                     &kernel, &fs, "/probe", kRequestsPerProcess,
-                     /*user_cycles=*/120));
-  }
-  kernel.RunUntilThreadsFinish();
-  std::printf("  [%s] forced preemptions (all modes): %llu\n",
-              kernel_preemption ? "preemptive" : "non-preemptive",
-              static_cast<unsigned long long>(kernel.total_forced_preemptions()));
-  return profiler.profiles().Find("read")->histogram();
+osrunner::RunResult RunZeroByteReads(const char* scenario_name,
+                                     const osrunner::RunOptions& options) {
+  const osrunner::Scenario* scenario =
+      osrunner::BuiltinScenarios().Find(scenario_name);
+  const osrunner::RunResult result = osrunner::RunScenario(*scenario, options);
+  std::printf("  [%s] forced preemptions (all modes): %llu\n", scenario_name,
+              static_cast<unsigned long long>(
+                  result.TotalCounter("forced_preemptions")));
+  return result;
 }
 
 std::uint64_t TailCount(const osprof::Histogram& h, int from_bucket) {
@@ -61,18 +45,27 @@ std::uint64_t TailCount(const osprof::Histogram& h, int from_bucket) {
 
 }  // namespace
 
-int main() {
-  osbench::Header("Figure 3: zero-byte read, preemptive vs non-preemptive kernel");
-  std::printf("quantum Q = 2^20 cycles, 2 processes x %llu requests, 1 CPU\n",
-              static_cast<unsigned long long>(kRequestsPerProcess));
+int main(int argc, char** argv) {
+  osbench::Header(
+      "Figure 3: zero-byte read, preemptive vs non-preemptive kernel");
+  const osrunner::RunOptions options = osbench::ParseRunCli(argc, argv);
+  std::printf("quantum Q = 2^20 cycles, 2 processes x 500000 requests, 1 CPU\n");
 
-  const osprof::Histogram preemptive = RunZeroByteReads(true);
-  const osprof::Histogram nonpreemptive = RunZeroByteReads(false);
+  const osrunner::RunResult preemptive_run =
+      RunZeroByteReads("fig03", options);
+  const osrunner::RunResult nonpreemptive_run =
+      RunZeroByteReads("fig03_nonpreempt", options);
+  const osprof::Histogram& preemptive =
+      preemptive_run.layers.at("fs").merged.Find("read")->histogram();
+  const osprof::Histogram& nonpreemptive =
+      nonpreemptive_run.layers.at("fs").merged.Find("read")->histogram();
 
   osbench::Section("READ (preemptive kernel)");
   osbench::ShowProfile(osprof::Profile("READ-preemptive", preemptive));
   osbench::Section("READ (non-preemptive kernel)");
   osbench::ShowProfile(osprof::Profile("READ-nonpreemptive", nonpreemptive));
+  osbench::ShowRunSummary(preemptive_run);
+  osbench::ShowDispersion(preemptive_run, "fs");
 
   osbench::Section("Equation 3 validation");
   const int q_bucket = osprof::PreemptionBucket(static_cast<double>(kQuantum));

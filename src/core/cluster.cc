@@ -12,16 +12,9 @@ ProfileSet MergeCluster(const std::vector<MachineProfile>& machines) {
   if (machines.empty()) {
     return ProfileSet(1);
   }
-  const int resolution = machines.front().profiles.resolution();
-  ProfileSet merged(resolution);
+  ProfileSet merged(machines.front().profiles.resolution());
   for (const MachineProfile& m : machines) {
-    if (m.profiles.resolution() != resolution) {
-      throw std::invalid_argument(
-          "MergeCluster: profile sets differ in resolution");
-    }
-    for (const auto& [name, profile] : m.profiles) {
-      merged[name].histogram().Merge(profile.histogram());
-    }
+    merged.Merge(m.profiles);  // Resolution-checked by ProfileSet::Merge.
   }
   return merged;
 }
@@ -29,7 +22,7 @@ ProfileSet MergeCluster(const std::vector<MachineProfile>& machines) {
 ProfileSet PrefixOperations(const ProfileSet& set, const std::string& prefix) {
   ProfileSet out(set.resolution());
   for (const auto& [name, profile] : set) {
-    out[prefix + name].histogram().Merge(profile.histogram());
+    out[prefix + name].Merge(profile);
   }
   return out;
 }

@@ -15,7 +15,75 @@ int BucketCountFor(int resolution) {
   return kMaxLog2Buckets * resolution;
 }
 
+// Builds the exact boundary table for one resolution.  Entry b is the
+// smallest integer latency x with x^r >= 2^b, found by binary search over
+// the exact predicate; entries at or beyond 2^64 saturate.
+std::vector<Cycles> BuildBucketBounds(int resolution) {
+  const int buckets = BucketCountFor(resolution);
+  std::vector<Cycles> bounds(static_cast<std::size_t>(buckets) + 1, 0);
+  for (int b = 1; b <= buckets; ++b) {
+    if (b >= kMaxLog2Buckets * resolution) {
+      // The bound would be 2^64, which Cycles cannot represent.
+      bounds[static_cast<std::size_t>(b)] = ~Cycles{0};
+      continue;
+    }
+    Cycles lo = 1;
+    Cycles hi = ~Cycles{0};
+    while (lo < hi) {
+      const Cycles mid = lo + (hi - lo) / 2;
+      if (internal::PowAtLeast(mid, resolution, b)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    bounds[static_cast<std::size_t>(b)] = lo;
+  }
+  return bounds;
+}
+
 }  // namespace
+
+namespace internal {
+
+bool PowAtLeast(Cycles latency, int resolution, int exponent) {
+  if (latency == 0) {
+    return false;  // 0^r is 0, never >= 2^b.
+  }
+  // Compute latency^resolution exactly in 64-bit limbs (resolution <= 16,
+  // so at most 16 limbs) and compare bit lengths: v >= 2^e iff v has at
+  // least e + 1 bits.
+  std::uint64_t limbs[17] = {1};
+  int n = 1;
+  for (int i = 0; i < resolution; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < n; ++j) {
+      const unsigned __int128 v =
+          static_cast<unsigned __int128>(limbs[j]) * latency + carry;
+      limbs[j] = static_cast<std::uint64_t>(v);
+      carry = v >> 64;
+    }
+    if (carry != 0) {
+      limbs[n++] = static_cast<std::uint64_t>(carry);
+    }
+  }
+  const int bit_length = 64 * (n - 1) + 64 - __builtin_clzll(limbs[n - 1]);
+  return bit_length >= exponent + 1;
+}
+
+}  // namespace internal
+
+const std::vector<Cycles>& BucketBounds(int resolution) {
+  BucketCountFor(resolution);  // Validates the range.
+  static const auto* tables = [] {
+    auto* t = new std::vector<std::vector<Cycles>>(17);
+    for (int r = 1; r <= 16; ++r) {
+      (*t)[static_cast<std::size_t>(r)] = BuildBucketBounds(r);
+    }
+    return t;
+  }();
+  return (*tables)[static_cast<std::size_t>(resolution)];
+}
 
 Histogram::Histogram(int resolution)
     : resolution_(resolution),

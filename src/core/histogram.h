@@ -39,6 +39,20 @@ namespace osprof {
 // multiplies the bucket count.
 inline constexpr int kMaxLog2Buckets = 64;
 
+namespace internal {
+// Exact predicate: latency^resolution >= 2^exponent, evaluated with a small
+// stack big-integer (no floating point).  This is the ground truth behind
+// bucket boundaries: floor(r * log2(x)) >= b  <=>  x^r >= 2^b.
+bool PowAtLeast(Cycles latency, int resolution, int exponent);
+}  // namespace internal
+
+// The exact bucket boundary table for `resolution`: entry b is the smallest
+// latency whose bucket is >= b (entry 0 is 0; the one-past-the-end entry
+// saturates to the maximum Cycles value).  Built once per process by binary
+// search over the exact PowAtLeast predicate, so boundaries never suffer
+// floating-point drift.
+const std::vector<Cycles>& BucketBounds(int resolution);
+
 // Returns floor(r * log2(latency)).  Latencies of 0 and 1 cycles land in
 // bucket 0.
 inline int BucketIndex(Cycles latency, int resolution = 1) {
@@ -49,26 +63,48 @@ inline int BucketIndex(Cycles latency, int resolution = 1) {
   if (resolution == 1) {
     return log2_floor;
   }
-  // For finer resolutions refine with floating point; the integer floor
-  // bounds the error so the result is exact for all practical inputs.
-  const double b = static_cast<double>(resolution) *
-                   std::log2(static_cast<double>(latency));
-  return static_cast<int>(b);
+  // Floating-point first guess, then exact correction against the integer
+  // boundary table: log2 rounding can disagree with the true floor exactly
+  // at bucket boundaries, which would put BucketLowerBound(b) in bucket
+  // b - 1 or b + 1 depending on the rounding direction.
+  const std::vector<Cycles>& lb = BucketBounds(resolution);
+  const int max_bucket = static_cast<int>(lb.size()) - 2;
+  int b = static_cast<int>(static_cast<double>(resolution) *
+                           std::log2(static_cast<double>(latency)));
+  if (b < 0) {
+    b = 0;
+  } else if (b > max_bucket) {
+    b = max_bucket;
+  }
+  while (b > 0 && lb[static_cast<std::size_t>(b)] > latency) {
+    --b;
+  }
+  while (b < max_bucket && lb[static_cast<std::size_t>(b) + 1] <= latency) {
+    ++b;
+  }
+  return b;
 }
 
 // The smallest latency that maps to `bucket` (inverse of BucketIndex).
+// Provably lands in `bucket`: BucketIndex(BucketLowerBound(b, r), r) == b
+// whenever bucket b contains any integer latency at all (at high
+// resolutions the lowest few buckets cover sub-integer ranges only).
 inline Cycles BucketLowerBound(int bucket, int resolution = 1) {
   if (bucket <= 0) {
     return 0;
   }
   if (resolution == 1) {
-    return Cycles{1} << bucket;
+    return bucket >= kMaxLog2Buckets ? ~Cycles{0} : Cycles{1} << bucket;
   }
-  return static_cast<Cycles>(
-      std::ceil(std::exp2(static_cast<double>(bucket) / resolution)));
+  const std::vector<Cycles>& lb = BucketBounds(resolution);
+  if (bucket >= static_cast<int>(lb.size())) {
+    return ~Cycles{0};
+  }
+  return lb[static_cast<std::size_t>(bucket)];
 }
 
-// One past the largest latency that maps to `bucket`.
+// One past the largest latency that maps to `bucket` (saturates at the
+// maximum representable latency for the last bucket).
 inline Cycles BucketUpperBound(int bucket, int resolution = 1) {
   return BucketLowerBound(bucket + 1, resolution);
 }

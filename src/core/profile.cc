@@ -21,6 +21,16 @@ const Profile* ProfileSet::Find(const std::string& op) const {
   return it == profiles_.end() ? nullptr : &it->second;
 }
 
+void ProfileSet::Merge(const ProfileSet& other) {
+  if (other.resolution_ != resolution_) {
+    throw std::invalid_argument(
+        "ProfileSet::Merge: profile sets differ in resolution");
+  }
+  for (const auto& [name, profile] : other.profiles_) {
+    (*this)[name].Merge(profile);
+  }
+}
+
 std::vector<std::string> ProfileSet::OperationNames() const {
   std::vector<std::string> names;
   names.reserve(profiles_.size());

@@ -37,6 +37,12 @@ class Profile {
 
   void Add(Cycles latency) { histogram_.Add(latency); }
 
+  // Merges another profile's measurements into this one (resolution-checked
+  // by Histogram::Merge).  The operation name of `this` is kept, so sharded
+  // or per-trial profiles of the same operation can be combined regardless
+  // of how the shards were labelled.
+  void Merge(const Profile& other) { histogram_.Merge(other.histogram_); }
+
   std::uint64_t total_operations() const {
     return histogram_.TotalOperations();
   }
@@ -59,6 +65,14 @@ class ProfileSet {
   const Profile* Find(const std::string& op) const;
 
   void Add(const std::string& op, Cycles latency) { (*this)[op].Add(latency); }
+
+  // Merges every profile of `other` into this set, summing histograms of
+  // operations present in both (paper §3.4: shards collected concurrently
+  // are combined afterwards; §7: per-machine sets merge into a fleet view).
+  // Throws std::invalid_argument if the resolutions differ.  Merge is
+  // associative and commutative, so any merge tree over the same shards
+  // yields an identical set.
+  void Merge(const ProfileSet& other);
 
   bool empty() const { return profiles_.empty(); }
   std::size_t size() const { return profiles_.size(); }

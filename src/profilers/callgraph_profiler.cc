@@ -8,6 +8,20 @@
 
 namespace osprofilers {
 
+void CallGraphProfiler::Reset() {
+  for (const auto& [tid, stack] : stacks_) {
+    if (!stack.empty()) {
+      throw std::logic_error(
+          "CallGraphProfiler::Reset with operations still in flight");
+    }
+  }
+  flat_ = osprof::ProfileSet(resolution_);
+  edges_ = osprof::ProfileSet(1);
+  stacks_.clear();
+  child_time_.clear();
+  child_totals_.clear();
+}
+
 int CallGraphProfiler::CurrentThreadId() const {
   const osim::SimThread* t = kernel_->current();
   if (t == nullptr) {

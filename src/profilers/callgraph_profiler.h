@@ -22,15 +22,26 @@
 #include <vector>
 
 #include "src/core/profile.h"
+#include "src/profilers/profiler_sink.h"
 #include "src/sim/kernel.h"
 #include "src/sim/task.h"
 
 namespace osprofilers {
 
-class CallGraphProfiler {
+class CallGraphProfiler : public ProfilerSink {
  public:
   explicit CallGraphProfiler(osim::Kernel* kernel, int resolution = 1)
       : kernel_(kernel), resolution_(resolution), flat_(resolution) {}
+
+  // --- ProfilerSink ------------------------------------------------------
+  // Collect() returns the flat per-operation view (the edge profiles stay
+  // available through edges() for call-graph-aware consumers).
+  const std::string& layer() const override { return layer_; }
+  int resolution() const override { return resolution_; }
+  osprof::ProfileSet Collect() const override { return flat_; }
+  // Clears collected profiles and caller attribution.  Must not be called
+  // while profiled operations are still on any thread's stack.
+  void Reset() override;
 
   // Wraps an operation, recording both its flat profile and the
   // (caller -> callee) edge profile.  Safe to nest arbitrarily deep; each
@@ -77,6 +88,7 @@ class CallGraphProfiler {
   void Pop(int tid, const std::string& op, osim::Cycles latency);
 
   osim::Kernel* kernel_;
+  std::string layer_ = "callgraph";
   int resolution_;
   osprof::ProfileSet flat_;
   osprof::ProfileSet edges_{1};

@@ -22,12 +22,20 @@
 
 #include "src/core/clock.h"
 #include "src/core/profile.h"
+#include "src/profilers/profiler_sink.h"
 
 namespace osprofilers {
 
-class PosixProfiler {
+class PosixProfiler : public ProfilerSink {
  public:
-  explicit PosixProfiler(int resolution = 1) : profiles_(resolution) {}
+  explicit PosixProfiler(int resolution = 1)
+      : profiles_(resolution), resolution_(resolution) {}
+
+  // --- ProfilerSink ------------------------------------------------------
+  const std::string& layer() const override { return layer_; }
+  int resolution() const override { return resolution_; }
+  osprof::ProfileSet Collect() const override { return profiles_; }
+  void Reset() override { profiles_ = osprof::ProfileSet(resolution_); }
 
   // Instrumented wrappers.  Same return values and errno behaviour as the
   // raw syscalls; the measurement covers the call itself.
@@ -43,7 +51,12 @@ class PosixProfiler {
   int Mkdir(const std::string& path, mode_t mode);
 
   const osprof::ProfileSet& profiles() const { return profiles_; }
-  osprof::ProfileSet& mutable_profiles() { return profiles_; }
+  [[deprecated(
+      "direct ProfileSet& plumbing is deprecated; collect snapshots via "
+      "the ProfilerSink interface (Collect())")]] osprof::ProfileSet&
+  mutable_profiles() {
+    return profiles_;
+  }
 
   // Measures a user-supplied callable under an operation name (for
   // workloads whose interesting unit is larger than one syscall).
@@ -57,7 +70,9 @@ class PosixProfiler {
   }
 
  private:
+  std::string layer_ = "posix";
   osprof::ProfileSet profiles_;
+  int resolution_;
 };
 
 }  // namespace osprofilers

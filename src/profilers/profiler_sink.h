@@ -1,0 +1,43 @@
+// The unified profiler-sink interface.
+//
+// Every profiler in this tree -- the simulated-kernel layers of Figure 2
+// (user / file-system / driver), the function-granularity call-graph
+// profiler, and the real-OS POSIX interposition profiler -- ultimately
+// collects one ProfileSet.  ProfilerSink is that common surface: a layer
+// tag, the profile resolution, a snapshot of everything recorded so far,
+// and a reset.  Orchestration code (src/runner) collects from any layer
+// through this interface without knowing which profiler produced the data,
+// exactly as the paper's analysis tooling consumes /proc profile dumps
+// from any instrumentation level.
+
+#ifndef OSPROF_SRC_PROFILERS_PROFILER_SINK_H_
+#define OSPROF_SRC_PROFILERS_PROFILER_SINK_H_
+
+#include <string>
+
+#include "src/core/profile.h"
+
+namespace osprofilers {
+
+class ProfilerSink {
+ public:
+  virtual ~ProfilerSink() = default;
+
+  // Short tag naming the instrumentation layer this sink collects at
+  // ("user", "fs", "driver", "callgraph", "posix", ...).
+  virtual const std::string& layer() const = 0;
+
+  // Bucket resolution of the collected profiles.
+  virtual int resolution() const = 0;
+
+  // Snapshot of everything recorded so far.  Safe to call repeatedly; the
+  // returned set is independent of future recording.
+  virtual osprof::ProfileSet Collect() const = 0;
+
+  // Clears collected measurements (configuration is kept).
+  virtual void Reset() = 0;
+};
+
+}  // namespace osprofilers
+
+#endif  // OSPROF_SRC_PROFILERS_PROFILER_SINK_H_

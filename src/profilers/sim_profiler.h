@@ -28,6 +28,7 @@
 #include "src/core/correlate.h"
 #include "src/core/profile.h"
 #include "src/core/sampling.h"
+#include "src/profilers/profiler_sink.h"
 #include "src/sim/disk.h"
 #include "src/sim/kernel.h"
 #include "src/sim/task.h"
@@ -81,12 +82,21 @@ struct InstrumentationCosts {
   }
 };
 
-class SimProfiler {
+class SimProfiler : public ProfilerSink {
  public:
   explicit SimProfiler(Kernel* kernel, int resolution = 1)
       : kernel_(kernel), profiles_(resolution), resolution_(resolution) {}
 
   Kernel* kernel() const { return kernel_; }
+
+  // --- ProfilerSink ------------------------------------------------------
+  // Defaults to "fs" because SimProfiler usually attaches as the FoSgen-
+  // style in-file-system instrumentation; scenarios that record at the
+  // syscall boundary relabel it "user".
+  const std::string& layer() const override { return layer_; }
+  void set_layer(std::string layer) { layer_ = std::move(layer); }
+  int resolution() const override { return resolution_; }
+  osprof::ProfileSet Collect() const override { return profiles_; }
 
   // When true, probes consume simulated CPU per `costs()` -- for overhead
   // experiments.  Off by default so behavioural profiles are undisturbed.
@@ -176,13 +186,19 @@ class SimProfiler {
   }
 
   const osprof::ProfileSet& profiles() const { return profiles_; }
-  osprof::ProfileSet& mutable_profiles() { return profiles_; }
+  [[deprecated(
+      "direct ProfileSet& plumbing is deprecated; collect snapshots via "
+      "the ProfilerSink interface (Collect())")]] osprof::ProfileSet&
+  mutable_profiles() {
+    return profiles_;
+  }
 
   // Clears collected data (not configuration).
-  void Reset();
+  void Reset() override;
 
  private:
   Kernel* kernel_;
+  std::string layer_ = "fs";
   osprof::ProfileSet profiles_;
   int resolution_;
   bool charge_overhead_ = false;
@@ -195,14 +211,21 @@ class SimProfiler {
 // Driver-level profiler: profiles every disk request's total latency under
 // "disk_read" / "disk_write", and the queueing component separately under
 // "disk_read_queue" / "disk_write_queue".
-class DriverProfiler {
+class DriverProfiler : public ProfilerSink {
  public:
   DriverProfiler(Kernel* kernel, SimDisk* disk, int resolution = 1);
 
   const osprof::ProfileSet& profiles() const { return profiler_.profiles(); }
   SimProfiler& profiler() { return profiler_; }
 
+  // --- ProfilerSink ------------------------------------------------------
+  const std::string& layer() const override { return layer_; }
+  int resolution() const override { return profiler_.resolution(); }
+  osprof::ProfileSet Collect() const override { return profiler_.Collect(); }
+  void Reset() override { profiler_.Reset(); }
+
  private:
+  std::string layer_ = "driver";
   SimProfiler profiler_;
 };
 

@@ -1,0 +1,372 @@
+#include "src/runner/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/core/peaks.h"
+#include "src/profilers/callgraph_profiler.h"
+#include "src/profilers/profiler_sink.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/sync.h"
+
+namespace osrunner {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Lower median of an unsorted column (consistent with cluster.cc's outlier
+// consensus).
+std::uint64_t LowerMedian(std::vector<std::uint64_t> values) {
+  const std::size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+std::vector<OpDispersion> ComputeDispersion(
+    const osprof::ProfileSet& merged, const std::vector<TrialResult>& trials,
+    const std::string& layer) {
+  std::vector<OpDispersion> out;
+  for (const std::string& op : merged.OperationNames()) {
+    const osprof::Histogram& mh = merged.Find(op)->histogram();
+    OpDispersion d;
+    d.op = op;
+    d.first_bucket = mh.FirstNonEmpty();
+    d.last_bucket = mh.LastNonEmpty();
+
+    // Per-trial histograms for this operation (absent -> empty).
+    std::vector<const osprof::Histogram*> per_trial;
+    per_trial.reserve(trials.size());
+    for (const TrialResult& t : trials) {
+      const auto it = t.layers.find(layer);
+      const osprof::Profile* p =
+          it == t.layers.end() ? nullptr : it->second.Find(op);
+      per_trial.push_back(p == nullptr ? nullptr : &p->histogram());
+    }
+
+    if (d.first_bucket >= 0) {
+      const int width = d.last_bucket - d.first_bucket + 1;
+      d.min_count.resize(static_cast<std::size_t>(width));
+      d.median_count.resize(static_cast<std::size_t>(width));
+      d.max_count.resize(static_cast<std::size_t>(width));
+      std::vector<std::uint64_t> column(trials.size());
+      for (int b = d.first_bucket; b <= d.last_bucket; ++b) {
+        for (std::size_t t = 0; t < per_trial.size(); ++t) {
+          column[t] = per_trial[t] == nullptr ? 0 : per_trial[t]->bucket(b);
+        }
+        const std::size_t i = static_cast<std::size_t>(b - d.first_bucket);
+        d.min_count[i] = *std::min_element(column.begin(), column.end());
+        d.max_count[i] = *std::max_element(column.begin(), column.end());
+        d.median_count[i] = LowerMedian(column);
+      }
+    }
+
+    // Peak stability across trials.
+    std::map<int, int> peak_counts;
+    for (const osprof::Histogram* h : per_trial) {
+      const int n =
+          h == nullptr ? 0 : static_cast<int>(osprof::FindPeaks(*h).size());
+      ++peak_counts[n];
+    }
+    for (const auto& [n, occurrences] : peak_counts) {
+      // Highest occurrence wins; ties resolve to the smaller peak count
+      // (map order), keeping the report deterministic.
+      if (occurrences > d.stable_peak_trials) {
+        d.stable_peak_trials = occurrences;
+        d.modal_peak_count = n;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t RunResult::TotalCounter(const std::string& name) const {
+  std::uint64_t sum = 0;
+  for (const TrialResult& t : trials) {
+    const auto it = t.counters.find(name);
+    if (it != t.counters.end()) {
+      sum += it->second;
+    }
+  }
+  return sum;
+}
+
+TrialResult RunTrial(const Scenario& scenario, int trial) {
+  const auto start = std::chrono::steady_clock::now();
+  TrialResult result;
+  result.trial = trial;
+
+  osim::KernelConfig kcfg = scenario.kernel;
+  kcfg.seed = scenario.kernel.seed + static_cast<std::uint64_t>(trial);
+  result.seed = kcfg.seed;
+
+  // A fully private simulated machine per trial: trials share nothing, so
+  // they can run on concurrent host threads.
+  osim::Kernel kernel(kcfg);
+  osim::SimDisk disk(&kernel, scenario.disk);
+  osfs::Ext2SimFs fs(&kernel, &disk, scenario.fs);
+
+  const int resolution = scenario.profilers.resolution;
+  osprofilers::SimProfiler sim_profiler(&kernel, resolution);
+  std::optional<osprofilers::CallGraphProfiler> callgraph;
+  if (scenario.profilers.callgraph) {
+    callgraph.emplace(&kernel, resolution);
+  }
+  std::optional<osprofilers::DriverProfiler> driver;
+  if (scenario.profilers.driver) {
+    driver.emplace(&kernel, &disk, resolution);
+  }
+
+  std::vector<osprofilers::ProfilerSink*> sinks;
+  // In-FS instrumentation: the call-graph profiler takes precedence over
+  // the flat SimProfiler, mirroring Ext2SimFs::Profiled.
+  auto attach_fs_instrumentation = [&] {
+    if (callgraph.has_value()) {
+      fs.SetCallGraphProfiler(&*callgraph);
+      sinks.push_back(&*callgraph);
+    } else if (scenario.profilers.fs) {
+      fs.SetProfiler(&sim_profiler);
+      sinks.push_back(&sim_profiler);
+    }
+  };
+
+  // Long-lived workload state; must survive until the simulation finishes.
+  std::optional<osnet::CifsMount> cifs;
+  std::optional<osim::SimSemaphore> clone_lock;
+  std::vector<osworkloads::GrepStats> grep_stats;
+  osworkloads::PostmarkStats postmark_stats;
+
+  if (const auto* grep = std::get_if<GrepSpec>(&scenario.workload)) {
+    osworkloads::BuildSourceTree(&fs, grep->root, grep->tree);
+    osfs::Vfs* target = &fs;
+    if (grep->over_cifs) {
+      cifs.emplace(&kernel, &fs, grep->cifs);
+      target = &*cifs;
+      if (scenario.profilers.fs) {
+        // Client-side CIFS layer (what Figure 10 profiles).
+        sim_profiler.set_layer("cifs");
+        cifs->SetProfiler(&sim_profiler);
+        sinks.push_back(&sim_profiler);
+      }
+    } else {
+      attach_fs_instrumentation();
+    }
+    grep_stats.resize(static_cast<std::size_t>(grep->processes));
+    for (int p = 0; p < grep->processes; ++p) {
+      kernel.Spawn("grep" + std::to_string(p),
+                   osworkloads::GrepWorkload(
+                       &kernel, target, grep->root, grep->per_byte_cpu,
+                       &grep_stats[static_cast<std::size_t>(p)]));
+    }
+  } else if (const auto* probe =
+                 std::get_if<ZeroByteReadSpec>(&scenario.workload)) {
+    fs.AddFile(probe->path, probe->file_bytes);
+    attach_fs_instrumentation();
+    for (int p = 0; p < probe->processes; ++p) {
+      kernel.Spawn("proc" + std::to_string(p),
+                   osworkloads::ZeroByteReadWorkload(&kernel, &fs, probe->path,
+                                                     probe->requests,
+                                                     probe->user_cycles));
+    }
+  } else if (const auto* rr = std::get_if<RandomReadSpec>(&scenario.workload)) {
+    fs.AddFile(rr->path, rr->file_bytes);
+    attach_fs_instrumentation();
+    for (int p = 0; p < rr->processes; ++p) {
+      kernel.Spawn("proc" + std::to_string(p),
+                   osworkloads::RandomReadWorkload(
+                       &kernel, &fs, rr->path, rr->iterations,
+                       kcfg.seed + 1'000'003u * static_cast<std::uint64_t>(p)));
+    }
+  } else if (const auto* clone = std::get_if<CloneSpec>(&scenario.workload)) {
+    // Syscall-boundary recording, like the paper's user-level profiler.
+    sim_profiler.set_layer("user");
+    sinks.push_back(&sim_profiler);
+    clone_lock.emplace(&kernel, 1, "proc_table");
+    for (int p = 0; p < clone->processes; ++p) {
+      kernel.Spawn("proc" + std::to_string(p),
+                   osworkloads::CloneWorkload(
+                       &kernel, &*clone_lock, &sim_profiler, clone->iterations,
+                       clone->lock_free_cpu, clone->locked_cpu,
+                       clone->user_think_cpu));
+    }
+  } else if (const auto* pm = std::get_if<PostmarkSpec>(&scenario.workload)) {
+    osworkloads::PostmarkConfig pcfg = pm->config;
+    pcfg.seed += static_cast<std::uint64_t>(trial);
+    fs.AddDir(pcfg.directory);
+    attach_fs_instrumentation();
+    kernel.Spawn("postmark", osworkloads::PostmarkWorkload(&kernel, &fs, pcfg,
+                                                           &postmark_stats));
+  } else {
+    throw std::logic_error("RunTrial: unhandled workload variant");
+  }
+
+  if (driver.has_value()) {
+    sinks.push_back(&*driver);
+  }
+
+  kernel.RunUntilThreadsFinish();
+
+  result.sim_cycles = kernel.now();
+  for (const osprofilers::ProfilerSink* sink : sinks) {
+    result.layers.emplace(sink->layer(), sink->Collect());
+  }
+
+  result.counters["context_switches"] = kernel.context_switches();
+  result.counters["timer_interrupts"] = kernel.timer_interrupts_delivered();
+  result.counters["forced_preemptions"] = kernel.total_forced_preemptions();
+  if (!grep_stats.empty()) {
+    for (const osworkloads::GrepStats& s : grep_stats) {
+      result.counters["files_read"] += s.files_read;
+      result.counters["directories_visited"] += s.directories_visited;
+      result.counters["bytes_read"] += s.bytes_read;
+    }
+  }
+  if (clone_lock.has_value()) {
+    result.counters["acquisitions"] = clone_lock->acquisitions();
+    result.counters["contended_acquisitions"] =
+        clone_lock->contended_acquisitions();
+  }
+  if (std::holds_alternative<PostmarkSpec>(scenario.workload)) {
+    result.counters["creates"] = postmark_stats.creates;
+    result.counters["deletes"] = postmark_stats.deletes;
+    result.counters["reads"] = postmark_stats.reads;
+    result.counters["appends"] = postmark_stats.appends;
+  }
+
+  result.wall_seconds = SecondsSince(start);
+  return result;
+}
+
+RunResult RunScenario(const Scenario& scenario, const RunOptions& options) {
+  if (options.trials <= 0) {
+    throw std::invalid_argument("RunScenario: trials must be positive");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  int jobs = options.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  jobs = std::min(jobs, options.trials);
+
+  RunResult result;
+  result.scenario = scenario.name;
+  result.options = options;
+  result.options.jobs = jobs;
+  result.trials.resize(static_cast<std::size_t>(options.trials));
+
+  // Work-stealing over the trial indices; results land in their slot, so
+  // neither the claim order nor the worker count affects the output.
+  std::atomic<int> next{0};
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(options.trials));
+  auto worker = [&] {
+    for (int i;
+         (i = next.fetch_add(1, std::memory_order_relaxed)) < options.trials;) {
+      try {
+        result.trials[static_cast<std::size_t>(i)] = RunTrial(scenario, i);
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) {
+      std::rethrow_exception(e);
+    }
+  }
+
+  // Merge layer by layer, in trial order: ProfileSet::Merge is associative
+  // and commutative, so the totals are identical for any jobs value; the
+  // fixed order makes them bit-identical trivially.
+  for (const TrialResult& t : result.trials) {
+    for (const auto& [layer, set] : t.layers) {
+      if (result.layers.find(layer) == result.layers.end()) {
+        result.layers.emplace(layer,
+                              LayerResult{osprof::ProfileSet(set.resolution()),
+                                          {}});
+      }
+    }
+  }
+  for (const TrialResult& t : result.trials) {
+    for (auto& [layer, lr] : result.layers) {
+      const auto it = t.layers.find(layer);
+      if (it != t.layers.end()) {
+        lr.merged.Merge(it->second);
+      }
+    }
+  }
+  for (auto& [layer, lr] : result.layers) {
+    lr.dispersion = ComputeDispersion(lr.merged, result.trials, layer);
+  }
+
+  result.wall_seconds = SecondsSince(start);
+  return result;
+}
+
+std::string RenderDispersion(const LayerResult& layer, int trials) {
+  std::ostringstream os;
+  // Heaviest operations first: the paper's profile preprocessing order.
+  for (const std::string& op : layer.merged.ByTotalLatency()) {
+    const auto it =
+        std::find_if(layer.dispersion.begin(), layer.dispersion.end(),
+                     [&op](const OpDispersion& d) { return d.op == op; });
+    if (it == layer.dispersion.end() || it->first_bucket < 0) {
+      continue;
+    }
+    const OpDispersion& d = *it;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "%s: %d peak(s) in %d/%d trials; buckets %d..%d\n",
+                  d.op.c_str(), d.modal_peak_count, d.stable_peak_trials,
+                  trials, d.first_bucket, d.last_bucket);
+    os << head;
+    os << "  bucket        min     median        max     merged\n";
+    const osprof::Histogram& mh = layer.merged.Find(op)->histogram();
+    for (int b = d.first_bucket; b <= d.last_bucket; ++b) {
+      if (mh.bucket(b) == 0) {
+        continue;
+      }
+      const std::size_t i = static_cast<std::size_t>(b - d.first_bucket);
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %6d %10llu %10llu %10llu %10llu\n",
+                    b, static_cast<unsigned long long>(d.min_count[i]),
+                    static_cast<unsigned long long>(d.median_count[i]),
+                    static_cast<unsigned long long>(d.max_count[i]),
+                    static_cast<unsigned long long>(mh.bucket(b)));
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace osrunner

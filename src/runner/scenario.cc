@@ -1,0 +1,161 @@
+#include "src/runner/scenario.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace osrunner {
+
+void ScenarioRegistry::Register(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::invalid_argument("ScenarioRegistry: scenario name is empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      scenarios_.emplace(scenario.name, std::move(scenario));
+  if (!inserted) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario '" +
+                                it->first + "'");
+  }
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+namespace {
+
+// Figure 1: four processes cloning concurrently on the dual-CPU SMP box;
+// the single-process control for differential analysis rides along.
+Scenario Fig01(int processes, std::string name, std::string what) {
+  Scenario s;
+  s.name = std::move(name);
+  s.description = "Figure 1: clone() contention, " + what;
+  s.kernel.num_cpus = 2;
+  s.kernel.seed = 42;
+  CloneSpec clone;
+  clone.processes = processes;
+  s.workload = clone;
+  return s;
+}
+
+// Figure 3: the zero-byte read preemption probe at the bench's shrunken
+// scale (Q = 2^20, 2 x 5e5 requests).
+Scenario Fig03(bool kernel_preemption, std::string name) {
+  Scenario s;
+  s.name = std::move(name);
+  s.description = std::string("Figure 3: zero-byte reads, ") +
+                  (kernel_preemption ? "preemptive" : "non-preemptive") +
+                  " kernel";
+  s.kernel.num_cpus = 1;
+  s.kernel.quantum = osim::Cycles{1} << 20;
+  s.kernel.kernel_preemption = kernel_preemption;
+  s.kernel.seed = 7;
+  s.fs.cpu_noise_sigma = 0.15;
+  ZeroByteReadSpec probe;
+  s.workload = probe;
+  return s;
+}
+
+// Figure 7's grep -r tree: Linux-2.6.11-ish top level.
+GrepSpec Fig07Grep() {
+  GrepSpec grep;
+  grep.tree.top_dirs = 14;
+  grep.tree.subdirs_per_dir = 3;
+  grep.tree.depth = 2;
+  grep.tree.files_per_dir = 16;
+  return grep;
+}
+
+Scenario Fig07() {
+  Scenario s;
+  s.name = "fig07";
+  s.description =
+      "Figure 7: Ext2 readdir/readpage under grep -r (4-peak profile)";
+  s.kernel.num_cpus = 1;
+  s.kernel.seed = 2024;
+  s.workload = Fig07Grep();
+  return s;
+}
+
+Scenario Fig07Driver() {
+  Scenario s = Fig07();
+  s.name = "fig07_driver";
+  s.description =
+      "Figure 7 workload with driver-level profiling (Figure 2, lowest "
+      "layer)";
+  s.profilers.driver = true;
+  return s;
+}
+
+Scenario Fig07Cifs() {
+  Scenario s;
+  s.name = "fig07_cifs";
+  s.description =
+      "Figure 7's grep over a CIFS mount (Figure 10's client-side view)";
+  s.kernel.num_cpus = 2;
+  s.kernel.seed = 1010;
+  GrepSpec grep = Fig07Grep();
+  grep.tree.top_dirs = 6;  // Network round-trips dominate; keep it brisk.
+  grep.over_cifs = true;
+  s.workload = grep;
+  return s;
+}
+
+Scenario Fig06() {
+  Scenario s;
+  s.name = "fig06";
+  s.description =
+      "Figure 6: llseek vs O_DIRECT random reads on the shared i_sem";
+  s.kernel.num_cpus = 2;
+  s.kernel.seed = 6;
+  RandomReadSpec rr;
+  rr.iterations = 2000;
+  s.workload = rr;
+  return s;
+}
+
+Scenario Postmark() {
+  Scenario s;
+  s.name = "postmark";
+  s.description = "§5.2: postmark-like mail workload on Ext2";
+  s.kernel.seed = 52;
+  PostmarkSpec pm;
+  pm.config.initial_files = 200;
+  pm.config.transactions = 1000;
+  s.workload = pm;
+  return s;
+}
+
+}  // namespace
+
+ScenarioRegistry& BuiltinScenarios() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    r->Register(Fig01(4, "fig01", "4 processes on 2 CPUs"));
+    r->Register(Fig01(1, "fig01_single",
+                      "1 process (differential-analysis control)"));
+    r->Register(Fig03(true, "fig03"));
+    r->Register(Fig03(false, "fig03_nonpreempt"));
+    r->Register(Fig06());
+    r->Register(Fig07());
+    r->Register(Fig07Driver());
+    r->Register(Fig07Cifs());
+    r->Register(Postmark());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace osrunner

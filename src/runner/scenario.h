@@ -1,0 +1,136 @@
+// Declarative scenario specifications for the multi-trial runner.
+//
+// Every figure/table bench in this repository used to hand-assemble its
+// kernel + disk + file system + workload inline and run one seed in one
+// thread.  A Scenario captures that assembly declaratively -- kernel,
+// disk, fs and net knobs plus the workload and its parameters and a base
+// seed -- so the same experiment can be (a) named and looked up in a
+// registry, (b) run N times with independent seeds on a thread pool, and
+// (c) reproduced exactly from the command line via
+// `osprof_tool run <scenario>`.
+//
+// Scenarios are plain data: building the simulation from one (kernel,
+// disk, fs, profilers, workload threads) is the runner's job
+// (src/runner/runner.h).
+
+#ifndef OSPROF_SRC_RUNNER_SCENARIO_H_
+#define OSPROF_SRC_RUNNER_SCENARIO_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/fs/ext2fs.h"
+#include "src/net/cifs.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+#include "src/workloads/workloads.h"
+
+namespace osrunner {
+
+// Which instrumentation layers a scenario attaches (Figure 2).  The
+// syscall/user layer is implied by the workload: clone-style workloads
+// record into a SimProfiler labelled "user"; file-system workloads attach
+// it as the FoSgen-style in-FS instrumentation labelled "fs".
+struct ProfilerSpec {
+  bool fs = true;        // SimProfiler at the FS (or syscall) boundary.
+  bool driver = false;   // DriverProfiler on the block request stream.
+  bool callgraph = false;  // Function-granularity profiler; when set it
+                           // replaces the FS-level SimProfiler (collected
+                           // under layer "callgraph", flat view).
+  int resolution = 1;
+};
+
+// --- Workloads --------------------------------------------------------------
+
+// grep -r over a freshly built kernel-source-like tree (Figures 7/8/10).
+// With `over_cifs` the tree lives on a simulated SMB server and the grep
+// runs against a CifsMount configured by `cifs` (the net knobs).
+struct GrepSpec {
+  osworkloads::TreeSpec tree;
+  std::string root = "/usr/src/linux";
+  double per_byte_cpu = 0.5;
+  int processes = 1;
+  bool over_cifs = false;
+  osnet::CifsConfig cifs;
+};
+
+// The §3.3 preemption probe: tight zero-byte read loops (Figure 3).
+struct ZeroByteReadSpec {
+  std::string path = "/probe";
+  std::uint64_t file_bytes = 4096;
+  std::uint64_t requests = 500'000;
+  osim::Cycles user_cycles = 120;
+  int processes = 2;
+};
+
+// Random llseek + O_DIRECT read of one shared file (Figure 6).
+struct RandomReadSpec {
+  std::string path = "/db";
+  std::uint64_t file_bytes = std::uint64_t{8} << 20;
+  int iterations = 1000;
+  int processes = 2;
+};
+
+// Concurrent clone() calls contending on the process-table lock
+// (Figure 1).  Records at the syscall boundary into layer "user".
+struct CloneSpec {
+  int processes = 4;
+  int iterations = 4000;
+  osim::Cycles lock_free_cpu = 4'000;
+  osim::Cycles locked_cpu = 2'000;
+  osim::Cycles user_think_cpu = 60'000;
+};
+
+// The §5.2 postmark-like mail workload.
+struct PostmarkSpec {
+  osworkloads::PostmarkConfig config;
+};
+
+using WorkloadSpec = std::variant<GrepSpec, ZeroByteReadSpec, RandomReadSpec,
+                                  CloneSpec, PostmarkSpec>;
+
+// --- The scenario -----------------------------------------------------------
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  // kernel.seed is the scenario's *base* seed; trial t runs with
+  // seed base + t, so trials are independent but the whole run is
+  // reproducible from the spec alone.
+  osim::KernelConfig kernel;
+  osim::DiskConfig disk;
+  osfs::Ext2Config fs;
+  ProfilerSpec profilers;
+  WorkloadSpec workload = GrepSpec{};
+};
+
+// --- Registry ---------------------------------------------------------------
+
+class ScenarioRegistry {
+ public:
+  // Registers a scenario under its name; throws std::invalid_argument on an
+  // empty name or a duplicate.
+  void Register(Scenario scenario);
+
+  // Returns the scenario named `name`, or nullptr.  The pointer stays valid
+  // for the registry's lifetime (scenarios are never removed).
+  const Scenario* Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Scenario> scenarios_;
+};
+
+// The process-wide registry, pre-populated with the built-in figure
+// scenarios (fig01, fig01_single, fig03, fig03_nonpreempt, fig07,
+// fig07_cifs, ...).
+ScenarioRegistry& BuiltinScenarios();
+
+}  // namespace osrunner
+
+#endif  // OSPROF_SRC_RUNNER_SCENARIO_H_

@@ -13,6 +13,7 @@
 #include "src/core/profile.h"
 #include "src/core/report.h"
 #include "src/core/sampling.h"
+#include "src/tools/run_command.h"
 
 namespace ostools {
 namespace {
@@ -29,6 +30,9 @@ constexpr const char* kUsage =
     "  outliers <a.prof> <b.prof> ...       fleet outlier machines\n"
     "  grid    <set.sprof> <op> [lo hi]     sampled-profile density grid\n"
     "  plot3d  <set.sprof> <op>             gnuplot script (Figure 9 style)\n"
+    "  run     <scenario> [--trials=N] [--jobs=J] [--out=PREFIX]\n"
+    "                                       multi-trial scenario runner\n"
+    "  run     --list                       available scenarios\n"
     "methods: chi-square, total-ops, total-latency, earth-movers,\n"
     "         intersection, jeffrey, minkowski-l1, minkowski-l2\n";
 
@@ -312,6 +316,10 @@ int RunProfileTool(const std::vector<std::string>& args, std::ostream& out,
   }
   if (cmd == "plot3d" && n == 3) {
     return Plot3D(args, out, err);
+  }
+  if (cmd == "run" && n >= 2) {
+    return RunRunCommand(std::vector<std::string>(args.begin() + 1, args.end()),
+                         out, err);
   }
   err << kUsage;
   return 1;

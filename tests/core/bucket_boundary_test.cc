@@ -1,0 +1,140 @@
+// Satellite fix: BucketIndex vs BucketLowerBound agreement at resolutions
+// above 1.  The old float-only BucketIndex could disagree with the log2
+// boundary by one bucket exactly at powers of 2^(b/r); these tests pin the
+// exact-integer semantics: bucket(x) = floor(r * log2 x), with boundaries
+// computed by the big-integer predicate x^r >= 2^b.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/histogram.h"
+
+namespace osprof {
+namespace {
+
+// Independent oracle for small powers: computes floor(r log2 x) by exact
+// 128-bit arithmetic, valid while x^r fits in __int128 (x < 2^(128/r)).
+int OracleBucket128(Cycles x, int r) {
+  if (x <= 1) {
+    return 0;
+  }
+  unsigned __int128 pow = 1;
+  for (int i = 0; i < r; ++i) {
+    pow *= x;
+  }
+  int bits = 0;
+  while (pow > 1) {
+    pow >>= 1;
+    ++bits;
+  }
+  return bits;  // floor(log2(x^r)) == floor(r log2 x).
+}
+
+TEST(BucketBoundaryTest, Resolution1MatchesClzPath) {
+  for (int b = 0; b < kMaxLog2Buckets; ++b) {
+    const Cycles lo = BucketLowerBound(b, 1);
+    EXPECT_EQ(BucketIndex(lo, 1), b) << "bucket " << b;
+    if (lo > 1) {
+      EXPECT_EQ(BucketIndex(lo - 1, 1), b - 1) << "bucket " << b;
+    }
+  }
+  // The last bucket's upper bound saturates instead of shifting by 64 (UB).
+  EXPECT_EQ(BucketUpperBound(63, 1), ~Cycles{0});
+  EXPECT_EQ(BucketIndex(~Cycles{0}, 1), 63);
+}
+
+// The ISSUE's boundary sweep: for r in {1, 2, 4, 16}, every bucket's lower
+// bound must land in its own bucket and the preceding integer must land
+// strictly below.  Degenerate buckets (no integer latency of their own;
+// only possible at high resolution in the lowest buckets) are skipped.
+TEST(BucketBoundaryTest, BoundarySweep) {
+  for (int r : {1, 2, 4, 16}) {
+    const std::vector<Cycles>& bounds = BucketBounds(r);
+    ASSERT_EQ(bounds.size(), static_cast<std::size_t>(kMaxLog2Buckets * r + 1));
+    const int max_bucket = kMaxLog2Buckets * r - 1;
+    for (int b = 1; b <= max_bucket; ++b) {
+      const Cycles lo = BucketLowerBound(b, r);
+      const Cycles next = BucketUpperBound(b, r);
+      ASSERT_GE(next, lo) << "r=" << r << " b=" << b;
+      if (next == lo) {
+        continue;  // Degenerate: bucket b owns no integer latency.
+      }
+      EXPECT_EQ(BucketIndex(lo, r), b) << "r=" << r << " b=" << b;
+      if (lo > 1) {
+        EXPECT_LT(BucketIndex(lo - 1, r), b) << "r=" << r << " b=" << b;
+      }
+      if (next != ~Cycles{0}) {
+        EXPECT_GT(BucketIndex(next, r), b) << "r=" << r << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(BucketBoundaryTest, Resolution2FullRangeAgainstOracle) {
+  // x^2 fits in __int128 for every 64-bit x: check widely spread samples
+  // including the exact boundary neighborhoods.
+  std::vector<Cycles> samples;
+  for (Cycles x = 2; x < 100; ++x) {
+    samples.push_back(x);
+  }
+  for (int shift = 7; shift < 64; ++shift) {
+    const Cycles base = Cycles{1} << shift;
+    for (Cycles d : {Cycles{0}, Cycles{1}, base / 3, base / 2}) {
+      samples.push_back(base + d);
+      samples.push_back(base - 1 - d % (base / 2));
+    }
+  }
+  samples.push_back(~Cycles{0});
+  for (Cycles x : samples) {
+    EXPECT_EQ(BucketIndex(x, 2), OracleBucket128(x, 2)) << "x=" << x;
+  }
+}
+
+TEST(BucketBoundaryTest, Resolution4BelowThirtyTwoBitsAgainstOracle) {
+  // x^4 fits in __int128 for x < 2^32.
+  for (Cycles x = 2; x < 70'000; x += (x < 4096 ? 1 : 997)) {
+    EXPECT_EQ(BucketIndex(x, 4), OracleBucket128(x, 4)) << "x=" << x;
+  }
+  for (int shift = 17; shift < 32; ++shift) {
+    for (Cycles x :
+         {(Cycles{1} << shift) - 1, Cycles{1} << shift,
+          (Cycles{1} << shift) + 1}) {
+      EXPECT_EQ(BucketIndex(x, 4), OracleBucket128(x, 4)) << "x=" << x;
+    }
+  }
+}
+
+TEST(BucketBoundaryTest, Resolution16SmallValuesExhaustive) {
+  // x^16 fits in __int128 for x <= 255: exhaustive check of the range where
+  // buckets are densest and float drift was most likely.
+  for (Cycles x = 0; x <= 255; ++x) {
+    EXPECT_EQ(BucketIndex(x, 16), OracleBucket128(x, 16)) << "x=" << x;
+  }
+}
+
+TEST(BucketBoundaryTest, PowAtLeastMatchesOracle) {
+  EXPECT_FALSE(internal::PowAtLeast(0, 3, 0));
+  EXPECT_TRUE(internal::PowAtLeast(1, 5, 0));
+  EXPECT_FALSE(internal::PowAtLeast(1, 5, 1));
+  EXPECT_TRUE(internal::PowAtLeast(2, 16, 16));
+  EXPECT_FALSE(internal::PowAtLeast(2, 16, 17));
+  // 3^4 = 81: >= 2^6 (64), < 2^7 (128).
+  EXPECT_TRUE(internal::PowAtLeast(3, 4, 6));
+  EXPECT_FALSE(internal::PowAtLeast(3, 4, 7));
+  // Max latency at r=16 must clear the top exponent used by the tables.
+  EXPECT_TRUE(internal::PowAtLeast(~Cycles{0}, 16, 16 * 64 - 1));
+}
+
+TEST(BucketBoundaryTest, HistogramUsesExactBuckets) {
+  Histogram h(2);
+  // 2^(13/2) = 90.5...: 90 -> bucket 12, 91 -> bucket 13.
+  h.Add(90);
+  h.Add(91);
+  EXPECT_EQ(h.bucket(12), 1u);
+  EXPECT_EQ(h.bucket(13), 1u);
+  EXPECT_TRUE(h.CheckConsistency());
+}
+
+}  // namespace
+}  // namespace osprof

@@ -1,0 +1,99 @@
+// Algebraic properties of Histogram::Merge and ProfileSet::Merge: the
+// multi-trial runner depends on merge being associative and commutative
+// (so merged totals are independent of the worker count) and on the empty
+// set being an identity.
+
+#include <sstream>
+#include <stdexcept>
+
+#include "gtest/gtest.h"
+#include "src/core/profile.h"
+
+namespace osprof {
+namespace {
+
+std::string Serialized(const ProfileSet& set) {
+  std::ostringstream os;
+  set.Serialize(os);
+  return os.str();
+}
+
+ProfileSet MakeSet(int resolution, std::uint64_t salt) {
+  ProfileSet set(resolution);
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    set.Add("read", salt + i * i);
+    if (i % 3 == 0) {
+      set.Add("write", salt * 7 + i * 1000);
+    }
+  }
+  if (salt % 2 == 0) {
+    set.Add("fsync", salt + 5);  // Op present in only some operands.
+  }
+  return set;
+}
+
+TEST(MergePropertyTest, Commutative) {
+  for (int r : {1, 2, 4}) {
+    ProfileSet ab = MakeSet(r, 3);
+    ab.Merge(MakeSet(r, 8));
+    ProfileSet ba = MakeSet(r, 8);
+    ba.Merge(MakeSet(r, 3));
+    EXPECT_EQ(Serialized(ab), Serialized(ba)) << "resolution " << r;
+  }
+}
+
+TEST(MergePropertyTest, Associative) {
+  for (int r : {1, 2, 4}) {
+    // (a + b) + c
+    ProfileSet left = MakeSet(r, 3);
+    left.Merge(MakeSet(r, 8));
+    left.Merge(MakeSet(r, 21));
+    // a + (b + c)
+    ProfileSet bc = MakeSet(r, 8);
+    bc.Merge(MakeSet(r, 21));
+    ProfileSet right = MakeSet(r, 3);
+    right.Merge(bc);
+    EXPECT_EQ(Serialized(left), Serialized(right)) << "resolution " << r;
+  }
+}
+
+TEST(MergePropertyTest, EmptySetIsIdentity) {
+  ProfileSet a = MakeSet(2, 4);
+  const std::string before = Serialized(a);
+  a.Merge(ProfileSet(2));
+  EXPECT_EQ(Serialized(a), before);
+
+  ProfileSet empty(2);
+  empty.Merge(a);
+  EXPECT_EQ(Serialized(empty), before);
+}
+
+TEST(MergePropertyTest, MergePreservesTotalsAndChecksum) {
+  ProfileSet a = MakeSet(1, 3);
+  ProfileSet b = MakeSet(1, 8);
+  const std::uint64_t ops_a = a.Find("read")->total_operations();
+  const std::uint64_t ops_b = b.Find("read")->total_operations();
+  const Cycles lat_a = a.Find("read")->total_latency();
+  const Cycles lat_b = b.Find("read")->total_latency();
+  a.Merge(b);
+  EXPECT_EQ(a.Find("read")->total_operations(), ops_a + ops_b);
+  EXPECT_EQ(a.Find("read")->total_latency(), lat_a + lat_b);
+  EXPECT_TRUE(a.Find("read")->histogram().CheckConsistency());
+}
+
+TEST(MergePropertyTest, ResolutionMismatchThrows) {
+  ProfileSet a(1);
+  ProfileSet b(2);
+  b.Add("read", 100);
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+}
+
+TEST(MergePropertyTest, ProfileMergeKeepsOwnName) {
+  Profile a("alpha", Histogram(1));
+  Profile b("beta", Histogram(1));
+  a.Merge(b);
+  EXPECT_EQ(a.op_name(), "alpha");
+}
+
+}  // namespace
+}  // namespace osprof

@@ -3,10 +3,15 @@
 #ifndef OSPROF_BENCH_BENCH_UTIL_H_
 #define OSPROF_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/core/jsonw.h"
 #include "src/core/peaks.h"
 #include "src/core/prior.h"
 #include "src/core/report.h"
@@ -84,6 +89,146 @@ inline void ShowProfile(const osprof::Profile& profile,
   }
   std::printf("  %s\n", osprof::SummarizeProfile(profile).c_str());
 }
+
+// --- Machine-readable bench reports ----------------------------------------
+//
+// Every fig*/tab_* binary emits a BENCH_<name>.json next to its human
+// output so CI (and the regression gate job) can consume the run without
+// scraping stdout.  The document records wall-clock time, simulated
+// cycles, operation throughput, every paper-vs-measured check as a
+// pass/fail entry, free-form numeric metrics, and the paths of any
+// serialized merged ProfileSets the bench wrote.
+//
+// Output directory: $OSPROF_BENCH_JSON_DIR if set, else the working
+// directory.  Construction starts the wall clock; Finish() writes the
+// file and returns the bench's exit code (0 even when checks differ --
+// the figures are reproductions, and the *gate* is what enforces
+// regressions; CI reads the per-check booleans from the JSON instead).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  // Not copyable: one report per bench process.
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  // Accumulates the run's scale numbers.  Callable repeatedly (benches
+  // that execute several configurations sum them).
+  void AddSimCycles(osprof::Cycles cycles) { sim_cycles_ += cycles; }
+  void AddOps(std::uint64_t ops) { total_ops_ += ops; }
+
+  // Folds in a multi-trial runner result: simulated cycles over all
+  // trials plus the merged operation count of every layer.
+  void RecordRun(const osrunner::RunResult& result) {
+    for (const osrunner::TrialResult& t : result.trials) {
+      AddSimCycles(t.sim_cycles);
+    }
+    for (const auto& [layer, lr] : result.layers) {
+      AddOps(lr.merged.TotalOperations());
+    }
+  }
+
+  // Records one pass/fail check and returns `pass` so call sites can keep
+  // printing their human verdict from the same expression.
+  bool Check(const std::string& check_name, bool pass) {
+    checks_.emplace_back(check_name, pass);
+    return pass;
+  }
+
+  // Records a free-form numeric result (a table cell worth keeping).
+  void Metric(const std::string& metric_name, double value) {
+    metrics_.emplace_back(metric_name, value);
+  }
+
+  // Serializes a merged profile set to BENCH_<name>.<tag>.prof in the
+  // JSON output directory and records the path; returns the path ("" on
+  // I/O failure, which is also recorded in the JSON).
+  std::string WriteProfileSet(const osprof::ProfileSet& set,
+                              const std::string& tag) {
+    const std::string path = OutDir() + "BENCH_" + name_ + "." + tag +
+                             ".prof";
+    std::ofstream out(path);
+    if (out) {
+      set.Serialize(out);
+    }
+    profile_sets_.emplace_back(tag, out ? path : std::string());
+    return out ? path : std::string();
+  }
+
+  // Writes BENCH_<name>.json.  Returns the process exit code: 0 normally,
+  // 1 only if the report itself cannot be written.
+  int Finish() {
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    osjson::Value doc = osjson::Value::Object();
+    doc.Set("schema", osjson::Value::Str("osprof-bench-v1"));
+    doc.Set("bench", osjson::Value::Str(name_));
+    doc.Set("wall_seconds", osjson::Value::Double(wall_seconds));
+    doc.Set("sim_cycles", osjson::Value::Uint(sim_cycles_));
+    doc.Set("total_ops", osjson::Value::Uint(total_ops_));
+    doc.Set("ops_per_sec",
+            osjson::Value::Double(wall_seconds > 0.0
+                                      ? static_cast<double>(total_ops_) /
+                                            wall_seconds
+                                      : 0.0));
+    osjson::Value checks = osjson::Value::Array();
+    int failed = 0;
+    for (const auto& [check_name, pass] : checks_) {
+      osjson::Value entry = osjson::Value::Object();
+      entry.Set("name", osjson::Value::Str(check_name));
+      entry.Set("pass", osjson::Value::Bool(pass));
+      checks.Append(std::move(entry));
+      failed += pass ? 0 : 1;
+    }
+    doc.Set("checks", std::move(checks));
+    doc.Set("checks_failed", osjson::Value::Int(failed));
+    osjson::Value metrics = osjson::Value::Object();
+    for (const auto& [metric_name, value] : metrics_) {
+      metrics.Set(metric_name, osjson::Value::Double(value));
+    }
+    doc.Set("metrics", std::move(metrics));
+    osjson::Value sets = osjson::Value::Object();
+    for (const auto& [tag, path] : profile_sets_) {
+      sets.Set(tag, path.empty() ? osjson::Value()
+                                 : osjson::Value::Str(path));
+    }
+    doc.Set("profile_sets", std::move(sets));
+
+    const std::string path = OutDir() + "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << doc.Dump();
+    std::printf("\n[bench json: %s]\n", path.c_str());
+    return 0;
+  }
+
+ private:
+  static std::string OutDir() {
+    const char* dir = std::getenv("OSPROF_BENCH_JSON_DIR");
+    if (dir == nullptr || dir[0] == '\0') {
+      return "";
+    }
+    std::string d(dir);
+    if (d.back() != '/') {
+      d.push_back('/');
+    }
+    return d;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  osprof::Cycles sim_cycles_ = 0;
+  std::uint64_t total_ops_ = 0;
+  std::vector<std::pair<std::string, bool>> checks_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> profile_sets_;
+};
 
 }  // namespace osbench
 

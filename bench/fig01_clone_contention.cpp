@@ -34,6 +34,7 @@ osrunner::RunResult RunClone(const char* scenario_name,
 int main(int argc, char** argv) {
   osbench::Header(
       "Figure 1: FreeBSD-style clone() profile, 4 processes on 2 CPUs");
+  osbench::JsonReport report("fig01_clone_contention");
   const osrunner::RunOptions options = osbench::ParseRunCli(argc, argv);
 
   const osrunner::RunResult four = RunClone("fig01", options);
@@ -47,6 +48,9 @@ int main(int argc, char** argv) {
   const osprof::ProfileSet& one_set = one.layers.at("user").merged;
   osbench::Section("CLONE, 1 process (differential analysis control)");
   osbench::ShowProfile(*one_set.Find("clone"));
+  report.RecordRun(four);
+  report.RecordRun(one);
+  report.WriteProfileSet(four_set, "user");
 
   const auto peaks4 = osprof::FindPeaks(four_set.Find("clone")->histogram());
   const auto peaks1 = osprof::FindPeaks(one_set.Find("clone")->histogram());
@@ -54,12 +58,17 @@ int main(int argc, char** argv) {
   std::printf("  1 process  -> %zu peak(s)   (paper: 1)\n", peaks1.size());
   std::printf("  4 processes -> %zu peak(s)  (paper: 2, right = contention)\n",
               peaks4.size());
+  report.Check("single_process_one_peak", peaks1.size() == 1);
+  report.Check("four_processes_two_peaks", peaks4.size() >= 2);
+  report.Metric("peaks_1proc", static_cast<double>(peaks1.size()));
+  report.Metric("peaks_4proc", static_cast<double>(peaks4.size()));
   if (peaks4.size() >= 2) {
     // §3.1's derivation: the fraction of clone executed under the lock is
     // estimated from the right/left element ratio.
     const double ratio = static_cast<double>(peaks4.back().count) /
                          static_cast<double>(peaks4.front().count);
     std::printf("  contended/lock-free ratio: %.3f\n", ratio);
+    report.Metric("contended_lockfree_ratio", ratio);
     std::printf("  lock-free mean: %s, contended mean: %s\n",
                 osprof::FormatSeconds(peaks4.front().mean_latency /
                                       osprof::kPaperCpuHz)
@@ -68,5 +77,5 @@ int main(int argc, char** argv) {
                                       osprof::kPaperCpuHz)
                     .c_str());
   }
-  return 0;
+  return report.Finish();
 }

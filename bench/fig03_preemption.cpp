@@ -48,6 +48,7 @@ std::uint64_t TailCount(const osprof::Histogram& h, int from_bucket) {
 int main(int argc, char** argv) {
   osbench::Header(
       "Figure 3: zero-byte read, preemptive vs non-preemptive kernel");
+  osbench::JsonReport report("fig03_preemption");
   const osrunner::RunOptions options = osbench::ParseRunCli(argc, argv);
   std::printf("quantum Q = 2^20 cycles, 2 processes x 500000 requests, 1 CPU\n");
 
@@ -66,6 +67,9 @@ int main(int argc, char** argv) {
   osbench::ShowProfile(osprof::Profile("READ-nonpreemptive", nonpreemptive));
   osbench::ShowRunSummary(preemptive_run);
   osbench::ShowDispersion(preemptive_run, "fs");
+  report.RecordRun(preemptive_run);
+  report.RecordRun(nonpreemptive_run);
+  report.WriteProfileSet(preemptive_run.layers.at("fs").merged, "fs");
 
   osbench::Section("Equation 3 validation");
   const int q_bucket = osprof::PreemptionBucket(static_cast<double>(kQuantum));
@@ -83,11 +87,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(measured_np));
   std::printf("  paper shape: tail present only with preemption "
               "(observed 278 vs expected 388 +- 33%% at their scale)\n");
-  std::printf("  shape holds: %s\n",
-              (measured > 0 && measured_np == 0 &&
-               measured < 4 * (expected + 1) &&
-               4 * measured > static_cast<std::uint64_t>(expected / 4))
-                  ? "YES"
-                  : "NO");
-  return 0;
+  const bool shape_holds =
+      measured > 0 && measured_np == 0 && measured < 4 * (expected + 1) &&
+      4 * measured > static_cast<std::uint64_t>(expected / 4);
+  std::printf("  shape holds: %s\n", shape_holds ? "YES" : "NO");
+  report.Check("preemption_tail_shape", shape_holds);
+  report.Check("no_tail_without_preemption", measured_np == 0);
+  report.Metric("expected_preempted", expected);
+  report.Metric("measured_preempted", static_cast<double>(measured));
+  return report.Finish();
 }

@@ -59,10 +59,15 @@ double ContentionRate(const osprof::Histogram& llseek) {
 
 int main() {
   osbench::Header("Figure 6: llseek under random O_DIRECT reads (§6.1)");
+  osbench::JsonReport report("fig06_llseek");
 
   const osprof::ProfileSet two = RunRandomRead(2, /*patched=*/false);
   const osprof::ProfileSet one = RunRandomRead(1, /*patched=*/false);
   const osprof::ProfileSet patched = RunRandomRead(2, /*patched=*/true);
+  report.AddOps(two.TotalOperations());
+  report.AddOps(one.TotalOperations());
+  report.AddOps(patched.TotalOperations());
+  report.WriteProfileSet(two, "fs");
 
   osbench::Section("READ (2 processes, unpatched)");
   osbench::ShowProfile(*two.Find("read"));
@@ -73,8 +78,9 @@ int main() {
   osbench::ShowProfile(*patched.Find("llseek"));
 
   osbench::Section("Automated analysis: 1 process vs 2 processes");
-  const osprof::AnalysisReport report = osprof::CompareProfileSets(one, two);
-  std::printf("%s", report.Summary().c_str());
+  const osprof::AnalysisReport report_analysis =
+      osprof::CompareProfileSets(one, two);
+  std::printf("%s", report_analysis.Summary().c_str());
 
   osbench::Section("Paper-vs-measured checks");
   const double contention = ContentionRate(two.Find("llseek")->histogram());
@@ -95,5 +101,19 @@ int main() {
               patched_mean);
   std::printf("  reduction: %.0f%%  (paper: ~70%%)\n",
               100.0 * (1.0 - patched_mean / unpatched_fast_mean));
-  return 0;
+  report.Check("contention_with_two_processes", contention > 0.05);
+  report.Check("no_contention_single_process", contention1 < 0.01);
+  report.Check("patched_llseek_faster", patched_mean < unpatched_fast_mean);
+  report.Check("analyzer_flags_llseek", [&] {
+    for (const osprof::PairReport* p : report_analysis.Interesting()) {
+      if (p->op_name == "llseek") {
+        return true;
+      }
+    }
+    return false;
+  }());
+  report.Metric("contention_rate_2proc", contention);
+  report.Metric("patched_mean_cycles", patched_mean);
+  report.Metric("unpatched_mean_cycles", unpatched_fast_mean);
+  return report.Finish();
 }

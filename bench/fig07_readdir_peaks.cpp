@@ -25,12 +25,15 @@
 
 int main(int argc, char** argv) {
   osbench::Header("Figure 7: readdir/readpage under grep -r (§6.2)");
+  osbench::JsonReport report("fig07_readdir_peaks");
   const osrunner::RunOptions options = osbench::ParseRunCli(argc, argv);
 
   const osrunner::Scenario* scenario =
       osrunner::BuiltinScenarios().Find("fig07");
   const osrunner::RunResult result = osrunner::RunScenario(*scenario, options);
   const osprof::ProfileSet& profiles = result.layers.at("fs").merged;
+  report.RecordRun(result);
+  report.WriteProfileSet(profiles, "fs");
   const std::uint64_t directories = result.TotalCounter("directories_visited");
   std::printf("grep: read %llu files (%.1f MB) over %llu directories\n",
               static_cast<unsigned long long>(result.TotalCounter("files_read")),
@@ -102,9 +105,20 @@ int main(int argc, char** argv) {
   std::printf("  readpage operations:                %llu\n",
               static_cast<unsigned long long>(readpages));
   std::printf("  paper cross-check (#readpage == #I/O-latency callers): %s\n",
-              readpages == io_zone + read_io ? "HOLDS" : "differs");
+              report.Check("readpage_equals_io_callers",
+                           readpages == io_zone + read_io)
+                  ? "HOLDS"
+                  : "differs");
   std::printf("  one past-EOF readdir per directory: %s (%llu dirs)\n",
-              readdir_eof >= directories ? "HOLDS" : "differs",
+              report.Check("past_eof_readdir_per_directory",
+                           readdir_eof >= directories)
+                  ? "HOLDS"
+                  : "differs",
               static_cast<unsigned long long>(directories));
-  return 0;
+  report.Check("four_peak_zones_populated",
+               readdir_eof > 0 && cached > 0 && io_zone > 0);
+  report.Metric("readdir_past_eof_ops", static_cast<double>(readdir_eof));
+  report.Metric("readdir_cached_ops", static_cast<double>(cached));
+  report.Metric("readdir_io_ops", static_cast<double>(io_zone));
+  return report.Finish();
 }

@@ -32,11 +32,14 @@ osworkloads::BuiltTree BuildTree(osfs::Ext2SimFs* fs) {
 
 int main() {
   osbench::Header("Figure 8: correlating readdir_past_EOF*1024 with the peaks");
+  osbench::JsonReport report("fig08_correlation");
 
   // Pass 1: capture the plain latency profile to locate the peaks.
   std::vector<osprof::Peak> peaks;
   {
-    osim::Kernel kernel(osim::KernelConfig{.seed = 99});
+    osim::KernelConfig kcfg;
+    kcfg.seed = 99;
+    osim::Kernel kernel(kcfg);
     osim::SimDisk disk(&kernel);
     osfs::Ext2SimFs fs(&kernel, &disk);
     BuildTree(&fs);
@@ -55,7 +58,9 @@ int main() {
   // Pass 2: same workload, profiler re-armed with a ValueCorrelator.
   osprof::ValueCorrelator correlator("readdir_past_EOF*1024", peaks);
   {
-    osim::Kernel kernel(osim::KernelConfig{.seed = 99});
+    osim::KernelConfig kcfg;
+    kcfg.seed = 99;
+    osim::Kernel kernel(kcfg);
     osim::SimDisk disk(&kernel);
     osfs::Ext2SimFs fs(&kernel, &disk);
     BuildTree(&fs);
@@ -97,5 +102,9 @@ int main() {
               others_none_eof ? "YES" : "NO");
   std::printf("  hypothesis 'first peak == past-EOF reads' %s (paper: proved)\n",
               first_all_eof && others_none_eof ? "PROVED" : "NOT proved");
-  return 0;
+  report.Check("first_peak_all_past_eof", first_all_eof);
+  report.Check("other_peaks_no_past_eof", others_none_eof);
+  report.AddOps(first.TotalOperations() + others.TotalOperations());
+  report.Metric("latency_peaks", static_cast<double>(peaks.size()));
+  return report.Finish();
 }

@@ -34,6 +34,7 @@ osim::Task<void> ReaderLoop(osim::Kernel* kernel, osfs::Vfs* vfs) {
 
 int main() {
   osbench::Header("Figure 9: Reiserfs write_super vs read, sampled profiles");
+  osbench::JsonReport report("fig09_reiserfs_sampled");
 
   osim::KernelConfig kcfg;
   kcfg.num_cpus = 2;
@@ -109,10 +110,16 @@ int main() {
               epochs, ws_epochs);
   std::printf("  epochs with stalled reads (>= bucket 21): %d\n",
               stalled_read_epochs);
-  std::printf("  periodic stripes present: %s\n",
-              (ws_epochs >= 2 && ws_epochs <= (epochs + 1) / 2 + 1 &&
-               stalled_read_epochs >= 1)
-                  ? "YES"
-                  : "NO");
-  return 0;
+  const bool stripes = ws_epochs >= 2 &&
+                       ws_epochs <= (epochs + 1) / 2 + 1 &&
+                       stalled_read_epochs >= 1;
+  std::printf("  periodic stripes present: %s\n", stripes ? "YES" : "NO");
+  report.Check("periodic_stripes_present", stripes);
+  report.Check("sampled_roundtrip_exact", reparsed.ToString() == wire);
+  report.AddSimCycles(kernel.now());
+  report.AddOps(ws->Flatten().TotalOperations() +
+                rd->Flatten().TotalOperations());
+  report.Metric("write_super_epochs", ws_epochs);
+  report.Metric("stalled_read_epochs", stalled_read_epochs);
+  return report.Finish();
 }

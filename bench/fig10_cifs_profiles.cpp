@@ -66,11 +66,16 @@ RunResult RunGrepOverCifs(osnet::ClientOs client_os, bool delayed_ack) {
 
 int main() {
   osbench::Header("Figure 10: CIFS client profiles under grep (§6.4)");
+  osbench::JsonReport report("fig10_cifs_profiles");
 
   const RunResult windows =
       RunGrepOverCifs(osnet::ClientOs::kWindows, /*delayed_ack=*/true);
   const RunResult linux =
       RunGrepOverCifs(osnet::ClientOs::kLinux, /*delayed_ack=*/true);
+  report.AddOps(windows.profiles.TotalOperations() +
+                linux.profiles.TotalOperations());
+  report.WriteProfileSet(windows.profiles, "windows");
+  report.WriteProfileSet(linux.profiles, "linux");
 
   osbench::Section("Windows client: FIND_FIRST / FIND_NEXT / READ");
   for (const char* op : {"findfirst", "findnext", "read"}) {
@@ -89,9 +94,9 @@ int main() {
   }
 
   osbench::Section("Automated analysis: Windows vs Linux client profile sets");
-  const osprof::AnalysisReport report =
+  const osprof::AnalysisReport report_analysis =
       osprof::CompareProfileSets(windows.profiles, linux.profiles);
-  std::printf("%s", report.Summary().c_str());
+  std::printf("%s", report_analysis.Summary().c_str());
 
   osbench::Section("Paper-vs-measured checks");
   const osprof::Histogram& ff = windows.profiles.Find("findfirst")->histogram();
@@ -124,5 +129,12 @@ int main() {
               static_cast<unsigned long long>(linux.stalls));
   std::printf("  elapsed: Windows %.2fs vs Linux %.2fs\n", windows.elapsed_s,
               linux.elapsed_s);
-  return 0;
+  report.Check("windows_find_stall_peak", stall_peak > 0);
+  report.Check("linux_no_stall_peak", lff->histogram().LastNonEmpty() < 26);
+  report.Check("only_windows_client_stalls",
+               windows.stalls > 0 && linux.stalls == 0);
+  report.Metric("windows_elapsed_s", windows.elapsed_s);
+  report.Metric("linux_elapsed_s", linux.elapsed_s);
+  report.Metric("windows_delayed_acks", static_cast<double>(windows.stalls));
+  return report.Finish();
 }

@@ -83,6 +83,7 @@ double GrepElapsed(bool delayed_ack) {
 
 int main() {
   osbench::Header("Figure 11: FindFirst packet timelines (§6.4)");
+  osbench::JsonReport report("fig11_cifs_timeline");
 
   TraceOneTransaction(osnet::ClientOs::kWindows,
                       "Windows client <-> Windows server (note the 200ms gap)");
@@ -96,5 +97,11 @@ int main() {
   std::printf("  grep elapsed, delayed ACKs on:  %.2fs\n", with_delay);
   std::printf("  grep elapsed, delayed ACKs off: %.2fs\n", without_delay);
   std::printf("  improvement: %.1f%%  (paper: ~20%%)\n", improvement);
-  return 0;
+  report.Check("registry_key_improves_elapsed", improvement > 0.0);
+  report.Check("improvement_in_paper_ballpark",
+               improvement > 5.0 && improvement < 60.0);
+  report.Metric("elapsed_delayed_ack_s", with_delay);
+  report.Metric("elapsed_no_delayed_ack_s", without_delay);
+  report.Metric("improvement_pct", improvement);
+  return report.Finish();
 }

@@ -141,6 +141,7 @@ Histogram WithImportantChange(const Histogram& base, osim::Rng* rng) {
 
 int main() {
   osbench::Header("§5.3: automated analysis accuracy on 250 labelled pairs");
+  osbench::JsonReport report("tab_analysis_accuracy");
 
   osim::Rng rng(20060101);
   std::vector<LabelledPair> corpus;
@@ -201,10 +202,15 @@ int main() {
     std::printf("  %-16s %-10.2f %-8d %-8d %5.1f%%   (paper: %s)\n",
                 osprof::CompareMethodName(row.method).c_str(), threshold,
                 false_pos, false_neg, error, row.paper);
+    report.Metric("error_pct_" + osprof::CompareMethodName(row.method),
+                  error);
   }
 
   osbench::Section("Paper-vs-measured check");
   std::printf("  EMD error %.1f%% vs Chi-square %.1f%%: cross-bin rater wins: %s\n",
               emd_error, chi_error, emd_error < chi_error ? "YES" : "NO");
-  return 0;
+  report.Check("emd_beats_chi_square", emd_error < chi_error);
+  report.Check("emd_error_single_digit", emd_error >= 0.0 && emd_error < 10.0);
+  report.AddOps(static_cast<std::uint64_t>(corpus.size()));
+  return report.Finish();
 }

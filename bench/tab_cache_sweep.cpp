@@ -76,6 +76,7 @@ SweepRow RunTwoPassGrep(std::uint64_t cache_pages) {
 
 int main() {
   osbench::Header("Page-cache sweep: peak masses vs cache capacity");
+  osbench::JsonReport report("tab_cache_sweep");
   std::printf("two-pass grep; pass 2 profiled; working set ~10k pages.\n\n");
   std::printf("  %-12s %-14s %-14s %-12s\n", "cache pages", "pass-2 elapsed",
               "cached mass", "I/O mass");
@@ -90,6 +91,8 @@ int main() {
     std::printf("  %-12llu %-14.3f %-14.3f %-12.3f\n",
                 static_cast<unsigned long long>(row.cache_pages),
                 row.second_pass_s, row.cached_mass, row.io_mass);
+    report.Metric("cached_mass_" + std::to_string(pages) + "_pages",
+                  row.cached_mass);
   }
   std::printf("\n  expected shape: below the working set the second pass\n"
               "  scan-thrashes LRU (pages evicted just before re-use, so\n"
@@ -97,5 +100,8 @@ int main() {
               "  working set fits, the I/O peaks drain into the page-cache\n"
               "  peak and elapsed time collapses.  Shape holds: %s\n",
               last_cached > first_cached ? "YES" : "NO");
-  return 0;
+  report.Check("cache_drains_io_peaks", last_cached > first_cached);
+  report.Metric("cached_mass_smallest_cache", first_cached);
+  report.Metric("cached_mass_largest_cache", last_cached);
+  return report.Finish();
 }

@@ -49,8 +49,10 @@ osprof::Histogram RunWithSkew(std::int64_t skew_cycles) {
 
 int main() {
   osbench::Header("§3.4: per-CPU TSC skew and profile sensitivity");
+  osbench::JsonReport report("tab_clock_skew");
 
   const osprof::Histogram baseline = RunWithSkew(0);
+  report.AddOps(baseline.TotalOperations());
   struct Case {
     const char* name;
     std::int64_t cycles;
@@ -71,11 +73,19 @@ int main() {
     std::printf("  %-28s %10lld %12.4f %s\n", c.name,
                 static_cast<long long>(c.cycles), emd,
                 insensitive ? "indistinguishable" : "DISTORTED");
+    // Realistic skews must vanish; the pathological one must not.
+    report.Check(c.cycles < 1'000
+                     ? std::string("insensitive_to_") +
+                           std::to_string(c.cycles) + "_cycles"
+                     : "pathological_skew_visible",
+                 c.cycles < 1'000 ? insensitive : !insensitive);
+    report.Metric(std::string("emd_skew_") + std::to_string(c.cycles),
+                  emd);
   }
   std::printf("\n  paper: log filtering makes profiles insensitive to\n"
               "  counter differences smaller than the scheduling time;\n"
               "  realistic skews (tens to hundreds of ns) vanish, while a\n"
               "  grossly unsynchronized counter visibly distorts the\n"
               "  profile of migrated requests.\n");
-  return 0;
+  return report.Finish();
 }

@@ -57,9 +57,14 @@ RunResult RunReaders(osim::DiskSchedPolicy policy) {
 
 int main() {
   osbench::Header("I/O scheduler ablation: FIFO vs C-LOOK elevator");
+  osbench::JsonReport report("tab_disk_scheduler");
 
   const RunResult fifo = RunReaders(osim::DiskSchedPolicy::kFifo);
   const RunResult elevator = RunReaders(osim::DiskSchedPolicy::kElevator);
+  report.AddOps(fifo.driver_profiles.TotalOperations() +
+                elevator.driver_profiles.TotalOperations());
+  report.WriteProfileSet(fifo.driver_profiles, "fifo");
+  report.WriteProfileSet(elevator.driver_profiles, "elevator");
 
   osbench::Section("Driver-level disk_read profiles (total latency)");
   osbench::ShowProfile(osprof::Profile(
@@ -83,5 +88,12 @@ int main() {
               100.0 * (elevator.elapsed_s - fifo.elapsed_s) / fifo.elapsed_s);
   std::printf("  expected shape: elevator wins on elapsed/mean by cutting\n"
               "  seeks; its queue-latency distribution grows a right tail.\n");
-  return 0;
+  report.Check("elevator_faster_elapsed",
+               elevator.elapsed_s < fifo.elapsed_s);
+  report.Check("elevator_lower_mean_latency", elev_mean < fifo_mean);
+  report.Metric("fifo_mean_ms", fifo_mean);
+  report.Metric("elevator_mean_ms", elev_mean);
+  report.Metric("fifo_elapsed_s", fifo.elapsed_s);
+  report.Metric("elevator_elapsed_s", elevator.elapsed_s);
+  return report.Finish();
 }

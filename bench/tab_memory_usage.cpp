@@ -22,6 +22,7 @@
 
 int main() {
   osbench::Header("§5.1: memory usage of the aggregate-stats structures");
+  osbench::JsonReport report("tab_memory_usage");
 
   osbench::Section("Static structure sizes");
   const std::size_t bucket_bytes = osprof::kMaxLog2Buckets * sizeof(std::uint64_t);
@@ -38,10 +39,16 @@ int main() {
   const std::size_t per_profile = sizeof(osprof::Profile) + bucket_bytes;
   std::printf("  => one operation profile occupies ~%zu B "
               "(paper: usually < 1KB)  %s\n",
-              per_profile, per_profile < 1024 ? "HOLDS" : "differs");
+              per_profile,
+              report.Check("profile_under_1kb", per_profile < 1024)
+                  ? "HOLDS"
+                  : "differs");
+  report.Metric("bytes_per_profile", static_cast<double>(per_profile));
 
   osbench::Section("Live profile set from a grep run");
-  osim::Kernel kernel(osim::KernelConfig{.seed = 3});
+  osim::KernelConfig kcfg;
+  kcfg.seed = 3;
+  osim::Kernel kernel(kcfg);
   osim::SimDisk disk(&kernel);
   osfs::Ext2SimFs fs(&kernel, &disk);
   osworkloads::TreeSpec spec;
@@ -66,7 +73,13 @@ int main() {
   std::printf("  serialized (text /proc format): %zu B\n", serialized.size());
   std::printf("  operations recorded: %llu; checksum consistency: %s\n",
               static_cast<unsigned long long>(set.TotalOperations()),
-              set.CheckConsistency() ? "OK" : "BROKEN");
+              report.Check("live_set_checksum_consistent",
+                           set.CheckConsistency())
+                  ? "OK"
+                  : "BROKEN");
+  report.AddSimCycles(kernel.now());
+  report.AddOps(set.TotalOperations());
+  report.Metric("resident_profile_bytes", static_cast<double>(resident));
 
   osbench::Section("Sampled (3-D) profiles stay small too (Figure 9 mode)");
   osprof::SampledProfileSet sampled(1'000'000, 1);
@@ -82,5 +95,5 @@ int main() {
               "  figures are properties of their C instrumentation; the\n"
               "  analogous hot path here is Histogram::Add -- a handful of\n"
               "  instructions -- measured by micro_core_bench.)\n");
-  return 0;
+  return report.Finish();
 }

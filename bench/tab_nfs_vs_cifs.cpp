@@ -73,11 +73,16 @@ int MaxBucket(const osprof::ProfileSet& set, const char* op) {
 
 int main() {
   osbench::Header("NFS (RPC) vs CIFS (SMB transactions) under grep");
+  osbench::JsonReport report("tab_nfs_vs_cifs");
 
   osnet::CifsConfig cifs_cfg;
   cifs_cfg.client_os = osnet::ClientOs::kWindows;
   const RunResult cifs = RunGrep<osnet::CifsMount>(cifs_cfg);
   const RunResult nfs = RunGrep<osnet::NfsMount>(osnet::NfsConfig{});
+  report.AddOps(cifs.profiles.TotalOperations() +
+                nfs.profiles.TotalOperations());
+  report.WriteProfileSet(cifs.profiles, "cifs");
+  report.WriteProfileSet(nfs.profiles, "nfs");
 
   osbench::Section("NFS per-RPC profiles");
   for (const char* op : {"lookup", "nfs_readdir", "nfs_read"}) {
@@ -111,5 +116,12 @@ int main() {
               nfs_no_stalls ? "YES (request/reply never stalls)" : "no");
   std::printf("  NFS issues more server round trips overall:  %s\n",
               nfs.rpcs > cifs.rpcs ? "YES (per-component lookups)" : "no");
-  return 0;
+  report.Check("cifs_find_reaches_stall_buckets", cifs_stalls);
+  report.Check("nfs_readdir_never_stalls", nfs_no_stalls);
+  report.Check("nfs_more_round_trips", nfs.rpcs > cifs.rpcs);
+  report.Metric("cifs_elapsed_s", cifs.elapsed_s);
+  report.Metric("nfs_elapsed_s", nfs.elapsed_s);
+  report.Metric("cifs_server_requests", static_cast<double>(cifs.rpcs));
+  report.Metric("nfs_rpcs", static_cast<double>(nfs.rpcs));
+  return report.Finish();
 }

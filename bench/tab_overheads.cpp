@@ -9,6 +9,7 @@
 // wait and user times unaffected; the measured floor between the TSC
 // reads is ~40 cycles, so the smallest populated bucket is 5.
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -99,6 +100,7 @@ RunTimes RunPostmark(Mode mode) {
 
 int main() {
   osbench::Header("§5.2: instrumentation CPU-time overheads (Postmark)");
+  osbench::JsonReport report("tab_overheads");
 
   const RunTimes base = RunPostmark(Mode::kOff);
   const RunTimes calls = RunPostmark(Mode::kCallsOnly);
@@ -147,5 +149,15 @@ int main() {
               "   40-cycle floor itself -> bucket 5 is asserted by the unit\n"
               "   test SimProfiler.OverheadChargingAddsCostsAndFloor)\n",
               full.min_bucket);
-  return 0;
+  report.Check("overhead_components_positive",
+               call_pct > 0.0 && tsc_pct > 0.0 && store_pct > 0.0);
+  report.Check("total_sys_overhead_single_digit",
+               total_pct > 0.0 && total_pct < 10.0);
+  report.Check("user_time_unaffected",
+               std::abs(full.user_s - base.user_s) / base.user_s < 0.01);
+  report.Metric("sys_overhead_calls_pct", call_pct);
+  report.Metric("sys_overhead_tsc_pct", tsc_pct);
+  report.Metric("sys_overhead_store_pct", store_pct);
+  report.Metric("sys_overhead_total_pct", total_pct);
+  return report.Finish();
 }

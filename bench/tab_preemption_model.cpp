@@ -65,6 +65,7 @@ SimResult ValidateAgainstSim(osprof::Cycles quantum, std::uint64_t requests) {
 
 int main() {
   osbench::Header("Equation 3: forced-preemption probability model (§3.3)");
+  osbench::JsonReport report("tab_preemption_model");
 
   osbench::Section("The paper's headline configuration");
   {
@@ -76,6 +77,9 @@ int main() {
     const double pr = osprof::ForcedPreemptionProbability(p);
     std::printf("  Y=0.01, tperiod=2^10, tcpu=2^9, Q=2^26\n");
     std::printf("  Pr(fp) = %.3g  (paper: ~2.3e-280)\n", pr);
+    report.Check("headline_probability_astronomically_small",
+                 pr > 0.0 && pr < 1e-200);
+    report.Metric("headline_pr_fp_log10", std::log10(pr));
   }
 
   osbench::Section("Sweep: Pr(fp) vs yield probability Y (tperiod=2^10, Q=2^26)");
@@ -106,16 +110,20 @@ int main() {
   osbench::Section("Model vs simulation (Y=0, 2 processes, varying Q)");
   std::printf("  %-8s %-12s %-12s %-8s\n", "Q", "expected", "measured",
               "ratio");
+  bool all_within_factor = true;
   for (int log2_q : {18, 19, 20, 21}) {
     const SimResult r = ValidateAgainstSim(osprof::Cycles{1} << log2_q,
                                            120'000);
     const double ratio =
         r.expected > 0 ? static_cast<double>(r.measured) / r.expected : 0.0;
+    all_within_factor = all_within_factor && ratio > 0.2 && ratio < 5.0;
+    report.Metric("sim_ratio_q2e" + std::to_string(log2_q), ratio);
     std::printf("  2^%-6d %-12.1f %-12llu %-8.2f\n", log2_q, r.expected,
                 static_cast<unsigned long long>(r.measured), ratio);
   }
   std::printf("\n  paper shape: measured within a small factor of the Eq. 3\n"
               "  expectation, scaling ~linearly with 1/Q (they saw 278 vs\n"
               "  388 +- 33%%).\n");
-  return 0;
+  report.Check("measured_within_small_factor_of_eq3", all_within_factor);
+  return report.Finish();
 }

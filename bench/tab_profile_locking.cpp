@@ -68,6 +68,7 @@ void PrintRow(const char* name, const Result& r) {
 
 int main() {
   osbench::Header("§3.4: histogram update policies under real threads");
+  osbench::JsonReport report("tab_profile_locking");
   const int kThreads =
       std::max(2u, std::thread::hardware_concurrency());
   constexpr std::uint64_t kPerThread = 2'000'000;
@@ -94,6 +95,11 @@ int main() {
                 static_cast<unsigned long long>(h.TotalOperations()),
                 static_cast<unsigned long long>(h.recorded()),
                 h.CheckConsistency() ? "true" : "false (loss detected)");
+    report.AddOps(r.attempted);
+    report.Metric("unlocked_ns_per_add", r.ns_per_add);
+    report.Metric("unlocked_lost_pct",
+                  100.0 * static_cast<double>(r.attempted - r.recorded) /
+                      static_cast<double>(r.attempted));
   }
   {
     osprof::AtomicHistogram h(1);
@@ -103,6 +109,9 @@ int main() {
         [](int, std::uint64_t) { hp->Add(128); },
         [](void*) { return hp->Snapshot().TotalOperations(); }, nullptr);
     PrintRow("atomic increments", r);
+    report.AddOps(r.attempted);
+    report.Check("atomic_loses_nothing", r.recorded == r.attempted);
+    report.Metric("atomic_ns_per_add", r.ns_per_add);
   }
   {
     osprof::ShardedHistogram h(1);
@@ -112,10 +121,13 @@ int main() {
         [](int, std::uint64_t) { hp->Local()->Add(128); },
         [](void*) { return hp->Merge().TotalOperations(); }, nullptr);
     PrintRow("per-thread shards", r);
+    report.AddOps(r.attempted);
+    report.Check("sharded_loses_nothing", r.recorded == r.attempted);
+    report.Metric("sharded_ns_per_add", r.ns_per_add);
   }
 
   std::printf("\n  paper: <1%% lost on a dual-CPU worst case -> no locking\n"
               "  on few CPUs; per-thread profiles on many CPUs.  The\n"
               "  atomic and sharded policies must lose exactly nothing.\n");
-  return 0;
+  return report.Finish();
 }

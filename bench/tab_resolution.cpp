@@ -35,6 +35,7 @@ osprof::Cycles SampleLatency(osim::Rng* rng) {
 
 int main() {
   osbench::Header("Bucket resolution ablation: r=1 vs r=4 (§3)");
+  osbench::JsonReport report("tab_resolution");
 
   osim::Rng rng(4242);
   osprof::Histogram r1(1);
@@ -58,6 +59,10 @@ int main() {
   std::printf("  resolving power: %s\n",
               peaks4.size() > peaks1.size() ? "r=4 reveals the hidden mode"
                                             : "no difference on this data");
+  report.AddOps(r1.TotalOperations());
+  report.Check("r4_reveals_hidden_mode", peaks4.size() > peaks1.size());
+  report.Metric("peaks_r1", static_cast<double>(peaks1.size()));
+  report.Metric("peaks_r4", static_cast<double>(peaks4.size()));
 
   osbench::Section("Costs (the 'negligible increase' claim)");
   // Memory: bucket arrays scale linearly with r.
@@ -78,6 +83,8 @@ int main() {
     const osprof::Cycles t1 = osprof::ReadTsc();
     std::printf("  CPU: r=%d Add() ~%.1f cycles/op (host TSC)\n", r,
                 static_cast<double>(t1 - t0) / kOps);
+    report.Metric("add_cycles_per_op_r" + std::to_string(r),
+                  static_cast<double>(t1 - t0) / kOps);
   }
-  return 0;
+  return report.Finish();
 }

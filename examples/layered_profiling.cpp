@@ -23,7 +23,9 @@
 #include "src/workloads/workloads.h"
 
 int main() {
-  osim::Kernel kernel(osim::KernelConfig{.seed = 17});
+  osim::KernelConfig kcfg;
+  kcfg.seed = 17;
+  osim::Kernel kernel(kcfg);
   osim::SimDisk disk(&kernel);
   osfs::Ext2SimFs fs(&kernel, &disk);
   fs.AddDir("/postmark");

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Verifies that every C++ file in the repo is clang-format clean.
+#
+#   scripts/check_format.sh          check; non-zero exit + diff on drift
+#   scripts/check_format.sh --fix    rewrite files in place
+#
+# Uses $CLANG_FORMAT when set (CI pins a version there), else clang-format
+# from PATH.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set \$CLANG_FORMAT or install it)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.cpp' '*.h')
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+  exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! diff -u --label "$f (repo)" --label "$f (clang-format)" \
+      "$f" <("$CLANG_FORMAT" "$f"); then
+    status=1
+  fi
+done
+
+if [[ $status -ne 0 ]]; then
+  echo >&2
+  echo "format drift detected: run scripts/check_format.sh --fix" >&2
+else
+  echo "all ${#files[@]} files clang-format clean"
+fi
+exit $status

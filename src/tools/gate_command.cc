@@ -1,0 +1,353 @@
+#include "src/tools/gate_command.h"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/analysis.h"
+#include "src/core/compare.h"
+#include "src/core/jsonw.h"
+#include "src/core/profile.h"
+#include "src/runner/runner.h"
+#include "src/runner/scenario.h"
+
+namespace ostools {
+namespace {
+
+constexpr const char* kGateUsage =
+    "usage: osprof_tool gate <scenario> [--baseline=PREFIX]\n"
+    "                        [--raters=emd,chi2,ops,latency]\n"
+    "                        [--threshold=X] [--trials=N] [--jobs=J]\n"
+    "                        [--json=FILE] [--update]\n"
+    "       osprof_tool gate --list\n"
+    "  --baseline=PREFIX  golden files PREFIX.<layer>.prof\n"
+    "                     (default tests/golden/<scenario>)\n"
+    "  --raters=...       comma list of emd, chi2, ops, latency (default\n"
+    "                     all four)\n"
+    "  --threshold=X      override every rater's default threshold\n"
+    "  --trials=N         runner trials; must match how the golden was\n"
+    "                     generated (default 1)\n"
+    "  --jobs=J           worker threads (does not affect merged output)\n"
+    "  --json=FILE        write the machine-readable verdict to FILE\n"
+    "  --update           regenerate the golden files from this run\n";
+
+// The §5.3 raters the gate scores with, in their CLI spelling.
+struct Rater {
+  std::string name;                  // CLI token ("emd", "chi2", ...).
+  osprof::CompareMethod method;
+};
+
+std::optional<Rater> RaterByName(const std::string& name) {
+  if (name == "emd") {
+    return Rater{name, osprof::CompareMethod::kEarthMovers};
+  }
+  if (name == "chi2") {
+    return Rater{name, osprof::CompareMethod::kChiSquare};
+  }
+  if (name == "ops") {
+    return Rater{name, osprof::CompareMethod::kTotalOps};
+  }
+  if (name == "latency") {
+    return Rater{name, osprof::CompareMethod::kTotalLatency};
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FlagValue(const std::string& arg,
+                                     const std::string& prefix) {
+  if (arg.rfind(prefix, 0) != 0) {
+    return std::nullopt;
+  }
+  return arg.substr(prefix.size());
+}
+
+struct GateFlags {
+  std::string scenario;
+  std::string baseline_prefix;  // Empty -> tests/golden/<scenario>.
+  std::vector<Rater> raters;
+  double threshold = -1.0;      // < 0 -> per-method default.
+  osrunner::RunOptions run;
+  std::string json_path;
+  bool update = false;
+  bool list = false;
+};
+
+// Returns nullopt (and prints to err) on a usage error.
+std::optional<GateFlags> ParseFlags(const std::vector<std::string>& args,
+                                    std::ostream& err) {
+  GateFlags flags;
+  for (const std::string& arg : args) {
+    if (arg == "--list") {
+      flags.list = true;
+    } else if (arg == "--update") {
+      flags.update = true;
+    } else if (const auto v = FlagValue(arg, "--baseline=")) {
+      flags.baseline_prefix = *v;
+    } else if (const auto v = FlagValue(arg, "--json=")) {
+      flags.json_path = *v;
+    } else if (const auto v = FlagValue(arg, "--raters=")) {
+      std::stringstream tokens(*v);
+      std::string token;
+      while (std::getline(tokens, token, ',')) {
+        const auto rater = RaterByName(token);
+        if (!rater) {
+          err << "osprof_tool gate: unknown rater '" << token
+              << "' (raters: emd, chi2, ops, latency)\n";
+          return std::nullopt;
+        }
+        flags.raters.push_back(*rater);
+      }
+    } else if (const auto v = FlagValue(arg, "--threshold=")) {
+      try {
+        flags.threshold = std::stod(*v);
+      } catch (const std::exception&) {
+        err << "osprof_tool gate: bad --threshold value '" << *v << "'\n";
+        return std::nullopt;
+      }
+    } else if (const auto v = FlagValue(arg, "--trials=")) {
+      try {
+        flags.run.trials = std::stoi(*v);
+      } catch (const std::exception&) {
+        err << "osprof_tool gate: bad --trials value '" << *v << "'\n";
+        return std::nullopt;
+      }
+    } else if (const auto v = FlagValue(arg, "--jobs=")) {
+      try {
+        flags.run.jobs = std::stoi(*v);
+      } catch (const std::exception&) {
+        err << "osprof_tool gate: bad --jobs value '" << *v << "'\n";
+        return std::nullopt;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "osprof_tool gate: unknown flag '" << arg << "'\n" << kGateUsage;
+      return std::nullopt;
+    } else if (flags.scenario.empty()) {
+      flags.scenario = arg;
+    } else {
+      err << kGateUsage;
+      return std::nullopt;
+    }
+  }
+  if (!flags.list && flags.scenario.empty()) {
+    err << kGateUsage;
+    return std::nullopt;
+  }
+  if (!flags.list && flags.run.trials <= 0) {
+    err << "osprof_tool gate: --trials must be positive\n";
+    return std::nullopt;
+  }
+  if (flags.raters.empty()) {
+    for (const char* name : {"emd", "chi2", "ops", "latency"}) {
+      flags.raters.push_back(*RaterByName(name));
+    }
+  }
+  if (flags.baseline_prefix.empty()) {
+    flags.baseline_prefix = "tests/golden/" + flags.scenario;
+  }
+  return flags;
+}
+
+// One rater's verdict on one layer.
+struct RaterVerdict {
+  std::string rater;
+  std::string method;
+  double threshold = 0.0;
+  double max_score = 0.0;
+  std::vector<std::string> flagged_ops;  // Interesting pairs = regressions.
+  bool pass() const { return flagged_ops.empty(); }
+};
+
+RaterVerdict ScoreLayer(const Rater& rater, double threshold_override,
+                        const osprof::ProfileSet& golden,
+                        const osprof::ProfileSet& measured) {
+  osprof::AnalysisOptions options;
+  options.method = rater.method;
+  options.score_threshold = threshold_override >= 0.0
+                                ? threshold_override
+                                : osprof::DefaultThreshold(rater.method);
+  const osprof::AnalysisReport analysis =
+      osprof::CompareProfileSets(golden, measured, options);
+  RaterVerdict verdict;
+  verdict.rater = rater.name;
+  verdict.method = osprof::CompareMethodName(rater.method);
+  verdict.threshold = options.score_threshold;
+  for (const osprof::PairReport& pair : analysis.pairs) {
+    if (pair.score > verdict.max_score) {
+      verdict.max_score = pair.score;
+    }
+    if (pair.interesting) {
+      verdict.flagged_ops.push_back(pair.op_name);
+    }
+  }
+  return verdict;
+}
+
+struct LayerVerdict {
+  std::string layer;
+  std::string baseline_path;
+  std::uint64_t golden_ops = 0;
+  std::uint64_t measured_ops = 0;
+  std::vector<RaterVerdict> raters;
+  bool pass() const {
+    for (const RaterVerdict& r : raters) {
+      if (!r.pass()) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+osjson::Value VerdictJson(const GateFlags& flags,
+                          const std::vector<LayerVerdict>& layers,
+                          bool pass) {
+  osjson::Value doc = osjson::Value::Object();
+  doc.Set("schema", osjson::Value::Str("osprof-gate-v1"));
+  doc.Set("scenario", osjson::Value::Str(flags.scenario));
+  doc.Set("baseline", osjson::Value::Str(flags.baseline_prefix));
+  doc.Set("trials", osjson::Value::Int(flags.run.trials));
+  doc.Set("pass", osjson::Value::Bool(pass));
+  osjson::Value layer_array = osjson::Value::Array();
+  for (const LayerVerdict& layer : layers) {
+    osjson::Value l = osjson::Value::Object();
+    l.Set("layer", osjson::Value::Str(layer.layer));
+    l.Set("baseline", osjson::Value::Str(layer.baseline_path));
+    l.Set("golden_ops", osjson::Value::Uint(layer.golden_ops));
+    l.Set("measured_ops", osjson::Value::Uint(layer.measured_ops));
+    l.Set("pass", osjson::Value::Bool(layer.pass()));
+    osjson::Value rater_array = osjson::Value::Array();
+    for (const RaterVerdict& r : layer.raters) {
+      osjson::Value entry = osjson::Value::Object();
+      entry.Set("rater", osjson::Value::Str(r.rater));
+      entry.Set("method", osjson::Value::Str(r.method));
+      entry.Set("threshold", osjson::Value::Double(r.threshold));
+      entry.Set("max_score", osjson::Value::Double(r.max_score));
+      osjson::Value flagged = osjson::Value::Array();
+      for (const std::string& op : r.flagged_ops) {
+        flagged.Append(osjson::Value::Str(op));
+      }
+      entry.Set("flagged_ops", std::move(flagged));
+      entry.Set("pass", osjson::Value::Bool(r.pass()));
+      rater_array.Append(std::move(entry));
+    }
+    l.Set("raters", std::move(rater_array));
+    layer_array.Append(std::move(l));
+  }
+  doc.Set("layers", std::move(layer_array));
+  return doc;
+}
+
+}  // namespace
+
+int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+  const auto flags = ParseFlags(args, err);
+  if (!flags) {
+    return 1;
+  }
+  const osrunner::ScenarioRegistry& registry = osrunner::BuiltinScenarios();
+  if (flags->list) {
+    for (const std::string& name : registry.Names()) {
+      out << "  " << name << "\n";
+    }
+    return 0;
+  }
+  const osrunner::Scenario* scenario = registry.Find(flags->scenario);
+  if (scenario == nullptr) {
+    err << "osprof_tool gate: unknown scenario '" << flags->scenario << "'\n";
+    return 2;
+  }
+
+  osrunner::RunResult result;
+  try {
+    result = osrunner::RunScenario(*scenario, flags->run);
+  } catch (const std::exception& e) {
+    err << "osprof_tool gate: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (flags->update) {
+    for (const auto& [layer, lr] : result.layers) {
+      const std::string path =
+          flags->baseline_prefix + "." + layer + ".prof";
+      std::ofstream file(path);
+      if (!file) {
+        err << "osprof_tool gate: cannot write " << path << "\n";
+        return 2;
+      }
+      lr.merged.Serialize(file);
+      out << "updated " << path << " (" << lr.merged.size()
+          << " ops, trials=" << flags->run.trials << ")\n";
+    }
+    return 0;
+  }
+
+  std::vector<LayerVerdict> layers;
+  for (const auto& [layer, lr] : result.layers) {
+    LayerVerdict verdict;
+    verdict.layer = layer;
+    verdict.baseline_path = flags->baseline_prefix + "." + layer + ".prof";
+    std::ifstream file(verdict.baseline_path);
+    if (!file) {
+      err << "osprof_tool gate: missing baseline " << verdict.baseline_path
+          << " (generate it with: osprof_tool gate " << flags->scenario
+          << " --baseline=" << flags->baseline_prefix << " --trials="
+          << flags->run.trials << " --update)\n";
+      return 2;
+    }
+    osprof::ProfileSet golden;
+    try {
+      golden = osprof::ProfileSet::Parse(file);
+    } catch (const std::exception& e) {
+      err << "osprof_tool gate: corrupt baseline " << verdict.baseline_path
+          << ": " << e.what() << "\n";
+      return 2;
+    }
+    verdict.golden_ops = golden.TotalOperations();
+    verdict.measured_ops = lr.merged.TotalOperations();
+    for (const Rater& rater : flags->raters) {
+      verdict.raters.push_back(
+          ScoreLayer(rater, flags->threshold, golden, lr.merged));
+    }
+    layers.push_back(std::move(verdict));
+  }
+
+  bool pass = true;
+  out << "gate " << flags->scenario << ": " << scenario->description << "\n";
+  for (const LayerVerdict& layer : layers) {
+    out << "[" << layer.layer << "] golden " << layer.golden_ops
+        << " ops vs measured " << layer.measured_ops << " ops ("
+        << layer.baseline_path << ")\n";
+    for (const RaterVerdict& r : layer.raters) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %-8s (%-13s) threshold %-7.3g max score %-9.4g %s\n",
+                    r.rater.c_str(), r.method.c_str(), r.threshold,
+                    r.max_score, r.pass() ? "PASS" : "REGRESSION");
+      out << line;
+      for (const std::string& op : r.flagged_ops) {
+        out << "           flagged: " << op << "\n";
+      }
+      pass = pass && r.pass();
+    }
+  }
+  out << (pass ? "gate PASS" : "gate REGRESSION") << "\n";
+
+  if (!flags->json_path.empty()) {
+    std::ofstream json(flags->json_path);
+    if (!json) {
+      err << "osprof_tool gate: cannot write " << flags->json_path << "\n";
+      return 2;
+    }
+    json << VerdictJson(*flags, layers, pass).Dump();
+    out << "wrote " << flags->json_path << "\n";
+  }
+  return pass ? 0 : 3;
+}
+
+}  // namespace ostools

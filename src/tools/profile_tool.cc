@@ -13,6 +13,7 @@
 #include "src/core/profile.h"
 #include "src/core/report.h"
 #include "src/core/sampling.h"
+#include "src/tools/gate_command.h"
 #include "src/tools/run_command.h"
 
 namespace ostools {
@@ -33,6 +34,10 @@ constexpr const char* kUsage =
     "  run     <scenario> [--trials=N] [--jobs=J] [--out=PREFIX]\n"
     "                                       multi-trial scenario runner\n"
     "  run     --list                       available scenarios\n"
+    "  gate    <scenario> [--baseline=PREFIX] [--raters=emd,chi2,ops,latency]\n"
+    "          [--threshold=X] [--trials=N] [--jobs=J] [--json=FILE]\n"
+    "          [--update]                    profile-regression gate\n"
+    "  gate    --list                       gateable scenarios\n"
     "methods: chi-square, total-ops, total-latency, earth-movers,\n"
     "         intersection, jeffrey, minkowski-l1, minkowski-l2\n";
 
@@ -320,6 +325,10 @@ int RunProfileTool(const std::vector<std::string>& args, std::ostream& out,
   if (cmd == "run" && n >= 2) {
     return RunRunCommand(std::vector<std::string>(args.begin() + 1, args.end()),
                          out, err);
+  }
+  if (cmd == "gate" && n >= 2) {
+    return RunGateCommand(
+        std::vector<std::string>(args.begin() + 1, args.end()), out, err);
   }
   err << kUsage;
   return 1;

@@ -1,0 +1,85 @@
+#include "src/core/jsonw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace osjson {
+namespace {
+
+TEST(JsonwTest, Scalars) {
+  EXPECT_EQ(Value().Dump(), "null\n");
+  EXPECT_EQ(Value::Bool(true).Dump(), "true\n");
+  EXPECT_EQ(Value::Bool(false).Dump(), "false\n");
+  EXPECT_EQ(Value::Int(-42).Dump(), "-42\n");
+  EXPECT_EQ(Value::Uint(7).Dump(), "7\n");
+  EXPECT_EQ(Value::Str("hi").Dump(), "\"hi\"\n");
+  EXPECT_EQ(Value::Double(1.5).Dump(), "1.5\n");
+}
+
+TEST(JsonwTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Value::Double(std::numeric_limits<double>::infinity()).Dump(),
+            "null\n");
+  EXPECT_EQ(Value::Double(std::nan("")).Dump(), "null\n");
+}
+
+TEST(JsonwTest, StringEscaping) {
+  EXPECT_EQ(Value::Str("a\"b\\c\nd\te\rf").Dump(),
+            "\"a\\\"b\\\\c\\nd\\te\\rf\"\n");
+  // Control characters use \u00xx.
+  EXPECT_EQ(Value::Str(std::string(1, '\x01')).Dump(), "\"\\u0001\"\n");
+}
+
+TEST(JsonwTest, EmptyContainers) {
+  EXPECT_EQ(Value::Array().Dump(), "[]\n");
+  EXPECT_EQ(Value::Object().Dump(), "{}\n");
+}
+
+TEST(JsonwTest, ArrayIndentation) {
+  Value a = Value::Array();
+  a.Append(Value::Int(1));
+  a.Append(Value::Str("two"));
+  EXPECT_EQ(a.Dump(), "[\n  1,\n  \"two\"\n]\n");
+}
+
+TEST(JsonwTest, ObjectKeepsInsertionOrder) {
+  Value o = Value::Object();
+  o.Set("zebra", Value::Int(1));
+  o.Set("apple", Value::Int(2));
+  const std::string dump = o.Dump();
+  EXPECT_LT(dump.find("zebra"), dump.find("apple"));
+}
+
+TEST(JsonwTest, SetReplacesInPlace) {
+  Value o = Value::Object();
+  o.Set("k", Value::Int(1));
+  o.Set("other", Value::Int(2));
+  o.Set("k", Value::Int(3));
+  const std::string dump = o.Dump();
+  EXPECT_NE(dump.find("\"k\": 3"), std::string::npos);
+  EXPECT_EQ(dump.find("\"k\": 1"), std::string::npos);
+  // Replacement keeps the original position.
+  EXPECT_LT(dump.find("\"k\""), dump.find("\"other\""));
+}
+
+TEST(JsonwTest, NestedDocument) {
+  Value doc = Value::Object();
+  Value arr = Value::Array();
+  Value inner = Value::Object();
+  inner.Set("pass", Value::Bool(true));
+  arr.Append(std::move(inner));
+  doc.Set("checks", std::move(arr));
+  EXPECT_EQ(doc.Dump(),
+            "{\n"
+            "  \"checks\": [\n"
+            "    {\n"
+            "      \"pass\": true\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+}  // namespace
+}  // namespace osjson

@@ -1,0 +1,193 @@
+#include "src/tools/gate_command.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/histogram.h"
+#include "src/core/profile.h"
+
+namespace ostools {
+namespace {
+
+// All tests gate fig06 (llseek contention): it is the fastest scenario
+// that exercises several operations in one "fs"-layer profile set.
+constexpr const char* kScenario = "fig06";
+constexpr const char* kLayerSuffix = ".fs.prof";
+
+class GateCommandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* tmpdir = ::getenv("TMPDIR");
+    base_ = std::string(tmpdir != nullptr ? tmpdir : "/tmp");
+    prefix_ = base_ + "/osprof_gate_golden";
+    perturbed_prefix_ = base_ + "/osprof_gate_perturbed";
+    json_path_ = base_ + "/osprof_gate_verdict.json";
+  }
+
+  void TearDown() override {
+    std::remove((prefix_ + kLayerSuffix).c_str());
+    std::remove((perturbed_prefix_ + kLayerSuffix).c_str());
+    std::remove(json_path_.c_str());
+  }
+
+  int Run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return RunGateCommand(args, out_, err_);
+  }
+
+  std::string base_;
+  std::string prefix_;
+  std::string perturbed_prefix_;
+  std::string json_path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(GateCommandTest, UsageErrors) {
+  EXPECT_EQ(Run({}), 1);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+  EXPECT_EQ(Run({kScenario, "--threshold=abc"}), 1);
+  EXPECT_EQ(Run({kScenario, "--raters=emd,bogus"}), 1);
+  EXPECT_NE(err_.str().find("unknown rater"), std::string::npos);
+  EXPECT_EQ(Run({kScenario, "--trials=0"}), 1);
+  EXPECT_EQ(Run({kScenario, "--no-such-flag"}), 1);
+}
+
+TEST_F(GateCommandTest, ListPrintsScenarios) {
+  EXPECT_EQ(Run({"--list"}), 0);
+  EXPECT_NE(out_.str().find(kScenario), std::string::npos);
+  EXPECT_NE(out_.str().find("fig07_cifs"), std::string::npos);
+}
+
+TEST_F(GateCommandTest, UnknownScenarioExits2) {
+  EXPECT_EQ(Run({"no_such_scenario"}), 2);
+  EXPECT_NE(err_.str().find("unknown scenario"), std::string::npos);
+}
+
+TEST_F(GateCommandTest, MissingBaselineExits2) {
+  EXPECT_EQ(Run({kScenario, "--baseline=" + prefix_ + "_absent"}), 2);
+  EXPECT_NE(err_.str().find("missing baseline"), std::string::npos);
+  EXPECT_NE(err_.str().find("--update"), std::string::npos);
+}
+
+TEST_F(GateCommandTest, CorruptBaselineExits2) {
+  std::ofstream(prefix_ + kLayerSuffix) << "this is not a profile set\n";
+  EXPECT_EQ(Run({kScenario, "--baseline=" + prefix_}), 2);
+  EXPECT_NE(err_.str().find("corrupt baseline"), std::string::npos);
+}
+
+TEST_F(GateCommandTest, UpdateRoundTripThenCleanGatePasses) {
+  ASSERT_EQ(Run({kScenario, "--update", "--baseline=" + prefix_}), 0);
+  EXPECT_NE(out_.str().find("updated"), std::string::npos);
+
+  // The written golden parses back to a non-empty set.
+  std::ifstream golden_file(prefix_ + kLayerSuffix);
+  ASSERT_TRUE(golden_file.good());
+  const osprof::ProfileSet golden = osprof::ProfileSet::Parse(golden_file);
+  EXPECT_GT(golden.size(), 0u);
+  EXPECT_GT(golden.TotalOperations(), 0u);
+
+  // Re-running the deterministic scenario scores distance 0 everywhere.
+  EXPECT_EQ(Run({kScenario, "--baseline=" + prefix_}), 0);
+  EXPECT_NE(out_.str().find("gate PASS"), std::string::npos);
+  EXPECT_EQ(out_.str().find("REGRESSION"), std::string::npos);
+}
+
+TEST_F(GateCommandTest, JsonVerdictSchema) {
+  ASSERT_EQ(Run({kScenario, "--update", "--baseline=" + prefix_}), 0);
+  ASSERT_EQ(Run({kScenario, "--baseline=" + prefix_,
+                 "--json=" + json_path_}),
+            0);
+  std::ifstream json_file(json_path_);
+  ASSERT_TRUE(json_file.good());
+  std::stringstream buffer;
+  buffer << json_file.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"schema\": \"osprof-gate-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"fig06\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"layers\""), std::string::npos);
+  EXPECT_NE(json.find("\"raters\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_score\""), std::string::npos);
+  EXPECT_NE(json.find("\"flagged_ops\""), std::string::npos);
+  for (const char* rater : {"emd", "chi2", "ops", "latency"}) {
+    EXPECT_NE(json.find(std::string("\"rater\": \"") + rater + "\""),
+              std::string::npos)
+        << rater;
+  }
+}
+
+// §5.3's calibration idea in reverse: perturb the golden by shifting every
+// peak up three buckets AND tripling its mass.  The shift moves the peaks
+// (EMD, Chi-square), the scaling changes the totals (total-ops,
+// total-latency) -- so every rater, run alone, must flag the regression.
+TEST_F(GateCommandTest, PerturbedBaselineFlaggedByEveryRater) {
+  ASSERT_EQ(Run({kScenario, "--update", "--baseline=" + prefix_}), 0);
+  std::ifstream golden_file(prefix_ + kLayerSuffix);
+  const osprof::ProfileSet golden = osprof::ProfileSet::Parse(golden_file);
+
+  osprof::ProfileSet perturbed(golden.resolution());
+  for (const auto& [name, profile] : golden) {
+    const osprof::Histogram& h = profile.histogram();
+    osprof::Histogram& p = perturbed[name].histogram();
+    std::uint64_t recorded = 0;
+    osprof::Cycles total_latency = 0;
+    for (int b = 0; b < h.num_buckets(); ++b) {
+      if (h.bucket(b) == 0) {
+        continue;
+      }
+      const int shifted = std::min(b + 3, h.num_buckets() - 1);
+      const std::uint64_t count = h.bucket(b) * 3;
+      p.set_bucket(shifted, p.bucket(shifted) + count);
+      recorded += count;
+      total_latency +=
+          count * osprof::BucketLowerBound(shifted, golden.resolution());
+    }
+    p.SetTotals(recorded, total_latency);
+  }
+  std::ofstream perturbed_file(perturbed_prefix_ + kLayerSuffix);
+  perturbed.Serialize(perturbed_file);
+  perturbed_file.close();
+
+  for (const char* rater : {"emd", "chi2", "ops", "latency"}) {
+    EXPECT_EQ(Run({kScenario, "--baseline=" + perturbed_prefix_,
+                   std::string("--raters=") + rater}),
+              3)
+        << "rater " << rater << " missed the perturbation\n"
+        << out_.str();
+    EXPECT_NE(out_.str().find("gate REGRESSION"), std::string::npos) << rater;
+    EXPECT_NE(out_.str().find("flagged:"), std::string::npos) << rater;
+  }
+
+  // All four together, of course, also fail -- and the JSON says so.
+  EXPECT_EQ(Run({kScenario, "--baseline=" + perturbed_prefix_,
+                 "--json=" + json_path_}),
+            3);
+  std::ifstream json_file(json_path_);
+  std::stringstream buffer;
+  buffer << json_file.rdbuf();
+  EXPECT_NE(buffer.str().find("\"pass\": false"), std::string::npos);
+}
+
+// The committed corpus under tests/golden/ must pass: this is the same
+// invariant the CI gate job enforces, checked here so `ctest` catches a
+// stale golden before a push does.
+TEST_F(GateCommandTest, CommittedGoldenCorpusPasses) {
+  const std::string golden_dir = std::string(OSPROF_SOURCE_DIR) +
+                                 "/tests/golden/";
+  for (const char* scenario : {"fig01", "fig06"}) {
+    EXPECT_EQ(Run({scenario, "--baseline=" + golden_dir + scenario}), 0)
+        << scenario << ":\n"
+        << out_.str() << err_.str();
+  }
+}
+
+}  // namespace
+}  // namespace ostools

@@ -2,20 +2,55 @@
 // (google-benchmark).  The honest counterpart to the paper's "about 200
 // CPU cycles per profiled OS entry point": what does a probe cost today?
 // Also covers the DESIGN.md ablations: bucket resolution r=1 vs r=2,
-// histogram locking policies, EMD vs bin-by-bin raters.
+// histogram locking policies, EMD vs bin-by-bin raters, and the
+// string-keyed vs pre-resolved-handle record paths (ISSUE 3).
+//
+// Besides the google-benchmark suite, main() times the record and Wrap
+// hot paths directly and emits BENCH_micro_core.json (osprof-bench-v1)
+// with ns_per_record_{string,handle} and ns_per_wrap_{string,handle} so
+// CI can assert the handle path's speedup without scraping stdout.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+
+#include "bench/bench_util.h"
 #include "src/core/compare.h"
 #include "src/core/histogram.h"
+#include "src/core/op_table.h"
 #include "src/core/peaks.h"
 #include "src/core/probe.h"
 #include "src/core/profile.h"
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/kernel.h"
+#include "src/sim/task.h"
 
 namespace {
 
 using osprof::Cycles;
 using osprof::Histogram;
+
+// A realistic per-layer operation population: the ten VFS ops under two
+// layer prefixes plus the four driver keys, so the string-keyed lookup
+// walks a name index of production depth rather than a toy one.
+constexpr const char* kLayerOps[] = {
+    "fs_open",        "fs_close",       "fs_read",    "fs_write",
+    "fs_llseek",      "fs_readdir",     "fs_fsync",   "fs_create",
+    "fs_unlink",      "fs_stat",        "user_open",  "user_close",
+    "user_read",      "user_write",     "user_llseek", "user_readdir",
+    "user_fsync",     "user_create",    "user_unlink", "user_stat",
+    "disk_read",      "disk_write",     "disk_read_queue",
+    "disk_write_queue",
+};
+
+osprof::ProfileSet PopulatedLayerSet() {
+  osprof::ProfileSet set(1);
+  for (const char* op : kLayerOps) {
+    (void)set.Resolve(op);
+  }
+  return set;
+}
 
 void BM_BucketIndexR1(benchmark::State& state) {
   Cycles latency = 1;
@@ -117,6 +152,35 @@ void BM_FindPeaks(benchmark::State& state) {
 }
 BENCHMARK(BM_FindPeaks)->Arg(1)->Arg(4)->ArgName("peaks");
 
+// The pre-ISSUE-3 record path: build the layer-prefixed key per call
+// (exactly what ProfiledVfs did with `prefix_ + "read"`), then look it
+// up in the sorted name index.
+void BM_ProfileSetRecordStringKey(benchmark::State& state) {
+  osprof::ProfileSet set = PopulatedLayerSet();
+  const std::string prefix = "fs_";
+  Cycles latency = 1;
+  for (auto _ : state) {
+    set.Add(prefix + "read", latency);
+    latency = latency * 5 / 3 + 1;
+  }
+  benchmark::DoNotOptimize(set.TotalOperations());
+}
+BENCHMARK(BM_ProfileSetRecordStringKey);
+
+// The handle path: the key was interned at attach time, the record is an
+// indexed load + bucket increment.
+void BM_ProfileSetRecordHandle(benchmark::State& state) {
+  osprof::ProfileSet set = PopulatedLayerSet();
+  const osprof::ProbeHandle read = set.Resolve("fs_read");
+  Cycles latency = 1;
+  for (auto _ : state) {
+    set.AddById(read.id(), latency);
+    latency = latency * 5 / 3 + 1;
+  }
+  benchmark::DoNotOptimize(set.TotalOperations());
+}
+BENCHMARK(BM_ProfileSetRecordHandle);
+
 void BM_ProfileSetSerialize(benchmark::State& state) {
   osprof::ProfileSet set(1);
   for (const char* op : {"read", "write", "llseek", "readdir", "open"}) {
@@ -144,6 +208,123 @@ void BM_ProfileSetParse(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileSetParse);
 
+// --- BENCH_micro_core.json hot-path measurements ---------------------------
+
+double NsPerIter(std::chrono::steady_clock::time_point start, int iters) {
+  const std::chrono::steady_clock::time_point end =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         static_cast<double>(iters);
+}
+
+constexpr int kRecordIters = 2'000'000;
+
+double MeasureRecordString(osprof::ProfileSet* set) {
+  const std::string prefix = "fs_";
+  Cycles latency = 1;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRecordIters; ++i) {
+    set->Add(prefix + "read", latency);
+    latency = latency * 5 / 3 + 1;
+  }
+  return NsPerIter(start, kRecordIters);
+}
+
+double MeasureRecordHandle(osprof::ProfileSet* set) {
+  const osprof::ProbeHandle read = set->Resolve("fs_read");
+  Cycles latency = 1;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRecordIters; ++i) {
+    set->AddById(read.id(), latency);
+    latency = latency * 5 / 3 + 1;
+  }
+  return NsPerIter(start, kRecordIters);
+}
+
+constexpr int kWrapIters = 50'000;
+
+osim::Task<int> NoopWork(osim::Kernel* k) {
+  co_await k->Cpu(0);
+  co_return 0;
+}
+
+osim::Task<void> WrapStringLoop(osim::Kernel* k,
+                                osprofilers::SimProfiler* prof) {
+  const std::string prefix = "fs_";
+  for (int i = 0; i < kWrapIters; ++i) {
+    (void)co_await prof->Wrap(prefix + "read", NoopWork(k));
+  }
+}
+
+osim::Task<void> WrapHandleLoop(osim::Kernel* k,
+                                osprofilers::SimProfiler* prof,
+                                osprof::ProbeHandle op) {
+  for (int i = 0; i < kWrapIters; ++i) {
+    (void)co_await prof->Wrap(op, NoopWork(k));
+  }
+}
+
+// Times one simulated thread driving kWrapIters Wrap'd no-op operations;
+// the sim-kernel scheduling cost is identical for both variants, so the
+// delta isolates the per-Wrap key handling.
+double MeasureWrap(bool use_handle) {
+  osim::KernelConfig cfg;
+  cfg.num_cpus = 1;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  osim::Kernel k(cfg);
+  osprofilers::SimProfiler prof(&k);
+  const osprof::ProbeHandle op = prof.Resolve("fs_read");
+  k.Spawn("bench", use_handle ? WrapHandleLoop(&k, &prof, op)
+                              : WrapStringLoop(&k, &prof));
+  const auto start = std::chrono::steady_clock::now();
+  k.RunUntilThreadsFinish();
+  return NsPerIter(start, kWrapIters);
+}
+
+int EmitJsonReport() {
+  osbench::JsonReport report("micro_core");
+
+  osprof::ProfileSet by_string = PopulatedLayerSet();
+  osprof::ProfileSet by_handle = PopulatedLayerSet();
+  // Warm both paths once, then measure.
+  (void)MeasureRecordString(&by_string);
+  (void)MeasureRecordHandle(&by_handle);
+  const double ns_record_string = MeasureRecordString(&by_string);
+  const double ns_record_handle = MeasureRecordHandle(&by_handle);
+  const double record_speedup =
+      ns_record_handle > 0.0 ? ns_record_string / ns_record_handle : 0.0;
+  report.AddOps(4 * static_cast<std::uint64_t>(kRecordIters));
+
+  const double ns_wrap_string = MeasureWrap(/*use_handle=*/false);
+  const double ns_wrap_handle = MeasureWrap(/*use_handle=*/true);
+  report.AddOps(2 * static_cast<std::uint64_t>(kWrapIters));
+
+  report.Metric("ns_per_record_string", ns_record_string);
+  report.Metric("ns_per_record_handle", ns_record_handle);
+  report.Metric("record_handle_speedup", record_speedup);
+  report.Metric("ns_per_wrap_string", ns_wrap_string);
+  report.Metric("ns_per_wrap_handle", ns_wrap_handle);
+  report.Metric("wrap_handle_speedup",
+                ns_wrap_handle > 0.0 ? ns_wrap_string / ns_wrap_handle
+                                     : 0.0);
+
+  std::printf("record: %.1f ns string-keyed, %.1f ns handle (%.1fx)\n",
+              ns_record_string, ns_record_handle, record_speedup);
+  std::printf("wrap:   %.1f ns string-keyed, %.1f ns handle\n",
+              ns_wrap_string, ns_wrap_handle);
+  report.Check("record_handle_speedup_ge_5x", record_speedup >= 5.0);
+  return report.Finish();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return EmitJsonReport();
+}

@@ -1,0 +1,96 @@
+// Operation-name interning (the record-path counterpart of DTrace-style
+// probe-site resolution).
+//
+// The paper's aggregate-stats library sorts and stores a latency in ~100
+// cycles; anything string-shaped on that path (building "prefix" + "read",
+// walking a string-keyed std::map) costs an order of magnitude more than
+// the measurement itself.  OpTable interns each operation name exactly
+// once into a dense OpId, and a ProbeHandle carries that id as a
+// trivially-copyable token.  Instrumentation resolves its handles at
+// attach time (constructor / SetProfiler), so the steady-state record path
+// is: read TSC, bucket-index, increment -- no allocation, no string
+// compare, no tree walk.
+//
+// Ids are per-table: a handle resolved against one profiler's ProfileSet
+// indexes that set only.  Ids are stable for the table's lifetime,
+// including across SimProfiler::Reset() (which clears counts but keeps the
+// table), so long-lived layers resolve once and record forever.
+
+#ifndef OSPROF_SRC_CORE_OP_TABLE_H_
+#define OSPROF_SRC_CORE_OP_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osprof {
+
+// Dense operation id: index into the owning table (and into any structure
+// the owner keeps parallel to it).
+using OpId = std::uint32_t;
+
+inline constexpr OpId kInvalidOpId = static_cast<OpId>(-1);
+
+// Interns operation names into dense ids.  Insertion order assigns ids;
+// by_name() iterates lexicographically, which is what keeps serialized
+// profile sets byte-identical regardless of the order operations were
+// first recorded (or pre-resolved) in.
+class OpTable {
+ public:
+  // Sorted name -> id view (std::less<> enables string_view lookups).
+  using NameMap = std::map<std::string, OpId, std::less<>>;
+
+  // Returns the id of `name`, interning it if new.
+  OpId Intern(std::string_view name) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      return it->second;
+    }
+    const OpId id = static_cast<OpId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Returns the id of `name`, or kInvalidOpId if it was never interned.
+  OpId Find(std::string_view name) const {
+    const auto it = index_.find(name);
+    return it == index_.end() ? kInvalidOpId : it->second;
+  }
+
+  const std::string& Name(OpId id) const {
+    return names_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  const NameMap& by_name() const { return index_; }
+
+ private:
+  std::vector<std::string> names_;  // id -> name, in interning order.
+  NameMap index_;                   // name -> id, sorted.
+};
+
+// A pre-resolved probe site: the token instrumentation holds instead of an
+// operation-name string.  8 bytes, trivially copyable, cheap to store in
+// coroutine frames.  Obtain one from the owning profiler's (or
+// ProfileSet's) Resolve(); a default-constructed handle is invalid.
+class ProbeHandle {
+ public:
+  constexpr ProbeHandle() = default;
+  constexpr explicit ProbeHandle(OpId id) : id_(id) {}
+
+  constexpr OpId id() const { return id_; }
+  constexpr bool valid() const { return id_ != kInvalidOpId; }
+
+ private:
+  OpId id_ = kInvalidOpId;
+};
+
+}  // namespace osprof
+
+#endif  // OSPROF_SRC_CORE_OP_TABLE_H_

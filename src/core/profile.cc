@@ -8,17 +8,36 @@
 
 namespace osprof {
 
-Profile& ProfileSet::operator[](const std::string& op) {
-  auto it = profiles_.find(op);
-  if (it == profiles_.end()) {
-    it = profiles_.emplace(op, Profile(op, resolution_)).first;
+void ProfileSet::const_iterator::SkipInvisible() {
+  const auto end = set_->table_.by_name().end();
+  while (it_ != end && !set_->Visible(it_->second)) {
+    ++it_;
   }
-  return it->second;
 }
 
-const Profile* ProfileSet::Find(const std::string& op) const {
-  auto it = profiles_.find(op);
-  return it == profiles_.end() ? nullptr : &it->second;
+ProbeHandle ProfileSet::Resolve(std::string_view op) {
+  const OpId existing = table_.Find(op);
+  if (existing != kInvalidOpId) {
+    return ProbeHandle(existing);
+  }
+  const OpId id = table_.Intern(op);
+  profiles_.emplace_back(std::string(op), resolution_);
+  declared_.push_back(false);
+  return ProbeHandle(id);
+}
+
+Profile& ProfileSet::operator[](std::string_view op) {
+  const OpId id = Resolve(op).id();
+  declared_[static_cast<std::size_t>(id)] = true;
+  return ById(id);
+}
+
+const Profile* ProfileSet::Find(std::string_view op) const {
+  const OpId id = table_.Find(op);
+  if (id == kInvalidOpId || !Visible(id)) {
+    return nullptr;
+  }
+  return &ById(id);
 }
 
 void ProfileSet::Merge(const ProfileSet& other) {
@@ -26,15 +45,32 @@ void ProfileSet::Merge(const ProfileSet& other) {
     throw std::invalid_argument(
         "ProfileSet::Merge: profile sets differ in resolution");
   }
-  for (const auto& [name, profile] : other.profiles_) {
+  for (const auto& [name, profile] : other) {
     (*this)[name].Merge(profile);
   }
 }
 
+void ProfileSet::ClearCounts() {
+  for (Profile& profile : profiles_) {
+    profile.histogram().Clear();
+  }
+  declared_.assign(declared_.size(), false);
+}
+
+std::size_t ProfileSet::size() const {
+  std::size_t count = 0;
+  for (OpId id = 0; id < static_cast<OpId>(profiles_.size()); ++id) {
+    if (Visible(id)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 std::vector<std::string> ProfileSet::OperationNames() const {
   std::vector<std::string> names;
-  names.reserve(profiles_.size());
-  for (const auto& [name, profile] : profiles_) {
+  names.reserve(table_.size());
+  for (const auto& [name, profile] : *this) {
     names.push_back(name);
   }
   return names;
@@ -44,8 +80,8 @@ std::vector<std::string> ProfileSet::ByTotalLatency() const {
   std::vector<std::string> names = OperationNames();
   std::sort(names.begin(), names.end(),
             [this](const std::string& a, const std::string& b) {
-              const Cycles la = profiles_.at(a).total_latency();
-              const Cycles lb = profiles_.at(b).total_latency();
+              const Cycles la = Find(a)->total_latency();
+              const Cycles lb = Find(b)->total_latency();
               if (la != lb) {
                 return la > lb;
               }
@@ -56,7 +92,7 @@ std::vector<std::string> ProfileSet::ByTotalLatency() const {
 
 Cycles ProfileSet::TotalLatency() const {
   Cycles sum = 0;
-  for (const auto& [name, profile] : profiles_) {
+  for (const auto& [name, profile] : *this) {
     sum += profile.total_latency();
   }
   return sum;
@@ -64,7 +100,7 @@ Cycles ProfileSet::TotalLatency() const {
 
 std::uint64_t ProfileSet::TotalOperations() const {
   std::uint64_t sum = 0;
-  for (const auto& [name, profile] : profiles_) {
+  for (const auto& [name, profile] : *this) {
     sum += profile.total_operations();
   }
   return sum;
@@ -73,7 +109,7 @@ std::uint64_t ProfileSet::TotalOperations() const {
 void ProfileSet::Serialize(std::ostream& os) const {
   os << "# osprof profile set v1\n";
   os << "resolution " << resolution_ << "\n";
-  for (const auto& [name, profile] : profiles_) {
+  for (const auto& [name, profile] : *this) {
     const Histogram& h = profile.histogram();
     os << "profile " << name << " recorded=" << h.recorded()
        << " total_latency=" << h.total_latency() << "\n";
@@ -96,7 +132,8 @@ ProfileSet ProfileSet::Parse(std::istream& is) {
   std::string line;
   int resolution = 1;
   ProfileSet set(1);
-  Profile* current = nullptr;
+  // Parse by id, not Profile*: operator[] growth may reallocate the slots.
+  OpId current = kInvalidOpId;
   std::uint64_t current_recorded = 0;
   std::uint64_t current_total_latency = 0;
   bool saw_resolution = false;
@@ -123,13 +160,14 @@ ProfileSet ProfileSet::Parse(std::istream& is) {
       }
       saw_resolution = true;
       set = ProfileSet(resolution);
-      current = nullptr;
+      current = kInvalidOpId;
     } else if (tok == "profile") {
       std::string name;
       if (!(ls >> name)) {
         fail("profile line missing name");
       }
-      current = &set[name];
+      set[name];  // Declare, so empty profiles round-trip byte-identically.
+      current = set.table_.Find(name);
       current_recorded = 0;
       current_total_latency = 0;
       std::string kv;
@@ -149,7 +187,7 @@ ProfileSet ProfileSet::Parse(std::istream& is) {
         }
       }
     } else if (tok == "bucket") {
-      if (current == nullptr) {
+      if (current == kInvalidOpId) {
         fail("bucket outside profile block");
       }
       int index = 0;
@@ -157,21 +195,23 @@ ProfileSet ProfileSet::Parse(std::istream& is) {
       if (!(ls >> index >> count)) {
         fail("malformed bucket line");
       }
-      if (index < 0 || index >= current->histogram().num_buckets()) {
+      Histogram& h = set.ById(current).histogram();
+      if (index < 0 || index >= h.num_buckets()) {
         fail("bucket index out of range");
       }
-      current->histogram().set_bucket(index, count);
+      h.set_bucket(index, count);
     } else if (tok == "end") {
-      if (current == nullptr) {
+      if (current == kInvalidOpId) {
         fail("end outside profile block");
       }
-      current->histogram().SetTotals(current_recorded, current_total_latency);
-      current = nullptr;
+      set.ById(current).histogram().SetTotals(current_recorded,
+                                              current_total_latency);
+      current = kInvalidOpId;
     } else {
       fail("unknown directive: " + tok);
     }
   }
-  if (current != nullptr) {
+  if (current != kInvalidOpId) {
     fail("unterminated profile block");
   }
   return set;
@@ -183,7 +223,7 @@ ProfileSet ProfileSet::ParseString(const std::string& text) {
 }
 
 bool ProfileSet::CheckConsistency() const {
-  for (const auto& [name, profile] : profiles_) {
+  for (const Profile& profile : profiles_) {
     if (!profile.histogram().CheckConsistency()) {
       return false;
     }

@@ -35,25 +35,26 @@ Histogram SampledProfile::Flatten() const {
   return out;
 }
 
-void SampledProfileSet::Add(const std::string& op, Cycles now, Cycles latency) {
-  auto it = profiles_.find(op);
-  if (it == profiles_.end()) {
-    it = profiles_
-             .emplace(op, SampledProfile(op, epoch_cycles_, resolution_))
-             .first;
+SampledProfile* SampledProfileSet::Slot(std::string_view op) {
+  const OpId existing = table_.Find(op);
+  if (existing != kInvalidOpId) {
+    return &profiles_[static_cast<std::size_t>(existing)];
   }
-  it->second.Add(now, latency);
+  const OpId id = table_.Intern(op);
+  profiles_.emplace_back(std::string(op), epoch_cycles_, resolution_);
+  return &profiles_[static_cast<std::size_t>(id)];
 }
 
-const SampledProfile* SampledProfileSet::Find(const std::string& op) const {
-  auto it = profiles_.find(op);
-  return it == profiles_.end() ? nullptr : &it->second;
+const SampledProfile* SampledProfileSet::Find(std::string_view op) const {
+  const OpId id = table_.Find(op);
+  return id == kInvalidOpId ? nullptr
+                            : &profiles_[static_cast<std::size_t>(id)];
 }
 
 std::vector<std::string> SampledProfileSet::OperationNames() const {
   std::vector<std::string> names;
-  names.reserve(profiles_.size());
-  for (const auto& [name, profile] : profiles_) {
+  names.reserve(table_.size());
+  for (const auto& [name, id] : table_.by_name()) {
     names.push_back(name);
   }
   return names;
@@ -113,7 +114,8 @@ void SampledProfileSet::Serialize(std::ostream& os) const {
   os << "# osprof sampled profile set v1\n";
   os << "resolution " << resolution_ << "\n";
   os << "epoch_cycles " << epoch_cycles_ << "\n";
-  for (const auto& [name, profile] : profiles_) {
+  for (const auto& [name, id] : table_.by_name()) {
+    const SampledProfile& profile = profiles_[static_cast<std::size_t>(id)];
     for (int e = 0; e < profile.num_epochs(); ++e) {
       const Histogram& h = profile.epoch(e);
       if (h.recorded() == 0 && h.TotalOperations() == 0) {
@@ -202,13 +204,7 @@ SampledProfileSet SampledProfileSet::Parse(std::istream& is) {
         fail("sampled block missing epoch=");
       }
       // Materialize the profile (Add-like path) then grab the epoch.
-      auto it = set.profiles_.find(name);
-      if (it == set.profiles_.end()) {
-        it = set.profiles_
-                 .emplace(name, SampledProfile(name, epoch_cycles, resolution))
-                 .first;
-      }
-      current = it->second.MutableEpoch(epoch);
+      current = set.Slot(name)->MutableEpoch(epoch);
     } else if (tok == "bucket") {
       if (current == nullptr) {
         fail("bucket outside sampled block");

@@ -11,12 +11,14 @@
 #ifndef OSPROF_SRC_CORE_SAMPLING_H_
 #define OSPROF_SRC_CORE_SAMPLING_H_
 
+#include <deque>
 #include <iosfwd>
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/histogram.h"
+#include "src/core/op_table.h"
 
 namespace osprof {
 
@@ -62,9 +64,16 @@ class SampledProfileSet {
   explicit SampledProfileSet(Cycles epoch_cycles, int resolution = 1)
       : epoch_cycles_(epoch_cycles), resolution_(resolution) {}
 
-  void Add(const std::string& op, Cycles now, Cycles latency);
+  // Get-or-create the sampled profile of `op`.  The pointer is stable for
+  // the set's lifetime (deque backing), so profilers cache it per OpId and
+  // keep the steady-state record path free of string lookups.
+  SampledProfile* Slot(std::string_view op);
 
-  const SampledProfile* Find(const std::string& op) const;
+  void Add(std::string_view op, Cycles now, Cycles latency) {
+    Slot(op)->Add(now, latency);
+  }
+
+  const SampledProfile* Find(std::string_view op) const;
   Cycles epoch_cycles() const { return epoch_cycles_; }
   std::vector<std::string> OperationNames() const;
 
@@ -91,7 +100,9 @@ class SampledProfileSet {
  private:
   Cycles epoch_cycles_;
   int resolution_;
-  std::map<std::string, SampledProfile> profiles_;
+  OpTable table_;
+  // Indexed by OpId; deque so Slot() pointers survive later interning.
+  std::deque<SampledProfile> profiles_;
 };
 
 // Change-point detection over a sampled profile (§3.1: "In this case we

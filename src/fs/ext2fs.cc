@@ -32,6 +32,29 @@ Ext2SimFs::Ext2SimFs(osim::Kernel* kernel, osim::SimDisk* disk,
   NewInode(/*is_dir=*/true);  // Root directory, inode 0.
 }
 
+void Ext2SimFs::ResolveProbes() {
+  const struct {
+    OpProbe* probe;
+    const char* name;
+  } kProbes[] = {
+      {&probes_.open, "open"},       {&probes_.close, "close"},
+      {&probes_.read, "read"},       {&probes_.readpage, "readpage"},
+      {&probes_.write, "write"},     {&probes_.fsync, "fsync"},
+      {&probes_.llseek, "llseek"},   {&probes_.readdir, "readdir"},
+      {&probes_.mmap, "mmap"},       {&probes_.nopage, "nopage"},
+      {&probes_.create, "create"},   {&probes_.unlink, "unlink"},
+      {&probes_.stat, "stat"},       {&probes_.write_super, "write_super"},
+  };
+  for (const auto& entry : kProbes) {
+    if (profiler_ != nullptr) {
+      entry.probe->fs = profiler_->Resolve(entry.name);
+    }
+    if (callgraph_ != nullptr) {
+      entry.probe->cg = callgraph_->Resolve(entry.name);
+    }
+  }
+}
+
 int Ext2SimFs::NewInode(bool is_dir) {
   const int id = static_cast<int>(inodes_.size());
   auto node = std::make_unique<Inode>();
@@ -188,7 +211,7 @@ Task<void> Ext2SimFs::CpuNoisy(osim::Cycles cycles) {
 // --- Open / Close -----------------------------------------------------------
 
 Task<int> Ext2SimFs::Open(const std::string& path, bool direct_io) {
-  return Profiled("open", OpenImpl(path, direct_io));
+  return Profiled(probes_.open, OpenImpl(path, direct_io));
 }
 
 Task<int> Ext2SimFs::OpenImpl(const std::string& path, bool direct_io) {
@@ -203,7 +226,7 @@ Task<int> Ext2SimFs::OpenImpl(const std::string& path, bool direct_io) {
 }
 
 Task<void> Ext2SimFs::Close(int fd) {
-  return Profiled("close", CloseImpl(fd));
+  return Profiled(probes_.close, CloseImpl(fd));
 }
 
 Task<void> Ext2SimFs::CloseImpl(int fd) {
@@ -214,7 +237,7 @@ Task<void> Ext2SimFs::CloseImpl(int fd) {
 // --- Read -------------------------------------------------------------------
 
 Task<std::int64_t> Ext2SimFs::Read(int fd, std::uint64_t bytes) {
-  return Profiled("read", ReadImpl(fd, bytes));
+  return Profiled(probes_.read, ReadImpl(fd, bytes));
 }
 
 Task<std::int64_t> Ext2SimFs::ReadImpl(int fd, std::uint64_t bytes) {
@@ -274,7 +297,7 @@ Task<std::int64_t> Ext2SimFs::DirectRead(OpenFile& f, Inode& node,
 }
 
 Task<void> Ext2SimFs::ReadPage(int inode_id, std::uint64_t page_index) {
-  return Profiled("readpage", ReadPageImpl(inode_id, page_index));
+  return Profiled(probes_.readpage, ReadPageImpl(inode_id, page_index));
 }
 
 Task<void> Ext2SimFs::ReadPageImpl(int inode_id, std::uint64_t page_index) {
@@ -290,7 +313,7 @@ Task<void> Ext2SimFs::ReadPageImpl(int inode_id, std::uint64_t page_index) {
 // --- Write / Fsync ----------------------------------------------------------
 
 Task<std::int64_t> Ext2SimFs::Write(int fd, std::uint64_t bytes) {
-  return Profiled("write", WriteImpl(fd, bytes));
+  return Profiled(probes_.write, WriteImpl(fd, bytes));
 }
 
 Task<std::int64_t> Ext2SimFs::WriteImpl(int fd, std::uint64_t bytes) {
@@ -331,7 +354,9 @@ Task<std::int64_t> Ext2SimFs::WriteImpl(int fd, std::uint64_t bytes) {
   co_return static_cast<std::int64_t>(bytes);
 }
 
-Task<void> Ext2SimFs::Fsync(int fd) { return Profiled("fsync", FsyncImpl(fd)); }
+Task<void> Ext2SimFs::Fsync(int fd) {
+  return Profiled(probes_.fsync, FsyncImpl(fd));
+}
 
 Task<void> Ext2SimFs::FsyncImpl(int fd) {
   OpenFile& f = file(fd);
@@ -349,7 +374,7 @@ Task<void> Ext2SimFs::FsyncImpl(int fd) {
 // --- Llseek (§6.1) ----------------------------------------------------------
 
 Task<std::uint64_t> Ext2SimFs::Llseek(int fd, std::uint64_t pos) {
-  return Profiled("llseek", LlseekImpl(fd, pos));
+  return Profiled(probes_.llseek, LlseekImpl(fd, pos));
 }
 
 Task<std::uint64_t> Ext2SimFs::LlseekImpl(int fd, std::uint64_t pos) {
@@ -379,7 +404,8 @@ Task<DirentBatch> Ext2SimFs::Readdir(int fd) {
     // Call-graph mode records the readdir->readpage nesting; value
     // correlation is a plain-profiler feature.
     std::uint64_t ignored = 0;
-    co_return co_await callgraph_->Wrap("readdir", ReaddirImpl(fd, &ignored));
+    co_return co_await callgraph_->Wrap(probes_.readdir.cg,
+                                        ReaddirImpl(fd, &ignored));
   }
   if (profiler_ == nullptr) {
     std::uint64_t ignored = 0;
@@ -389,7 +415,7 @@ Task<DirentBatch> Ext2SimFs::Readdir(int fd) {
   // attached ValueCorrelator can bind peaks to the EOF fast path.
   std::uint64_t past_eof_value = 0;
   co_return co_await profiler_->WrapWithValue(
-      "readdir", ReaddirImpl(fd, &past_eof_value), &past_eof_value);
+      probes_.readdir.fs, ReaddirImpl(fd, &past_eof_value), &past_eof_value);
 }
 
 Task<DirentBatch> Ext2SimFs::ReaddirImpl(int fd,
@@ -438,7 +464,9 @@ Task<DirentBatch> Ext2SimFs::ReaddirImpl(int fd,
 
 // --- Memory mapping -----------------------------------------------------------
 
-Task<int> Ext2SimFs::Mmap(int fd) { return Profiled("mmap", MmapImpl(fd)); }
+Task<int> Ext2SimFs::Mmap(int fd) {
+  return Profiled(probes_.mmap, MmapImpl(fd));
+}
 
 Task<int> Ext2SimFs::MmapImpl(int fd) {
   OpenFile& f = file(fd);
@@ -474,7 +502,7 @@ Task<void> Ext2SimFs::MemAccess(int mapping, std::uint64_t offset) {
     co_await kernel_->CpuUser(4);
     co_return;
   }
-  co_await Profiled("nopage", NopageImpl(mapping, page));
+  co_await Profiled(probes_.nopage, NopageImpl(mapping, page));
 }
 
 Task<void> Ext2SimFs::NopageImpl(int mapping, std::uint64_t page) {
@@ -497,7 +525,7 @@ Task<void> Ext2SimFs::NopageImpl(int mapping, std::uint64_t page) {
 // --- Namespace operations ---------------------------------------------------
 
 Task<int> Ext2SimFs::Create(const std::string& path) {
-  return Profiled("create", CreateImpl(path));
+  return Profiled(probes_.create, CreateImpl(path));
 }
 
 Task<int> Ext2SimFs::CreateImpl(const std::string& path) {
@@ -525,7 +553,7 @@ Task<int> Ext2SimFs::CreateImpl(const std::string& path) {
 }
 
 Task<void> Ext2SimFs::Unlink(const std::string& path) {
-  return Profiled("unlink", UnlinkImpl(path));
+  return Profiled(probes_.unlink, UnlinkImpl(path));
 }
 
 Task<void> Ext2SimFs::UnlinkImpl(const std::string& path) {
@@ -547,7 +575,7 @@ Task<void> Ext2SimFs::UnlinkImpl(const std::string& path) {
 }
 
 Task<FileAttr> Ext2SimFs::Stat(const std::string& path) {
-  return Profiled("stat", StatImpl(path));
+  return Profiled(probes_.stat, StatImpl(path));
 }
 
 Task<FileAttr> Ext2SimFs::StatImpl(const std::string& path) {

@@ -124,14 +124,20 @@ class Ext2SimFs : public Vfs {
   std::uint64_t major_faults() const { return major_faults_; }
 
   // Attaches FoSgen-style in-fs instrumentation: every operation
-  // (including the internal readpage) records into `profiler`.
-  void SetProfiler(SimProfiler* profiler) { profiler_ = profiler; }
+  // (including the internal readpage) records into `profiler`.  All probe
+  // names are resolved here, once, so the per-operation path dispatches on
+  // pre-resolved handles.
+  void SetProfiler(SimProfiler* profiler) {
+    profiler_ = profiler;
+    ResolveProbes();
+  }
 
   // Alternative instrumentation: function-granularity call-graph
   // profiling (§3.1's gcc -p analogue).  Takes precedence over the plain
   // profiler when both are set.
   void SetCallGraphProfiler(osprofilers::CallGraphProfiler* profiler) {
     callgraph_ = profiler;
+    ResolveProbes();
   }
 
   PageCache& page_cache() { return cache_; }
@@ -186,16 +192,33 @@ class Ext2SimFs : public Vfs {
   Task<void> UnlinkImpl(const std::string& path);
   Task<FileAttr> StatImpl(const std::string& path);
 
+  // One operation's pre-resolved probes: a handle per attachable
+  // profiler (the two have independent op tables).
+  struct OpProbe {
+    osprof::ProbeHandle fs;  // Into profiler_'s table.
+    osprof::ProbeHandle cg;  // Into callgraph_'s table.
+  };
+
+  // Every probe this file system (or a subclass) can fire, resolved by
+  // ResolveProbes() when instrumentation attaches.
+  struct OpProbes {
+    OpProbe open, close, read, readpage, write, fsync, llseek, readdir,
+        mmap, nopage, create, unlink, stat, write_super;
+  };
+
+  // (Re-)resolves probes_ against whichever profilers are attached.
+  void ResolveProbes();
+
   // Wraps `inner` with whichever profiler is attached.
   template <typename T>
-  Task<T> Profiled(const char* op, Task<T> inner) {
+  Task<T> Profiled(OpProbe op, Task<T> inner) {
     if (callgraph_ != nullptr) {
-      co_return co_await callgraph_->Wrap(op, std::move(inner));
+      co_return co_await callgraph_->Wrap(op.cg, std::move(inner));
     }
     if (profiler_ == nullptr) {
       co_return co_await std::move(inner);
     }
-    co_return co_await profiler_->Wrap(op, std::move(inner));
+    co_return co_await profiler_->Wrap(op.fs, std::move(inner));
   }
 
   // CPU burst with multiplicative log-normal noise.
@@ -227,6 +250,7 @@ class Ext2SimFs : public Vfs {
   std::uint64_t major_faults_ = 0;
   SimProfiler* profiler_ = nullptr;
   osprofilers::CallGraphProfiler* callgraph_ = nullptr;
+  OpProbes probes_;
   std::vector<std::unique_ptr<Inode>> inodes_;
   // Deque: open/close during coroutine suspension must not invalidate
   // OpenFile references held across awaits.

@@ -9,7 +9,7 @@ Ext3SimFs::Ext3SimFs(osim::Kernel* kernel, osim::SimDisk* disk,
       journal_lock_(kernel, 1, "jbd_transaction") {}
 
 Task<void> Ext3SimFs::Fsync(int fd) {
-  return Profiled("fsync", FsyncOrderedImpl(fd));
+  return Profiled(probes_.fsync, FsyncOrderedImpl(fd));
 }
 
 Task<void> Ext3SimFs::FsyncOrderedImpl(int fd) {

@@ -20,39 +20,53 @@ namespace osfs {
 class ProfiledVfs : public Vfs {
  public:
   // `prefix` distinguishes layers in reports (e.g. "user." or "fs.").
+  // The ten per-op probe names ("<prefix>open", ...) are resolved here,
+  // once; the per-call path hands SimProfiler a ProbeHandle instead of
+  // heap-allocating `prefix_ + "open"` on every operation.
   ProfiledVfs(Vfs* inner, osprofilers::SimProfiler* profiler,
               std::string prefix = "")
-      : inner_(inner), profiler_(profiler), prefix_(std::move(prefix)) {}
+      : inner_(inner), profiler_(profiler), prefix_(std::move(prefix)) {
+    open_ = profiler_->Resolve(prefix_ + "open");
+    close_ = profiler_->Resolve(prefix_ + "close");
+    read_ = profiler_->Resolve(prefix_ + "read");
+    write_ = profiler_->Resolve(prefix_ + "write");
+    llseek_ = profiler_->Resolve(prefix_ + "llseek");
+    readdir_ = profiler_->Resolve(prefix_ + "readdir");
+    fsync_ = profiler_->Resolve(prefix_ + "fsync");
+    create_ = profiler_->Resolve(prefix_ + "create");
+    unlink_ = profiler_->Resolve(prefix_ + "unlink");
+    stat_ = profiler_->Resolve(prefix_ + "stat");
+  }
 
   Task<int> Open(const std::string& path, bool direct_io) override {
-    return profiler_->Wrap(prefix_ + "open", inner_->Open(path, direct_io));
+    return profiler_->Wrap(open_, inner_->Open(path, direct_io));
   }
   Task<void> Close(int fd) override {
-    return profiler_->Wrap(prefix_ + "close", inner_->Close(fd));
+    return profiler_->Wrap(close_, inner_->Close(fd));
   }
   Task<std::int64_t> Read(int fd, std::uint64_t bytes) override {
-    return profiler_->Wrap(prefix_ + "read", inner_->Read(fd, bytes));
+    return profiler_->Wrap(read_, inner_->Read(fd, bytes));
   }
   Task<std::int64_t> Write(int fd, std::uint64_t bytes) override {
-    return profiler_->Wrap(prefix_ + "write", inner_->Write(fd, bytes));
+    return profiler_->Wrap(write_, inner_->Write(fd, bytes));
   }
   Task<std::uint64_t> Llseek(int fd, std::uint64_t pos) override {
-    return profiler_->Wrap(prefix_ + "llseek", inner_->Llseek(fd, pos));
+    return profiler_->Wrap(llseek_, inner_->Llseek(fd, pos));
   }
   Task<DirentBatch> Readdir(int fd) override {
-    return profiler_->Wrap(prefix_ + "readdir", inner_->Readdir(fd));
+    return profiler_->Wrap(readdir_, inner_->Readdir(fd));
   }
   Task<void> Fsync(int fd) override {
-    return profiler_->Wrap(prefix_ + "fsync", inner_->Fsync(fd));
+    return profiler_->Wrap(fsync_, inner_->Fsync(fd));
   }
   Task<int> Create(const std::string& path) override {
-    return profiler_->Wrap(prefix_ + "create", inner_->Create(path));
+    return profiler_->Wrap(create_, inner_->Create(path));
   }
   Task<void> Unlink(const std::string& path) override {
-    return profiler_->Wrap(prefix_ + "unlink", inner_->Unlink(path));
+    return profiler_->Wrap(unlink_, inner_->Unlink(path));
   }
   Task<FileAttr> Stat(const std::string& path) override {
-    return profiler_->Wrap(prefix_ + "stat", inner_->Stat(path));
+    return profiler_->Wrap(stat_, inner_->Stat(path));
   }
 
   Vfs* inner() const { return inner_; }
@@ -61,6 +75,9 @@ class ProfiledVfs : public Vfs {
   Vfs* inner_;
   osprofilers::SimProfiler* profiler_;
   std::string prefix_;
+  // Pre-resolved probe handles, one per Vfs operation.
+  osprof::ProbeHandle open_, close_, read_, write_, llseek_, readdir_,
+      fsync_, create_, unlink_, stat_;
 };
 
 }  // namespace osfs

@@ -20,6 +20,25 @@ CifsMount::CifsMount(osim::Kernel* kernel, osfs::Vfs* server_fs,
   client_ack_->set_delayed_ack_enabled(config.client_delayed_ack);
 }
 
+void CifsMount::SetProfiler(SimProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ == nullptr) {
+    return;
+  }
+  probes_.findfirst = profiler_->Resolve("findfirst");
+  probes_.findnext = profiler_->Resolve("findnext");
+  probes_.open = profiler_->Resolve("open");
+  probes_.close = profiler_->Resolve("close");
+  probes_.read = profiler_->Resolve("read");
+  probes_.write = profiler_->Resolve("write");
+  probes_.llseek = profiler_->Resolve("llseek");
+  probes_.readdir = profiler_->Resolve("readdir");
+  probes_.fsync = profiler_->Resolve("fsync");
+  probes_.create = profiler_->Resolve("create");
+  probes_.unlink = profiler_->Resolve("unlink");
+  probes_.stat = profiler_->Resolve("stat");
+}
+
 CifsMount::ClientFile& CifsMount::file(int fd) {
   if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size() ||
       !fds_[static_cast<std::size_t>(fd)].in_use) {
@@ -197,7 +216,7 @@ Task<void> CifsMount::FindTransactionOp(const std::string& path,
   dir->cookie = txn.next_cookie;
   dir->end_of_dir = txn.end_of_dir;
   if (profiler_ != nullptr) {
-    profiler_->Record(first ? "findfirst" : "findnext",
+    profiler_->Record(first ? probes_.findfirst : probes_.findnext,
                       kernel_->ReadTsc() - start);
   }
 }
@@ -314,7 +333,7 @@ Task<int> CifsMount::Open(const std::string& path, bool direct_io) {
     f.dir = std::make_unique<DirState>();
   }
   if (profiler_ != nullptr) {
-    profiler_->Record("open", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.open, kernel_->ReadTsc() - start);
   }
   co_return fd;
 }
@@ -324,7 +343,7 @@ Task<void> CifsMount::Close(int fd) {
   co_await kernel_->Cpu(config_.client_op_cpu / 2);
   file(fd).in_use = false;
   if (profiler_ != nullptr) {
-    profiler_->Record("close", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.close, kernel_->ReadTsc() - start);
   }
 }
 
@@ -348,7 +367,7 @@ Task<std::int64_t> CifsMount::Read(int fd, std::uint64_t bytes) {
     f.pos = end;
   }
   if (profiler_ != nullptr) {
-    profiler_->Record("read", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.read, kernel_->ReadTsc() - start);
   }
   co_return result;
 }
@@ -372,7 +391,7 @@ Task<std::int64_t> CifsMount::Write(int fd, std::uint64_t bytes) {
   f2.attr.size = std::max(f2.attr.size, f2.pos);
   attr_cache_[path] = f2.attr;
   if (profiler_ != nullptr) {
-    profiler_->Record("write", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.write, kernel_->ReadTsc() - start);
   }
   co_return static_cast<std::int64_t>(bytes);
 }
@@ -383,7 +402,7 @@ Task<std::uint64_t> CifsMount::Llseek(int fd, std::uint64_t pos) {
   ClientFile& f = file(fd);
   f.pos = pos;
   if (profiler_ != nullptr) {
-    profiler_->Record("llseek", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.llseek, kernel_->ReadTsc() - start);
   }
   co_return f.pos;
 }
@@ -418,7 +437,7 @@ Task<osfs::DirentBatch> CifsMount::Readdir(int fd) {
     }
   }
   if (profiler_ != nullptr) {
-    profiler_->Record("readdir", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.readdir, kernel_->ReadTsc() - start);
   }
   co_return batch;
 }
@@ -431,7 +450,7 @@ Task<void> CifsMount::Fsync(int fd) {
   args.path = path;
   co_await SmallRoundTrip(std::move(args));
   if (profiler_ != nullptr) {
-    profiler_->Record("fsync", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.fsync, kernel_->ReadTsc() - start);
   }
 }
 
@@ -447,7 +466,7 @@ Task<int> CifsMount::Create(const std::string& path) {
   f.path = path;
   f.attr = attr_cache_[path];
   if (profiler_ != nullptr) {
-    profiler_->Record("create", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.create, kernel_->ReadTsc() - start);
   }
   co_return fd;
 }
@@ -460,7 +479,7 @@ Task<void> CifsMount::Unlink(const std::string& path) {
   co_await SmallRoundTrip(std::move(args));
   attr_cache_.erase(path);
   if (profiler_ != nullptr) {
-    profiler_->Record("unlink", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.unlink, kernel_->ReadTsc() - start);
   }
 }
 
@@ -473,7 +492,7 @@ Task<osfs::FileAttr> CifsMount::Stat(const std::string& path) {
   attr.size = cached.size;
   attr.is_dir = cached.is_dir;
   if (profiler_ != nullptr) {
-    profiler_->Record("stat", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.stat, kernel_->ReadTsc() - start);
   }
   co_return attr;
 }

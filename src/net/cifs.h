@@ -81,8 +81,8 @@ class CifsMount : public osfs::Vfs {
 
   // Records FindFirst / FindNext / remote-read latencies (the client-side
   // profile of Figure 10) under ops "findfirst", "findnext", "read",
-  // "stat", ...
-  void SetProfiler(SimProfiler* profiler) { profiler_ = profiler; }
+  // "stat", ...  Probe handles for all ops are resolved here, once.
+  void SetProfiler(SimProfiler* profiler);
 
   PacketTrace& trace() { return trace_; }
   DelayedAckPolicy& client_ack_policy() { return *client_ack_; }
@@ -181,6 +181,12 @@ class CifsMount : public osfs::Vfs {
   AckLedger server_ledger_;
   std::unique_ptr<DelayedAckPolicy> client_ack_;
   SimProfiler* profiler_ = nullptr;
+  // Probe handles into profiler_'s table, resolved by SetProfiler().
+  struct Probes {
+    osprof::ProbeHandle findfirst, findnext, open, close, read, write,
+        llseek, readdir, fsync, create, unlink, stat;
+  };
+  Probes probes_;
 
   std::deque<ClientFile> fds_;
   std::map<std::string, RemoteAttr> attr_cache_;

@@ -33,6 +33,31 @@ NfsMount::NfsMount(osim::Kernel* kernel, osfs::Vfs* server_fs,
       c2s_(kernel, config.net, "client", &trace_),
       s2c_(kernel, config.net, "server", &trace_) {}
 
+void NfsMount::SetProfiler(osprofilers::SimProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ == nullptr) {
+    return;
+  }
+  probes_.lookup = profiler_->Resolve("lookup");
+  probes_.getattr = profiler_->Resolve("getattr");
+  probes_.nfs_read = profiler_->Resolve("nfs_read");
+  probes_.nfs_write = profiler_->Resolve("nfs_write");
+  probes_.nfs_readdir = profiler_->Resolve("nfs_readdir");
+  probes_.commit = profiler_->Resolve("commit");
+  probes_.nfs_create = profiler_->Resolve("nfs_create");
+  probes_.nfs_remove = profiler_->Resolve("nfs_remove");
+  probes_.open = profiler_->Resolve("open");
+  probes_.close = profiler_->Resolve("close");
+  probes_.read = profiler_->Resolve("read");
+  probes_.write = profiler_->Resolve("write");
+  probes_.llseek = profiler_->Resolve("llseek");
+  probes_.readdir = profiler_->Resolve("readdir");
+  probes_.fsync = profiler_->Resolve("fsync");
+  probes_.create = profiler_->Resolve("create");
+  probes_.unlink = profiler_->Resolve("unlink");
+  probes_.stat = profiler_->Resolve("stat");
+}
+
 NfsMount::ClientFile& NfsMount::file(int fd) {
   if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size() ||
       !fds_[static_cast<std::size_t>(fd)].in_use) {
@@ -60,8 +85,9 @@ bool NfsMount::AttrFresh(const std::string& path) const {
          kernel_->now() - it->second.fetched_at <= config_.attr_cache_timeout;
 }
 
-Task<void> NfsMount::Call(const std::string& op, std::uint32_t reply_bytes,
-                          Task<void> server_work, Rpc* rpc) {
+Task<void> NfsMount::Call(osprof::ProbeHandle probe, const std::string& op,
+                          std::uint32_t reply_bytes, Task<void> server_work,
+                          Rpc* rpc) {
   ++rpcs_;
   const Cycles start = kernel_->ReadTsc();
   co_await kernel_->Cpu(config_.client_op_cpu);
@@ -96,7 +122,7 @@ Task<void> NfsMount::Call(const std::string& op, std::uint32_t reply_bytes,
     co_await rpc->done->Wait();
   }
   if (profiler_ != nullptr) {
-    profiler_->Record(op, kernel_->ReadTsc() - start);
+    profiler_->Record(probe, kernel_->ReadTsc() - start);
   }
 }
 
@@ -196,7 +222,7 @@ Task<void> NfsMount::WalkPath(const std::string& path) {
     }
     ++lookups_;
     Rpc rpc;
-    co_await Call("lookup", config_.small_reply_bytes,
+    co_await Call(probes_.lookup, "lookup", config_.small_reply_bytes,
                   ServerGetattr(prefix, &rpc), &rpc);
     dentry_cache_[prefix] = kernel_->now();
     attr_cache_[prefix] = CachedAttr{rpc.attr, kernel_->now()};
@@ -212,7 +238,7 @@ Task<int> NfsMount::Open(const std::string& path, bool direct_io) {
   co_await WalkPath(path);
   if (!AttrFresh(path)) {
     Rpc rpc;
-    co_await Call("getattr", config_.small_reply_bytes,
+    co_await Call(probes_.getattr, "getattr", config_.small_reply_bytes,
                   ServerGetattr(path, &rpc), &rpc);
     attr_cache_[path] = CachedAttr{rpc.attr, kernel_->now()};
   } else {
@@ -223,7 +249,7 @@ Task<int> NfsMount::Open(const std::string& path, bool direct_io) {
   f.path = path;
   f.attr = attr_cache_[path].attr;
   if (profiler_ != nullptr) {
-    profiler_->Record("open", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.open, kernel_->ReadTsc() - start);
   }
   co_return fd;
 }
@@ -233,7 +259,7 @@ Task<void> NfsMount::Close(int fd) {
   co_await kernel_->Cpu(config_.client_op_cpu / 2);
   file(fd).in_use = false;
   if (profiler_ != nullptr) {
-    profiler_->Record("close", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.close, kernel_->ReadTsc() - start);
   }
 }
 
@@ -250,7 +276,7 @@ Task<std::int64_t> NfsMount::Read(int fd, std::uint64_t bytes) {
     for (std::uint64_t page = first_page; page <= last_page; ++page) {
       if (page_cache_.count({f.path, page}) == 0) {
         Rpc rpc;
-        co_await Call("nfs_read",
+        co_await Call(probes_.nfs_read, "nfs_read",
                       static_cast<std::uint32_t>(osfs::kPageBytes),
                       ServerRead(f.path, page * osfs::kPageBytes,
                                  osfs::kPageBytes, &rpc),
@@ -263,7 +289,7 @@ Task<std::int64_t> NfsMount::Read(int fd, std::uint64_t bytes) {
     f.pos = end;
   }
   if (profiler_ != nullptr) {
-    profiler_->Record("read", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.read, kernel_->ReadTsc() - start);
   }
   co_return result;
 }
@@ -272,14 +298,14 @@ Task<std::int64_t> NfsMount::Write(int fd, std::uint64_t bytes) {
   const Cycles start = kernel_->ReadTsc();
   ClientFile& f = file(fd);
   Rpc rpc;
-  co_await Call("nfs_write", config_.small_reply_bytes,
+  co_await Call(probes_.nfs_write, "nfs_write", config_.small_reply_bytes,
                 ServerWrite(f.path, f.pos, bytes, &rpc), &rpc);
   ClientFile& f2 = file(fd);
   f2.pos += bytes;
   f2.attr.size = std::max(f2.attr.size, f2.pos);
   attr_cache_[f2.path] = CachedAttr{f2.attr, kernel_->now()};
   if (profiler_ != nullptr) {
-    profiler_->Record("write", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.write, kernel_->ReadTsc() - start);
   }
   co_return static_cast<std::int64_t>(bytes);
 }
@@ -290,7 +316,7 @@ Task<std::uint64_t> NfsMount::Llseek(int fd, std::uint64_t pos) {
   ClientFile& f = file(fd);
   f.pos = pos;
   if (profiler_ != nullptr) {
-    profiler_->Record("llseek", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.llseek, kernel_->ReadTsc() - start);
   }
   co_return f.pos;
 }
@@ -307,7 +333,7 @@ Task<osfs::DirentBatch> NfsMount::Readdir(int fd) {
       Rpc rpc;
       const auto reply_bytes = static_cast<std::uint32_t>(
           config_.entries_per_readdir * config_.bytes_per_entry);
-      co_await Call("nfs_readdir", reply_bytes,
+      co_await Call(probes_.nfs_readdir, "nfs_readdir", reply_bytes,
                     ServerReaddir(f.path, f.dir_cookie, &rpc), &rpc);
       ClientFile& f2 = file(fd);
       for (std::string& name : rpc.names) {
@@ -333,7 +359,7 @@ Task<osfs::DirentBatch> NfsMount::Readdir(int fd) {
     }
   }
   if (profiler_ != nullptr) {
-    profiler_->Record("readdir", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.readdir, kernel_->ReadTsc() - start);
   }
   co_return batch;
 }
@@ -342,10 +368,10 @@ Task<void> NfsMount::Fsync(int fd) {
   const Cycles start = kernel_->ReadTsc();
   const std::string path = file(fd).path;
   Rpc rpc;
-  co_await Call("commit", config_.small_reply_bytes,
+  co_await Call(probes_.commit, "commit", config_.small_reply_bytes,
                 ServerCommit(path, &rpc), &rpc);
   if (profiler_ != nullptr) {
-    profiler_->Record("fsync", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.fsync, kernel_->ReadTsc() - start);
   }
 }
 
@@ -353,11 +379,11 @@ Task<int> NfsMount::Create(const std::string& path) {
   const Cycles start = kernel_->ReadTsc();
   co_await WalkPath(path.substr(0, path.find_last_of('/')));
   Rpc rpc;
-  co_await Call("nfs_create", config_.small_reply_bytes,
+  co_await Call(probes_.nfs_create, "nfs_create", config_.small_reply_bytes,
                 ServerCreate(path, &rpc), &rpc);
   if (rpc.result < 0) {
     if (profiler_ != nullptr) {
-      profiler_->Record("create", kernel_->ReadTsc() - start);
+      profiler_->Record(probes_.create, kernel_->ReadTsc() - start);
     }
     co_return -1;
   }
@@ -368,7 +394,7 @@ Task<int> NfsMount::Create(const std::string& path) {
   f.path = path;
   f.attr = attr_cache_[path].attr;
   if (profiler_ != nullptr) {
-    profiler_->Record("create", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.create, kernel_->ReadTsc() - start);
   }
   co_return fd;
 }
@@ -376,12 +402,12 @@ Task<int> NfsMount::Create(const std::string& path) {
 Task<void> NfsMount::Unlink(const std::string& path) {
   const Cycles start = kernel_->ReadTsc();
   Rpc rpc;
-  co_await Call("nfs_remove", config_.small_reply_bytes,
+  co_await Call(probes_.nfs_remove, "nfs_remove", config_.small_reply_bytes,
                 ServerUnlink(path, &rpc), &rpc);
   attr_cache_.erase(path);
   dentry_cache_.erase(path);
   if (profiler_ != nullptr) {
-    profiler_->Record("unlink", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.unlink, kernel_->ReadTsc() - start);
   }
 }
 
@@ -392,7 +418,7 @@ Task<osfs::FileAttr> NfsMount::Stat(const std::string& path) {
     co_await WalkPath(path);
     if (!AttrFresh(path)) {
       Rpc rpc;
-      co_await Call("getattr", config_.small_reply_bytes,
+      co_await Call(probes_.getattr, "getattr", config_.small_reply_bytes,
                     ServerGetattr(path, &rpc), &rpc);
       attr_cache_[path] = CachedAttr{rpc.attr, kernel_->now()};
     }
@@ -401,7 +427,7 @@ Task<osfs::FileAttr> NfsMount::Stat(const std::string& path) {
   }
   const osfs::FileAttr attr = attr_cache_[path].attr;
   if (profiler_ != nullptr) {
-    profiler_->Record("stat", kernel_->ReadTsc() - start);
+    profiler_->Record(probes_.stat, kernel_->ReadTsc() - start);
   }
   co_return attr;
 }

@@ -66,7 +66,8 @@ class NfsMount : public osfs::Vfs {
 
   // Records per-RPC latencies ("lookup", "getattr", "nfs_read", ...) and
   // the Vfs-level operations, like the paper's client-side profiles.
-  void SetProfiler(osprofilers::SimProfiler* profiler) { profiler_ = profiler; }
+  // Probe handles for every RPC and Vfs op are resolved here, once.
+  void SetProfiler(osprofilers::SimProfiler* profiler);
 
   PacketTrace& trace() { return trace_; }
   std::uint64_t rpcs_sent() const { return rpcs_; }
@@ -106,9 +107,10 @@ class NfsMount : public osfs::Vfs {
   // Issues one RPC: request packet, server handler, single reply burst.
   // The request consumes any pending ACK state implicitly (every reply is
   // acked by the next request -- standard RPC behaviour), so no delayed
-  // ACKs ever fire.
-  Task<void> Call(const std::string& op, std::uint32_t reply_bytes,
-                  Task<void> server_work, Rpc* rpc);
+  // ACKs ever fire.  `probe` is the pre-resolved latency probe; `op` is
+  // still needed for the packet-trace and thread labels.
+  Task<void> Call(osprof::ProbeHandle probe, const std::string& op,
+                  std::uint32_t reply_bytes, Task<void> server_work, Rpc* rpc);
 
   // Path walk: one LOOKUP RPC per uncached component; fills attr_cache_.
   Task<void> WalkPath(const std::string& path);
@@ -133,6 +135,15 @@ class NfsMount : public osfs::Vfs {
   NetPipe c2s_;
   NetPipe s2c_;
   osprofilers::SimProfiler* profiler_ = nullptr;
+  // Probe handles into profiler_'s table, resolved by SetProfiler():
+  // RPC-level ops first, then the Vfs-level ones.
+  struct Probes {
+    osprof::ProbeHandle lookup, getattr, nfs_read, nfs_write, nfs_readdir,
+        commit, nfs_create, nfs_remove;
+    osprof::ProbeHandle open, close, read, write, llseek, readdir, fsync,
+        create, unlink, stat;
+  };
+  Probes probes_;
 
   std::deque<ClientFile> fds_;
   std::map<std::string, CachedAttr> attr_cache_;

@@ -15,11 +15,19 @@ void CallGraphProfiler::Reset() {
           "CallGraphProfiler::Reset with operations still in flight");
     }
   }
-  flat_ = osprof::ProfileSet(resolution_);
-  edges_ = osprof::ProfileSet(1);
+  flat_.ClearCounts();
+  edges_.ClearCounts();
   stacks_.clear();
   child_time_.clear();
-  child_totals_.clear();
+  std::fill(child_totals_.begin(), child_totals_.end(), 0);
+}
+
+osprof::ProbeHandle CallGraphProfiler::Resolve(std::string_view op) {
+  const osprof::ProbeHandle handle = flat_.Resolve(op);
+  if (child_totals_.size() < flat_.ops().size()) {
+    child_totals_.resize(flat_.ops().size(), 0);
+  }
+  return handle;
 }
 
 int CallGraphProfiler::CurrentThreadId() const {
@@ -30,27 +38,45 @@ int CallGraphProfiler::CurrentThreadId() const {
   return t->id();
 }
 
-void CallGraphProfiler::Push(int tid, const std::string& op) {
-  (void)op;
+void CallGraphProfiler::Push(int tid, osprof::OpId op) {
   stacks_[tid].push_back(op);
   child_time_[tid].push_back(0);
 }
 
-void CallGraphProfiler::Pop(int tid, const std::string& op,
-                            osim::Cycles latency) {
-  std::vector<std::string>& stack = stacks_[tid];
+osprof::OpId CallGraphProfiler::EdgeId(osprof::OpId caller,
+                                       osprof::OpId callee) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(caller) << 32) | callee;
+  const auto it = edge_ids_.find(key);
+  if (it != edge_ids_.end()) {
+    return it->second;
+  }
+  // First sighting of this edge: build its name once.
+  const std::string name =
+      (caller == osprof::kInvalidOpId ? std::string("-")
+                                      : flat_.ops().Name(caller)) +
+      "->" + flat_.ops().Name(callee);
+  const osprof::OpId id = edges_.Resolve(name).id();
+  edge_ids_.emplace(key, id);
+  return id;
+}
+
+void CallGraphProfiler::Pop(int tid, osprof::OpId op, osim::Cycles latency) {
+  std::vector<osprof::OpId>& stack = stacks_[tid];
   std::vector<osim::Cycles>& child = child_time_[tid];
   if (stack.empty() || stack.back() != op) {
-    throw std::logic_error("CallGraphProfiler: mismatched Pop for " + op);
+    throw std::logic_error("CallGraphProfiler: mismatched Pop for " +
+                           flat_.ops().Name(op));
   }
   stack.pop_back();
   const osim::Cycles my_children = child.back();
   child.pop_back();
-  child_totals_[op] += my_children;
+  child_totals_[static_cast<std::size_t>(op)] += my_children;
 
-  flat_.Add(op, latency);
-  const std::string caller = stack.empty() ? "-" : stack.back();
-  edges_.Add(caller + "->" + op, latency);
+  flat_.AddById(op, latency);
+  const osprof::OpId caller =
+      stack.empty() ? osprof::kInvalidOpId : stack.back();
+  edges_.AddById(EdgeId(caller, op), latency);
   if (!child.empty()) {
     child.back() += latency;  // My whole latency is my caller's child time.
   }
@@ -82,8 +108,9 @@ std::string CallGraphProfiler::Report(double cpu_hz) const {
   for (const std::string& op : flat_.ByTotalLatency()) {
     const osprof::Profile* p = flat_.Find(op);
     const osim::Cycles total = p->total_latency();
-    auto it = child_totals_.find(op);
-    const osim::Cycles children = it == child_totals_.end() ? 0 : it->second;
+    const osprof::OpId id = flat_.ops().Find(op);
+    const osim::Cycles children =
+        id < child_totals_.size() ? child_totals_[id] : 0;
     const osim::Cycles self = total > children ? total - children : 0;
     char line[160];
     std::snprintf(line, sizeof(line),

@@ -13,14 +13,22 @@
 //
 // The paper's own example is exactly this nesting: Ext2 readdir calling
 // readpage when directory pages are cold (§3.1, §6.2).
+//
+// Like SimProfiler, the record path works on pre-resolved ProbeHandles:
+// stacks hold dense OpIds, caller attribution indexes a vector by OpId,
+// and each (caller -> callee) edge's name is built exactly once, the
+// first time that edge fires (subsequent pops find it through a packed
+// integer key -- no string concatenation, no string-keyed lookup).
 
 #ifndef OSPROF_SRC_PROFILERS_CALLGRAPH_PROFILER_H_
 #define OSPROF_SRC_PROFILERS_CALLGRAPH_PROFILER_H_
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/core/op_table.h"
 #include "src/core/profile.h"
 #include "src/profilers/profiler_sink.h"
 #include "src/sim/kernel.h"
@@ -40,27 +48,39 @@ class CallGraphProfiler : public ProfilerSink {
   int resolution() const override { return resolution_; }
   osprof::ProfileSet Collect() const override { return flat_; }
   // Clears collected profiles and caller attribution.  Must not be called
-  // while profiled operations are still on any thread's stack.
+  // while profiled operations are still on any thread's stack.  Keeps the
+  // op and edge tables, so outstanding ProbeHandles stay valid.
   void Reset() override;
+
+  // Interns `op` into the flat profile set and returns the handle call
+  // sites should cache at attach time.  Idempotent; survives Reset().
+  osprof::ProbeHandle Resolve(std::string_view op);
 
   // Wraps an operation, recording both its flat profile and the
   // (caller -> callee) edge profile.  Safe to nest arbitrarily deep; each
   // simulated thread has its own call stack.
   template <typename T>
-  osim::Task<T> Wrap(std::string op, osim::Task<T> inner) {
+  osim::Task<T> Wrap(osprof::ProbeHandle op, osim::Task<T> inner) {
     const int tid = CurrentThreadId();
-    Push(tid, op);
+    Push(tid, op.id());
     const osim::Cycles start = kernel_->ReadTsc();
     if constexpr (std::is_void_v<T>) {
       co_await std::move(inner);
       const osim::Cycles latency = kernel_->ReadTsc() - start;
-      Pop(tid, op, latency);
+      Pop(tid, op.id(), latency);
     } else {
       T result = co_await std::move(inner);
       const osim::Cycles latency = kernel_->ReadTsc() - start;
-      Pop(tid, op, latency);
+      Pop(tid, op.id(), latency);
       co_return std::move(result);
     }
+  }
+
+  // String-keyed convenience form: resolve, then dispatch.  Not a
+  // coroutine, so the name cannot dangle across a suspension.
+  template <typename T>
+  osim::Task<T> Wrap(std::string_view op, osim::Task<T> inner) {
+    return Wrap(Resolve(op), std::move(inner));
   }
 
   // The flat per-operation profile (as SimProfiler would record).
@@ -84,21 +104,28 @@ class CallGraphProfiler : public ProfilerSink {
 
  private:
   int CurrentThreadId() const;
-  void Push(int tid, const std::string& op);
-  void Pop(int tid, const std::string& op, osim::Cycles latency);
+  void Push(int tid, osprof::OpId op);
+  void Pop(int tid, osprof::OpId op, osim::Cycles latency);
+  // Get-or-create the edge profile id for (caller -> callee); builds the
+  // "caller->callee" name only on first sighting of the edge.
+  osprof::OpId EdgeId(osprof::OpId caller, osprof::OpId callee);
 
   osim::Kernel* kernel_;
   std::string layer_ = "callgraph";
   int resolution_;
   osprof::ProfileSet flat_;
   osprof::ProfileSet edges_{1};
-  // Per-thread stack of active operation names.
-  std::map<int, std::vector<std::string>> stacks_;
+  // (caller << 32 | callee) -> edge op id in edges_.  kInvalidOpId works
+  // as a caller key (top-level ops) because OpIds are dense and never
+  // reach 2^32 - 1.
+  std::map<std::uint64_t, osprof::OpId> edge_ids_;
+  // Per-thread stack of active operation ids.
+  std::map<int, std::vector<osprof::OpId>> stacks_;
   // Child time accumulated under each (thread, op) activation; parallel to
   // stacks_ (one slot per stack level, tracking profiled-child latency).
   std::map<int, std::vector<osim::Cycles>> child_time_;
-  // op -> total time spent in profiled children, for the report.
-  std::map<std::string, osim::Cycles> child_totals_;
+  // Indexed by OpId: total time spent in profiled children, for the report.
+  std::vector<osim::Cycles> child_totals_;
 };
 
 }  // namespace osprofilers

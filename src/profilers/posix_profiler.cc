@@ -6,47 +6,47 @@
 namespace osprofilers {
 
 int PosixProfiler::Open(const std::string& path, int flags) {
-  return Measure("open", [&] { return ::open(path.c_str(), flags); });
+  return Measure(open_, [&] { return ::open(path.c_str(), flags); });
 }
 
 int PosixProfiler::Open(const std::string& path, int flags, mode_t mode) {
-  return Measure("open", [&] { return ::open(path.c_str(), flags, mode); });
+  return Measure(open_, [&] { return ::open(path.c_str(), flags, mode); });
 }
 
 long PosixProfiler::Read(int fd, void* buf, std::size_t count) {
-  return Measure("read",
+  return Measure(read_,
                  [&] { return static_cast<long>(::read(fd, buf, count)); });
 }
 
 long PosixProfiler::Write(int fd, const void* buf, std::size_t count) {
-  return Measure("write",
+  return Measure(write_,
                  [&] { return static_cast<long>(::write(fd, buf, count)); });
 }
 
 long PosixProfiler::Lseek(int fd, long offset, int whence) {
-  return Measure("llseek", [&] {
+  return Measure(llseek_, [&] {
     return static_cast<long>(::lseek(fd, static_cast<off_t>(offset), whence));
   });
 }
 
 int PosixProfiler::Close(int fd) {
-  return Measure("close", [&] { return ::close(fd); });
+  return Measure(close_, [&] { return ::close(fd); });
 }
 
 int PosixProfiler::Stat(const std::string& path, struct stat* out) {
-  return Measure("stat", [&] { return ::stat(path.c_str(), out); });
+  return Measure(stat_, [&] { return ::stat(path.c_str(), out); });
 }
 
 int PosixProfiler::Fsync(int fd) {
-  return Measure("fsync", [&] { return ::fsync(fd); });
+  return Measure(fsync_, [&] { return ::fsync(fd); });
 }
 
 int PosixProfiler::Unlink(const std::string& path) {
-  return Measure("unlink", [&] { return ::unlink(path.c_str()); });
+  return Measure(unlink_, [&] { return ::unlink(path.c_str()); });
 }
 
 int PosixProfiler::Mkdir(const std::string& path, mode_t mode) {
-  return Measure("mkdir", [&] { return ::mkdir(path.c_str(), mode); });
+  return Measure(mkdir_, [&] { return ::mkdir(path.c_str(), mode); });
 }
 
 }  // namespace osprofilers

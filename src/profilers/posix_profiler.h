@@ -19,8 +19,10 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "src/core/clock.h"
+#include "src/core/op_table.h"
 #include "src/core/profile.h"
 #include "src/profilers/profiler_sink.h"
 
@@ -29,13 +31,31 @@ namespace osprofilers {
 class PosixProfiler : public ProfilerSink {
  public:
   explicit PosixProfiler(int resolution = 1)
-      : profiles_(resolution), resolution_(resolution) {}
+      : profiles_(resolution), resolution_(resolution) {
+    // Pre-resolve every syscall probe once, here, so the wrappers never
+    // touch a string-keyed lookup on the measured path.
+    open_ = Resolve("open");
+    read_ = Resolve("read");
+    write_ = Resolve("write");
+    llseek_ = Resolve("llseek");
+    close_ = Resolve("close");
+    stat_ = Resolve("stat");
+    fsync_ = Resolve("fsync");
+    unlink_ = Resolve("unlink");
+    mkdir_ = Resolve("mkdir");
+  }
 
   // --- ProfilerSink ------------------------------------------------------
   const std::string& layer() const override { return layer_; }
   int resolution() const override { return resolution_; }
   osprof::ProfileSet Collect() const override { return profiles_; }
-  void Reset() override { profiles_ = osprof::ProfileSet(resolution_); }
+  // Clears counts in place; pre-resolved handles stay valid.
+  void Reset() override { profiles_.ClearCounts(); }
+
+  // Interns `op` and returns a cacheable probe handle (survives Reset()).
+  osprof::ProbeHandle Resolve(std::string_view op) {
+    return profiles_.Resolve(op);
+  }
 
   // Instrumented wrappers.  Same return values and errno behaviour as the
   // raw syscalls; the measurement covers the call itself.
@@ -51,28 +71,32 @@ class PosixProfiler : public ProfilerSink {
   int Mkdir(const std::string& path, mode_t mode);
 
   const osprof::ProfileSet& profiles() const { return profiles_; }
-  [[deprecated(
-      "direct ProfileSet& plumbing is deprecated; collect snapshots via "
-      "the ProfilerSink interface (Collect())")]] osprof::ProfileSet&
-  mutable_profiles() {
-    return profiles_;
-  }
 
-  // Measures a user-supplied callable under an operation name (for
-  // workloads whose interesting unit is larger than one syscall).
+  // Measures a user-supplied callable under a pre-resolved handle; the
+  // record after the second TSC read is a bucket store, nothing else.
   template <typename Fn>
-  auto Measure(const std::string& op, Fn&& fn) -> decltype(fn()) {
+  auto Measure(osprof::ProbeHandle op, Fn&& fn) -> decltype(fn()) {
     const osprof::Cycles start = osprof::ReadTsc();
     auto result = fn();
     const osprof::Cycles end = osprof::ReadTsc();
-    profiles_.Add(op, end >= start ? end - start : 0);
+    profiles_.AddById(op.id(), end >= start ? end - start : 0);
     return result;
+  }
+
+  // String-keyed convenience form (for workloads whose interesting unit is
+  // larger than one syscall): resolve, then dispatch.
+  template <typename Fn>
+  auto Measure(std::string_view op, Fn&& fn) -> decltype(fn()) {
+    return Measure(Resolve(op), std::forward<Fn>(fn));
   }
 
  private:
   std::string layer_ = "posix";
   osprof::ProfileSet profiles_;
   int resolution_;
+  // Handles for the instrumented wrappers, resolved at construction.
+  osprof::ProbeHandle open_, read_, write_, llseek_, close_, stat_, fsync_,
+      unlink_, mkdir_;
 };
 
 }  // namespace osprofilers

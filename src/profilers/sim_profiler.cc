@@ -1,48 +1,63 @@
 #include "src/profilers/sim_profiler.h"
 
+#include <algorithm>
+
 namespace osprofilers {
 
 void SimProfiler::EnableSampling(Cycles epoch_cycles) {
   sampling_epoch_ = epoch_cycles;
   sampled_ = std::make_unique<osprof::SampledProfileSet>(epoch_cycles,
                                                          resolution_);
+  std::fill(sampled_slots_.begin(), sampled_slots_.end(), nullptr);
 }
 
-void SimProfiler::AttachCorrelator(const std::string& op,
+osprof::ProbeHandle SimProfiler::Resolve(std::string_view op) {
+  const osprof::ProbeHandle handle = profiles_.Resolve(op);
+  if (correlators_.size() < profiles_.ops().size()) {
+    correlators_.resize(profiles_.ops().size(), nullptr);
+    sampled_slots_.resize(profiles_.ops().size(), nullptr);
+  }
+  return handle;
+}
+
+void SimProfiler::AttachCorrelator(std::string_view op,
                                    osprof::ValueCorrelator* c) {
-  correlators_[op] = c;
+  const osprof::ProbeHandle handle = Resolve(op);
+  correlators_[static_cast<std::size_t>(handle.id())] = c;
 }
 
-void SimProfiler::Record(const std::string& op, Cycles latency) {
-  profiles_.Add(op, latency);
-  if (sampled_ != nullptr) {
-    sampled_->Add(op, kernel_->now(), latency);
+void SimProfiler::SampledRecord(osprof::ProbeHandle op, Cycles latency) {
+  osprof::SampledProfile*& slot =
+      sampled_slots_[static_cast<std::size_t>(op.id())];
+  if (slot == nullptr) {
+    slot = sampled_->Slot(profiles_.ops().Name(op.id()));
   }
-}
-
-void SimProfiler::RecordWithValue(const std::string& op, Cycles latency,
-                                  std::uint64_t value) {
-  Record(op, latency);
-  auto it = correlators_.find(op);
-  if (it != correlators_.end()) {
-    it->second->Record(latency, value);
-  }
+  slot->Add(kernel_->now(), latency);
 }
 
 void SimProfiler::Reset() {
-  profiles_ = osprof::ProfileSet(resolution_);
+  profiles_.ClearCounts();
   if (sampled_ != nullptr) {
     sampled_ = std::make_unique<osprof::SampledProfileSet>(sampling_epoch_,
                                                            resolution_);
+    std::fill(sampled_slots_.begin(), sampled_slots_.end(), nullptr);
   }
 }
 
 DriverProfiler::DriverProfiler(Kernel* kernel, SimDisk* disk, int resolution)
     : profiler_(kernel, resolution) {
-  disk->SetRequestObserver([this](const osim::DiskRequestInfo& info) {
-    const bool read = info.op == osim::DiskOp::kRead;
-    profiler_.Record(read ? "disk_read" : "disk_write", info.total_latency());
-    profiler_.Record(read ? "disk_read_queue" : "disk_write_queue",
+  // Pre-resolve the four disk keys once; the observer fires per request
+  // and must not rebuild std::string keys on that path.
+  const osprof::ProbeHandle read = profiler_.Resolve("disk_read");
+  const osprof::ProbeHandle write = profiler_.Resolve("disk_write");
+  const osprof::ProbeHandle read_queue = profiler_.Resolve("disk_read_queue");
+  const osprof::ProbeHandle write_queue =
+      profiler_.Resolve("disk_write_queue");
+  disk->SetRequestObserver([this, read, write, read_queue,
+                            write_queue](const osim::DiskRequestInfo& info) {
+    const bool is_read = info.op == osim::DiskOp::kRead;
+    profiler_.Record(is_read ? read : write, info.total_latency());
+    profiler_.Record(is_read ? read_queue : write_queue,
                      info.queue_latency());
   });
 }

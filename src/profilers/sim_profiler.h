@@ -20,12 +20,14 @@
 #ifndef OSPROF_SRC_PROFILERS_SIM_PROFILER_H_
 #define OSPROF_SRC_PROFILERS_SIM_PROFILER_H_
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/core/correlate.h"
+#include "src/core/op_table.h"
 #include "src/core/profile.h"
 #include "src/core/sampling.h"
 #include "src/profilers/profiler_sink.h"
@@ -108,25 +110,54 @@ class SimProfiler : public ProfilerSink {
   void EnableSampling(Cycles epoch_cycles);
   const osprof::SampledProfileSet* sampled() const { return sampled_.get(); }
 
+  // Interns `op` and returns the handle instrumentation should cache at
+  // attach time (constructor / SetProfiler).  Resolving is idempotent and
+  // does not make the operation visible in collected profiles; handles
+  // stay valid across Reset().
+  osprof::ProbeHandle Resolve(std::string_view op);
+
   // Routes (latency, value) pairs of `op` into a ValueCorrelator
   // (Figure 8).  The correlator must outlive the profiler's use.
-  void AttachCorrelator(const std::string& op, osprof::ValueCorrelator* c);
+  void AttachCorrelator(std::string_view op, osprof::ValueCorrelator* c);
 
-  // Records a measurement directly (used by Wrap and by instrumented
-  // operations that carry a correlated value).
-  void Record(const std::string& op, Cycles latency);
-  void RecordWithValue(const std::string& op, Cycles latency,
-                       std::uint64_t value);
+  // The hot record path: indexed load, bucket index, increment -- no
+  // allocation, no string compare, no tree walk (ISSUE 3 / §5.2's
+  // ~100-cycle sort-and-store budget).
+  void Record(osprof::ProbeHandle op, Cycles latency) {
+    profiles_.AddById(op.id(), latency);
+    if (sampled_ != nullptr) {
+      SampledRecord(op, latency);
+    }
+  }
+  void RecordWithValue(osprof::ProbeHandle op, Cycles latency,
+                       std::uint64_t value) {
+    Record(op, latency);
+    osprof::ValueCorrelator* c =
+        correlators_[static_cast<std::size_t>(op.id())];
+    if (c != nullptr) {
+      c->Record(latency, value);
+    }
+  }
+
+  // String-keyed convenience forms: thin resolve-then-dispatch wrappers
+  // for call sites that fire rarely or haven't cached a handle.
+  void Record(std::string_view op, Cycles latency) {
+    Record(Resolve(op), latency);
+  }
+  void RecordWithValue(std::string_view op, Cycles latency,
+                       std::uint64_t value) {
+    RecordWithValue(Resolve(op), latency, value);
+  }
 
   // Wraps an operation coroutine with a latency probe:
   //
-  //   co_return co_await profiler->Wrap("read", ReadImpl(fd, n));
+  //   co_return co_await profiler->Wrap(read_handle, ReadImpl(fd, n));
   //
   // Charges instrumentation CPU when charge_overhead() is on.  The probe
   // reads the simulated TSC of whatever CPU the thread is on at entry and
   // exit, so clock skew and migration behave as on real SMP (§3.4).
   template <typename T>
-  Task<T> Wrap(std::string op, Task<T> inner) {
+  Task<T> Wrap(osprof::ProbeHandle op, Task<T> inner) {
     if (charge_overhead_ && costs_.OutsidePre() > 0) {
       co_await kernel_->Cpu(costs_.OutsidePre());
     }
@@ -158,13 +189,21 @@ class SimProfiler : public ProfilerSink {
     }
   }
 
+  // String-keyed Wrap: resolves then dispatches to the handle form.
+  // Deliberately NOT a coroutine -- the name is consumed before the first
+  // suspension, so a string_view argument cannot dangle.
+  template <typename T>
+  Task<T> Wrap(std::string_view op, Task<T> inner) {
+    return Wrap(Resolve(op), std::move(inner));
+  }
+
   // Like Wrap, but additionally records *`value` (read after the inner
   // operation completes) into the op's attached ValueCorrelator -- the
   // §3.1 "direct profile and value correlation" hook.  `value` must stay
   // valid until the inner operation finishes (typically a local in the
   // caller's coroutine frame that the inner operation fills in).
   template <typename T>
-  Task<T> WrapWithValue(std::string op, Task<T> inner,
+  Task<T> WrapWithValue(osprof::ProbeHandle op, Task<T> inner,
                         const std::uint64_t* value) {
     if (charge_overhead_ && costs_.OutsidePre() > 0) {
       co_await kernel_->Cpu(costs_.OutsidePre());
@@ -185,18 +224,24 @@ class SimProfiler : public ProfilerSink {
     co_return std::move(result);
   }
 
-  const osprof::ProfileSet& profiles() const { return profiles_; }
-  [[deprecated(
-      "direct ProfileSet& plumbing is deprecated; collect snapshots via "
-      "the ProfilerSink interface (Collect())")]] osprof::ProfileSet&
-  mutable_profiles() {
-    return profiles_;
+  template <typename T>
+  Task<T> WrapWithValue(std::string_view op, Task<T> inner,
+                        const std::uint64_t* value) {
+    return WrapWithValue(Resolve(op), std::move(inner), value);
   }
 
-  // Clears collected data (not configuration).
+  const osprof::ProfileSet& profiles() const { return profiles_; }
+
+  // Clears collected data (not configuration).  Keeps the op table, so
+  // every previously resolved ProbeHandle stays valid and continues to
+  // index the same operation.
   void Reset() override;
 
  private:
+  // Cold path of Record when sampling is enabled: the per-op sampled slot
+  // is looked up by name once and cached by OpId thereafter.
+  void SampledRecord(osprof::ProbeHandle op, Cycles latency);
+
   Kernel* kernel_;
   std::string layer_ = "fs";
   osprof::ProfileSet profiles_;
@@ -204,7 +249,9 @@ class SimProfiler : public ProfilerSink {
   bool charge_overhead_ = false;
   InstrumentationCosts costs_;
   std::unique_ptr<osprof::SampledProfileSet> sampled_;
-  std::map<std::string, osprof::ValueCorrelator*> correlators_;
+  // Indexed by OpId, parallel to profiles_.ops(); grown by Resolve().
+  std::vector<osprof::ValueCorrelator*> correlators_;
+  std::vector<osprof::SampledProfile*> sampled_slots_;
   Cycles sampling_epoch_ = 0;
 };
 

@@ -170,9 +170,11 @@ Task<void> CloneWorkload(Kernel* kernel, osim::SimSemaphore* process_table_lock,
                          SimProfiler* profiler, int iterations,
                          Cycles lock_free_cpu, Cycles locked_cpu,
                          Cycles user_think_cpu) {
+  // Resolve the probe once; the loop body records through the handle.
+  const osprof::ProbeHandle clone = profiler->Resolve("clone");
   for (int i = 0; i < iterations; ++i) {
     co_await profiler->Wrap(
-        "clone",
+        clone,
         CloneOnce(kernel, process_table_lock, lock_free_cpu, locked_cpu));
     // Jitter the think time: without it, identical deterministic loop
     // periods phase-lock the processes into a permanent lock convoy,

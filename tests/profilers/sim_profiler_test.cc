@@ -119,6 +119,102 @@ TEST(SimProfiler, ResetClearsDataKeepsConfig) {
   EXPECT_EQ(prof.sampled()->OperationNames().size(), 0u);
 }
 
+TEST(SimProfiler, HandleRecordMatchesStringRecord) {
+  Kernel k(QuietConfig());
+  SimProfiler by_string(&k);
+  SimProfiler by_handle(&k);
+  const osprof::ProbeHandle op = by_handle.Resolve("op");
+  for (int i = 0; i < 50; ++i) {
+    const Cycles latency = static_cast<Cycles>(80 + 113 * i);
+    by_string.Record("op", latency);
+    by_handle.Record(op, latency);
+  }
+  EXPECT_EQ(by_string.profiles().ToString(), by_handle.profiles().ToString());
+}
+
+TEST(SimProfiler, HandlesSurviveReset) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  const osprof::ProbeHandle op = prof.Resolve("op");
+  prof.Record(op, 100);
+  prof.Record(op, 200);
+  ASSERT_NE(prof.profiles().Find("op"), nullptr);
+  EXPECT_EQ(prof.profiles().Find("op")->total_operations(), 2u);
+
+  prof.Reset();
+  EXPECT_TRUE(prof.profiles().empty());
+
+  // The same pre-Reset handle keeps recording into the same op; counts
+  // reflect only post-Reset measurements.
+  prof.Record(op, 300);
+  ASSERT_NE(prof.profiles().Find("op"), nullptr);
+  EXPECT_EQ(prof.profiles().Find("op")->total_operations(), 1u);
+  EXPECT_EQ(prof.profiles().Find("op")->total_latency(), 300u);
+  // Re-resolving after Reset yields the identical id.
+  EXPECT_EQ(prof.Resolve("op").id(), op.id());
+}
+
+TEST(SimProfiler, ResolvedButUnrecordedOpsInvisibleInCollect) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  (void)prof.Resolve("never_fired");
+  prof.Record("fired", 100);
+  const osprof::ProfileSet snapshot = prof.Collect();
+  EXPECT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot.Find("never_fired"), nullptr);
+  ASSERT_NE(snapshot.Find("fired"), nullptr);
+}
+
+TEST(SimProfiler, HandleWrapRecordsAndSamplesAfterReset) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  prof.EnableSampling(10'000);
+  const osprof::ProbeHandle op = prof.Resolve("op");
+  auto body = [](Kernel* kk, SimProfiler* p,
+                 osprof::ProbeHandle h) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      (void)co_await p->Wrap(h, Burn(kk, 4'000));
+    }
+  };
+  k.Spawn("t1", body(&k, &prof, op));
+  k.RunUntilThreadsFinish();
+  ASSERT_NE(prof.profiles().Find("op"), nullptr);
+  EXPECT_EQ(prof.profiles().Find("op")->total_operations(), 3u);
+  ASSERT_NE(prof.sampled()->Find("op"), nullptr);
+  EXPECT_EQ(prof.sampled()->Find("op")->Flatten().TotalOperations(), 3u);
+
+  // After Reset the cached sampled-slot pointers are stale-proof: the
+  // handle keeps working against the fresh sampled set.
+  prof.Reset();
+  k.Spawn("t2", body(&k, &prof, op));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(prof.profiles().Find("op")->total_operations(), 3u);
+  ASSERT_NE(prof.sampled()->Find("op"), nullptr);
+  EXPECT_EQ(prof.sampled()->Find("op")->Flatten().TotalOperations(), 3u);
+}
+
+TEST(SimProfiler, CorrelatorRoutesThroughHandles) {
+  Kernel k(QuietConfig());
+  SimProfiler prof(&k);
+  osprof::Peak fast;
+  fast.first_bucket = 0;
+  fast.last_bucket = 11;
+  osprof::Peak slow;
+  slow.first_bucket = 12;
+  slow.last_bucket = 40;
+  osprof::ValueCorrelator corr("flag", {fast, slow});
+  // Resolve before attach: AttachCorrelator must hit the same slot.
+  const osprof::ProbeHandle op = prof.Resolve("op");
+  prof.AttachCorrelator("op", &corr);
+  prof.RecordWithValue(op, 100, 1024);
+  prof.RecordWithValue(op, 100'000, 0);
+  EXPECT_EQ(corr.peak_values(0).bucket(10), 1u);
+  EXPECT_EQ(corr.peak_values(1).bucket(0), 1u);
+  // An op without a correlator attached is a no-op routing-wise.
+  prof.RecordWithValue(prof.Resolve("other"), 50, 7);
+  ASSERT_NE(prof.profiles().Find("other"), nullptr);
+}
+
 TEST(DriverProfiler, SeesReadsAndWritesWithQueueing) {
   Kernel k(QuietConfig());
   osim::SimDisk disk(&k);

@@ -25,9 +25,14 @@ class GateCommandTest : public ::testing::Test {
   void SetUp() override {
     const char* tmpdir = ::getenv("TMPDIR");
     base_ = std::string(tmpdir != nullptr ? tmpdir : "/tmp");
-    prefix_ = base_ + "/osprof_gate_golden";
-    perturbed_prefix_ = base_ + "/osprof_gate_perturbed";
-    json_path_ = base_ + "/osprof_gate_verdict.json";
+    // Suffix paths with the test name: ctest -jN runs cases of this
+    // fixture concurrently, and a shared prefix lets them clobber each
+    // other's baselines mid-gate.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    prefix_ = base_ + "/osprof_gate_golden_" + tag;
+    perturbed_prefix_ = base_ + "/osprof_gate_perturbed_" + tag;
+    json_path_ = base_ + "/osprof_gate_verdict_" + tag + ".json";
   }
 
   void TearDown() override {

@@ -3,7 +3,6 @@
 #ifndef OSPROF_BENCH_BENCH_UTIL_H_
 #define OSPROF_BENCH_BENCH_UTIL_H_
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -11,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/clock.h"
 #include "src/core/jsonw.h"
 #include "src/core/peaks.h"
 #include "src/core/prior.h"
@@ -106,8 +106,7 @@ inline void ShowProfile(const osprof::Profile& profile,
 // regressions; CI reads the per-check booleans from the JSON instead).
 class JsonReport {
  public:
-  explicit JsonReport(std::string name)
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
 
   // Not copyable: one report per bench process.
   JsonReport(const JsonReport&) = delete;
@@ -159,10 +158,7 @@ class JsonReport {
   // Writes BENCH_<name>.json.  Returns the process exit code: 0 normally,
   // 1 only if the report itself cannot be written.
   int Finish() {
-    const double wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_)
-            .count();
+    const double wall_seconds = timer_.Seconds();
     osjson::Value doc = osjson::Value::Object();
     doc.Set("schema", osjson::Value::Str("osprof-bench-v1"));
     doc.Set("bench", osjson::Value::Str(name_));
@@ -222,7 +218,8 @@ class JsonReport {
   }
 
   std::string name_;
-  std::chrono::steady_clock::time_point start_;
+  // Construction starts the wall clock.
+  osprof::WallTimer timer_;
   osprof::Cycles sim_cycles_ = 0;
   std::uint64_t total_ops_ = 0;
   std::vector<std::pair<std::string, bool>> checks_;

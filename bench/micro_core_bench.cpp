@@ -12,7 +12,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -210,35 +209,28 @@ BENCHMARK(BM_ProfileSetParse);
 
 // --- BENCH_micro_core.json hot-path measurements ---------------------------
 
-double NsPerIter(std::chrono::steady_clock::time_point start, int iters) {
-  const std::chrono::steady_clock::time_point end =
-      std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::nano>(end - start).count() /
-         static_cast<double>(iters);
-}
-
 constexpr int kRecordIters = 2'000'000;
 
 double MeasureRecordString(osprof::ProfileSet* set) {
   const std::string prefix = "fs_";
   Cycles latency = 1;
-  const auto start = std::chrono::steady_clock::now();
+  const osprof::WallTimer timer;
   for (int i = 0; i < kRecordIters; ++i) {
     set->Add(prefix + "read", latency);
     latency = latency * 5 / 3 + 1;
   }
-  return NsPerIter(start, kRecordIters);
+  return timer.Nanos() / kRecordIters;
 }
 
 double MeasureRecordHandle(osprof::ProfileSet* set) {
   const osprof::ProbeHandle read = set->Resolve("fs_read");
   Cycles latency = 1;
-  const auto start = std::chrono::steady_clock::now();
+  const osprof::WallTimer timer;
   for (int i = 0; i < kRecordIters; ++i) {
     set->AddById(read.id(), latency);
     latency = latency * 5 / 3 + 1;
   }
-  return NsPerIter(start, kRecordIters);
+  return timer.Nanos() / kRecordIters;
 }
 
 constexpr int kWrapIters = 50'000;
@@ -277,9 +269,9 @@ double MeasureWrap(bool use_handle) {
   const osprof::ProbeHandle op = prof.Resolve("fs_read");
   k.Spawn("bench", use_handle ? WrapHandleLoop(&k, &prof, op)
                               : WrapStringLoop(&k, &prof));
-  const auto start = std::chrono::steady_clock::now();
+  const osprof::WallTimer timer;
   k.RunUntilThreadsFinish();
-  return NsPerIter(start, kWrapIters);
+  return timer.Nanos() / kWrapIters;
 }
 
 int EmitJsonReport() {

@@ -9,7 +9,6 @@
 // atomic and sharded policies lose nothing, and times all three.
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -30,7 +29,7 @@ Result RunThreads(int threads, std::uint64_t per_thread, Fn add,
                   std::uint64_t (*count)(void*), void* hist) {
   std::atomic<bool> go{false};
   std::vector<std::thread> pool;
-  const auto start_all = std::chrono::steady_clock::now();
+  const osprof::WallTimer timer;
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&go, per_thread, add, t] {
       while (!go.load(std::memory_order_acquire)) {
@@ -44,13 +43,11 @@ Result RunThreads(int threads, std::uint64_t per_thread, Fn add,
   for (auto& t : pool) {
     t.join();
   }
-  const auto elapsed = std::chrono::steady_clock::now() - start_all;
+  const double elapsed_ns = timer.Nanos();
   Result r;
   r.attempted = static_cast<std::uint64_t>(threads) * per_thread;
   r.recorded = count(hist);
-  r.ns_per_add =
-      std::chrono::duration<double, std::nano>(elapsed).count() /
-      static_cast<double>(r.attempted);
+  r.ns_per_add = elapsed_ns / static_cast<double>(r.attempted);
   return r;
 }
 

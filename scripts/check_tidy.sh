@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config in .clang-tidy) over every C++ file in the repo.
+#
+#   scripts/check_tidy.sh [build-dir]    default build dir: build
+#
+# Needs a configured build dir for the compilation database; configures one
+# with CMAKE_EXPORT_COMPILE_COMMANDS if compile_commands.json is missing.
+# Uses $CLANG_TIDY when set (CI pins a version there), else clang-tidy from
+# PATH.  Exits 0 with a notice when clang-tidy is not installed, so local
+# environments without LLVM degrade gracefully; CI always installs it.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+BUILD_DIR="${1:-build}"
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "notice: $CLANG_TIDY not found; skipping tidy check" \
+       "(set \$CLANG_TIDY or install clang-tidy)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "no compile database in $BUILD_DIR; configuring one" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t files < <(git ls-files 'src/*.cc' 'src/*.cpp' 'bench/*.cpp')
+
+status=0
+for f in "${files[@]}"; do
+  "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo >&2
+  echo "clang-tidy reported findings (advisory; see .clang-tidy)" >&2
+else
+  echo "all ${#files[@]} files clang-tidy clean"
+fi
+exit $status

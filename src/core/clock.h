@@ -60,6 +60,35 @@ std::string FormatSeconds(double seconds);
 // Convenience: formats the representative (mid) latency of `cycles` at `hz`.
 std::string FormatCycles(Cycles cycles, double hz);
 
+// Host wall-clock stopwatch for reporting and benchmarking code.
+//
+// This header is the one sanctioned home for wall-clock reads (enforced
+// by osprof_lint's `determinism` rule): simulated code must never observe
+// host time, and everything that legitimately needs it -- the runner's
+// wall_seconds, the bench timers -- goes through this class instead of
+// touching std::chrono directly.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double Nanos() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 // A manually-advanced clock for unit tests and deterministic simulation.
 class FakeClock {
  public:

@@ -1,0 +1,57 @@
+// A minimal C++ tokenizer for osprof_lint (src/lint/lint.h).
+//
+// The invariant rules need exactly four things a regex grep cannot give
+// reliably: (1) identifiers as whole tokens ("cpu_time" must not match a
+// ban on "time"), (2) string/char literals and comments excluded from
+// matching (a rule table naming "rand" is not a call to rand), (3) the
+// one-token lookback/lookahead that separates `clock(100)` the
+// declaration from `clock(...)` the libc call, and (4) preprocessor
+// directives as units (header guards, banned includes).  That is the
+// whole feature list; this is a lexer, not a parser -- no preprocessing,
+// no template disambiguation, no semantic analysis.
+
+#ifndef OSPROF_SRC_LINT_LEXER_H_
+#define OSPROF_SRC_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oslint {
+
+enum class TokKind {
+  kIdentifier,  // Identifiers and keywords alike; rules distinguish.
+  kNumber,      // Numeric literal, digit separators included.
+  kString,      // "...", R"(...)", with encoding prefixes.
+  kChar,        // '...'
+  kPunct,       // One punctuator; "::" and "->" arrive as single tokens.
+  kDirective,   // A whole preprocessor line, text without the leading '#'.
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character.
+};
+
+// Comments are kept separately: they never participate in rule matching,
+// but carry the `osprof-lint: allow(...)` suppressions.
+struct Comment {
+  std::string text;
+  int line = 0;      // First line.
+  int end_line = 0;  // Last line (block comments span several).
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+// Tokenizes C/C++ source.  Never fails: unterminated literals and other
+// malformed input degrade to best-effort tokens (the linter's job is to
+// scan a tree that compiles, not to validate syntax).
+LexResult Lex(std::string_view source);
+
+}  // namespace oslint
+
+#endif  // OSPROF_SRC_LINT_LEXER_H_

@@ -1,0 +1,488 @@
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/lint/lexer.h"
+
+namespace oslint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Rule tables.
+
+// determinism: identifiers whose mere mention is a nondeterminism source.
+const std::unordered_set<std::string>& AlwaysBannedIdents() {
+  static const std::unordered_set<std::string> kSet = {
+      "steady_clock",
+      "system_clock",
+      "high_resolution_clock",
+      "random_device",
+  };
+  return kSet;
+}
+
+// determinism: identifiers banned only in call position (`name(`), because
+// the bare words are common ("time", "clock") as members and local names.
+const std::unordered_set<std::string>& CallBannedIdents() {
+  static const std::unordered_set<std::string> kSet = {
+      "rand",         "srand",    "time",   "clock", "clock_gettime",
+      "gettimeofday", "localtime", "gmtime", "mktime",
+  };
+  return kSet;
+}
+
+// Keywords that can legitimately precede a call (`return time(...)`).
+// Any other identifier directly before `name(` makes it a declaration
+// (`FakeClock clock(100)`), which is not a call.
+const std::unordered_set<std::string>& CallContextKeywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "return", "co_return", "co_await", "co_yield", "case",
+      "if",     "while",     "for",      "switch",   "do",
+      "else",   "throw",     "not",      "and",      "or",
+  };
+  return kSet;
+}
+
+// determinism: the two sanctioned homes for nondeterminism.  rng.h owns
+// seeded pseudo-randomness; clock.* owns wall-clock reads (WallTimer).
+bool DeterminismAllowlisted(const std::string& path) {
+  return path.ends_with("src/sim/rng.h") || path.ends_with("src/core/clock.h") ||
+         path.ends_with("src/core/clock.cc") || path == "rng.h" ||
+         path == "clock.h" || path == "clock.cc";
+}
+
+// probe-discipline: record-path entry points that must take ProbeHandles
+// (or pre-resolved ids), never string literals, at call sites.
+const std::unordered_set<std::string>& RecordEntryPoints() {
+  static const std::unordered_set<std::string> kSet = {
+      "Record",
+      "RecordWithValue",
+      "Wrap",
+      "WrapWithValue",
+  };
+  return kSet;
+}
+
+// locking: std:: members that imply real threads or real blocking inside
+// the simulation.  Simulated code must use osim::SimSemaphore /
+// SimSpinlock so that blocking advances simulated -- not host -- time.
+const std::unordered_set<std::string>& BannedStdSyncIdents() {
+  static const std::unordered_set<std::string> kSet = {
+      "mutex",        "thread",       "jthread",
+      "condition_variable",           "condition_variable_any",
+      "shared_mutex", "shared_lock",  "recursive_mutex",
+      "timed_mutex",  "lock_guard",   "unique_lock",
+      "scoped_lock",  "future",       "promise",
+      "async",        "packaged_task",
+  };
+  return kSet;
+}
+
+const std::vector<std::string>& BannedSyncHeaders() {
+  static const std::vector<std::string> kList = {
+      "<mutex>", "<thread>", "<condition_variable>", "<shared_mutex>",
+      "<future>",
+  };
+  return kList;
+}
+
+// locking is scoped: only code that runs under the simulated kernel.
+bool InLockingScope(const std::string& path) {
+  return path.find("src/sim/") != std::string::npos ||
+         path.find("src/fs/") != std::string::npos ||
+         path.find("src/net/") != std::string::npos;
+}
+
+bool IsHeaderPath(const std::string& path) { return path.ends_with(".h"); }
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+//
+//   // osprof-lint: allow(rule[, rule...])
+//
+// covers every line the comment spans plus the line below it, so the
+// comment works both trailing the offending line and on its own line
+// above it.
+
+using SuppressionMap = std::unordered_map<int, std::set<std::string>>;
+
+void ParseSuppressions(const Comment& comment, SuppressionMap* map) {
+  const std::string& text = comment.text;
+  const std::size_t marker = text.find("osprof-lint:");
+  if (marker == std::string::npos) {
+    return;
+  }
+  const std::size_t open = text.find("allow(", marker);
+  if (open == std::string::npos) {
+    return;
+  }
+  const std::size_t close = text.find(')', open);
+  if (close == std::string::npos) {
+    return;
+  }
+  std::string rules = text.substr(open + 6, close - open - 6);
+  std::stringstream ss(rules);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    const std::size_t first = rule.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      continue;
+    }
+    const std::size_t last = rule.find_last_not_of(" \t");
+    const std::string name = rule.substr(first, last - first + 1);
+    for (int line = comment.line; line <= comment.end_line + 1; ++line) {
+      (*map)[line].insert(name);
+    }
+  }
+}
+
+bool Suppressed(const SuppressionMap& map, const std::string& rule, int line) {
+  const auto it = map.find(line);
+  return it != map.end() && it->second.count(rule) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Directive helpers.
+
+// Splits "include <mutex>" into ("include", "<mutex>"), trimming blanks.
+std::pair<std::string, std::string> SplitDirective(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  std::size_t j = i;
+  while (j < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[j]))) {
+    ++j;
+  }
+  const std::string keyword = text.substr(i, j - i);
+  while (j < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[j]))) {
+    ++j;
+  }
+  std::size_t end = text.size();
+  while (end > j &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return {keyword, text.substr(j, end - j)};
+}
+
+// ---------------------------------------------------------------------------
+// The rules.  Each walks the shared token stream; findings are filtered
+// against the suppression map by the caller.
+
+void CheckDeterminism(const std::string& path,
+                      const std::vector<Token>& tokens,
+                      std::vector<Finding>* findings) {
+  if (DeterminismAllowlisted(path)) {
+    return;
+  }
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    if (AlwaysBannedIdents().count(tok.text) > 0) {
+      findings->push_back(Finding{
+          kRuleDeterminism, path, tok.line,
+          "nondeterminism source '" + tok.text +
+              "' outside src/sim/rng.h and src/core/clock.* (use "
+              "osprof::WallTimer for wall-clock timing)"});
+      continue;
+    }
+    if (CallBannedIdents().count(tok.text) == 0) {
+      continue;
+    }
+    // Call position only: `name` directly followed by `(`.
+    if (i + 1 >= tokens.size() || tokens[i + 1].kind != TokKind::kPunct ||
+        tokens[i + 1].text != "(") {
+      continue;
+    }
+    if (i > 0) {
+      const Token& prev = tokens[i - 1];
+      // `obj.time(...)` / `ptr->clock(...)`: a member, not libc.
+      if (prev.kind == TokKind::kPunct &&
+          (prev.text == "." || prev.text == "->")) {
+        continue;
+      }
+      // `FakeClock clock(100)`: a declaration, not a call.
+      if (prev.kind == TokKind::kIdentifier &&
+          CallContextKeywords().count(prev.text) == 0) {
+        continue;
+      }
+    }
+    findings->push_back(Finding{
+        kRuleDeterminism, path, tok.line,
+        "call to wall-clock/random function '" + tok.text +
+            "()' outside src/sim/rng.h and src/core/clock.*"});
+  }
+}
+
+void CheckProbeDiscipline(const std::string& path,
+                          const std::vector<Token>& tokens,
+                          std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != TokKind::kIdentifier) {
+      continue;
+    }
+    if (tok.text == "mutable_profiles") {
+      findings->push_back(Finding{
+          kRuleProbeDiscipline, path, tok.line,
+          "'mutable_profiles' was removed when op names were interned; "
+          "use ProfileSet::Resolve / AddById"});
+      continue;
+    }
+    // `Record("name", ...)` and friends: a string-literal op name on the
+    // record path re-introduces the per-record string lookup the
+    // ProbeHandle redesign removed.
+    if (RecordEntryPoints().count(tok.text) == 0) {
+      continue;
+    }
+    if (i + 2 >= tokens.size()) {
+      continue;
+    }
+    if (tokens[i + 1].kind == TokKind::kPunct && tokens[i + 1].text == "(" &&
+        tokens[i + 2].kind == TokKind::kString) {
+      findings->push_back(Finding{
+          kRuleProbeDiscipline, path, tok.line,
+          "string-literal op name at " + tok.text +
+              "() call site; resolve a ProbeHandle at attach time instead"});
+    }
+  }
+}
+
+void CheckLocking(const std::string& path, const std::vector<Token>& tokens,
+                  std::vector<Finding>* findings) {
+  if (!InLockingScope(path)) {
+    return;
+  }
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind == TokKind::kDirective) {
+      const auto [keyword, arg] = SplitDirective(tok.text);
+      if (keyword == "include") {
+        for (const std::string& banned : BannedSyncHeaders()) {
+          if (arg == banned) {
+            findings->push_back(Finding{
+                kRuleLocking, path, tok.line,
+                "#include " + banned +
+                    " in simulated code; use src/sim/sync.h primitives"});
+          }
+        }
+      }
+      continue;
+    }
+    // `std :: <banned>` as three consecutive tokens.
+    if (tok.kind == TokKind::kIdentifier && tok.text == "std" &&
+        i + 2 < tokens.size() && tokens[i + 1].kind == TokKind::kPunct &&
+        tokens[i + 1].text == "::" &&
+        tokens[i + 2].kind == TokKind::kIdentifier &&
+        BannedStdSyncIdents().count(tokens[i + 2].text) > 0) {
+      findings->push_back(Finding{
+          kRuleLocking, path, tok.line,
+          "std::" + tokens[i + 2].text +
+              " in simulated code; real blocking desynchronizes simulated "
+              "time (use osim::SimSemaphore / SimSpinlock)"});
+    }
+  }
+}
+
+void CheckHeaderHygiene(const std::string& path,
+                        const std::vector<Token>& tokens,
+                        std::vector<Finding>* findings) {
+  if (!IsHeaderPath(path) || tokens.empty()) {
+    return;
+  }
+  bool has_pragma_once = false;
+  bool has_ifndef = false;
+  bool has_define = false;
+  for (const Token& tok : tokens) {
+    if (tok.kind != TokKind::kDirective) {
+      continue;
+    }
+    const auto [keyword, arg] = SplitDirective(tok.text);
+    if (keyword == "pragma" && arg.starts_with("once")) {
+      has_pragma_once = true;
+    } else if (keyword == "ifndef") {
+      has_ifndef = true;
+    } else if (keyword == "define" && has_ifndef) {
+      has_define = true;
+    }
+  }
+  if (!has_pragma_once && !(has_ifndef && has_define)) {
+    findings->push_back(Finding{
+        kRuleHeaderHygiene, path, 1,
+        "header has no include guard (#pragma once or #ifndef/#define)"});
+  }
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind == TokKind::kIdentifier && tokens[i].text == "using" &&
+        tokens[i + 1].kind == TokKind::kIdentifier &&
+        tokens[i + 1].text == "namespace") {
+      findings->push_back(Finding{
+          kRuleHeaderHygiene, path, tokens[i].line,
+          "'using namespace' in a header leaks into every includer"});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+
+std::vector<std::string> AllRules() {
+  return {kRuleDeterminism, kRuleProbeDiscipline, kRuleLocking,
+          kRuleHeaderHygiene};
+}
+
+bool LintConfig::RuleEnabled(std::string_view rule) const {
+  if (rules.empty()) {
+    return true;
+  }
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+std::vector<Finding> LintText(const std::string& path,
+                              std::string_view source,
+                              const LintConfig& config) {
+  const LexResult lexed = Lex(source);
+
+  SuppressionMap suppressions;
+  for (const Comment& comment : lexed.comments) {
+    ParseSuppressions(comment, &suppressions);
+  }
+
+  std::vector<Finding> raw;
+  if (config.RuleEnabled(kRuleDeterminism)) {
+    CheckDeterminism(path, lexed.tokens, &raw);
+  }
+  if (config.RuleEnabled(kRuleProbeDiscipline)) {
+    CheckProbeDiscipline(path, lexed.tokens, &raw);
+  }
+  if (config.RuleEnabled(kRuleLocking)) {
+    CheckLocking(path, lexed.tokens, &raw);
+  }
+  if (config.RuleEnabled(kRuleHeaderHygiene)) {
+    CheckHeaderHygiene(path, lexed.tokens, &raw);
+  }
+
+  std::vector<Finding> findings;
+  for (Finding& f : raw) {
+    if (!Suppressed(suppressions, f.rule, f.line)) {
+      findings.push_back(std::move(f));
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) {
+                return a.line < b.line;
+              }
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const LintConfig& config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {Finding{"io-error", path, 0, "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LintText(path, buffer.str(), config);
+}
+
+LintRun LintPaths(const std::vector<std::string>& paths,
+                  const LintConfig& config) {
+  std::vector<std::string> files;
+  LintRun run;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(
+               path, fs::directory_options::skip_permission_denied, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file(ec)) {
+          continue;
+        }
+        const std::string p = it->path().generic_string();
+        if (p.ends_with(".h") || p.ends_with(".cc") || p.ends_with(".cpp")) {
+          files.push_back(p);
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      run.findings.push_back(
+          Finding{"io-error", path, 0, "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& file : files) {
+    std::vector<Finding> found = LintFile(file, config);
+    run.findings.insert(run.findings.end(),
+                        std::make_move_iterator(found.begin()),
+                        std::make_move_iterator(found.end()));
+    ++run.files_scanned;
+  }
+  return run;
+}
+
+std::string RenderFindings(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+osjson::Value FindingsJson(const LintRun& run) {
+  osjson::Value doc = osjson::Value::Object();
+  doc.Set("schema", osjson::Value::Str("osprof-lint-v1"));
+  doc.Set("files_scanned", osjson::Value::Int(run.files_scanned));
+  doc.Set("finding_count",
+          osjson::Value::Int(static_cast<std::int64_t>(run.findings.size())));
+
+  std::map<std::string, int> counts;
+  for (const std::string& rule : AllRules()) {
+    counts[rule] = 0;
+  }
+  for (const Finding& f : run.findings) {
+    ++counts[f.rule];
+  }
+  osjson::Value by_rule = osjson::Value::Object();
+  for (const auto& [rule, count] : counts) {
+    by_rule.Set(rule, osjson::Value::Int(count));
+  }
+  doc.Set("counts", std::move(by_rule));
+
+  osjson::Value list = osjson::Value::Array();
+  for (const Finding& f : run.findings) {
+    osjson::Value entry = osjson::Value::Object();
+    entry.Set("rule", osjson::Value::Str(f.rule));
+    entry.Set("file", osjson::Value::Str(f.file));
+    entry.Set("line", osjson::Value::Int(f.line));
+    entry.Set("message", osjson::Value::Str(f.message));
+    list.Append(std::move(entry));
+  }
+  doc.Set("findings", std::move(list));
+  return doc;
+}
+
+}  // namespace oslint

@@ -158,6 +158,12 @@ class SimProfiler : public ProfilerSink {
   // exit, so clock skew and migration behave as on real SMP (§3.4).
   template <typename T>
   Task<T> Wrap(osprof::ProbeHandle op, Task<T> inner) {
+    // Publish the op as lock-acquisition context while the inner operation
+    // runs (src/sim/lock_order.h).  One branch when tracking is off.
+    const int track_tid = OpContextThread();
+    if (track_tid >= 0) {
+      kernel_->lock_order().PushOp(track_tid, profiles_.ops().Name(op.id()));
+    }
     if (charge_overhead_ && costs_.OutsidePre() > 0) {
       co_await kernel_->Cpu(costs_.OutsidePre());
     }
@@ -167,6 +173,9 @@ class SimProfiler : public ProfilerSink {
     }
     if constexpr (std::is_void_v<T>) {
       co_await std::move(inner);
+      if (track_tid >= 0) {
+        kernel_->lock_order().PopOp(track_tid);
+      }
       if (charge_overhead_ && costs_.InsidePost() > 0) {
         co_await kernel_->Cpu(costs_.InsidePost());
       }
@@ -177,6 +186,9 @@ class SimProfiler : public ProfilerSink {
       Record(op, end >= start ? end - start : 0);
     } else {
       T result = co_await std::move(inner);
+      if (track_tid >= 0) {
+        kernel_->lock_order().PopOp(track_tid);
+      }
       if (charge_overhead_ && costs_.InsidePost() > 0) {
         co_await kernel_->Cpu(costs_.InsidePost());
       }
@@ -205,6 +217,10 @@ class SimProfiler : public ProfilerSink {
   template <typename T>
   Task<T> WrapWithValue(osprof::ProbeHandle op, Task<T> inner,
                         const std::uint64_t* value) {
+    const int track_tid = OpContextThread();
+    if (track_tid >= 0) {
+      kernel_->lock_order().PushOp(track_tid, profiles_.ops().Name(op.id()));
+    }
     if (charge_overhead_ && costs_.OutsidePre() > 0) {
       co_await kernel_->Cpu(costs_.OutsidePre());
     }
@@ -213,6 +229,9 @@ class SimProfiler : public ProfilerSink {
       co_await kernel_->Cpu(costs_.InsidePre());
     }
     T result = co_await std::move(inner);
+    if (track_tid >= 0) {
+      kernel_->lock_order().PopOp(track_tid);
+    }
     if (charge_overhead_ && costs_.InsidePost() > 0) {
       co_await kernel_->Cpu(costs_.InsidePost());
     }
@@ -241,6 +260,15 @@ class SimProfiler : public ProfilerSink {
   // Cold path of Record when sampling is enabled: the per-op sampled slot
   // is looked up by name once and cached by OpId thereafter.
   void SampledRecord(osprof::ProbeHandle op, Cycles latency);
+
+  // Thread id to publish op context under, or -1 when lock-order tracking
+  // is off or the caller is outside thread context.
+  int OpContextThread() const {
+    if (!kernel_->lock_order().enabled() || kernel_->current() == nullptr) {
+      return -1;
+    }
+    return kernel_->current()->id();
+  }
 
   Kernel* kernel_;
   std::string layer_ = "fs";

@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "src/core/clock.h"
 #include "src/core/peaks.h"
 #include "src/profilers/callgraph_profiler.h"
 #include "src/profilers/profiler_sink.h"
@@ -19,12 +20,6 @@
 
 namespace osrunner {
 namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 // Lower median of an unsorted column (consistent with cluster.cc's outlier
 // consensus).
@@ -107,8 +102,16 @@ std::uint64_t RunResult::TotalCounter(const std::string& name) const {
   return sum;
 }
 
+std::vector<std::string> RunResult::LockCycles() const {
+  std::set<std::string> unique;
+  for (const TrialResult& t : trials) {
+    unique.insert(t.lock_cycles.begin(), t.lock_cycles.end());
+  }
+  return {unique.begin(), unique.end()};
+}
+
 TrialResult RunTrial(const Scenario& scenario, int trial) {
-  const auto start = std::chrono::steady_clock::now();
+  const osprof::WallTimer timer;
   TrialResult result;
   result.trial = trial;
 
@@ -119,6 +122,9 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
   // A fully private simulated machine per trial: trials share nothing, so
   // they can run on concurrent host threads.
   osim::Kernel kernel(kcfg);
+  // Lock-order analysis rides along on every trial: tracking consumes no
+  // simulated time, so profiles are byte-identical with it on.
+  kernel.lock_order().set_enabled(true);
   osim::SimDisk disk(&kernel, scenario.disk);
   osfs::Ext2SimFs fs(&kernel, &disk, scenario.fs);
 
@@ -249,7 +255,9 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
     result.counters["appends"] = postmark_stats.appends;
   }
 
-  result.wall_seconds = SecondsSince(start);
+  result.lock_cycles = kernel.lock_order().CycleDescriptions();
+
+  result.wall_seconds = timer.Seconds();
   return result;
 }
 
@@ -257,7 +265,7 @@ RunResult RunScenario(const Scenario& scenario, const RunOptions& options) {
   if (options.trials <= 0) {
     throw std::invalid_argument("RunScenario: trials must be positive");
   }
-  const auto start = std::chrono::steady_clock::now();
+  const osprof::WallTimer timer;
 
   int jobs = options.jobs;
   if (jobs <= 0) {
@@ -329,7 +337,7 @@ RunResult RunScenario(const Scenario& scenario, const RunOptions& options) {
     lr.dispersion = ComputeDispersion(lr.merged, result.trials, layer);
   }
 
-  result.wall_seconds = SecondsSince(start);
+  result.wall_seconds = timer.Seconds();
   return result;
 }
 

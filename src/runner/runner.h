@@ -50,6 +50,9 @@ struct TrialResult {
   // Scalar workload/kernel statistics ("files_read", "acquisitions",
   // "contended_acquisitions", "forced_preemptions", "context_switches", ...).
   std::map<std::string, std::uint64_t> counters;
+  // Lock-order analysis (src/sim/lock_order.h): one description per
+  // deadlock-capable cycle observed in this trial's lock graph.
+  std::vector<std::string> lock_cycles;
 };
 
 // Cross-trial dispersion of one operation's histogram.
@@ -82,6 +85,10 @@ struct RunResult {
 
   // Sum of one counter over all trials (0 if absent everywhere).
   std::uint64_t TotalCounter(const std::string& name) const;
+
+  // Union of the trials' lock-order cycles, deduplicated and sorted.
+  // Empty means no trial observed a deadlock-capable acquisition order.
+  std::vector<std::string> LockCycles() const;
 };
 
 // Runs a single trial synchronously (seed = scenario.kernel.seed + trial).

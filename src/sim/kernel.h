@@ -35,6 +35,7 @@
 
 #include "src/core/clock.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/lock_order.h"
 #include "src/sim/rng.h"
 #include "src/sim/task.h"
 
@@ -137,6 +138,11 @@ class Kernel {
   EventQueue& events() { return events_; }
   Cycles now() const { return events_.now(); }
   Rng& rng() { return rng_; }
+
+  // Lock-order analysis (lockdep-style); disabled by default, see
+  // src/sim/lock_order.h.  The sync primitives report acquisitions here.
+  LockOrderTracker& lock_order() { return lock_order_; }
+  const LockOrderTracker& lock_order() const { return lock_order_; }
 
   // Reads the TSC of the CPU the current thread runs on (includes that
   // CPU's skew).  Callable from thread context only.
@@ -242,6 +248,7 @@ class Kernel {
   KernelConfig config_;
   EventQueue events_;
   Rng rng_;
+  LockOrderTracker lock_order_;
   std::vector<CpuState> cpus_;
   std::deque<SimThread*> run_queue_;
   std::vector<std::unique_ptr<SimThread>> threads_;

@@ -1,0 +1,105 @@
+// Lock-order analysis for the simulated kernel, in the style of Linux's
+// lockdep.
+//
+// The simulator already reproduces the paper's lock-contention pathologies
+// (the Figure 1 clone peak, the Figure 6 i_sem convoy); this tracker
+// detects the pathology one step worse than contention: acquisition-order
+// cycles that make a deadlock *possible* even when the observed run
+// happened not to interleave fatally.
+//
+// The sync primitives (src/sim/sync.h) report every acquisition and
+// release here.  Nodes are lock names -- instance-qualified names like
+// "i_sem:5" come from the callers, so two inodes' semaphores are distinct
+// nodes while every trial names them identically (deterministic graphs).
+// When a simulated task acquires B while holding A, the directed edge
+// A -> B is recorded together with the profiled operation(s) in whose
+// dynamic extent the acquisition happened (SimProfiler::Wrap publishes the
+// op context via PushOp/PopOp).  A cycle in the resulting graph is a
+// deadlock-capable lock order; a 2-cycle is the classic ABBA inversion.
+//
+// Tracking is off by default: with the tracker disabled every hook is a
+// single branch, and enabling it never advances simulated time, so golden
+// profiles are byte-identical either way.
+
+#ifndef OSPROF_SRC_SIM_LOCK_ORDER_H_
+#define OSPROF_SRC_SIM_LOCK_ORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace osim {
+
+class LockOrderTracker {
+ public:
+  // One observed ordering: some task acquired `to` while holding `from`.
+  struct Edge {
+    std::string from;
+    std::string to;
+    std::uint64_t count = 0;        // How many acquisitions added it.
+    std::set<std::string> ops;      // Profiled ops active at those times.
+  };
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // --- Hooks called by the sync primitives -------------------------------
+  // `lock` identifies the instance (self-acquisition of a counted
+  // semaphore adds no edge); `name` is the graph node.
+
+  void OnAcquired(const void* lock, const std::string& name, int thread_id);
+  void OnReleased(const void* lock, int thread_id);
+
+  // --- Op context (SimProfiler::Wrap) ------------------------------------
+
+  void PushOp(int thread_id, std::string op);
+  void PopOp(int thread_id);
+
+  // --- Analysis ----------------------------------------------------------
+
+  // All edges, sorted by (from, to).
+  std::vector<Edge> Edges() const;
+
+  // Strongly connected components with more than one lock, plus self-loop
+  // nodes: each is a deadlock-capable set of locks.  Every cycle's node
+  // list is sorted; the list of cycles is sorted too, so output is
+  // deterministic.
+  std::vector<std::vector<std::string>> FindCycles() const;
+
+  // The 2-cycles (A -> B and B -> A both observed), reported once per
+  // unordered pair as the lexically smaller direction.
+  std::vector<Edge> Inversions() const;
+
+  bool DeadlockCapable() const { return !FindCycles().empty(); }
+
+  // One line per cycle: "a -> b -> a (ops: x, y)".
+  std::vector<std::string> CycleDescriptions() const;
+
+  // Human-readable edge list plus cycle verdicts.
+  std::string Report() const;
+
+  // Drops all recorded state (not the enabled flag).
+  void Reset();
+
+ private:
+  struct Held {
+    const void* lock;
+    std::string name;
+  };
+
+  bool enabled_ = false;
+  // thread id -> stack of held locks (erased by instance on release, so
+  // out-of-order release is fine).
+  std::map<int, std::vector<Held>> held_;
+  // thread id -> stack of active profiled ops.
+  std::map<int, std::vector<std::string>> op_stack_;
+  // (from, to) -> edge data.  std::map keeps iteration deterministic.
+  std::map<std::pair<std::string, std::string>, Edge> edges_;
+};
+
+}  // namespace osim
+
+#endif  // OSPROF_SRC_SIM_LOCK_ORDER_H_

@@ -8,9 +8,26 @@ bool SimSemaphore::TryAcquire() {
   if (count_ > 0) {
     --count_;
     ++acquisitions_;
+    NoteAcquired();
     return true;
   }
   return false;
+}
+
+void SimSemaphore::NoteAcquired() {
+  LockOrderTracker& tracker = kernel_->lock_order();
+  SimThread* t = kernel_->current();
+  if (tracker.enabled() && t != nullptr) {
+    tracker.OnAcquired(this, name_, t->id());
+  }
+}
+
+void SimSemaphore::NoteReleased() {
+  LockOrderTracker& tracker = kernel_->lock_order();
+  SimThread* t = kernel_->current();
+  if (tracker.enabled() && t != nullptr) {
+    tracker.OnReleased(this, t->id());
+  }
 }
 
 void SimSemaphore::ParkAwaitable::await_suspend(std::coroutine_handle<> h) {
@@ -43,6 +60,7 @@ Task<void> SimSemaphore::Acquire() {
 }
 
 void SimSemaphore::Release() {
+  NoteReleased();
   ++count_;
   if (!waiters_.empty()) {
     SimThread* t = waiters_.front();
@@ -69,18 +87,45 @@ void SimSpinlock::Unlock() {
   if (!held_) {
     throw std::logic_error("SimSpinlock::Unlock of a free lock");
   }
+  NoteReleased();
   if (!waiters_.empty()) {
     SimThread* t = waiters_.front();
     waiters_.pop_front();
     ++acquisitions_;
     total_spin_ += kernel_->now() - t->spin_started_;
-    // The lock stays held; ownership passes to the spinner.  Resume it via
-    // the event queue to keep resumption non-reentrant.
+    // Ownership passes directly to the spinner: from the lock graph's
+    // point of view, `t` acquires here.
+    NoteHandoff(t);
+    // The lock stays held; resume the spinner via the event queue to keep
+    // resumption non-reentrant.
     Kernel* k = kernel_;
     k->events_.Now([k, t] { k->GrantSpin(t); });
     return;
   }
   held_ = false;
+}
+
+void SimSpinlock::NoteAcquired() {
+  LockOrderTracker& tracker = kernel_->lock_order();
+  SimThread* t = kernel_->current();
+  if (tracker.enabled() && t != nullptr) {
+    tracker.OnAcquired(this, name_, t->id());
+  }
+}
+
+void SimSpinlock::NoteHandoff(SimThread* to) {
+  LockOrderTracker& tracker = kernel_->lock_order();
+  if (tracker.enabled()) {
+    tracker.OnAcquired(this, name_, to->id());
+  }
+}
+
+void SimSpinlock::NoteReleased() {
+  LockOrderTracker& tracker = kernel_->lock_order();
+  SimThread* t = kernel_->current();
+  if (tracker.enabled() && t != nullptr) {
+    tracker.OnReleased(this, t->id());
+  }
 }
 
 void WaitQueue::WaitAwaitable::await_suspend(std::coroutine_handle<> h) {

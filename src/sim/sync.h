@@ -74,6 +74,11 @@ class SimSemaphore {
     void await_resume() const noexcept {}
   };
 
+  // Lock-order tracking (no-ops while the kernel's tracker is disabled or
+  // outside thread context).
+  void NoteAcquired();
+  void NoteReleased();
+
   Kernel* kernel_;
   int count_;
   std::string name_;
@@ -141,6 +146,7 @@ class SimSpinlock {
       if (!lock->held_) {
         lock->held_ = true;
         ++lock->acquisitions_;
+        lock->NoteAcquired();
         return true;
       }
       return false;
@@ -148,6 +154,11 @@ class SimSpinlock {
     void await_suspend(std::coroutine_handle<> h);
     void await_resume() const noexcept {}
   };
+
+  // Lock-order tracking hooks; see SimSemaphore.
+  void NoteAcquired();
+  void NoteHandoff(SimThread* to);
+  void NoteReleased();
 
   Kernel* kernel_;
   std::string name_;

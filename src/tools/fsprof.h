@@ -26,6 +26,7 @@ static inline uint64_t fsprof_rdtsc(void) { return __rdtsc(); }
 #include <time.h>
 static inline uint64_t fsprof_rdtsc(void) {
   struct timespec ts;
+  // osprof-lint: allow(determinism) -- real-hardware TSC fallback.
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return (uint64_t)ts.tv_sec * 1000000000ull + (uint64_t)ts.tv_nsec;
 }

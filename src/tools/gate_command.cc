@@ -205,6 +205,7 @@ struct LayerVerdict {
 
 osjson::Value VerdictJson(const GateFlags& flags,
                           const std::vector<LayerVerdict>& layers,
+                          const std::vector<std::string>& lock_cycles,
                           bool pass) {
   osjson::Value doc = osjson::Value::Object();
   doc.Set("schema", osjson::Value::Str("osprof-gate-v1"));
@@ -212,6 +213,14 @@ osjson::Value VerdictJson(const GateFlags& flags,
   doc.Set("baseline", osjson::Value::Str(flags.baseline_prefix));
   doc.Set("trials", osjson::Value::Int(flags.run.trials));
   doc.Set("pass", osjson::Value::Bool(pass));
+  osjson::Value lock_order = osjson::Value::Object();
+  lock_order.Set("deadlock_capable", osjson::Value::Bool(!lock_cycles.empty()));
+  osjson::Value cycle_array = osjson::Value::Array();
+  for (const std::string& cycle : lock_cycles) {
+    cycle_array.Append(osjson::Value::Str(cycle));
+  }
+  lock_order.Set("cycles", std::move(cycle_array));
+  doc.Set("lock_order", std::move(lock_order));
   osjson::Value layer_array = osjson::Value::Array();
   for (const LayerVerdict& layer : layers) {
     osjson::Value l = osjson::Value::Object();
@@ -319,6 +328,18 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
 
   bool pass = true;
   out << "gate " << flags->scenario << ": " << scenario->description << "\n";
+  // Lock-order assertion: a deadlock-capable acquisition-order cycle in
+  // any trial fails the gate even when every profile rater passes.
+  const std::vector<std::string> lock_cycles = result.LockCycles();
+  if (lock_cycles.empty()) {
+    out << "[lock-order] no deadlock-capable cycles\n";
+  } else {
+    pass = false;
+    out << "[lock-order] DEADLOCK-CAPABLE lock graph:\n";
+    for (const std::string& cycle : lock_cycles) {
+      out << "  " << cycle << "\n";
+    }
+  }
   for (const LayerVerdict& layer : layers) {
     out << "[" << layer.layer << "] golden " << layer.golden_ops
         << " ops vs measured " << layer.measured_ops << " ops ("
@@ -344,7 +365,7 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
       err << "osprof_tool gate: cannot write " << flags->json_path << "\n";
       return 2;
     }
-    json << VerdictJson(*flags, layers, pass).Dump();
+    json << VerdictJson(*flags, layers, lock_cycles, pass).Dump();
     out << "wrote " << flags->json_path << "\n";
   }
   return pass ? 0 : 3;

@@ -1,0 +1,27 @@
+// The `osprof_tool lint` subcommand: runs the osprof_lint static-analysis
+// pass (src/lint/lint.h) over files and directories and reports findings
+// as file:line text plus optional osprof-lint-v1 JSON.
+
+#ifndef OSPROF_SRC_TOOLS_LINT_COMMAND_H_
+#define OSPROF_SRC_TOOLS_LINT_COMMAND_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ostools {
+
+// args are the tokens after "lint":
+//   lint [paths...] [--rules=r1,r2] [--json=FILE]
+//   lint --list-rules
+// Paths default to "src tests bench".  Exit codes:
+//   0  no findings
+//   1  usage error (unknown flag or rule name)
+//   2  I/O error (unreadable path)
+//   3  findings reported
+int RunLintCommand(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
+
+}  // namespace ostools
+
+#endif  // OSPROF_SRC_TOOLS_LINT_COMMAND_H_

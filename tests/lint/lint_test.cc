@@ -1,0 +1,219 @@
+// osprof_lint rule-by-rule tests against the seeded-violation fixture
+// corpus in tests/lint/fixtures/, plus the self-check that the real tree
+// lints clean.  Fixtures use the .src extension precisely so the
+// directory walker (which lints .h/.cc/.cpp) never scans the seeded
+// violations when CI lints tests/.
+
+#include "src/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lint/lexer.h"
+
+namespace oslint {
+namespace {
+
+std::string FixtureDir() {
+  return std::string(OSPROF_SOURCE_DIR) + "/tests/lint/fixtures/";
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixtureDir() + name);
+  EXPECT_TRUE(in) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<int> LinesOfRule(const std::vector<Finding>& findings,
+                             const std::string& rule) {
+  std::vector<int> lines;
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, rule) << f.file << ":" << f.line << ": " << f.message;
+    if (f.rule == rule) {
+      lines.push_back(f.line);
+    }
+  }
+  return lines;
+}
+
+// --- Lexer ----------------------------------------------------------------
+
+TEST(LintLexer, SeparatesCommentsStringsAndIdentifiers) {
+  const LexResult lexed = Lex(
+      "int x = 1; // trailing rand()\n"
+      "const char* s = \"rand()\";\n"
+      "/* block\n   spans lines */ int y;\n");
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "rand") << "banned name leaked from comment/string";
+  }
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_EQ(lexed.comments[1].line, 3);
+  EXPECT_EQ(lexed.comments[1].end_line, 4);
+}
+
+TEST(LintLexer, DirectivesAreWholeLineTokens) {
+  const LexResult lexed = Lex("#include <mutex>\n#pragma once\nint x;\n");
+  ASSERT_GE(lexed.tokens.size(), 2u);
+  EXPECT_EQ(lexed.tokens[0].kind, TokKind::kDirective);
+  EXPECT_EQ(lexed.tokens[0].text, "include <mutex>");
+  EXPECT_EQ(lexed.tokens[1].kind, TokKind::kDirective);
+  EXPECT_EQ(lexed.tokens[1].text, "pragma once");
+}
+
+TEST(LintLexer, RawStringsDoNotLeakContents) {
+  const LexResult lexed = Lex("auto s = R\"(time( rand( )\"; int z;\n");
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "time");
+    EXPECT_NE(t.text, "rand");
+  }
+}
+
+// --- determinism ----------------------------------------------------------
+
+TEST(LintRules, DeterminismFlagsWallClockAndRandomness) {
+  const std::string src = ReadFixture("determinism_violation.src");
+  const std::vector<Finding> findings = LintText("src/fs/bad.cc", src);
+  EXPECT_EQ(LinesOfRule(findings, kRuleDeterminism),
+            (std::vector<int>{9, 14, 18}));
+}
+
+TEST(LintRules, DeterminismAllowlistsRngAndClock) {
+  const std::string src = ReadFixture("determinism_violation.src");
+  LintConfig only_determinism;
+  only_determinism.rules = {kRuleDeterminism};
+  EXPECT_TRUE(LintText("src/core/clock.h", src, only_determinism).empty());
+  EXPECT_TRUE(LintText("src/sim/rng.h", src, only_determinism).empty());
+  EXPECT_TRUE(LintText("src/core/clock.cc", src, only_determinism).empty());
+}
+
+// --- probe-discipline -----------------------------------------------------
+
+TEST(LintRules, ProbeDisciplineFlagsStringLiteralOpNames) {
+  const std::string src = ReadFixture("probe_discipline_violation.src");
+  const std::vector<Finding> findings = LintText("src/fs/bad.cc", src);
+  EXPECT_EQ(LinesOfRule(findings, kRuleProbeDiscipline),
+            (std::vector<int>{5, 6, 10, 14}));
+}
+
+// --- locking --------------------------------------------------------------
+
+TEST(LintRules, LockingFlagsRealPrimitivesInScopedDirs) {
+  const std::string src = ReadFixture("locking_violation.src");
+  const std::vector<Finding> findings = LintText("src/sim/bad.cc", src);
+  EXPECT_EQ(LinesOfRule(findings, kRuleLocking),
+            (std::vector<int>{4, 5, 8, 12, 12, 16}));
+}
+
+TEST(LintRules, LockingIsScopedToSimFsNet) {
+  const std::string src = ReadFixture("locking_violation.src");
+  // The runner and core are allowed real threads (trial pool, sharded
+  // histograms) -- the same source is clean outside the scoped dirs.
+  EXPECT_TRUE(LintText("src/runner/bad.cc", src).empty());
+  EXPECT_TRUE(LintText("src/core/bad.cc", src).empty());
+  EXPECT_FALSE(LintText("src/fs/bad.cc", src).empty());
+  EXPECT_FALSE(LintText("src/net/bad.cc", src).empty());
+}
+
+// --- header-hygiene -------------------------------------------------------
+
+TEST(LintRules, HeaderHygieneFlagsMissingGuardAndUsingNamespace) {
+  const std::string src = ReadFixture("header_hygiene_violation.src");
+  const std::vector<Finding> findings = LintText("bad.h", src);
+  EXPECT_EQ(LinesOfRule(findings, kRuleHeaderHygiene),
+            (std::vector<int>{1, 5}));
+  // The same content as a .cc file is fine.
+  EXPECT_TRUE(LintText("bad.cc", src).empty());
+}
+
+// --- suppressions ---------------------------------------------------------
+
+TEST(LintRules, SuppressionsCoverOwnLineAndNextAndAreRuleSpecific) {
+  const std::string src = ReadFixture("suppressed.src");
+  const std::vector<Finding> findings = LintText("src/fs/bad.cc", src);
+  // Everything is suppressed except the wrong-rule allow at the bottom.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleDeterminism);
+  EXPECT_EQ(findings[0].line, 22);
+}
+
+// --- clean file -----------------------------------------------------------
+
+TEST(LintRules, CleanFileHasNoFindingsUnderAnyPath) {
+  const std::string src = ReadFixture("clean.src");
+  EXPECT_TRUE(LintText("src/sim/clean.h", src).empty());
+  EXPECT_TRUE(LintText("src/fs/clean.cc", src).empty());
+  EXPECT_TRUE(LintText("clean.h", src).empty());
+}
+
+// --- rule filtering -------------------------------------------------------
+
+TEST(LintConfigTest, RuleFilterRunsOnlySelectedRules) {
+  const std::string src = ReadFixture("locking_violation.src");
+  LintConfig only_headers;
+  only_headers.rules = {kRuleHeaderHygiene};
+  // The locking violations are invisible to a header-hygiene-only run
+  // (the .cc path also has no header findings).
+  EXPECT_TRUE(LintText("src/sim/bad.cc", src, only_headers).empty());
+  LintConfig only_locking;
+  only_locking.rules = {kRuleLocking};
+  EXPECT_EQ(LintText("src/sim/bad.cc", src, only_locking).size(), 6u);
+}
+
+// --- JSON and text rendering ----------------------------------------------
+
+TEST(LintOutput, JsonReportCarriesSchemaCountsAndFindings) {
+  LintRun run;
+  run.files_scanned = 3;
+  run.findings.push_back(
+      Finding{kRuleDeterminism, "a.cc", 7, "call to wall-clock"});
+  const std::string json = FindingsJson(run).Dump();
+  EXPECT_NE(json.find("\"osprof-lint-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"determinism\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"a.cc\""), std::string::npos);
+}
+
+TEST(LintOutput, TextRenderingIsFileLineRuleMessage) {
+  const std::string text = RenderFindings(
+      {Finding{kRuleLocking, "src/sim/x.cc", 12, "std::mutex in sim"}});
+  EXPECT_EQ(text, "src/sim/x.cc:12: [locking] std::mutex in sim\n");
+}
+
+// --- walker and self-check ------------------------------------------------
+
+TEST(LintPathsTest, WalkerSkipsNonSourceExtensions) {
+  // The fixture directory holds only .src files; the walker must scan
+  // nothing there.
+  const LintRun run = LintPaths({FixtureDir()});
+  EXPECT_EQ(run.files_scanned, 0);
+  EXPECT_TRUE(run.findings.empty());
+}
+
+TEST(LintPathsTest, MissingPathIsAnIoError) {
+  const LintRun run = LintPaths({"no/such/path"});
+  ASSERT_EQ(run.findings.size(), 1u);
+  EXPECT_EQ(run.findings[0].rule, "io-error");
+}
+
+// The linter's own acceptance criterion: the real tree is clean.  Any
+// regression that reintroduces a wall clock, a string-literal op name, a
+// real mutex in simulated code or an unguarded header fails here first.
+TEST(LintSelfCheck, RepositorySourcesLintClean) {
+  const std::string root = std::string(OSPROF_SOURCE_DIR);
+  const LintRun run =
+      LintPaths({root + "/src", root + "/tests", root + "/bench"});
+  EXPECT_GT(run.files_scanned, 100);
+  EXPECT_TRUE(run.findings.empty()) << RenderFindings(run.findings);
+}
+
+}  // namespace
+}  // namespace oslint

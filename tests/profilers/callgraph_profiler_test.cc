@@ -25,11 +25,14 @@ Task<void> Leaf(Kernel* k, Cycles cycles) { co_await k->Cpu(cycles); }
 
 Task<void> Parent(Kernel* k, CallGraphProfiler* cg) {
   co_await k->Cpu(1'000);
+  // osprof-lint: allow(probe-discipline)
   co_await cg->Wrap("leaf", Leaf(k, 500));
+  // osprof-lint: allow(probe-discipline)
   co_await cg->Wrap("leaf", Leaf(k, 500));
 }
 
 Task<void> Root(Kernel* k, CallGraphProfiler* cg) {
+  // osprof-lint: allow(probe-discipline)
   co_await cg->Wrap("parent", Parent(k, cg));
 }
 
@@ -59,7 +62,9 @@ TEST(CallGraphProfiler, EdgeSummariesSortByWeight) {
   Kernel k(QuietConfig());
   CallGraphProfiler cg(&k);
   auto body = [](Kernel* kk, CallGraphProfiler* c) -> Task<void> {
+    // osprof-lint: allow(probe-discipline)
     co_await c->Wrap("heavy", Leaf(kk, 100'000));
+    // osprof-lint: allow(probe-discipline)
     co_await c->Wrap("light", Leaf(kk, 100));
   };
   k.Spawn("t", body(&k, &cg));
@@ -126,6 +131,7 @@ TEST(CallGraphProfiler, CapturesReaddirReadpageNesting) {
 TEST(CallGraphProfiler, OutsideThreadContextThrows) {
   Kernel k(QuietConfig());
   CallGraphProfiler cg(&k);
+  // osprof-lint: allow(probe-discipline)
   osim::Task<void> wrapped = cg.Wrap("op", Leaf(&k, 1));
   // Driving the coroutine outside a simulated thread must fail loudly
   // (the exception is stored in the promise and rethrown on inspection).

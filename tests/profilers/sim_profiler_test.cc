@@ -27,6 +27,7 @@ TEST(SimProfiler, WrapMeasuresSimulatedLatency) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
+    // osprof-lint: allow(probe-discipline)
     const int v = co_await p->Wrap("op", Burn(kk, 1000));
     EXPECT_EQ(v, 7);
   };
@@ -43,6 +44,7 @@ TEST(SimProfiler, OverheadChargingAddsCostsAndFloor) {
   SimProfiler prof(&k);
   prof.set_charge_overhead(true);
   auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
+    // osprof-lint: allow(probe-discipline)
     (void)co_await p->Wrap("noop", Burn(kk, 0));
   };
   k.Spawn("t", body(&k, &prof));
@@ -80,6 +82,7 @@ TEST(SimProfiler, SamplingSplitsEpochs) {
   prof.EnableSampling(10'000);
   auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
     for (int i = 0; i < 5; ++i) {
+      // osprof-lint: allow(probe-discipline)
       (void)co_await p->Wrap("op", Burn(kk, 4'000));
     }
   };
@@ -102,7 +105,9 @@ TEST(SimProfiler, CorrelatorReceivesValues) {
   slow.last_bucket = 40;
   osprof::ValueCorrelator corr("flag", {fast, slow});
   prof.AttachCorrelator("op", &corr);
+  // osprof-lint: allow(probe-discipline)
   prof.RecordWithValue("op", 100, 1024);     // Fast peak, flag set.
+  // osprof-lint: allow(probe-discipline)
   prof.RecordWithValue("op", 100'000, 0);    // Slow peak, flag clear.
   EXPECT_EQ(corr.peak_values(0).bucket(10), 1u);
   EXPECT_EQ(corr.peak_values(1).bucket(0), 1u);
@@ -112,6 +117,7 @@ TEST(SimProfiler, ResetClearsDataKeepsConfig) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   prof.EnableSampling(1'000);
+  // osprof-lint: allow(probe-discipline)
   prof.Record("op", 100);
   prof.Reset();
   EXPECT_TRUE(prof.profiles().empty());
@@ -126,6 +132,7 @@ TEST(SimProfiler, HandleRecordMatchesStringRecord) {
   const osprof::ProbeHandle op = by_handle.Resolve("op");
   for (int i = 0; i < 50; ++i) {
     const Cycles latency = static_cast<Cycles>(80 + 113 * i);
+    // osprof-lint: allow(probe-discipline)
     by_string.Record("op", latency);
     by_handle.Record(op, latency);
   }
@@ -158,6 +165,7 @@ TEST(SimProfiler, ResolvedButUnrecordedOpsInvisibleInCollect) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   (void)prof.Resolve("never_fired");
+  // osprof-lint: allow(probe-discipline)
   prof.Record("fired", 100);
   const osprof::ProfileSet snapshot = prof.Collect();
   EXPECT_EQ(snapshot.size(), 1u);

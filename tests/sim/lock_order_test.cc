@@ -1,0 +1,193 @@
+#include "src/sim/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/profilers/sim_profiler.h"
+#include "src/sim/kernel.h"
+#include "src/sim/sync.h"
+
+namespace osim {
+namespace {
+
+KernelConfig QuietConfig(int cpus = 1) {
+  KernelConfig cfg;
+  cfg.num_cpus = cpus;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+// Acquires `first` then `second` after an optional start delay; the delay
+// staggers threads so both acquisition orders are observed without the
+// run actually deadlocking (the tracker flags what *could* deadlock).
+Task<void> LockPair(Kernel* k, SimSemaphore* first, SimSemaphore* second,
+                    Cycles delay) {
+  if (delay > 0) {
+    co_await k->Sleep(delay);
+  }
+  co_await first->Acquire();
+  co_await k->Cpu(100);
+  co_await second->Acquire();
+  co_await k->Cpu(100);
+  second->Release();
+  first->Release();
+}
+
+TEST(LockOrder, AbbaOrderIsDeadlockCapable) {
+  Kernel k(QuietConfig());
+  k.lock_order().set_enabled(true);
+  SimSemaphore a(&k, 1, "a_lock");
+  SimSemaphore b(&k, 1, "b_lock");
+  k.Spawn("t1", LockPair(&k, &a, &b, 0));
+  k.Spawn("t2", LockPair(&k, &b, &a, 100'000));
+  k.RunUntilThreadsFinish();
+
+  ASSERT_TRUE(k.lock_order().DeadlockCapable());
+  const auto cycles = k.lock_order().FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<std::string>{"a_lock", "b_lock"}));
+
+  const auto inversions = k.lock_order().Inversions();
+  ASSERT_EQ(inversions.size(), 1u);
+  EXPECT_EQ(inversions[0].from, "a_lock");
+  EXPECT_EQ(inversions[0].to, "b_lock");
+  EXPECT_EQ(inversions[0].count, 2u);
+
+  const auto described = k.lock_order().CycleDescriptions();
+  ASSERT_EQ(described.size(), 1u);
+  EXPECT_NE(described[0].find("a_lock -> b_lock -> a_lock"),
+            std::string::npos);
+}
+
+TEST(LockOrder, ConsistentOrderIsClean) {
+  Kernel k(QuietConfig());
+  k.lock_order().set_enabled(true);
+  SimSemaphore a(&k, 1, "a_lock");
+  SimSemaphore b(&k, 1, "b_lock");
+  k.Spawn("t1", LockPair(&k, &a, &b, 0));
+  k.Spawn("t2", LockPair(&k, &a, &b, 50'000));
+  k.RunUntilThreadsFinish();
+
+  EXPECT_FALSE(k.lock_order().DeadlockCapable());
+  EXPECT_TRUE(k.lock_order().Inversions().empty());
+  const auto edges = k.lock_order().Edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "a_lock");
+  EXPECT_EQ(edges[0].to, "b_lock");
+  EXPECT_EQ(edges[0].count, 2u);
+  EXPECT_NE(k.lock_order().Report().find("no deadlock-capable cycles"),
+            std::string::npos);
+}
+
+TEST(LockOrder, DisabledTrackerRecordsNothing) {
+  Kernel k(QuietConfig());
+  ASSERT_FALSE(k.lock_order().enabled());  // Off by default.
+  SimSemaphore a(&k, 1, "a_lock");
+  SimSemaphore b(&k, 1, "b_lock");
+  k.Spawn("t1", LockPair(&k, &a, &b, 0));
+  k.Spawn("t2", LockPair(&k, &b, &a, 100'000));
+  k.RunUntilThreadsFinish();
+  EXPECT_TRUE(k.lock_order().Edges().empty());
+  EXPECT_FALSE(k.lock_order().DeadlockCapable());
+}
+
+TEST(LockOrder, TrackingDoesNotPerturbSimulatedTime) {
+  // Byte-identical goldens require that enabling the tracker never
+  // advances the clock: same workload, same end time, either way.
+  Cycles end_times[2];
+  for (int enabled = 0; enabled < 2; ++enabled) {
+    Kernel k(QuietConfig());
+    k.lock_order().set_enabled(enabled == 1);
+    SimSemaphore a(&k, 1, "a_lock");
+    SimSemaphore b(&k, 1, "b_lock");
+    k.Spawn("t1", LockPair(&k, &a, &b, 0));
+    k.Spawn("t2", LockPair(&k, &b, &a, 100'000));
+    k.RunUntilThreadsFinish();
+    end_times[enabled] = k.now();
+  }
+  EXPECT_EQ(end_times[0], end_times[1]);
+}
+
+Task<void> WrappedNested(Kernel* k, osprofilers::SimProfiler* prof,
+                         osprof::ProbeHandle op, SimSemaphore* a,
+                         SimSemaphore* b) {
+  co_await prof->Wrap(op, LockPair(k, a, b, 0));
+}
+
+TEST(LockOrder, EdgesCarryProfiledOpContext) {
+  Kernel k(QuietConfig());
+  k.lock_order().set_enabled(true);
+  osprofilers::SimProfiler prof(&k);
+  const osprof::ProbeHandle op = prof.Resolve("nested_write");
+  SimSemaphore a(&k, 1, "a_lock");
+  SimSemaphore b(&k, 1, "b_lock");
+  k.Spawn("t1", WrappedNested(&k, &prof, op, &a, &b));
+  k.RunUntilThreadsFinish();
+
+  const auto edges = k.lock_order().Edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].ops.count("nested_write"), 1u)
+      << "edge should name the op in whose extent the lock was taken";
+  // The op also recorded normally.
+  ASSERT_NE(prof.profiles().Find("nested_write"), nullptr);
+}
+
+Task<void> SpinThenSem(Kernel* k, SimSpinlock* spin, SimSemaphore* sem) {
+  co_await spin->Lock();
+  co_await sem->Acquire();
+  co_await k->Cpu(1'000);
+  sem->Release();
+  spin->Unlock();
+}
+
+TEST(LockOrder, SpinlockHandoffAttributesToWaiter) {
+  // Two CPUs so the second thread really spins while the first holds the
+  // lock; the Unlock handoff must credit the acquisition to the waiter,
+  // whose subsequent semaphore acquire then adds the spin -> sem edge.
+  Kernel k(QuietConfig(/*cpus=*/2));
+  k.lock_order().set_enabled(true);
+  SimSpinlock spin(&k, "super_lock");
+  SimSemaphore sem(&k, 1, "i_sem:1");
+  k.Spawn("t1", SpinThenSem(&k, &spin, &sem));
+  k.Spawn("t2", SpinThenSem(&k, &spin, &sem));
+  k.RunUntilThreadsFinish();
+
+  ASSERT_EQ(spin.contended_acquisitions(), 1u)
+      << "test needs real contention to exercise the handoff path";
+  const auto edges = k.lock_order().Edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "super_lock");
+  EXPECT_EQ(edges[0].to, "i_sem:1");
+  EXPECT_EQ(edges[0].count, 2u);  // Both threads, one via handoff.
+  EXPECT_FALSE(k.lock_order().DeadlockCapable());
+}
+
+TEST(LockOrder, HostContextAcquisitionsAreIgnored) {
+  // TryAcquire/Release outside thread context (as tests do for setup)
+  // must not be tracked and must not crash.
+  Kernel k(QuietConfig());
+  k.lock_order().set_enabled(true);
+  SimSemaphore sem(&k, 1, "host_sem");
+  ASSERT_TRUE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(k.lock_order().Edges().empty());
+}
+
+TEST(LockOrder, ResetDropsStateKeepsEnabled) {
+  Kernel k(QuietConfig());
+  k.lock_order().set_enabled(true);
+  SimSemaphore a(&k, 1, "a_lock");
+  SimSemaphore b(&k, 1, "b_lock");
+  k.Spawn("t1", LockPair(&k, &a, &b, 0));
+  k.RunUntilThreadsFinish();
+  ASSERT_FALSE(k.lock_order().Edges().empty());
+  k.lock_order().Reset();
+  EXPECT_TRUE(k.lock_order().Edges().empty());
+  EXPECT_TRUE(k.lock_order().enabled());
+}
+
+}  // namespace
+}  // namespace osim

@@ -6,6 +6,16 @@
 #include <string>
 #include <vector>
 
+// AddressSanitizer's stack instrumentation defeats the symmetric-transfer
+// tail call on GCC, so deep co_await chains genuinely recurse there.
+#if defined(__SANITIZE_ADDRESS__)
+#define OSPROF_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define OSPROF_ASAN 1
+#endif
+#endif
+
 namespace osim {
 namespace {
 
@@ -67,7 +77,14 @@ TEST(Task, NestedAwaitPropagatesValue) { EXPECT_EQ(Drive(AwaitsChild()), 43); }
 TEST(Task, SymmetricTransferSurvivesDeepChains) {
   // 100k frames would overflow the native stack without symmetric
   // transfer; this is the property that lets simulated VFS stacks nest.
-  EXPECT_EQ(Drive(DeepChain(100'000)), 100'000);
+  // Under asan the tail call is gone (see OSPROF_ASAN above), so only the
+  // plain build stresses the full depth.
+#ifdef OSPROF_ASAN
+  constexpr int kDepth = 1'000;
+#else
+  constexpr int kDepth = 100'000;
+#endif
+  EXPECT_EQ(Drive(DeepChain(kDepth)), kDepth);
 }
 
 TEST(Task, ExceptionPropagatesToAwaiter) {

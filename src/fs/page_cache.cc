@@ -68,7 +68,8 @@ Task<void> PageCache::WaitForPage(PageKey key) {
     }
     PageState& state = it->second;
     if (state.waiters == nullptr) {
-      state.waiters = std::make_unique<osim::WaitQueue>(kernel_);
+      state.waiters =
+          std::make_unique<osim::WaitQueue>(kernel_, osprof::kLayerDriver);
     }
     co_await state.waiters->Wait();
   }

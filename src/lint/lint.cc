@@ -73,6 +73,36 @@ const std::unordered_set<std::string>& RecordEntryPoints() {
   return kSet;
 }
 
+// probe-discipline: the profiling spine that is allowed to touch the
+// kernel's RequestContext.  Span frames are pushed/popped only inside
+// SimProfiler::Wrap / BeginSpan / EndSpan (and consumed by the callgraph
+// and lock-order layers); workload or filesystem code must never
+// manipulate frames by hand, or the layered decomposition stops being
+// exact.
+bool RequestContextAllowlisted(const std::string& path) {
+  static const std::vector<std::string> kSpine = {
+      "src/sim/request_context.h",      "src/sim/request_context.cc",
+      "src/sim/kernel.h",               "src/sim/kernel.cc",
+      "src/sim/lock_order.h",           "src/sim/lock_order.cc",
+      "src/profilers/sim_profiler.h",   "src/profilers/sim_profiler.cc",
+      "src/profilers/callgraph_profiler.h",
+      "src/profilers/callgraph_profiler.cc",
+      // The context's own unit tests drive frames by hand, by design.
+      "tests/sim/request_context_test.cc",
+  };
+  for (const std::string& allowed : kSpine) {
+    if (path.ends_with(allowed)) {
+      return true;
+    }
+    // Bare file names, for lint runs from inside the directory.
+    const std::size_t slash = allowed.rfind('/');
+    if (path == allowed.substr(slash + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // locking: std:: members that imply real threads or real blocking inside
 // the simulation.  Simulated code must use osim::SimSemaphore /
 // SimSpinlock so that blocking advances simulated -- not host -- time.
@@ -244,6 +274,30 @@ void CheckProbeDiscipline(const std::string& path,
           "'mutable_profiles' was removed when op names were interned; "
           "use ProfileSet::Resolve / AddById"});
       continue;
+    }
+    // RequestContext frames belong to the profiling spine.  Outside it,
+    // naming the type -- or calling `.Push(` / `->Pop(` on anything --
+    // is manual frame manipulation and breaks the exactness guarantee.
+    if (!RequestContextAllowlisted(path)) {
+      if (tok.text == "RequestContext") {
+        findings->push_back(Finding{
+            kRuleProbeDiscipline, path, tok.line,
+            "direct RequestContext use outside the profiling spine; span "
+            "frames are pushed/popped only by SimProfiler::Wrap/"
+            "BeginSpan/EndSpan"});
+        continue;
+      }
+      if ((tok.text == "Push" || tok.text == "Pop") && i >= 1 &&
+          i + 1 < tokens.size() && tokens[i - 1].kind == TokKind::kPunct &&
+          (tokens[i - 1].text == "." || tokens[i - 1].text == "->") &&
+          tokens[i + 1].kind == TokKind::kPunct && tokens[i + 1].text == "(") {
+        findings->push_back(Finding{
+            kRuleProbeDiscipline, path, tok.line,
+            "manual span-frame " + tok.text +
+                "() outside the profiling spine; only SimProfiler::Wrap/"
+                "BeginSpan/EndSpan may manipulate RequestContext frames"});
+        continue;
+      }
     }
     // `Record("name", ...)` and friends: a string-literal op name on the
     // record path re-introduces the per-record string lookup the

@@ -193,10 +193,15 @@ Task<void> CifsMount::ServerReadPageHandler(std::string path,
 Task<void> CifsMount::FindTransactionOp(const std::string& path,
                                         DirState* dir) {
   const bool first = !dir->started;
+  const osprof::ProbeHandle probe =
+      first ? probes_.findfirst : probes_.findnext;
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probe);
+  }
   const Cycles start = kernel_->ReadTsc();
   co_await kernel_->Cpu(config_.client_op_cpu);
   FindTransaction txn;
-  txn.done = std::make_unique<osim::WaitQueue>(kernel_);
+  txn.done = std::make_unique<osim::WaitQueue>(kernel_, osprof::kLayerNet);
   FindTransaction* txn_ptr = &txn;
   SendRequest(first ? "FIND_FIRST request" : "FIND_NEXT request",
               [this, path, dir, txn_ptr] {
@@ -216,15 +221,14 @@ Task<void> CifsMount::FindTransactionOp(const std::string& path,
   dir->cookie = txn.next_cookie;
   dir->end_of_dir = txn.end_of_dir;
   if (profiler_ != nullptr) {
-    profiler_->Record(first ? probes_.findfirst : probes_.findnext,
-                      kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probe, kernel_->ReadTsc() - start);
   }
 }
 
 Task<void> CifsMount::RemoteReadPage(const std::string& path,
                                      std::uint64_t page) {
   FindTransaction txn;
-  txn.done = std::make_unique<osim::WaitQueue>(kernel_);
+  txn.done = std::make_unique<osim::WaitQueue>(kernel_, osprof::kLayerNet);
   FindTransaction* txn_ptr = &txn;
   SendRequest("READ request", [this, path, page, txn_ptr] {
     kernel_->Spawn("smbd:read", ServerReadPageHandler(path, page, txn_ptr));
@@ -296,7 +300,7 @@ Task<void> CifsMount::ServerSmallOpHandler(SmallOpArgs args,
 
 Task<void> CifsMount::SmallRoundTrip(SmallOpArgs args) {
   FindTransaction txn;
-  txn.done = std::make_unique<osim::WaitQueue>(kernel_);
+  txn.done = std::make_unique<osim::WaitQueue>(kernel_, osprof::kLayerNet);
   FindTransaction* txn_ptr = &txn;
   const std::string label = SmallOpLabel(args.op);
   SendRequest(label + " request", [this, args = std::move(args), txn_ptr] {
@@ -321,6 +325,9 @@ Task<void> CifsMount::FetchAttr(const std::string& path) {
 
 Task<int> CifsMount::Open(const std::string& path, bool direct_io) {
   (void)direct_io;  // CIFS reads always go through the client cache here.
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.open);
+  }
   const Cycles start = kernel_->ReadTsc();
   co_await kernel_->Cpu(config_.client_op_cpu);
   co_await FetchAttr(path);
@@ -333,21 +340,27 @@ Task<int> CifsMount::Open(const std::string& path, bool direct_io) {
     f.dir = std::make_unique<DirState>();
   }
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.open, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.open, kernel_->ReadTsc() - start);
   }
   co_return fd;
 }
 
 Task<void> CifsMount::Close(int fd) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.close);
+  }
   const Cycles start = kernel_->ReadTsc();
   co_await kernel_->Cpu(config_.client_op_cpu / 2);
   file(fd).in_use = false;
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.close, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.close, kernel_->ReadTsc() - start);
   }
 }
 
 Task<std::int64_t> CifsMount::Read(int fd, std::uint64_t bytes) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.read);
+  }
   const Cycles start = kernel_->ReadTsc();
   ClientFile& f = file(fd);
   std::int64_t result = 0;
@@ -367,12 +380,15 @@ Task<std::int64_t> CifsMount::Read(int fd, std::uint64_t bytes) {
     f.pos = end;
   }
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.read, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.read, kernel_->ReadTsc() - start);
   }
   co_return result;
 }
 
 Task<std::int64_t> CifsMount::Write(int fd, std::uint64_t bytes) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.write);
+  }
   const Cycles start = kernel_->ReadTsc();
   ClientFile& f = file(fd);
   const std::string path = f.path;
@@ -391,23 +407,29 @@ Task<std::int64_t> CifsMount::Write(int fd, std::uint64_t bytes) {
   f2.attr.size = std::max(f2.attr.size, f2.pos);
   attr_cache_[path] = f2.attr;
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.write, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.write, kernel_->ReadTsc() - start);
   }
   co_return static_cast<std::int64_t>(bytes);
 }
 
 Task<std::uint64_t> CifsMount::Llseek(int fd, std::uint64_t pos) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.llseek);
+  }
   const Cycles start = kernel_->ReadTsc();
   co_await kernel_->Cpu(config_.client_op_cpu / 4);
   ClientFile& f = file(fd);
   f.pos = pos;
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.llseek, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.llseek, kernel_->ReadTsc() - start);
   }
   co_return f.pos;
 }
 
 Task<osfs::DirentBatch> CifsMount::Readdir(int fd) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.readdir);
+  }
   const Cycles start = kernel_->ReadTsc();
   ClientFile& f = file(fd);
   osfs::DirentBatch batch;
@@ -437,12 +459,15 @@ Task<osfs::DirentBatch> CifsMount::Readdir(int fd) {
     }
   }
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.readdir, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.readdir, kernel_->ReadTsc() - start);
   }
   co_return batch;
 }
 
 Task<void> CifsMount::Fsync(int fd) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.fsync);
+  }
   const Cycles start = kernel_->ReadTsc();
   const std::string path = file(fd).path;
   SmallOpArgs args;
@@ -450,11 +475,14 @@ Task<void> CifsMount::Fsync(int fd) {
   args.path = path;
   co_await SmallRoundTrip(std::move(args));
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.fsync, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.fsync, kernel_->ReadTsc() - start);
   }
 }
 
 Task<int> CifsMount::Create(const std::string& path) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.create);
+  }
   const Cycles start = kernel_->ReadTsc();
   SmallOpArgs args;
   args.op = SmallOp::kCreate;
@@ -466,12 +494,15 @@ Task<int> CifsMount::Create(const std::string& path) {
   f.path = path;
   f.attr = attr_cache_[path];
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.create, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.create, kernel_->ReadTsc() - start);
   }
   co_return fd;
 }
 
 Task<void> CifsMount::Unlink(const std::string& path) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.unlink);
+  }
   const Cycles start = kernel_->ReadTsc();
   SmallOpArgs args;
   args.op = SmallOp::kUnlink;
@@ -479,11 +510,14 @@ Task<void> CifsMount::Unlink(const std::string& path) {
   co_await SmallRoundTrip(std::move(args));
   attr_cache_.erase(path);
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.unlink, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.unlink, kernel_->ReadTsc() - start);
   }
 }
 
 Task<osfs::FileAttr> CifsMount::Stat(const std::string& path) {
+  if (profiler_ != nullptr) {
+    profiler_->BeginSpan(probes_.stat);
+  }
   const Cycles start = kernel_->ReadTsc();
   co_await kernel_->Cpu(config_.client_op_cpu / 4);
   co_await FetchAttr(path);
@@ -492,7 +526,7 @@ Task<osfs::FileAttr> CifsMount::Stat(const std::string& path) {
   attr.size = cached.size;
   attr.is_dir = cached.is_dir;
   if (profiler_ != nullptr) {
-    profiler_->Record(probes_.stat, kernel_->ReadTsc() - start);
+    profiler_->EndSpan(probes_.stat, kernel_->ReadTsc() - start);
   }
   co_return attr;
 }

@@ -104,7 +104,8 @@ class NetPipe {
 // cumulative: each carries the receiver's total received-segment count.
 class AckLedger {
  public:
-  explicit AckLedger(Kernel* kernel) : waiters_(kernel) {}
+  explicit AckLedger(Kernel* kernel)
+      : waiters_(kernel, osprof::kLayerNet) {}
 
   void OnSegmentSent() { ++sent_; }
 

@@ -91,7 +91,7 @@ Task<void> NfsMount::Call(osprof::ProbeHandle probe, const std::string& op,
   ++rpcs_;
   const Cycles start = kernel_->ReadTsc();
   co_await kernel_->Cpu(config_.client_op_cpu);
-  rpc->done = std::make_unique<osim::WaitQueue>(kernel_);
+  rpc->done = std::make_unique<osim::WaitQueue>(kernel_, osprof::kLayerNet);
   // Wrap the server work in a handler thread spawned at request arrival;
   // the reply is a single burst whose final segment completes the RPC.
   struct Holder {

@@ -5,20 +5,18 @@
 #include <stdexcept>
 
 #include "src/core/clock.h"
+#include "src/core/histogram.h"
 
 namespace osprofilers {
 
 void CallGraphProfiler::Reset() {
-  for (const auto& [tid, stack] : stacks_) {
-    if (!stack.empty()) {
-      throw std::logic_error(
-          "CallGraphProfiler::Reset with operations still in flight");
-    }
+  if (in_flight_ != 0) {
+    throw std::logic_error(
+        "CallGraphProfiler::Reset with operations still in flight");
   }
   flat_.ClearCounts();
   edges_.ClearCounts();
-  stacks_.clear();
-  child_time_.clear();
+  layered_.ClearCounts();
   std::fill(child_totals_.begin(), child_totals_.end(), 0);
 }
 
@@ -26,6 +24,7 @@ osprof::ProbeHandle CallGraphProfiler::Resolve(std::string_view op) {
   const osprof::ProbeHandle handle = flat_.Resolve(op);
   if (child_totals_.size() < flat_.ops().size()) {
     child_totals_.resize(flat_.ops().size(), 0);
+    layered_slots_.resize(flat_.ops().size(), nullptr);
   }
   return handle;
 }
@@ -36,11 +35,6 @@ int CallGraphProfiler::CurrentThreadId() const {
     throw std::logic_error("CallGraphProfiler used outside thread context");
   }
   return t->id();
-}
-
-void CallGraphProfiler::Push(int tid, osprof::OpId op) {
-  stacks_[tid].push_back(op);
-  child_time_[tid].push_back(0);
 }
 
 osprof::OpId CallGraphProfiler::EdgeId(osprof::OpId caller,
@@ -61,25 +55,25 @@ osprof::OpId CallGraphProfiler::EdgeId(osprof::OpId caller,
   return id;
 }
 
-void CallGraphProfiler::Pop(int tid, osprof::OpId op, osim::Cycles latency) {
-  std::vector<osprof::OpId>& stack = stacks_[tid];
-  std::vector<osim::Cycles>& child = child_time_[tid];
-  if (stack.empty() || stack.back() != op) {
-    throw std::logic_error("CallGraphProfiler: mismatched Pop for " +
-                           flat_.ops().Name(op));
-  }
-  stack.pop_back();
-  const osim::Cycles my_children = child.back();
-  child.pop_back();
-  child_totals_[static_cast<std::size_t>(op)] += my_children;
+void CallGraphProfiler::Finish(int tid, osprof::OpId op,
+                               osim::Cycles latency) {
+  const osim::RequestContext::PopResult span =
+      kernel_->context().Pop(tid, kernel_->now(), latency);
+  --in_flight_;
+  // owner_children is the summed latency of profiled operations that ran
+  // directly under this one (lineage is scoped to this profiler, so other
+  // layers' interleaved frames don't leak in).
+  child_totals_[static_cast<std::size_t>(op)] += span.owner_children;
 
   flat_.AddById(op, latency);
-  const osprof::OpId caller =
-      stack.empty() ? osprof::kInvalidOpId : stack.back();
-  edges_.AddById(EdgeId(caller, op), latency);
-  if (!child.empty()) {
-    child.back() += latency;  // My whole latency is my caller's child time.
+  edges_.AddById(EdgeId(span.caller, op), latency);
+
+  osprof::LayeredProfile*& slot =
+      layered_slots_[static_cast<std::size_t>(op)];
+  if (slot == nullptr) {
+    slot = layered_.Slot(flat_.ops().Name(op));
   }
+  slot->Add(osprof::BucketIndex(latency, resolution_), span.components);
 }
 
 std::vector<CallGraphProfiler::EdgeSummary>

@@ -3,9 +3,10 @@
 // This way, one can capture proles for many functions even if these
 // functions call each other", via gcc -p style entry/exit hooks).
 //
-// CallGraphProfiler augments SimProfiler-style latency recording with a
-// per-thread operation stack: every profiled operation knows which
-// profiled operation (if any) it executed under, yielding
+// CallGraphProfiler augments SimProfiler-style latency recording with
+// caller lineage read off the kernel-owned RequestContext span stack:
+// every profiled operation knows which profiled operation (if any) it
+// executed under, yielding
 //
 //  * a latency profile per (caller -> callee) edge, and
 //  * gprof-like caller attribution: readdir's latency splits into "time
@@ -15,9 +16,9 @@
 // readpage when directory pages are cold (§3.1, §6.2).
 //
 // Like SimProfiler, the record path works on pre-resolved ProbeHandles:
-// stacks hold dense OpIds, caller attribution indexes a vector by OpId,
-// and each (caller -> callee) edge's name is built exactly once, the
-// first time that edge fires (subsequent pops find it through a packed
+// the shared stack holds dense OpIds, caller attribution indexes a vector
+// by OpId, and each (caller -> callee) edge's name is built exactly once,
+// the first time that edge fires (subsequent pops find it through a packed
 // integer key -- no string concatenation, no string-keyed lookup).
 
 #ifndef OSPROF_SRC_PROFILERS_CALLGRAPH_PROFILER_H_
@@ -39,7 +40,10 @@ namespace osprofilers {
 class CallGraphProfiler : public ProfilerSink {
  public:
   explicit CallGraphProfiler(osim::Kernel* kernel, int resolution = 1)
-      : kernel_(kernel), resolution_(resolution), flat_(resolution) {}
+      : kernel_(kernel),
+        resolution_(resolution),
+        flat_(resolution),
+        layered_(resolution) {}
 
   // --- ProfilerSink ------------------------------------------------------
   // Collect() returns the flat per-operation view (the edge profiles stay
@@ -47,9 +51,13 @@ class CallGraphProfiler : public ProfilerSink {
   const std::string& layer() const override { return layer_; }
   int resolution() const override { return resolution_; }
   osprof::ProfileSet Collect() const override { return flat_; }
+  const osprof::LayeredProfileSet* CollectLayered() const override {
+    return &layered_;
+  }
   // Clears collected profiles and caller attribution.  Must not be called
-  // while profiled operations are still on any thread's stack.  Keeps the
-  // op and edge tables, so outstanding ProbeHandles stay valid.
+  // while profiled operations are still in flight.  Keeps the op and edge
+  // tables (and the packed edge-id cache), so outstanding ProbeHandles --
+  // and first-sighting edge names -- stay valid across runs.
   void Reset() override;
 
   // Interns `op` into the flat profile set and returns the handle call
@@ -62,16 +70,16 @@ class CallGraphProfiler : public ProfilerSink {
   template <typename T>
   osim::Task<T> Wrap(osprof::ProbeHandle op, osim::Task<T> inner) {
     const int tid = CurrentThreadId();
-    Push(tid, op.id());
+    kernel_->context().Push(tid, this, &flat_.ops(), op.id(),
+                            osprof::kLayerFs, kernel_->now());
+    ++in_flight_;
     const osim::Cycles start = kernel_->ReadTsc();
     if constexpr (std::is_void_v<T>) {
       co_await std::move(inner);
-      const osim::Cycles latency = kernel_->ReadTsc() - start;
-      Pop(tid, op.id(), latency);
+      Finish(tid, op.id(), kernel_->ReadTsc() - start);
     } else {
       T result = co_await std::move(inner);
-      const osim::Cycles latency = kernel_->ReadTsc() - start;
-      Pop(tid, op.id(), latency);
+      Finish(tid, op.id(), kernel_->ReadTsc() - start);
       co_return std::move(result);
     }
   }
@@ -104,8 +112,9 @@ class CallGraphProfiler : public ProfilerSink {
 
  private:
   int CurrentThreadId() const;
-  void Push(int tid, osprof::OpId op);
-  void Pop(int tid, osprof::OpId op, osim::Cycles latency);
+  // Closes the span on the shared context and records flat, edge, and
+  // layered data from its PopResult.
+  void Finish(int tid, osprof::OpId op, osim::Cycles latency);
   // Get-or-create the edge profile id for (caller -> callee); builds the
   // "caller->callee" name only on first sighting of the edge.
   osprof::OpId EdgeId(osprof::OpId caller, osprof::OpId callee);
@@ -115,17 +124,17 @@ class CallGraphProfiler : public ProfilerSink {
   int resolution_;
   osprof::ProfileSet flat_;
   osprof::ProfileSet edges_{1};
+  osprof::LayeredProfileSet layered_;
   // (caller << 32 | callee) -> edge op id in edges_.  kInvalidOpId works
   // as a caller key (top-level ops) because OpIds are dense and never
   // reach 2^32 - 1.
   std::map<std::uint64_t, osprof::OpId> edge_ids_;
-  // Per-thread stack of active operation ids.
-  std::map<int, std::vector<osprof::OpId>> stacks_;
-  // Child time accumulated under each (thread, op) activation; parallel to
-  // stacks_ (one slot per stack level, tracking profiled-child latency).
-  std::map<int, std::vector<osim::Cycles>> child_time_;
+  // Spans opened on the shared context but not yet popped (guards Reset).
+  int in_flight_ = 0;
   // Indexed by OpId: total time spent in profiled children, for the report.
   std::vector<osim::Cycles> child_totals_;
+  // Indexed by OpId: cached layered_ slots, mirroring SimProfiler.
+  std::vector<osprof::LayeredProfile*> layered_slots_;
 };
 
 }  // namespace osprofilers

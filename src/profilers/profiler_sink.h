@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "src/core/layered.h"
 #include "src/core/profile.h"
 
 namespace osprofilers {
@@ -33,6 +34,15 @@ class ProfilerSink {
   // Snapshot of everything recorded so far.  Safe to call repeatedly; the
   // returned set is independent of future recording.
   virtual osprof::ProfileSet Collect() const = 0;
+
+  // The exact layered decomposition of this sink's operations, or nullptr
+  // (the default) for sinks that cannot decompose -- observer-style
+  // profilers that record outside any request span, and real-OS profilers
+  // with no simulated kernel underneath.  The returned set stays owned by
+  // the sink.
+  virtual const osprof::LayeredProfileSet* CollectLayered() const {
+    return nullptr;
+  }
 
   // Clears collected measurements (configuration is kept).
   virtual void Reset() = 0;

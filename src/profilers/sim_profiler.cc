@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/histogram.h"
+
 namespace osprofilers {
 
 void SimProfiler::EnableSampling(Cycles epoch_cycles) {
@@ -16,8 +18,35 @@ osprof::ProbeHandle SimProfiler::Resolve(std::string_view op) {
   if (correlators_.size() < profiles_.ops().size()) {
     correlators_.resize(profiles_.ops().size(), nullptr);
     sampled_slots_.resize(profiles_.ops().size(), nullptr);
+    layered_slots_.resize(profiles_.ops().size(), nullptr);
   }
   return handle;
+}
+
+osprof::LayerComponent SimProfiler::ComponentForLayer(
+    const std::string& layer) {
+  if (layer == "fs") {
+    return osprof::kLayerFs;
+  }
+  if (layer == "driver") {
+    return osprof::kLayerDriver;
+  }
+  if (layer == "net" || layer == "cifs" || layer == "nfs") {
+    return osprof::kLayerNet;
+  }
+  return osprof::kLayerSelf;  // "user" and friends: transparent.
+}
+
+void SimProfiler::RecordLayered(osprof::ProbeHandle op, Cycles latency,
+                                const osim::RequestContext::PopResult& span) {
+  osprof::LayeredProfile*& slot =
+      layered_slots_[static_cast<std::size_t>(op.id())];
+  if (slot == nullptr) {
+    slot = layered_.Slot(profiles_.ops().Name(op.id()));
+  }
+  // Keyed by the same bucket the ordinary profile files this latency
+  // under, so each peak reads as a stack of components.
+  slot->Add(osprof::BucketIndex(latency, resolution_), span.components);
 }
 
 void SimProfiler::AttachCorrelator(std::string_view op,
@@ -37,6 +66,7 @@ void SimProfiler::SampledRecord(osprof::ProbeHandle op, Cycles latency) {
 
 void SimProfiler::Reset() {
   profiles_.ClearCounts();
+  layered_.ClearCounts();  // In place: cached layered_slots_ stay valid.
   if (sampled_ != nullptr) {
     sampled_ = std::make_unique<osprof::SampledProfileSet>(sampling_epoch_,
                                                            resolution_);

@@ -87,7 +87,10 @@ struct InstrumentationCosts {
 class SimProfiler : public ProfilerSink {
  public:
   explicit SimProfiler(Kernel* kernel, int resolution = 1)
-      : kernel_(kernel), profiles_(resolution), resolution_(resolution) {}
+      : kernel_(kernel),
+        profiles_(resolution),
+        resolution_(resolution),
+        layered_(resolution) {}
 
   Kernel* kernel() const { return kernel_; }
 
@@ -96,9 +99,19 @@ class SimProfiler : public ProfilerSink {
   // style in-file-system instrumentation; scenarios that record at the
   // syscall boundary relabel it "user".
   const std::string& layer() const override { return layer_; }
-  void set_layer(std::string layer) { layer_ = std::move(layer); }
+  void set_layer(std::string layer) {
+    layer_ = std::move(layer);
+    component_ = ComponentForLayer(layer_);
+  }
   int resolution() const override { return resolution_; }
   osprof::ProfileSet Collect() const override { return profiles_; }
+  const osprof::LayeredProfileSet* CollectLayered() const override {
+    return &layered_;
+  }
+
+  // The exact per-(op, bucket) decomposition recorded by Wrap (empty for
+  // record-only consumers that never wrap).
+  const osprof::LayeredProfileSet& layered() const { return layered_; }
 
   // When true, probes consume simulated CPU per `costs()` -- for overhead
   // experiments.  Off by default so behavioural profiles are undisturbed.
@@ -149,6 +162,31 @@ class SimProfiler : public ProfilerSink {
     RecordWithValue(Resolve(op), latency, value);
   }
 
+  // Split form of Wrap for coroutine bodies that time themselves with
+  // manual ReadTsc() windows around their co_awaits (the CIFS client):
+  // BeginSpan opens a frame on the kernel's request context so waits are
+  // attributed to the operation, and EndSpan records the latency exactly
+  // like Record and pops the frame into the layered decomposition.  Both
+  // are plain bookkeeping -- zero simulated time, profiles unchanged.
+  // Calls must nest per simulated thread, like Wrap activations do.
+  void BeginSpan(osprof::ProbeHandle op) {
+    const int tid =
+        kernel_->current() != nullptr ? kernel_->current()->id() : -1;
+    if (tid >= 0) {
+      kernel_->context().Push(tid, this, &profiles_.ops(), op.id(),
+                              component_, kernel_->now());
+    }
+  }
+  void EndSpan(osprof::ProbeHandle op, Cycles latency) {
+    Record(op, latency);
+    const int tid =
+        kernel_->current() != nullptr ? kernel_->current()->id() : -1;
+    if (tid >= 0) {
+      RecordLayered(op, latency,
+                    kernel_->context().Pop(tid, kernel_->now(), latency));
+    }
+  }
+
   // Wraps an operation coroutine with a latency probe:
   //
   //   co_return co_await profiler->Wrap(read_handle, ReadImpl(fd, n));
@@ -158,11 +196,15 @@ class SimProfiler : public ProfilerSink {
   // exit, so clock skew and migration behave as on real SMP (§3.4).
   template <typename T>
   Task<T> Wrap(osprof::ProbeHandle op, Task<T> inner) {
-    // Publish the op as lock-acquisition context while the inner operation
-    // runs (src/sim/lock_order.h).  One branch when tracking is off.
-    const int track_tid = OpContextThread();
-    if (track_tid >= 0) {
-      kernel_->lock_order().PushOp(track_tid, profiles_.ops().Name(op.id()));
+    // Open a span on the kernel's shared request context: the scheduler
+    // and sync primitives attribute waits to it, the lock-order tracker
+    // annotates edges from it, and popping it yields the exact layered
+    // decomposition.  Plain bookkeeping -- zero simulated time.
+    const int tid =
+        kernel_->current() != nullptr ? kernel_->current()->id() : -1;
+    if (tid >= 0) {
+      kernel_->context().Push(tid, this, &profiles_.ops(), op.id(),
+                              component_, kernel_->now());
     }
     if (charge_overhead_ && costs_.OutsidePre() > 0) {
       co_await kernel_->Cpu(costs_.OutsidePre());
@@ -173,9 +215,6 @@ class SimProfiler : public ProfilerSink {
     }
     if constexpr (std::is_void_v<T>) {
       co_await std::move(inner);
-      if (track_tid >= 0) {
-        kernel_->lock_order().PopOp(track_tid);
-      }
       if (charge_overhead_ && costs_.InsidePost() > 0) {
         co_await kernel_->Cpu(costs_.InsidePost());
       }
@@ -183,12 +222,14 @@ class SimProfiler : public ProfilerSink {
       if (charge_overhead_ && costs_.OutsidePost() > 0) {
         co_await kernel_->Cpu(costs_.OutsidePost());
       }
-      Record(op, end >= start ? end - start : 0);
+      const Cycles latency = end >= start ? end - start : 0;
+      Record(op, latency);
+      if (tid >= 0) {
+        RecordLayered(op, latency,
+                      kernel_->context().Pop(tid, kernel_->now(), latency));
+      }
     } else {
       T result = co_await std::move(inner);
-      if (track_tid >= 0) {
-        kernel_->lock_order().PopOp(track_tid);
-      }
       if (charge_overhead_ && costs_.InsidePost() > 0) {
         co_await kernel_->Cpu(costs_.InsidePost());
       }
@@ -196,7 +237,12 @@ class SimProfiler : public ProfilerSink {
       if (charge_overhead_ && costs_.OutsidePost() > 0) {
         co_await kernel_->Cpu(costs_.OutsidePost());
       }
-      Record(op, end >= start ? end - start : 0);
+      const Cycles latency = end >= start ? end - start : 0;
+      Record(op, latency);
+      if (tid >= 0) {
+        RecordLayered(op, latency,
+                      kernel_->context().Pop(tid, kernel_->now(), latency));
+      }
       co_return std::move(result);
     }
   }
@@ -217,9 +263,11 @@ class SimProfiler : public ProfilerSink {
   template <typename T>
   Task<T> WrapWithValue(osprof::ProbeHandle op, Task<T> inner,
                         const std::uint64_t* value) {
-    const int track_tid = OpContextThread();
-    if (track_tid >= 0) {
-      kernel_->lock_order().PushOp(track_tid, profiles_.ops().Name(op.id()));
+    const int tid =
+        kernel_->current() != nullptr ? kernel_->current()->id() : -1;
+    if (tid >= 0) {
+      kernel_->context().Push(tid, this, &profiles_.ops(), op.id(),
+                              component_, kernel_->now());
     }
     if (charge_overhead_ && costs_.OutsidePre() > 0) {
       co_await kernel_->Cpu(costs_.OutsidePre());
@@ -229,9 +277,6 @@ class SimProfiler : public ProfilerSink {
       co_await kernel_->Cpu(costs_.InsidePre());
     }
     T result = co_await std::move(inner);
-    if (track_tid >= 0) {
-      kernel_->lock_order().PopOp(track_tid);
-    }
     if (charge_overhead_ && costs_.InsidePost() > 0) {
       co_await kernel_->Cpu(costs_.InsidePost());
     }
@@ -239,7 +284,12 @@ class SimProfiler : public ProfilerSink {
     if (charge_overhead_ && costs_.OutsidePost() > 0) {
       co_await kernel_->Cpu(costs_.OutsidePost());
     }
-    RecordWithValue(op, end >= start ? end - start : 0, *value);
+    const Cycles latency = end >= start ? end - start : 0;
+    RecordWithValue(op, latency, *value);
+    if (tid >= 0) {
+      RecordLayered(op, latency,
+                    kernel_->context().Pop(tid, kernel_->now(), latency));
+    }
     co_return std::move(result);
   }
 
@@ -261,25 +311,29 @@ class SimProfiler : public ProfilerSink {
   // is looked up by name once and cached by OpId thereafter.
   void SampledRecord(osprof::ProbeHandle op, Cycles latency);
 
-  // Thread id to publish op context under, or -1 when lock-order tracking
-  // is off or the caller is outside thread context.
-  int OpContextThread() const {
-    if (!kernel_->lock_order().enabled() || kernel_->current() == nullptr) {
-      return -1;
-    }
-    return kernel_->current()->id();
-  }
+  // Records a popped span's decomposition under the op's own latency
+  // bucket; slots are looked up by name once and cached by OpId.
+  void RecordLayered(osprof::ProbeHandle op, Cycles latency,
+                     const osim::RequestContext::PopResult& span);
+
+  // The component class a layer tag's spans charge to their parents:
+  // "fs" -> kLayerFs, "driver" -> kLayerDriver, "cifs"/"nfs"/"net" ->
+  // kLayerNet, anything else ("user") is transparent (kLayerSelf).
+  static osprof::LayerComponent ComponentForLayer(const std::string& layer);
 
   Kernel* kernel_;
   std::string layer_ = "fs";
+  osprof::LayerComponent component_ = osprof::kLayerFs;
   osprof::ProfileSet profiles_;
   int resolution_;
   bool charge_overhead_ = false;
   InstrumentationCosts costs_;
   std::unique_ptr<osprof::SampledProfileSet> sampled_;
+  osprof::LayeredProfileSet layered_;
   // Indexed by OpId, parallel to profiles_.ops(); grown by Resolve().
   std::vector<osprof::ValueCorrelator*> correlators_;
   std::vector<osprof::SampledProfile*> sampled_slots_;
+  std::vector<osprof::LayeredProfile*> layered_slots_;
   Cycles sampling_epoch_ = 0;
 };
 
@@ -297,6 +351,11 @@ class DriverProfiler : public ProfilerSink {
   const std::string& layer() const override { return layer_; }
   int resolution() const override { return profiler_.resolution(); }
   osprof::ProfileSet Collect() const override { return profiler_.Collect(); }
+  // Empty by construction: the disk observer records completed requests
+  // from kernel context, outside any request span.
+  const osprof::LayeredProfileSet* CollectLayered() const override {
+    return profiler_.CollectLayered();
+  }
   void Reset() override { profiler_.Reset(); }
 
  private:

@@ -231,6 +231,10 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
   result.sim_cycles = kernel.now();
   for (const osprofilers::ProfilerSink* sink : sinks) {
     result.layers.emplace(sink->layer(), sink->Collect());
+    if (const osprof::LayeredProfileSet* lp = sink->CollectLayered();
+        lp != nullptr && !lp->empty()) {
+      result.layered.emplace(sink->layer(), *lp);
+    }
   }
 
   result.counters["context_switches"] = kernel.context_switches();
@@ -319,9 +323,11 @@ RunResult RunScenario(const Scenario& scenario, const RunOptions& options) {
   for (const TrialResult& t : result.trials) {
     for (const auto& [layer, set] : t.layers) {
       if (result.layers.find(layer) == result.layers.end()) {
-        result.layers.emplace(layer,
-                              LayerResult{osprof::ProfileSet(set.resolution()),
-                                          {}});
+        result.layers.emplace(
+            layer,
+            LayerResult{osprof::ProfileSet(set.resolution()),
+                        {},
+                        osprof::LayeredProfileSet(set.resolution())});
       }
     }
   }
@@ -330,6 +336,10 @@ RunResult RunScenario(const Scenario& scenario, const RunOptions& options) {
       const auto it = t.layers.find(layer);
       if (it != t.layers.end()) {
         lr.merged.Merge(it->second);
+      }
+      const auto lit = t.layered.find(layer);
+      if (lit != t.layered.end()) {
+        lr.layered.Merge(lit->second);
       }
     }
   }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/layered.h"
 #include "src/core/profile.h"
 #include "src/runner/scenario.h"
 
@@ -47,6 +48,9 @@ struct TrialResult {
   double wall_seconds = 0.0;        // Host wall clock spent on this trial.
   // layer tag -> profiles collected at that layer via ProfilerSink.
   std::map<std::string, osprof::ProfileSet> layers;
+  // layer tag -> layered decomposition (self/fs/driver/net/lock/runq
+  // cycles per bucket), for sinks that expose one via CollectLayered().
+  std::map<std::string, osprof::LayeredProfileSet> layered;
   // Scalar workload/kernel statistics ("files_read", "acquisitions",
   // "contended_acquisitions", "forced_preemptions", "context_switches", ...).
   std::map<std::string, std::uint64_t> counters;
@@ -74,6 +78,10 @@ struct OpDispersion {
 struct LayerResult {
   osprof::ProfileSet merged;
   std::vector<OpDispersion> dispersion;  // One entry per operation.
+  // Merged layered decomposition (empty when the layer's sink exposes
+  // none).  Merged in trial order like `merged`, so bit-identical for any
+  // jobs value.
+  osprof::LayeredProfileSet layered;
 };
 
 struct RunResult {

@@ -89,6 +89,18 @@ Scenario Fig07() {
   return s;
 }
 
+// The fig07 workload under its layered-decomposition name: identical
+// machine and seed, so profiles match fig07's byte for byte, but the name
+// advertises what `osprof_tool layers` shows -- which components each of
+// the four readdir peaks is made of.
+Scenario Fig07ReaddirPeaks() {
+  Scenario s = Fig07();
+  s.name = "fig07_readdir_peaks";
+  s.description =
+      "Figure 7's readdir peaks decomposed by layer (self vs driver)";
+  return s;
+}
+
 Scenario Fig07Driver() {
   Scenario s = Fig07();
   s.name = "fig07_driver";
@@ -150,6 +162,7 @@ ScenarioRegistry& BuiltinScenarios() {
     r->Register(Fig03(false, "fig03_nonpreempt"));
     r->Register(Fig06());
     r->Register(Fig07());
+    r->Register(Fig07ReaddirPeaks());
     r->Register(Fig07Driver());
     r->Register(Fig07Cifs());
     r->Register(Postmark());

@@ -170,7 +170,7 @@ void SimDisk::DropCache() {
 }
 
 Task<DiskRequestInfo> SimDisk::SyncRead(std::uint64_t lba, std::uint64_t count) {
-  WaitQueue done(kernel_);
+  WaitQueue done(kernel_, osprof::kLayerDriver);
   DiskRequestInfo result;
   bool complete = false;
   Submit(DiskOp::kRead, lba, count, [&result, &complete, &done](const DiskRequestInfo& info) {
@@ -185,7 +185,7 @@ Task<DiskRequestInfo> SimDisk::SyncRead(std::uint64_t lba, std::uint64_t count) 
 }
 
 Task<DiskRequestInfo> SimDisk::SyncWrite(std::uint64_t lba, std::uint64_t count) {
-  WaitQueue done(kernel_);
+  WaitQueue done(kernel_, osprof::kLayerDriver);
   DiskRequestInfo result;
   bool complete = false;
   Submit(DiskOp::kWrite, lba, count, [&result, &complete, &done](const DiskRequestInfo& info) {

@@ -19,6 +19,7 @@ Kernel::Kernel(KernelConfig config)
   }
   cpus_.resize(static_cast<std::size_t>(config_.num_cpus));
   config_.tsc_skew.resize(static_cast<std::size_t>(config_.num_cpus), 0);
+  lock_order_.set_context(&context_);
 }
 
 Cycles Kernel::ReadTsc() const {
@@ -46,6 +47,15 @@ SimThread* Kernel::Spawn(std::string name, Task<void> body) {
 }
 
 void Kernel::MakeRunnable(SimThread* t) {
+  if (t->blocked_component_ >= 0) {
+    // The park that blocked this thread was tagged (lock, disk, net):
+    // charge the blocked interval to the thread's innermost active span.
+    context_.AttributeWait(
+        t->id_, static_cast<osprof::LayerComponent>(t->blocked_component_),
+        events_.now() - t->blocked_since_);
+    t->blocked_component_ = -1;
+  }
+  t->runnable_since_ = events_.now();
   t->state_ = ThreadState::kRunnable;
   run_queue_.push_back(t);
   DispatchIdleCpus();
@@ -77,6 +87,10 @@ void Kernel::CompleteSwitch(int c) {
   }
   SimThread* t = run_queue_.front();
   run_queue_.pop_front();
+  // Runnable-to-running interval (queue wait plus the switch itself) is
+  // run-queue wait from the profiled request's point of view (§3.3).
+  context_.AttributeWait(t->id_, osprof::kLayerRunQueue,
+                         events_.now() - t->runnable_since_);
   t->cpu_ = c;
   cpu.running = t;
   t->quantum_remaining_ = config_.quantum;
@@ -135,6 +149,7 @@ void Kernel::ScheduleSlice(SimThread* t) {
     if (preemptible && !run_queue_.empty()) {
       // Forced preemption: the quantum is gone and someone is waiting.
       ++t->forced_preemptions_;
+      t->runnable_since_ = events_.now();
       t->state_ = ThreadState::kRunnable;
       run_queue_.push_back(t);
       ReleaseCpuOf(t);
@@ -194,6 +209,7 @@ Cycles Kernel::WallClockFor(Cycles start, Cycles slice) {
 
 void Kernel::GrantSpin(SimThread* t) {
   const Cycles spun = events_.now() - t->spin_started_;
+  context_.AttributeWait(t->id_, osprof::kLayerLockWait, spun);
   t->spin_wait_time_ += spun;
   t->cpu_time_ += spun;
   // Spinning burns quantum; kernel spinlock sections are not preemption

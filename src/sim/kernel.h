@@ -36,6 +36,7 @@
 #include "src/core/clock.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/lock_order.h"
+#include "src/sim/request_context.h"
 #include "src/sim/rng.h"
 #include "src/sim/task.h"
 
@@ -102,6 +103,13 @@ class SimThread {
   // Bookkeeping for spinlock waits.
   Cycles spin_started_ = 0;
 
+  // Wait attribution for the request context: when the thread last became
+  // runnable, when it last parked, and which LayerComponent (or -1 for an
+  // unattributed park, e.g. Sleep) that park charges at wakeup.
+  Cycles runnable_since_ = 0;
+  Cycles blocked_since_ = 0;
+  int blocked_component_ = -1;
+
   // Statistics.
   Cycles cpu_time_ = 0;
   Cycles user_time_ = 0;
@@ -143,6 +151,12 @@ class Kernel {
   // src/sim/lock_order.h.  The sync primitives report acquisitions here.
   LockOrderTracker& lock_order() { return lock_order_; }
   const LockOrderTracker& lock_order() const { return lock_order_; }
+
+  // The per-task span stack shared by every profiling consumer (see
+  // src/sim/request_context.h).  Profilers push/pop frames; the scheduler
+  // and sync primitives attribute waits to the innermost active span.
+  RequestContext& context() { return context_; }
+  const RequestContext& context() const { return context_; }
 
   // Reads the TSC of the CPU the current thread runs on (includes that
   // CPU's skew).  Callable from thread context only.
@@ -249,6 +263,7 @@ class Kernel {
   EventQueue events_;
   Rng rng_;
   LockOrderTracker lock_order_;
+  RequestContext context_;
   std::vector<CpuState> cpus_;
   std::deque<SimThread*> run_queue_;
   std::vector<std::unique_ptr<SimThread>> threads_;

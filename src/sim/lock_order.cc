@@ -4,41 +4,48 @@
 #include <functional>
 #include <sstream>
 
+#include "src/sim/request_context.h"
+
 namespace osim {
 
 void LockOrderTracker::OnAcquired(const void* lock, const std::string& name,
                                   int thread_id) {
-  if (!enabled_) {
+  if (!enabled_ || thread_id < 0) {
     return;
   }
+  if (static_cast<std::size_t>(thread_id) >= held_.size()) {
+    held_.resize(thread_id + 1);
+  }
   std::vector<Held>& held = held_[thread_id];
-  const std::vector<std::string>& ops = op_stack_[thread_id];
+  // The innermost profiled span of the acquiring thread, resolved once per
+  // acquisition from the shared context (no per-Wrap string copies).
+  const osprof::OpTable* ops = nullptr;
+  osprof::OpId op = osprof::kInvalidOpId;
+  const bool in_span = context_ != nullptr && !held.empty() &&
+                       context_->TopOp(thread_id, &ops, &op);
   for (const Held& h : held) {
     if (h.lock == lock) {
       // Recursive acquisition of a counted semaphore: same instance, no
       // ordering information.
       continue;
     }
-    Edge& e = edges_[{h.name, name}];
-    e.from = h.name;
+    Edge& e = edges_[{*h.name, name}];
+    e.from = *h.name;
     e.to = name;
     ++e.count;
-    if (!ops.empty()) {
-      e.ops.insert(ops.back());
+    if (in_span) {
+      e.ops.insert(ops->Name(op));
     }
   }
-  held.push_back(Held{lock, name});
+  held.push_back(Held{lock, &name});
 }
 
 void LockOrderTracker::OnReleased(const void* lock, int thread_id) {
-  if (!enabled_) {
+  if (!enabled_ || thread_id < 0 ||
+      static_cast<std::size_t>(thread_id) >= held_.size()) {
     return;
   }
-  const auto it = held_.find(thread_id);
-  if (it == held_.end()) {
-    return;
-  }
-  std::vector<Held>& held = it->second;
+  std::vector<Held>& held = held_[thread_id];
   // Most-recent first: matches nested acquire/release; out-of-order
   // release still finds its entry.
   for (auto rit = held.rbegin(); rit != held.rend(); ++rit) {
@@ -46,23 +53,6 @@ void LockOrderTracker::OnReleased(const void* lock, int thread_id) {
       held.erase(std::next(rit).base());
       return;
     }
-  }
-}
-
-void LockOrderTracker::PushOp(int thread_id, std::string op) {
-  if (!enabled_) {
-    return;
-  }
-  op_stack_[thread_id].push_back(std::move(op));
-}
-
-void LockOrderTracker::PopOp(int thread_id) {
-  if (!enabled_) {
-    return;
-  }
-  const auto it = op_stack_.find(thread_id);
-  if (it != op_stack_.end() && !it->second.empty()) {
-    it->second.pop_back();
   }
 }
 
@@ -210,7 +200,6 @@ std::string LockOrderTracker::Report() const {
 
 void LockOrderTracker::Reset() {
   held_.clear();
-  op_stack_.clear();
   edges_.clear();
 }
 

@@ -13,9 +13,10 @@
 // nodes while every trial names them identically (deterministic graphs).
 // When a simulated task acquires B while holding A, the directed edge
 // A -> B is recorded together with the profiled operation(s) in whose
-// dynamic extent the acquisition happened (SimProfiler::Wrap publishes the
-// op context via PushOp/PopOp).  A cycle in the resulting graph is a
-// deadlock-capable lock order; a 2-cycle is the classic ABBA inversion.
+// dynamic extent the acquisition happened (read off the kernel-owned
+// RequestContext span stack that SimProfiler::Wrap maintains).  A cycle in
+// the resulting graph is a deadlock-capable lock order; a 2-cycle is the
+// classic ABBA inversion.
 //
 // Tracking is off by default: with the tracker disabled every hook is a
 // single branch, and enabling it never advances simulated time, so golden
@@ -33,6 +34,8 @@
 
 namespace osim {
 
+class RequestContext;
+
 class LockOrderTracker {
  public:
   // One observed ordering: some task acquired `to` while holding `from`.
@@ -48,15 +51,18 @@ class LockOrderTracker {
 
   // --- Hooks called by the sync primitives -------------------------------
   // `lock` identifies the instance (self-acquisition of a counted
-  // semaphore adds no edge); `name` is the graph node.
+  // semaphore adds no edge); `name` is the graph node and must stay
+  // alive until the matching OnReleased (callers pass the primitive's
+  // own name member; the tracker holds a pointer, not a copy).
 
   void OnAcquired(const void* lock, const std::string& name, int thread_id);
   void OnReleased(const void* lock, int thread_id);
 
-  // --- Op context (SimProfiler::Wrap) ------------------------------------
+  // --- Op context --------------------------------------------------------
+  // The kernel installs its RequestContext at construction; edges are
+  // annotated from the acquiring thread's innermost active span.
 
-  void PushOp(int thread_id, std::string op);
-  void PopOp(int thread_id);
+  void set_context(const RequestContext* context) { context_ = context; }
 
   // --- Analysis ----------------------------------------------------------
 
@@ -87,15 +93,18 @@ class LockOrderTracker {
  private:
   struct Held {
     const void* lock;
-    std::string name;
+    // Points at the sync primitive's own name member: a lock outlives
+    // every Held entry for it (entries are erased on release), so the
+    // hot path never copies a string.
+    const std::string* name;
   };
 
   bool enabled_ = false;
-  // thread id -> stack of held locks (erased by instance on release, so
-  // out-of-order release is fine).
-  std::map<int, std::vector<Held>> held_;
-  // thread id -> stack of active profiled ops.
-  std::map<int, std::vector<std::string>> op_stack_;
+  const RequestContext* context_ = nullptr;
+  // Indexed by thread id (small dense ints from the kernel), grown on
+  // demand; each slot is that thread's stack of held locks (erased by
+  // instance on release, so out-of-order release is fine).
+  std::vector<std::vector<Held>> held_;
   // (from, to) -> edge data.  std::map keeps iteration deterministic.
   std::map<std::pair<std::string, std::string>, Edge> edges_;
 };

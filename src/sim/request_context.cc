@@ -1,0 +1,97 @@
+#include "src/sim/request_context.h"
+
+#include <stdexcept>
+
+namespace osim {
+
+void RequestContext::Push(int tid, const void* owner,
+                          const osprof::OpTable* ops, osprof::OpId op,
+                          osprof::LayerComponent cls, Cycles now) {
+  if (tid < 0) {
+    return;
+  }
+  const auto index = static_cast<std::size_t>(tid);
+  if (index >= stacks_.size()) {
+    stacks_.resize(index + 1);
+  }
+  stacks_[index].push_back(Frame{owner, ops, op, cls, now, {}, 0});
+}
+
+RequestContext::PopResult RequestContext::Pop(int tid, Cycles now,
+                                              Cycles recorded_latency) {
+  PopResult r;
+  if (tid < 0 || static_cast<std::size_t>(tid) >= stacks_.size() ||
+      stacks_[static_cast<std::size_t>(tid)].empty()) {
+    throw std::logic_error("RequestContext::Pop with no active span");
+  }
+  std::vector<Frame>& stack = stacks_[static_cast<std::size_t>(tid)];
+  const Frame frame = stack.back();
+  stack.pop_back();
+
+  r.duration = now >= frame.entry ? now - frame.entry : 0;
+  Cycles waits = 0;
+  for (int c = osprof::kLayerSelf + 1; c < osprof::kNumLayerComponents; ++c) {
+    r.components[c] = frame.comp[c];
+    waits += frame.comp[c];
+  }
+  // Self-CPU is what no wait accounted for.  Clamped: an untagged park
+  // inside the span cannot make self negative.
+  r.components[osprof::kLayerSelf] =
+      r.duration > waits ? r.duration - waits : 0;
+  r.owner_children = frame.owner_child_latency;
+
+  if (!stack.empty()) {
+    // Waits bubble up verbatim; an opaque child's self-CPU is charged to
+    // the parent's component for the child's layer class.  A transparent
+    // child (kLayerSelf, e.g. the user layer re-wrapping an FS op) lets
+    // its self-CPU flow into the parent's self implicitly.
+    Frame& parent = stack.back();
+    for (int c = osprof::kLayerSelf + 1; c < osprof::kNumLayerComponents;
+         ++c) {
+      parent.comp[c] += frame.comp[c];
+    }
+    if (frame.cls != osprof::kLayerSelf) {
+      parent.comp[frame.cls] += r.components[osprof::kLayerSelf];
+    }
+  }
+  // Lineage is per-owner: the caller edge and child-time must skip frames
+  // interleaved by other profilers.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->owner == frame.owner) {
+      r.caller = it->op;
+      it->owner_child_latency += recorded_latency;
+      break;
+    }
+  }
+  return r;
+}
+
+void RequestContext::AttributeWait(int tid, osprof::LayerComponent component,
+                                   Cycles cycles) {
+  if (tid < 0 || static_cast<std::size_t>(tid) >= stacks_.size()) {
+    return;
+  }
+  std::vector<Frame>& stack = stacks_[static_cast<std::size_t>(tid)];
+  if (stack.empty()) {
+    return;
+  }
+  stack.back().comp[component] += cycles;
+}
+
+bool RequestContext::TopOp(int tid, const osprof::OpTable** ops,
+                           osprof::OpId* op) const {
+  if (tid < 0 || static_cast<std::size_t>(tid) >= stacks_.size()) {
+    return false;
+  }
+  const std::vector<Frame>& stack = stacks_[static_cast<std::size_t>(tid)];
+  if (stack.empty()) {
+    return false;
+  }
+  *ops = stack.back().ops;
+  *op = stack.back().op;
+  return true;
+}
+
+void RequestContext::Reset() { stacks_.clear(); }
+
+}  // namespace osim

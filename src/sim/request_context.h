@@ -1,0 +1,95 @@
+// The kernel-owned per-task span stack: one cross-layer spine for
+// call-graph derivation, lock-order op annotation, and exact layered
+// latency decomposition (ReLayTracer-style request slicing on an
+// LTTng-style kernel-owned context).
+//
+// Every SimProfiler::Wrap / CallGraphProfiler::Wrap pushes a frame at
+// entry and pops it at exit.  While a frame is on top of its thread's
+// stack, the kernel attributes that thread's waits to it (run-queue time
+// at dispatch, lock waits at wakeup/handoff, tagged WaitQueue parks for
+// driver and network waits).  At pop time the frame's duration splits
+// exactly into self-CPU plus the attributed waits; waits propagate to the
+// enclosing frame, and an opaque child's self-CPU is charged to the
+// parent's component for that child's layer class, so a user-level op's
+// decomposition accounts for every cycle below it.
+//
+// Frames also carry enough lineage for the consumers that used to keep
+// private stacks: Pop() reports the nearest enclosing frame of the same
+// owner (the caller, for CallGraphProfiler's edges) and the latency its
+// same-owner children recorded under it (gprof-style child time), and
+// TopOp() exposes the innermost active op for LockOrderTracker's edge
+// annotations.
+//
+// All bookkeeping is plain C++ between awaits: zero simulated time, so
+// committed goldens are byte-identical with or without consumers attached.
+// Only SimProfiler / CallGraphProfiler may push or pop frames -- enforced
+// by osprof_lint's probe-discipline rule.
+
+#ifndef OSPROF_SRC_SIM_REQUEST_CONTEXT_H_
+#define OSPROF_SRC_SIM_REQUEST_CONTEXT_H_
+
+#include <vector>
+
+#include "src/core/clock.h"
+#include "src/core/layered.h"
+#include "src/core/op_table.h"
+
+namespace osim {
+
+using osprof::Cycles;
+
+class RequestContext {
+ public:
+  // Everything a consumer needs at frame exit.
+  struct PopResult {
+    // Frame duration by the global clock (skew-free).
+    Cycles duration = 0;
+    // Exact decomposition; components sum to `duration`.
+    Cycles components[osprof::kNumLayerComponents] = {};
+    // Op of the nearest enclosing frame pushed by the same owner, or
+    // kInvalidOpId for a top-level operation of that owner.
+    osprof::OpId caller = osprof::kInvalidOpId;
+    // Total latency recorded by same-owner frames directly under this one.
+    Cycles owner_children = 0;
+  };
+
+  // Opens a span for thread `tid`.  `owner` scopes caller/child lineage to
+  // one profiler; `ops` names `op`; `cls` is the layer class charged to
+  // the parent for this span's self-CPU (kLayerSelf = transparent).
+  void Push(int tid, const void* owner, const osprof::OpTable* ops,
+            osprof::OpId op, osprof::LayerComponent cls, Cycles now);
+
+  // Closes the innermost span of `tid`.  `recorded_latency` is what the
+  // owner records for this span (its TSC-measured latency); it feeds the
+  // same-owner parent's child-time, not the decomposition.
+  PopResult Pop(int tid, Cycles now, Cycles recorded_latency);
+
+  // Charges `cycles` of `component` wait to the innermost active span of
+  // `tid`.  No-op when the thread has no active span (unprofiled code).
+  void AttributeWait(int tid, osprof::LayerComponent component, Cycles cycles);
+
+  // The innermost active op of `tid`, if any.
+  bool TopOp(int tid, const osprof::OpTable** ops, osprof::OpId* op) const;
+
+  // Drops all frames (between runs; never while spans are active).
+  void Reset();
+
+ private:
+  struct Frame {
+    const void* owner;
+    const osprof::OpTable* ops;
+    osprof::OpId op;
+    osprof::LayerComponent cls;
+    Cycles entry;
+    // Attributed waits (index kLayerSelf unused until Pop computes it).
+    Cycles comp[osprof::kNumLayerComponents];
+    Cycles owner_child_latency;
+  };
+
+  // Indexed by dense thread id; grown on demand.
+  std::vector<std::vector<Frame>> stacks_;
+};
+
+}  // namespace osim
+
+#endif  // OSPROF_SRC_SIM_REQUEST_CONTEXT_H_

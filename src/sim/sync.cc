@@ -38,6 +38,8 @@ void SimSemaphore::ParkAwaitable::await_suspend(std::coroutine_handle<> h) {
   }
   t->resume_point_ = h;
   t->state_ = ThreadState::kBlocked;
+  t->blocked_since_ = s->kernel_->now();
+  t->blocked_component_ = static_cast<int>(osprof::kLayerLockWait);
   s->waiters_.push_back(t);
   s->kernel_->ReleaseCpuOf(t);
 }
@@ -136,6 +138,10 @@ void WaitQueue::WaitAwaitable::await_suspend(std::coroutine_handle<> h) {
   }
   t->resume_point_ = h;
   t->state_ = ThreadState::kBlocked;
+  if (q->tag_ >= 0) {
+    t->blocked_since_ = q->kernel_->now();
+    t->blocked_component_ = q->tag_;
+  }
   q->waiters_.push_back(t);
   q->kernel_->ReleaseCpuOf(t);
 }

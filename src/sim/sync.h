@@ -171,9 +171,16 @@ class SimSpinlock {
 
 // A parking lot for condition-style waits.  Callers loop on their
 // predicate:  while (!ready) co_await queue.Wait();
+//
+// A queue constructed with a LayerComponent tag charges its parks to the
+// waiter's innermost profiled span as that component (disk completion
+// queues tag kLayerDriver, RPC reply queues tag kLayerNet); untagged
+// queues leave the wait in the span's self time.
 class WaitQueue {
  public:
   explicit WaitQueue(Kernel* kernel) : kernel_(kernel) {}
+  WaitQueue(Kernel* kernel, osprof::LayerComponent tag)
+      : kernel_(kernel), tag_(static_cast<int>(tag)) {}
 
   WaitQueue(const WaitQueue&) = delete;
   WaitQueue& operator=(const WaitQueue&) = delete;
@@ -194,6 +201,7 @@ class WaitQueue {
   };
 
   Kernel* kernel_;
+  int tag_ = -1;
   std::deque<SimThread*> waiters_;
 };
 

@@ -1,8 +1,10 @@
 #include "src/tools/gate_command.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -12,6 +14,7 @@
 #include "src/core/analysis.h"
 #include "src/core/compare.h"
 #include "src/core/jsonw.h"
+#include "src/core/layered.h"
 #include "src/core/profile.h"
 #include "src/runner/runner.h"
 #include "src/runner/scenario.h"
@@ -25,8 +28,9 @@ constexpr const char* kGateUsage =
     "                        [--threshold=X] [--trials=N] [--jobs=J]\n"
     "                        [--json=FILE] [--update]\n"
     "       osprof_tool gate --list\n"
-    "  --baseline=PREFIX  golden files PREFIX.<layer>.prof\n"
-    "                     (default tests/golden/<scenario>)\n"
+    "  --baseline=PREFIX  golden files PREFIX.<layer>.prof and the layered\n"
+    "                     decomposition PREFIX.layers (default\n"
+    "                     tests/golden/<scenario>)\n"
     "  --raters=...       comma list of emd, chi2, ops, latency (default\n"
     "                     all four)\n"
     "  --threshold=X      override every rater's default threshold\n"
@@ -203,8 +207,112 @@ struct LayerVerdict {
   }
 };
 
+// The exact-decomposition verdict: the sim is deterministic, so the merged
+// layered decomposition must reproduce the committed `.layers` golden to
+// the cycle.  Scored as relative differences so the JSON stays informative
+// when drift does happen.
+struct LayersVerdict {
+  bool checked = false;          // False when no layer recorded one.
+  std::string baseline_path;
+  double max_rel_diff = 0.0;
+  std::uint64_t mismatch_total = 0;
+  std::vector<std::string> mismatches;  // Listing capped at 10 entries.
+  bool pass() const { return mismatch_total == 0; }
+};
+
+double RelDiff(std::uint64_t a, std::uint64_t b) {
+  if (a == b) {
+    return 0.0;
+  }
+  const std::uint64_t hi = std::max(a, b);
+  const std::uint64_t diff = a > b ? a - b : b - a;
+  return static_cast<double>(diff) / static_cast<double>(hi);
+}
+
+LayersVerdict ScoreLayersDecomposition(
+    const std::map<std::string, osprof::LayeredProfileSet>& golden,
+    const std::map<std::string, osprof::LayeredProfileSet>& measured,
+    std::string baseline_path) {
+  LayersVerdict v;
+  v.checked = true;
+  v.baseline_path = std::move(baseline_path);
+  auto note = [&v](std::string msg, double rel) {
+    ++v.mismatch_total;
+    v.max_rel_diff = std::max(v.max_rel_diff, rel);
+    if (v.mismatches.size() < 10) {
+      v.mismatches.push_back(std::move(msg));
+    }
+  };
+  for (const auto& [layer, gset] : golden) {
+    if (measured.find(layer) == measured.end()) {
+      note("layer " + layer + " only in golden", 1.0);
+    }
+  }
+  for (const auto& [layer, mset] : measured) {
+    const auto git = golden.find(layer);
+    if (git == golden.end()) {
+      note("layer " + layer + " only in measured", 1.0);
+      continue;
+    }
+    const osprof::LayeredProfileSet& gset = git->second;
+    for (const auto& [op, gprofile] : gset) {
+      if (!gprofile.empty() && mset.Find(op) == nullptr) {
+        note(layer + "/" + op + " only in golden", 1.0);
+      }
+    }
+    for (const auto& [op, mprofile] : mset) {
+      if (mprofile.empty()) {
+        continue;
+      }
+      const osprof::LayeredProfile* gprofile = gset.Find(op);
+      if (gprofile == nullptr) {
+        note(layer + "/" + op + " only in measured", 1.0);
+        continue;
+      }
+      // Union of the sparse bucket keys, compared field by field.
+      std::map<int, const osprof::LayeredBucket*> gb;
+      for (const auto& [bucket, data] : gprofile->buckets()) {
+        gb.emplace(bucket, &data);
+      }
+      for (const auto& [bucket, mdata] : mprofile.buckets()) {
+        const std::string where =
+            layer + "/" + op + " bucket " + std::to_string(bucket);
+        const auto bit = gb.find(bucket);
+        if (bit == gb.end()) {
+          note(where + " only in measured", 1.0);
+          continue;
+        }
+        const osprof::LayeredBucket& gdata = *bit->second;
+        gb.erase(bit);
+        if (gdata.count != mdata.count) {
+          note(where + ": count " + std::to_string(gdata.count) + " vs " +
+                   std::to_string(mdata.count),
+               RelDiff(gdata.count, mdata.count));
+        }
+        for (int c = 0; c < osprof::kNumLayerComponents; ++c) {
+          if (gdata.cycles[c] != mdata.cycles[c]) {
+            note(where + ": " +
+                     osprof::LayerComponentName(
+                         static_cast<osprof::LayerComponent>(c)) +
+                     " " + std::to_string(gdata.cycles[c]) + " vs " +
+                     std::to_string(mdata.cycles[c]),
+                 RelDiff(gdata.cycles[c], mdata.cycles[c]));
+          }
+        }
+      }
+      for (const auto& [bucket, gdata] : gb) {
+        note(layer + "/" + op + " bucket " + std::to_string(bucket) +
+                 " only in golden",
+             1.0);
+      }
+    }
+  }
+  return v;
+}
+
 osjson::Value VerdictJson(const GateFlags& flags,
                           const std::vector<LayerVerdict>& layers,
+                          const LayersVerdict& layered,
                           const std::vector<std::string>& lock_cycles,
                           bool pass) {
   osjson::Value doc = osjson::Value::Object();
@@ -248,6 +356,18 @@ osjson::Value VerdictJson(const GateFlags& flags,
     layer_array.Append(std::move(l));
   }
   doc.Set("layers", std::move(layer_array));
+  osjson::Value ld = osjson::Value::Object();
+  ld.Set("checked", osjson::Value::Bool(layered.checked));
+  ld.Set("baseline", osjson::Value::Str(layered.baseline_path));
+  ld.Set("pass", osjson::Value::Bool(layered.pass()));
+  ld.Set("max_rel_diff", osjson::Value::Double(layered.max_rel_diff));
+  ld.Set("mismatch_count", osjson::Value::Uint(layered.mismatch_total));
+  osjson::Value mismatch_array = osjson::Value::Array();
+  for (const std::string& m : layered.mismatches) {
+    mismatch_array.Append(osjson::Value::Str(m));
+  }
+  ld.Set("mismatches", std::move(mismatch_array));
+  doc.Set("layered", std::move(ld));
   return doc;
 }
 
@@ -280,6 +400,15 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
 
+  // The merged layered decomposition, for the exactness check and
+  // --update (empty when no instrumented layer recorded one).
+  std::map<std::string, osprof::LayeredProfileSet> measured_layers;
+  for (const auto& [layer, lr] : result.layers) {
+    if (!lr.layered.empty()) {
+      measured_layers.emplace(layer, lr.layered);
+    }
+  }
+
   if (flags->update) {
     for (const auto& [layer, lr] : result.layers) {
       const std::string path =
@@ -292,6 +421,17 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
       lr.merged.Serialize(file);
       out << "updated " << path << " (" << lr.merged.size()
           << " ops, trials=" << flags->run.trials << ")\n";
+    }
+    if (!measured_layers.empty()) {
+      const std::string path = flags->baseline_prefix + ".layers";
+      std::ofstream file(path);
+      if (!file) {
+        err << "osprof_tool gate: cannot write " << path << "\n";
+        return 2;
+      }
+      osprof::SerializeLayers(measured_layers, file);
+      out << "updated " << path << " (" << measured_layers.size()
+          << " layers, trials=" << flags->run.trials << ")\n";
     }
     return 0;
   }
@@ -326,6 +466,29 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
     layers.push_back(std::move(verdict));
   }
 
+  LayersVerdict layered;
+  layered.baseline_path = flags->baseline_prefix + ".layers";
+  if (!measured_layers.empty()) {
+    std::ifstream file(layered.baseline_path);
+    if (!file) {
+      err << "osprof_tool gate: missing baseline " << layered.baseline_path
+          << " (generate it with: osprof_tool gate " << flags->scenario
+          << " --baseline=" << flags->baseline_prefix << " --trials="
+          << flags->run.trials << " --update)\n";
+      return 2;
+    }
+    std::map<std::string, osprof::LayeredProfileSet> golden_layers;
+    try {
+      golden_layers = osprof::ParseLayers(file);
+    } catch (const std::exception& e) {
+      err << "osprof_tool gate: corrupt baseline " << layered.baseline_path
+          << ": " << e.what() << "\n";
+      return 2;
+    }
+    layered = ScoreLayersDecomposition(golden_layers, measured_layers,
+                                       layered.baseline_path);
+  }
+
   bool pass = true;
   out << "gate " << flags->scenario << ": " << scenario->description << "\n";
   // Lock-order assertion: a deadlock-capable acquisition-order cycle in
@@ -357,6 +520,32 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
       pass = pass && r.pass();
     }
   }
+  // Layered-decomposition exactness: deterministic sim, so the merged
+  // decomposition must match the `.layers` golden to the cycle.
+  if (!layered.checked) {
+    out << "[layers] no layered data recorded; skipped\n";
+  } else if (layered.pass()) {
+    out << "[layers] decomposition matches " << layered.baseline_path
+        << " exactly\n";
+  } else {
+    pass = false;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "[layers] DECOMPOSITION DRIFT vs %s (%llu mismatches, "
+                  "max rel diff %.4g):\n",
+                  layered.baseline_path.c_str(),
+                  static_cast<unsigned long long>(layered.mismatch_total),
+                  layered.max_rel_diff);
+    out << line;
+    for (const std::string& m : layered.mismatches) {
+      out << "  " << m << "\n";
+    }
+    if (layered.mismatch_total > layered.mismatches.size()) {
+      out << "  ... ("
+          << layered.mismatch_total - layered.mismatches.size()
+          << " more)\n";
+    }
+  }
   out << (pass ? "gate PASS" : "gate REGRESSION") << "\n";
 
   if (!flags->json_path.empty()) {
@@ -365,7 +554,7 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
       err << "osprof_tool gate: cannot write " << flags->json_path << "\n";
       return 2;
     }
-    json << VerdictJson(*flags, layers, lock_cycles, pass).Dump();
+    json << VerdictJson(*flags, layers, layered, lock_cycles, pass).Dump();
     out << "wrote " << flags->json_path << "\n";
   }
   return pass ? 0 : 3;

@@ -1,0 +1,25 @@
+// The `osprof_tool layers` subcommand: run a scenario on the multi-trial
+// runner and report the exact layered decomposition of every profiled
+// operation's latency (self / fs / driver / net / lock-wait / run-queue),
+// as an ASCII stacked view and optionally as osprof-layers-v1 JSON.
+
+#ifndef OSPROF_SRC_TOOLS_LAYERS_COMMAND_H_
+#define OSPROF_SRC_TOOLS_LAYERS_COMMAND_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ostools {
+
+// args are the tokens after "layers":
+//   layers <scenario> [--trials=N] [--jobs=J] [--json=FILE] [--out=FILE]
+// --json writes the machine-readable decomposition; --out writes the
+// serialized `.layers` form (the gate's golden format).
+// Returns the process exit code (0 ok, 1 usage, 2 runtime failure).
+int RunLayersCommand(const std::vector<std::string>& args, std::ostream& out,
+                     std::ostream& err);
+
+}  // namespace ostools
+
+#endif  // OSPROF_SRC_TOOLS_LAYERS_COMMAND_H_

@@ -14,6 +14,7 @@
 #include "src/core/report.h"
 #include "src/core/sampling.h"
 #include "src/tools/gate_command.h"
+#include "src/tools/layers_command.h"
 #include "src/tools/lint_command.h"
 #include "src/tools/run_command.h"
 
@@ -39,6 +40,9 @@ constexpr const char* kUsage =
     "          [--threshold=X] [--trials=N] [--jobs=J] [--json=FILE]\n"
     "          [--update]                    profile-regression gate\n"
     "  gate    --list                       gateable scenarios\n"
+    "  layers  <scenario> [--trials=N] [--jobs=J] [--json=FILE] [--out=FILE]\n"
+    "                                       exact layered latency "
+    "decomposition\n"
     "  lint    [paths...] [--rules=r1,r2] [--json=FILE]\n"
     "                                       in-tree static analysis\n"
     "  lint    --list-rules                 lint rule names\n"
@@ -332,6 +336,10 @@ int RunProfileTool(const std::vector<std::string>& args, std::ostream& out,
   }
   if (cmd == "gate" && n >= 2) {
     return RunGateCommand(
+        std::vector<std::string>(args.begin() + 1, args.end()), out, err);
+  }
+  if (cmd == "layers" && n >= 2) {
+    return RunLayersCommand(
         std::vector<std::string>(args.begin() + 1, args.end()), out, err);
   }
   if (cmd == "lint") {

@@ -3,10 +3,12 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <string>
 
 #include "src/core/clock.h"
+#include "src/core/layered.h"
 #include "src/runner/runner.h"
 #include "src/runner/scenario.h"
 
@@ -19,7 +21,9 @@ constexpr const char* kRunUsage =
     "       osprof_tool run --list\n"
     "  --trials=N   independently-seeded trials to run (default 1)\n"
     "  --jobs=J     worker threads; 0 = all hardware threads (default 1)\n"
-    "  --out=PREFIX write each merged layer to PREFIX.<layer>.prof\n";
+    "  --out=PREFIX write each merged layer to PREFIX.<layer>.prof, plus\n"
+    "               the layered decomposition to PREFIX.layers when any\n"
+    "               layer recorded one\n";
 
 // Parses "--flag=value"; returns nullopt if arg doesn't start with prefix.
 std::optional<std::string> FlagValue(const std::string& arg,
@@ -134,6 +138,25 @@ int RunRunCommand(const std::vector<std::string>& args, std::ostream& out,
         return 2;
       }
       lr.merged.Serialize(file);
+      out << "wrote " << path << "\n";
+    }
+  }
+
+  if (!out_prefix.empty()) {
+    std::map<std::string, osprof::LayeredProfileSet> layered;
+    for (const auto& [layer, lr] : result.layers) {
+      if (!lr.layered.empty()) {
+        layered.emplace(layer, lr.layered);
+      }
+    }
+    if (!layered.empty()) {
+      const std::string path = out_prefix + ".layers";
+      std::ofstream file(path);
+      if (!file) {
+        err << "osprof_tool run: cannot write " << path << "\n";
+        return 2;
+      }
+      osprof::SerializeLayers(layered, file);
       out << "wrote " << path << "\n";
     }
   }

@@ -104,6 +104,25 @@ TEST(LintRules, ProbeDisciplineFlagsStringLiteralOpNames) {
             (std::vector<int>{5, 6, 10, 14}));
 }
 
+TEST(LintRules, ProbeDisciplineFlagsManualRequestContextFrames) {
+  const std::string src = ReadFixture("request_context_violation.src");
+  const std::vector<Finding> findings = LintText("src/fs/bad.cc", src);
+  EXPECT_EQ(LinesOfRule(findings, kRuleProbeDiscipline),
+            (std::vector<int>{5, 6, 7, 11}));
+}
+
+TEST(LintRules, ProbeDisciplineAllowsRequestContextOnTheSpine) {
+  const std::string src = ReadFixture("request_context_violation.src");
+  LintConfig only_probe;
+  only_probe.rules = {kRuleProbeDiscipline};
+  for (const char* spine : {"src/sim/request_context.cc", "src/sim/kernel.h",
+                            "src/profilers/sim_profiler.h",
+                            "src/profilers/callgraph_profiler.cc",
+                            "src/sim/lock_order.cc"}) {
+    EXPECT_TRUE(LintText(spine, src, only_probe).empty()) << spine;
+  }
+}
+
 // --- locking --------------------------------------------------------------
 
 TEST(LintRules, LockingFlagsRealPrimitivesInScopedDirs) {

@@ -128,6 +128,59 @@ TEST(CallGraphProfiler, CapturesReaddirReadpageNesting) {
   EXPECT_NE(cg.edges().Find("-->readdir"), nullptr);
 }
 
+// Reset() drops the collected data but keeps the interned op table and
+// the packed edge-id cache: handles resolved before the reset keep
+// recording into the same slots, and re-run edges reuse their ids
+// (their names are built exactly once per process, not once per run).
+TEST(CallGraphProfiler, ResetKeepsHandlesAndEdgeIdsButClearsCounts) {
+  Kernel k(QuietConfig());
+  CallGraphProfiler cg(&k);
+  const osprof::ProbeHandle parent = cg.Resolve("parent");
+  const osprof::ProbeHandle leaf = cg.Resolve("leaf");
+  auto body = [](Kernel* kk, CallGraphProfiler* c, osprof::ProbeHandle outer,
+                 osprof::ProbeHandle inner) -> Task<void> {
+    co_await c->Wrap(outer, c->Wrap(inner, Leaf(kk, 500)));
+  };
+  k.Spawn("t", body(&k, &cg, parent, leaf));
+  k.RunUntilThreadsFinish();
+  ASSERT_NE(cg.edges().Find("parent->leaf"), nullptr);
+  ASSERT_FALSE(cg.CollectLayered()->empty());
+
+  cg.Reset();
+  // Counts are gone everywhere (ops turn invisible until they record
+  // again -- their slots and ids stay)...
+  EXPECT_EQ(cg.flat().Find("parent"), nullptr);
+  EXPECT_EQ(cg.edges().Find("parent->leaf"), nullptr);
+  EXPECT_TRUE(cg.CollectLayered()->empty());
+  EXPECT_TRUE(cg.EdgeSummaries().empty());
+
+  // ...but the pre-reset handles still record into the same ops, and the
+  // edge resolves to the same interned name.
+  EXPECT_EQ(cg.Resolve("parent").id(), parent.id());
+  EXPECT_EQ(cg.Resolve("leaf").id(), leaf.id());
+  k.Spawn("t2", body(&k, &cg, parent, leaf));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(cg.flat().Find("parent")->total_operations(), 1u);
+  EXPECT_EQ(cg.edges().Find("parent->leaf")->total_operations(), 1u);
+  EXPECT_FALSE(cg.CollectLayered()->empty());
+}
+
+TEST(CallGraphProfiler, ResetWhileInFlightThrows) {
+  Kernel k(QuietConfig());
+  CallGraphProfiler cg(&k);
+  auto body = [](Kernel* kk, CallGraphProfiler* c) -> Task<void> {
+    // osprof-lint: allow(probe-discipline)
+    co_await c->Wrap("op", [](Kernel* kkk, CallGraphProfiler* cc) -> Task<void> {
+      EXPECT_THROW(cc->Reset(), std::logic_error);
+      co_await kkk->Cpu(1);
+    }(kk, c));
+  };
+  k.Spawn("t", body(&k, &cg));
+  k.RunUntilThreadsFinish();
+  // After the span closed normally, Reset is legal again.
+  cg.Reset();
+}
+
 TEST(CallGraphProfiler, OutsideThreadContextThrows) {
   Kernel k(QuietConfig());
   CallGraphProfiler cg(&k);

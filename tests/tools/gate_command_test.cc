@@ -37,8 +37,18 @@ class GateCommandTest : public ::testing::Test {
 
   void TearDown() override {
     std::remove((prefix_ + kLayerSuffix).c_str());
+    std::remove((prefix_ + ".layers").c_str());
     std::remove((perturbed_prefix_ + kLayerSuffix).c_str());
+    std::remove((perturbed_prefix_ + ".layers").c_str());
     std::remove(json_path_.c_str());
+  }
+
+  // Copies one baseline file between the fixture's two prefixes.
+  static void CopyFile(const std::string& from, const std::string& to) {
+    std::ifstream in(from);
+    ASSERT_TRUE(in.good()) << from;
+    std::ofstream out(to);
+    out << in.rdbuf();
   }
 
   int Run(std::vector<std::string> args) {
@@ -119,6 +129,8 @@ TEST_F(GateCommandTest, JsonVerdictSchema) {
   EXPECT_NE(json.find("\"scenario\": \"fig06\""), std::string::npos);
   EXPECT_NE(json.find("\"pass\": true"), std::string::npos);
   EXPECT_NE(json.find("\"layers\""), std::string::npos);
+  EXPECT_NE(json.find("\"layered\""), std::string::npos);
+  EXPECT_NE(json.find("\"mismatch_count\""), std::string::npos);
   EXPECT_NE(json.find("\"raters\""), std::string::npos);
   EXPECT_NE(json.find("\"max_score\""), std::string::npos);
   EXPECT_NE(json.find("\"flagged_ops\""), std::string::npos);
@@ -160,6 +172,9 @@ TEST_F(GateCommandTest, PerturbedBaselineFlaggedByEveryRater) {
   std::ofstream perturbed_file(perturbed_prefix_ + kLayerSuffix);
   perturbed.Serialize(perturbed_file);
   perturbed_file.close();
+  // The layered golden rides along unchanged: only the profile raters
+  // should fire here.
+  CopyFile(prefix_ + ".layers", perturbed_prefix_ + ".layers");
 
   for (const char* rater : {"emd", "chi2", "ops", "latency"}) {
     EXPECT_EQ(Run({kScenario, "--baseline=" + perturbed_prefix_,
@@ -179,6 +194,50 @@ TEST_F(GateCommandTest, PerturbedBaselineFlaggedByEveryRater) {
   std::stringstream buffer;
   buffer << json_file.rdbuf();
   EXPECT_NE(buffer.str().find("\"pass\": false"), std::string::npos);
+}
+
+// The layered decomposition is scored for exactness: tampering with one
+// component's cycle count in the .layers golden fails the gate even when
+// every profile rater passes.
+TEST_F(GateCommandTest, LayersDecompositionDriftFailsGate) {
+  ASSERT_EQ(Run({kScenario, "--update", "--baseline=" + prefix_}), 0);
+  CopyFile(prefix_ + kLayerSuffix, perturbed_prefix_ + kLayerSuffix);
+  std::string layers_text;
+  {
+    std::ifstream in(prefix_ + ".layers");
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    layers_text = buffer.str();
+  }
+  const std::size_t pos = layers_text.find(" self ");
+  ASSERT_NE(pos, std::string::npos);
+  layers_text.insert(pos + 6, "9");  // Prepend a digit: cycles change.
+  std::ofstream(perturbed_prefix_ + ".layers") << layers_text;
+
+  EXPECT_EQ(Run({kScenario, "--baseline=" + perturbed_prefix_}), 3);
+  EXPECT_NE(out_.str().find("DECOMPOSITION DRIFT"), std::string::npos);
+  EXPECT_NE(out_.str().find("gate REGRESSION"), std::string::npos);
+
+  // The JSON verdict carries the mismatch.
+  EXPECT_EQ(Run({kScenario, "--baseline=" + perturbed_prefix_,
+                 "--json=" + json_path_}),
+            3);
+  std::ifstream json_file(json_path_);
+  std::stringstream buffer;
+  buffer << json_file.rdbuf();
+  EXPECT_NE(buffer.str().find("\"layered\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"mismatches\""), std::string::npos);
+}
+
+// A scenario that records layered data cannot gate without its .layers
+// golden: profiles alone no longer prove the run matches.
+TEST_F(GateCommandTest, MissingLayersBaselineExits2) {
+  ASSERT_EQ(Run({kScenario, "--update", "--baseline=" + prefix_}), 0);
+  std::remove((prefix_ + ".layers").c_str());
+  EXPECT_EQ(Run({kScenario, "--baseline=" + prefix_}), 2);
+  EXPECT_NE(err_.str().find("missing baseline"), std::string::npos);
+  EXPECT_NE(err_.str().find(".layers"), std::string::npos);
 }
 
 // The committed corpus under tests/golden/ must pass: this is the same

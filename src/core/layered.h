@@ -31,6 +31,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/core/clock.h"
 
@@ -69,53 +70,79 @@ struct LayeredBucket {
 
 // Per-operation decomposition, keyed by the operation's own latency bucket
 // (same BucketIndex as the ordinary profile, so peaks line up).
+//
+// Storage is structure-of-arrays over preallocated dense planes: one count
+// per bucket plus one component-major cycles plane, so the record path is
+// seven indexed increments with no tree walk and no allocation (the
+// std::map<int, LayeredBucket> it replaced cost an ordered lookup per
+// component update).  The map view survives as the materializing buckets()
+// accessor for the cold serialization/rendering paths.
 class LayeredProfile {
  public:
-  explicit LayeredProfile(int resolution = 1) : resolution_(resolution) {}
+  explicit LayeredProfile(int resolution = 1);
 
   int resolution() const { return resolution_; }
+  int num_buckets() const { return num_buckets_; }
 
-  // Adds one operation's decomposition to `bucket`.
+  // Adds one operation's decomposition to `bucket`.  The hot path: runs at
+  // every profiled span exit.
   void Add(int bucket, const Cycles components[kNumLayerComponents]) {
-    LayeredBucket& b = buckets_[bucket];
-    ++b.count;
+    const auto b = static_cast<std::size_t>(bucket);
+    ++counts_[b];
+    Cycles* plane = cycles_.data() + b;
     for (int c = 0; c < kNumLayerComponents; ++c) {
-      b.cycles[c] += components[c];
+      plane[static_cast<std::size_t>(c) * stride_] += components[c];
     }
   }
 
-  // Deserialization path: installs a bucket's totals wholesale.
-  void SetBucket(int bucket, const LayeredBucket& data) {
-    buckets_[bucket] = data;
+  // Fast path of Add for spans whose whole duration is self-CPU (no
+  // attributed waits, the common case): equivalent to Add with every
+  // other component zero, touching one plane instead of six.
+  void AddSelfOnly(int bucket, Cycles self) {
+    const auto b = static_cast<std::size_t>(bucket);
+    ++counts_[b];
+    cycles_[static_cast<std::size_t>(kLayerSelf) * stride_ + b] += self;
   }
 
-  void Merge(const LayeredProfile& other) {
-    for (const auto& [bucket, data] : other.buckets_) {
-      LayeredBucket& b = buckets_[bucket];
-      b.count += data.count;
-      for (int c = 0; c < kNumLayerComponents; ++c) {
-        b.cycles[c] += data.cycles[c];
-      }
-    }
-  }
+  // Deserialization path: installs a bucket's totals wholesale.  The bucket
+  // stays visible to buckets()/serialization even when `data` is all zero,
+  // matching the old map backing.  Throws std::out_of_range for buckets the
+  // resolution cannot produce.
+  void SetBucket(int bucket, const LayeredBucket& data);
 
-  void ClearCounts() { buckets_.clear(); }
+  void Merge(const LayeredProfile& other);
 
-  bool empty() const { return buckets_.empty(); }
-  // Sparse buckets in ascending order (std::map keeps it deterministic).
-  const std::map<int, LayeredBucket>& buckets() const { return buckets_; }
+  // Zeroes all buckets in place (no deallocation).
+  void ClearCounts();
+
+  bool empty() const;
+
+  // The sparse ascending-bucket view, materialized by value.  Callers that
+  // keep references into it must copy the map first; range-for over the
+  // temporary is safe (lifetime-extended).
+  std::map<int, LayeredBucket> buckets() const;
 
   std::uint64_t total_count() const {
     std::uint64_t sum = 0;
-    for (const auto& [bucket, data] : buckets_) {
-      sum += data.count;
+    for (int b = 0; b < num_buckets_; ++b) {
+      sum += counts_[static_cast<std::size_t>(b)];
     }
     return sum;
   }
 
  private:
+  // A bucket participates in buckets()/empty() iff it has counted an
+  // operation or was installed explicitly via SetBucket.
+  bool Occupied(std::size_t b) const {
+    return counts_[b] != 0 || forced_[b] != 0;
+  }
+
   int resolution_;
-  std::map<int, LayeredBucket> buckets_;
+  int num_buckets_;       // Dense plane size: kMaxLog2Buckets * resolution.
+  std::size_t stride_;    // Distance between component planes in cycles_.
+  std::vector<std::uint64_t> counts_;  // Indexed by bucket.
+  std::vector<std::uint8_t> forced_;   // SetBucket occupancy, by bucket.
+  std::vector<Cycles> cycles_;         // [component * stride_ + bucket].
 };
 
 // A set of per-operation decompositions, one per instrumented operation of

@@ -39,20 +39,25 @@
 
 namespace osprof {
 
-// The latency profile of a single operation.
+// The latency profile of a single operation.  The histogram is the first
+// member so the record path's loads land at offset zero, ahead of the cold
+// operation name.
 class Profile {
  public:
   Profile() : Profile("", 1) {}
   explicit Profile(std::string op_name, int resolution = 1)
-      : op_name_(std::move(op_name)), histogram_(resolution) {}
+      : histogram_(resolution), op_name_(std::move(op_name)) {}
   Profile(std::string op_name, Histogram histogram)
-      : op_name_(std::move(op_name)), histogram_(std::move(histogram)) {}
+      : histogram_(std::move(histogram)), op_name_(std::move(op_name)) {}
 
   const std::string& op_name() const { return op_name_; }
   Histogram& histogram() { return histogram_; }
   const Histogram& histogram() const { return histogram_; }
 
   void Add(Cycles latency) { histogram_.Add(latency); }
+  void AddInBucket(int bucket, Cycles latency) {
+    histogram_.AddInBucket(bucket, latency);
+  }
 
   // Merges another profile's measurements into this one (resolution-checked
   // by Histogram::Merge).  The operation name of `this` is kept, so sharded
@@ -66,8 +71,8 @@ class Profile {
   Cycles total_latency() const { return histogram_.total_latency(); }
 
  private:
-  std::string op_name_;
   Histogram histogram_;
+  std::string op_name_;
 };
 
 // A complete profile: one Profile per operation name.
@@ -92,6 +97,12 @@ class ProfileSet {
   // index, increment.
   void AddById(OpId id, Cycles latency) {
     profiles_[static_cast<std::size_t>(id)].Add(latency);
+  }
+
+  // Same, with the bucket precomputed by the caller (shared with the
+  // layered decomposition's Add).
+  void AddById(OpId id, int bucket, Cycles latency) {
+    profiles_[static_cast<std::size_t>(id)].AddInBucket(bucket, latency);
   }
 
   // Returns the profile for `op`, creating (and declaring) it if absent.

@@ -299,21 +299,44 @@ void CheckProbeDiscipline(const std::string& path,
         continue;
       }
     }
-    // `Record("name", ...)` and friends: a string-literal op name on the
+    // `Record("name", ...)` and friends: a string-keyed op name on the
     // record path re-introduces the per-record string lookup the
-    // ProbeHandle redesign removed.
+    // ProbeHandle redesign removed.  The string overloads survive only as
+    // deprecated test-only shims, so tests/ is exempt; everywhere else a
+    // string literal anywhere in the first argument (including
+    // concatenations like `prefix + "read"`) is a violation.
+    if (path.find("tests/") != std::string::npos) {
+      continue;
+    }
     if (RecordEntryPoints().count(tok.text) == 0) {
       continue;
     }
-    if (i + 2 >= tokens.size()) {
+    if (i + 1 >= tokens.size() || tokens[i + 1].kind != TokKind::kPunct ||
+        tokens[i + 1].text != "(") {
       continue;
     }
-    if (tokens[i + 1].kind == TokKind::kPunct && tokens[i + 1].text == "(" &&
-        tokens[i + 2].kind == TokKind::kString) {
-      findings->push_back(Finding{
-          kRuleProbeDiscipline, path, tok.line,
-          "string-literal op name at " + tok.text +
-              "() call site; resolve a ProbeHandle at attach time instead"});
+    int depth = 0;
+    for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+      const Token& arg = tokens[j];
+      if (arg.kind == TokKind::kPunct) {
+        if (arg.text == "(" || arg.text == "[" || arg.text == "{") {
+          ++depth;
+        } else if (arg.text == ")" || arg.text == "]" || arg.text == "}") {
+          if (--depth == 0) {
+            break;  // Call closed before any argument.
+          }
+        } else if (arg.text == "," && depth == 1) {
+          break;  // End of the first argument.
+        }
+        continue;
+      }
+      if (arg.kind == TokKind::kString) {
+        findings->push_back(Finding{
+            kRuleProbeDiscipline, path, tok.line,
+            "string-keyed op name at " + tok.text +
+                "() call site; resolve a ProbeHandle at attach time instead"});
+        break;
+      }
     }
   }
 }

@@ -73,7 +73,12 @@ void CallGraphProfiler::Finish(int tid, osprof::OpId op,
   if (slot == nullptr) {
     slot = layered_.Slot(flat_.ops().Name(op));
   }
-  slot->Add(osprof::BucketIndex(latency, resolution_), span.components);
+  const int bucket = osprof::BucketIndex(latency, resolution_);
+  if (span.self_only) {
+    slot->AddSelfOnly(bucket, span.components[osprof::kLayerSelf]);
+  } else {
+    slot->Add(bucket, span.components);
+  }
 }
 
 std::vector<CallGraphProfiler::EdgeSummary>

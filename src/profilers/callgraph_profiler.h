@@ -43,16 +43,26 @@ class CallGraphProfiler : public ProfilerSink {
       : kernel_(kernel),
         resolution_(resolution),
         flat_(resolution),
-        layered_(resolution) {}
+        layered_(resolution) {
+    span_owner_.ops = &flat_.ops();
+    span_owner_.cls = osprof::kLayerFs;
+  }
 
   // --- ProfilerSink ------------------------------------------------------
   // Collect() returns the flat per-operation view (the edge profiles stay
   // available through edges() for call-graph-aware consumers).
   const std::string& layer() const override { return layer_; }
   int resolution() const override { return resolution_; }
-  osprof::ProfileSet Collect() const override { return flat_; }
-  const osprof::LayeredProfileSet* CollectLayered() const override {
-    return &layered_;
+  using ProfilerSink::Collect;
+  Collected Collect(const CollectRequest& request) const override {
+    Collected out;
+    if (request.profiles) {
+      out.profiles = flat_;
+    }
+    if (request.layered) {
+      out.layered = &layered_;
+    }
+    return out;
   }
   // Clears collected profiles and caller attribution.  Must not be called
   // while profiled operations are still in flight.  Keeps the op and edge
@@ -70,8 +80,7 @@ class CallGraphProfiler : public ProfilerSink {
   template <typename T>
   osim::Task<T> Wrap(osprof::ProbeHandle op, osim::Task<T> inner) {
     const int tid = CurrentThreadId();
-    kernel_->context().Push(tid, this, &flat_.ops(), op.id(),
-                            osprof::kLayerFs, kernel_->now());
+    kernel_->context().Push(tid, &span_owner_, op.id(), kernel_->now());
     ++in_flight_;
     const osim::Cycles start = kernel_->ReadTsc();
     if constexpr (std::is_void_v<T>) {
@@ -85,9 +94,11 @@ class CallGraphProfiler : public ProfilerSink {
   }
 
   // String-keyed convenience form: resolve, then dispatch.  Not a
-  // coroutine, so the name cannot dangle across a suspension.
+  // coroutine, so the name cannot dangle across a suspension.  Test-only
+  // shim; production call sites resolve a ProbeHandle at attach time.
   template <typename T>
-  osim::Task<T> Wrap(std::string_view op, osim::Task<T> inner) {
+  [[deprecated("resolve a ProbeHandle at attach time")]] osim::Task<T> Wrap(
+      std::string_view op, osim::Task<T> inner) {
     return Wrap(Resolve(op), std::move(inner));
   }
 
@@ -120,6 +131,9 @@ class CallGraphProfiler : public ProfilerSink {
   osprof::OpId EdgeId(osprof::OpId caller, osprof::OpId callee);
 
   osim::Kernel* kernel_;
+  // Pushed with every span frame; identity, op table, and charge class
+  // in one pointer (see osim::SpanOwner).
+  osim::SpanOwner span_owner_;
   std::string layer_ = "callgraph";
   int resolution_;
   osprof::ProfileSet flat_;

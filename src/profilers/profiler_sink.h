@@ -9,6 +9,12 @@
 // through this interface without knowing which profiler produced the data,
 // exactly as the paper's analysis tooling consumes /proc profile dumps
 // from any instrumentation level.
+//
+// Collection goes through one virtual entry point taking a CollectRequest
+// struct, so adding a new kind of collected data extends the request and
+// result structs instead of growing the interface by another virtual per
+// kind.  The per-kind methods survive as thin non-virtual wrappers for one
+// PR; new code should call Collect(CollectRequest).
 
 #ifndef OSPROF_SRC_PROFILERS_PROFILER_SINK_H_
 #define OSPROF_SRC_PROFILERS_PROFILER_SINK_H_
@@ -19,6 +25,28 @@
 #include "src/core/profile.h"
 
 namespace osprofilers {
+
+// What one Collect call should gather.  Defaults request everything, so
+// `Collect(CollectRequest{})` is the full snapshot; orchestration that
+// needs only one kind clears the others and the sink skips the copy.
+struct CollectRequest {
+  bool profiles = true;
+  bool layered = true;
+};
+
+// The gathered data.  Fields for kinds that were not requested (or that
+// the sink cannot produce) are empty / null.
+struct Collected {
+  // Snapshot of everything recorded so far; independent of future
+  // recording.  Empty unless `request.profiles`.
+  osprof::ProfileSet profiles;
+  // The exact layered decomposition of this sink's operations, or nullptr
+  // for sinks that cannot decompose -- observer-style profilers that
+  // record outside any request span, and real-OS profilers with no
+  // simulated kernel underneath.  Owned by the sink, valid until the next
+  // Reset().  Null unless `request.layered`.
+  const osprof::LayeredProfileSet* layered = nullptr;
+};
 
 class ProfilerSink {
  public:
@@ -31,17 +59,25 @@ class ProfilerSink {
   // Bucket resolution of the collected profiles.
   virtual int resolution() const = 0;
 
-  // Snapshot of everything recorded so far.  Safe to call repeatedly; the
-  // returned set is independent of future recording.
-  virtual osprof::ProfileSet Collect() const = 0;
+  // Gathers the requested kinds of collected data.  Safe to call
+  // repeatedly.
+  virtual Collected Collect(const CollectRequest& request) const = 0;
 
-  // The exact layered decomposition of this sink's operations, or nullptr
-  // (the default) for sinks that cannot decompose -- observer-style
-  // profilers that record outside any request span, and real-OS profilers
-  // with no simulated kernel underneath.  The returned set stays owned by
-  // the sink.
-  virtual const osprof::LayeredProfileSet* CollectLayered() const {
-    return nullptr;
+  // --- Compatibility wrappers (pre-CollectRequest surface) ---------------
+  // Derived classes bring these into scope with `using
+  // ProfilerSink::Collect;` next to their Collect(CollectRequest)
+  // override.
+
+  // Snapshot of everything recorded so far.
+  osprof::ProfileSet Collect() const {
+    return Collect(CollectRequest{/*profiles=*/true, /*layered=*/false})
+        .profiles;
+  }
+
+  // The layered decomposition, or nullptr for sinks without one.
+  const osprof::LayeredProfileSet* CollectLayered() const {
+    return Collect(CollectRequest{/*profiles=*/false, /*layered=*/true})
+        .layered;
   }
 
   // Clears collected measurements (configuration is kept).

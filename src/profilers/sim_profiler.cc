@@ -37,16 +37,11 @@ osprof::LayerComponent SimProfiler::ComponentForLayer(
   return osprof::kLayerSelf;  // "user" and friends: transparent.
 }
 
-void SimProfiler::RecordLayered(osprof::ProbeHandle op, Cycles latency,
-                                const osim::RequestContext::PopResult& span) {
+osprof::LayeredProfile* SimProfiler::LayeredSlot(osprof::ProbeHandle op) {
   osprof::LayeredProfile*& slot =
       layered_slots_[static_cast<std::size_t>(op.id())];
-  if (slot == nullptr) {
-    slot = layered_.Slot(profiles_.ops().Name(op.id()));
-  }
-  // Keyed by the same bucket the ordinary profile files this latency
-  // under, so each peak reads as a stack of components.
-  slot->Add(osprof::BucketIndex(latency, resolution_), span.components);
+  slot = layered_.Slot(profiles_.ops().Name(op.id()));
+  return slot;
 }
 
 void SimProfiler::AttachCorrelator(std::string_view op,

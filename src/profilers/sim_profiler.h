@@ -84,13 +84,19 @@ struct InstrumentationCosts {
   }
 };
 
+template <typename T>
+class WrapAwaitable;
+
 class SimProfiler : public ProfilerSink {
  public:
   explicit SimProfiler(Kernel* kernel, int resolution = 1)
       : kernel_(kernel),
         profiles_(resolution),
         resolution_(resolution),
-        layered_(resolution) {}
+        layered_(resolution) {
+    span_owner_.ops = &profiles_.ops();
+    span_owner_.cls = component_;
+  }
 
   Kernel* kernel() const { return kernel_; }
 
@@ -102,11 +108,19 @@ class SimProfiler : public ProfilerSink {
   void set_layer(std::string layer) {
     layer_ = std::move(layer);
     component_ = ComponentForLayer(layer_);
+    span_owner_.cls = component_;
   }
   int resolution() const override { return resolution_; }
-  osprof::ProfileSet Collect() const override { return profiles_; }
-  const osprof::LayeredProfileSet* CollectLayered() const override {
-    return &layered_;
+  using ProfilerSink::Collect;
+  Collected Collect(const CollectRequest& request) const override {
+    Collected out;
+    if (request.profiles) {
+      out.profiles = profiles_;
+    }
+    if (request.layered) {
+      out.layered = &layered_;
+    }
+    return out;
   }
 
   // The exact per-(op, bucket) decomposition recorded by Wrap (empty for
@@ -152,13 +166,16 @@ class SimProfiler : public ProfilerSink {
     }
   }
 
-  // String-keyed convenience forms: thin resolve-then-dispatch wrappers
-  // for call sites that fire rarely or haven't cached a handle.
-  void Record(std::string_view op, Cycles latency) {
+  // String-keyed convenience forms: resolve-then-dispatch shims kept for
+  // tests that exercise the compatibility path.  Production call sites
+  // resolve a ProbeHandle at attach time; osprof_lint's probe-discipline
+  // rule flags string-keyed calls anywhere outside tests/.
+  [[deprecated("resolve a ProbeHandle at attach time")]] void Record(
+      std::string_view op, Cycles latency) {
     Record(Resolve(op), latency);
   }
-  void RecordWithValue(std::string_view op, Cycles latency,
-                       std::uint64_t value) {
+  [[deprecated("resolve a ProbeHandle at attach time")]] void RecordWithValue(
+      std::string_view op, Cycles latency, std::uint64_t value) {
     RecordWithValue(Resolve(op), latency, value);
   }
 
@@ -173,85 +190,39 @@ class SimProfiler : public ProfilerSink {
     const int tid =
         kernel_->current() != nullptr ? kernel_->current()->id() : -1;
     if (tid >= 0) {
-      kernel_->context().Push(tid, this, &profiles_.ops(), op.id(),
-                              component_, kernel_->now());
+      kernel_->context().Push(tid, &span_owner_, op.id(), kernel_->now());
     }
   }
   void EndSpan(osprof::ProbeHandle op, Cycles latency) {
-    Record(op, latency);
     const int tid =
         kernel_->current() != nullptr ? kernel_->current()->id() : -1;
-    if (tid >= 0) {
-      RecordLayered(op, latency,
-                    kernel_->context().Pop(tid, kernel_->now(), latency));
-    }
+    FinishSpan(op, tid, latency, kernel_->now());
   }
 
   // Wraps an operation coroutine with a latency probe:
   //
   //   co_return co_await profiler->Wrap(read_handle, ReadImpl(fd, n));
   //
-  // Charges instrumentation CPU when charge_overhead() is on.  The probe
-  // reads the simulated TSC of whatever CPU the thread is on at entry and
-  // exit, so clock skew and migration behave as on real SMP (§3.4).
+  // Returns an awaitable, not a Task: the probe itself allocates no
+  // coroutine frame.  Awaiting it opens a span on the kernel's shared
+  // request context, starts `inner` in place, and runs the record/pop
+  // bookkeeping when the inner operation completes -- all plain C++
+  // between awaits, zero simulated time.  Charges instrumentation CPU
+  // when charge_overhead() is on (that path routes through a coroutine:
+  // burning simulated CPU requires co_awaits).  The probe reads the
+  // simulated TSC of whatever CPU the thread is on at entry and exit, so
+  // clock skew and migration behave as on real SMP (§3.4).
   template <typename T>
-  Task<T> Wrap(osprof::ProbeHandle op, Task<T> inner) {
-    // Open a span on the kernel's shared request context: the scheduler
-    // and sync primitives attribute waits to it, the lock-order tracker
-    // annotates edges from it, and popping it yields the exact layered
-    // decomposition.  Plain bookkeeping -- zero simulated time.
-    const int tid =
-        kernel_->current() != nullptr ? kernel_->current()->id() : -1;
-    if (tid >= 0) {
-      kernel_->context().Push(tid, this, &profiles_.ops(), op.id(),
-                              component_, kernel_->now());
-    }
-    if (charge_overhead_ && costs_.OutsidePre() > 0) {
-      co_await kernel_->Cpu(costs_.OutsidePre());
-    }
-    const Cycles start = kernel_->ReadTsc();
-    if (charge_overhead_ && costs_.InsidePre() > 0) {
-      co_await kernel_->Cpu(costs_.InsidePre());
-    }
-    if constexpr (std::is_void_v<T>) {
-      co_await std::move(inner);
-      if (charge_overhead_ && costs_.InsidePost() > 0) {
-        co_await kernel_->Cpu(costs_.InsidePost());
-      }
-      const Cycles end = kernel_->ReadTsc();
-      if (charge_overhead_ && costs_.OutsidePost() > 0) {
-        co_await kernel_->Cpu(costs_.OutsidePost());
-      }
-      const Cycles latency = end >= start ? end - start : 0;
-      Record(op, latency);
-      if (tid >= 0) {
-        RecordLayered(op, latency,
-                      kernel_->context().Pop(tid, kernel_->now(), latency));
-      }
-    } else {
-      T result = co_await std::move(inner);
-      if (charge_overhead_ && costs_.InsidePost() > 0) {
-        co_await kernel_->Cpu(costs_.InsidePost());
-      }
-      const Cycles end = kernel_->ReadTsc();
-      if (charge_overhead_ && costs_.OutsidePost() > 0) {
-        co_await kernel_->Cpu(costs_.OutsidePost());
-      }
-      const Cycles latency = end >= start ? end - start : 0;
-      Record(op, latency);
-      if (tid >= 0) {
-        RecordLayered(op, latency,
-                      kernel_->context().Pop(tid, kernel_->now(), latency));
-      }
-      co_return std::move(result);
-    }
+  WrapAwaitable<T> Wrap(osprof::ProbeHandle op, Task<T> inner) {
+    return WrapAwaitable<T>(this, op, std::move(inner));
   }
 
-  // String-keyed Wrap: resolves then dispatches to the handle form.
-  // Deliberately NOT a coroutine -- the name is consumed before the first
-  // suspension, so a string_view argument cannot dangle.
+  // String-keyed Wrap: resolves then dispatches to the handle form.  The
+  // name is consumed before any suspension, so a string_view argument
+  // cannot dangle.  Test-only shim, like the string-keyed Record.
   template <typename T>
-  Task<T> Wrap(std::string_view op, Task<T> inner) {
+  [[deprecated("resolve a ProbeHandle at attach time")]] WrapAwaitable<T> Wrap(
+      std::string_view op, Task<T> inner) {
     return Wrap(Resolve(op), std::move(inner));
   }
 
@@ -265,37 +236,45 @@ class SimProfiler : public ProfilerSink {
                         const std::uint64_t* value) {
     const int tid =
         kernel_->current() != nullptr ? kernel_->current()->id() : -1;
+    const osprof::ClockSample entry = kernel_->SampleClocks();
     if (tid >= 0) {
-      kernel_->context().Push(tid, this, &profiles_.ops(), op.id(),
-                              component_, kernel_->now());
+      kernel_->context().Push(tid, &span_owner_, op.id(), entry.now);
     }
-    if (charge_overhead_ && costs_.OutsidePre() > 0) {
-      co_await kernel_->Cpu(costs_.OutsidePre());
-    }
-    const Cycles start = kernel_->ReadTsc();
-    if (charge_overhead_ && costs_.InsidePre() > 0) {
-      co_await kernel_->Cpu(costs_.InsidePre());
+    Cycles start = entry.tsc;
+    if (charge_overhead_) {
+      if (costs_.OutsidePre() > 0) {
+        co_await kernel_->Cpu(costs_.OutsidePre());
+        start = kernel_->ReadTsc();
+      }
+      if (costs_.InsidePre() > 0) {
+        co_await kernel_->Cpu(costs_.InsidePre());
+      }
     }
     T result = co_await std::move(inner);
-    if (charge_overhead_ && costs_.InsidePost() > 0) {
-      co_await kernel_->Cpu(costs_.InsidePost());
+    osprof::ClockSample exit = kernel_->SampleClocks();
+    if (charge_overhead_) {
+      if (costs_.InsidePost() > 0) {
+        co_await kernel_->Cpu(costs_.InsidePost());
+      }
+      exit = kernel_->SampleClocks();
+      if (costs_.OutsidePost() > 0) {
+        co_await kernel_->Cpu(costs_.OutsidePost());
+        exit.now = kernel_->now();
+      }
     }
-    const Cycles end = kernel_->ReadTsc();
-    if (charge_overhead_ && costs_.OutsidePost() > 0) {
-      co_await kernel_->Cpu(costs_.OutsidePost());
-    }
-    const Cycles latency = end >= start ? end - start : 0;
-    RecordWithValue(op, latency, *value);
-    if (tid >= 0) {
-      RecordLayered(op, latency,
-                    kernel_->context().Pop(tid, kernel_->now(), latency));
+    const Cycles latency = exit.tsc >= start ? exit.tsc - start : 0;
+    FinishSpan(op, tid, latency, exit.now);
+    osprof::ValueCorrelator* c =
+        correlators_[static_cast<std::size_t>(op.id())];
+    if (c != nullptr) {
+      c->Record(latency, *value);
     }
     co_return std::move(result);
   }
 
   template <typename T>
-  Task<T> WrapWithValue(std::string_view op, Task<T> inner,
-                        const std::uint64_t* value) {
+  [[deprecated("resolve a ProbeHandle at attach time")]] Task<T> WrapWithValue(
+      std::string_view op, Task<T> inner, const std::uint64_t* value) {
     return WrapWithValue(Resolve(op), std::move(inner), value);
   }
 
@@ -307,14 +286,104 @@ class SimProfiler : public ProfilerSink {
   void Reset() override;
 
  private:
+  template <typename U>
+  friend class WrapAwaitable;
+
+  // The overhead-charging Wrap body (§5.2): every burn is a co_await, so
+  // this variant is a real coroutine.  WrapAwaitable substitutes it for
+  // the payload when charge_overhead() is on.
+  //
+  // Clocks are sampled in batches (one ClockSample per side instead of a
+  // now() plus a ReadTsc()); the TSC is re-read after each burn so the
+  // measured window is exactly the uncharged one plus the inside costs,
+  // cycle for cycle.
+  template <typename T>
+  Task<T> WrapCharged(osprof::ProbeHandle op, Task<T> inner) {
+    const int tid =
+        kernel_->current() != nullptr ? kernel_->current()->id() : -1;
+    const osprof::ClockSample entry = kernel_->SampleClocks();
+    if (tid >= 0) {
+      kernel_->context().Push(tid, &span_owner_, op.id(), entry.now);
+    }
+    Cycles start = entry.tsc;
+    if (costs_.OutsidePre() > 0) {
+      co_await kernel_->Cpu(costs_.OutsidePre());
+      start = kernel_->ReadTsc();
+    }
+    if (costs_.InsidePre() > 0) {
+      co_await kernel_->Cpu(costs_.InsidePre());
+    }
+    if constexpr (std::is_void_v<T>) {
+      co_await std::move(inner);
+      if (costs_.InsidePost() > 0) {
+        co_await kernel_->Cpu(costs_.InsidePost());
+      }
+      osprof::ClockSample exit = kernel_->SampleClocks();
+      if (costs_.OutsidePost() > 0) {
+        co_await kernel_->Cpu(costs_.OutsidePost());
+        exit.now = kernel_->now();
+      }
+      const Cycles latency = exit.tsc >= start ? exit.tsc - start : 0;
+      FinishSpan(op, tid, latency, exit.now);
+    } else {
+      T result = co_await std::move(inner);
+      if (costs_.InsidePost() > 0) {
+        co_await kernel_->Cpu(costs_.InsidePost());
+      }
+      osprof::ClockSample exit = kernel_->SampleClocks();
+      if (costs_.OutsidePost() > 0) {
+        co_await kernel_->Cpu(costs_.OutsidePost());
+        exit.now = kernel_->now();
+      }
+      const Cycles latency = exit.tsc >= start ? exit.tsc - start : 0;
+      FinishSpan(op, tid, latency, exit.now);
+      co_return std::move(result);
+    }
+  }
+
   // Cold path of Record when sampling is enabled: the per-op sampled slot
   // is looked up by name once and cached by OpId thereafter.
   void SampledRecord(osprof::ProbeHandle op, Cycles latency);
 
   // Records a popped span's decomposition under the op's own latency
-  // bucket; slots are looked up by name once and cached by OpId.
-  void RecordLayered(osprof::ProbeHandle op, Cycles latency,
-                     const osim::RequestContext::PopResult& span);
+  // bucket, so each peak reads as a stack of components.  Inline so the
+  // PopResult flows straight from Pop into the slot without a trip
+  // through memory; the first sighting of an op fills its cached slot
+  // out of line.
+  void RecordLayered(osprof::ProbeHandle op, int bucket,
+                     const osim::RequestContext::PopResult& span) {
+    osprof::LayeredProfile* slot =
+        layered_slots_[static_cast<std::size_t>(op.id())];
+    if (slot == nullptr) {
+      slot = LayeredSlot(op);
+    }
+    if (span.self_only) {
+      slot->AddSelfOnly(bucket,
+                        span.components[osprof::kLayerSelf]);
+    } else {
+      slot->Add(bucket, span.components);
+    }
+  }
+
+  // Cold path of RecordLayered: resolves and caches the op's slot.
+  osprof::LayeredProfile* LayeredSlot(osprof::ProbeHandle op);
+
+  // Shared span-exit tail of Wrap / WrapWithValue / EndSpan: one
+  // BucketIndex computation feeds both the flat histogram and the layered
+  // decomposition, and the frame pops only when a span was actually
+  // opened (tid >= 0).
+  void FinishSpan(osprof::ProbeHandle op, int tid, Cycles latency,
+                  Cycles pop_now) {
+    const int bucket = osprof::BucketIndex(latency, resolution_);
+    profiles_.AddById(op.id(), bucket, latency);
+    if (sampled_ != nullptr) {
+      SampledRecord(op, latency);
+    }
+    if (tid >= 0) {
+      RecordLayered(op, bucket,
+                    kernel_->context().Pop(tid, pop_now, latency));
+    }
+  }
 
   // The component class a layer tag's spans charge to their parents:
   // "fs" -> kLayerFs, "driver" -> kLayerDriver, "cifs"/"nfs"/"net" ->
@@ -324,6 +393,9 @@ class SimProfiler : public ProfilerSink {
   Kernel* kernel_;
   std::string layer_ = "fs";
   osprof::LayerComponent component_ = osprof::kLayerFs;
+  // Pushed with every span frame; identity, op table, and charge class
+  // in one pointer (see osim::SpanOwner).
+  osim::SpanOwner span_owner_;
   osprof::ProfileSet profiles_;
   int resolution_;
   bool charge_overhead_ = false;
@@ -335,6 +407,78 @@ class SimProfiler : public ProfilerSink {
   std::vector<osprof::SampledProfile*> sampled_slots_;
   std::vector<osprof::LayeredProfile*> layered_slots_;
   Cycles sampling_epoch_ = 0;
+};
+
+// The awaitable returned by SimProfiler::Wrap.  The uncharged fast path
+// allocates nothing: await_ready does the span-entry bookkeeping (clock
+// sample, frame push) and await_suspend starts the inner task by symmetric
+// transfer -- one indirect jump, no extra resume/done round trip -- so the
+// first inner instruction runs with the span already open.  await_resume
+// records the latency and pops the frame once the inner task has
+// completed.  When overhead charging is on, the payload is replaced by the
+// WrapCharged coroutine (which does its own bookkeeping) and awaited like
+// any Task.
+//
+// The execution order is exactly the old coroutine Wrap's: entry
+// bookkeeping before the inner operation's first instruction, exit
+// bookkeeping after its last at the same simulated instant, and an
+// escaping exception skips the record/pop (the span stays open), so
+// committed goldens are byte-identical.
+template <typename T>
+class [[nodiscard]] WrapAwaitable {
+ public:
+  WrapAwaitable(SimProfiler* profiler, osprof::ProbeHandle op, Task<T> inner)
+      : profiler_(profiler), op_(op), inner_(std::move(inner)) {}
+
+  [[gnu::always_inline]] inline bool await_ready() {
+    if (profiler_->charge_overhead_) {
+      inner_ = profiler_->WrapCharged(op_, std::move(inner_));
+      charged_ = true;
+      return false;  // The charged wrapper does its own bookkeeping.
+    }
+    Kernel* kernel = profiler_->kernel_;
+    tid_ = kernel->current() != nullptr ? kernel->current()->id() : -1;
+    const osprof::ClockSample entry = kernel->SampleClocks();
+    if (tid_ >= 0) {
+      kernel->context().Push(tid_, &profiler_->span_owner_, op_.id(),
+                             entry.now);
+    }
+    start_ = entry.tsc;
+    return false;
+  }
+
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> awaiting) noexcept {
+    const auto handle = inner_.handle();
+    handle.promise().continuation = awaiting;
+    // Symmetric transfer into the payload (charged or not); its final
+    // awaiter transfers straight back to `awaiting` on completion.
+    return handle;
+  }
+
+  [[gnu::always_inline]] inline T await_resume() {
+    auto& promise = inner_.handle().promise();
+    if (promise.exception) {
+      std::rethrow_exception(promise.exception);
+    }
+    if (!charged_) {
+      Kernel* kernel = profiler_->kernel_;
+      const osprof::ClockSample exit = kernel->SampleClocks();
+      const Cycles latency = exit.tsc >= start_ ? exit.tsc - start_ : 0;
+      profiler_->FinishSpan(op_, tid_, latency, exit.now);
+    }
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(inner_.handle().promise().value);
+    }
+  }
+
+ private:
+  SimProfiler* profiler_;
+  osprof::ProbeHandle op_;
+  Task<T> inner_;
+  int tid_ = -1;
+  Cycles start_ = 0;
+  bool charged_ = false;
 };
 
 // Driver-level profiler: profiles every disk request's total latency under
@@ -350,11 +494,11 @@ class DriverProfiler : public ProfilerSink {
   // --- ProfilerSink ------------------------------------------------------
   const std::string& layer() const override { return layer_; }
   int resolution() const override { return profiler_.resolution(); }
-  osprof::ProfileSet Collect() const override { return profiler_.Collect(); }
-  // Empty by construction: the disk observer records completed requests
-  // from kernel context, outside any request span.
-  const osprof::LayeredProfileSet* CollectLayered() const override {
-    return profiler_.CollectLayered();
+  using ProfilerSink::Collect;
+  // The layered set is empty by construction: the disk observer records
+  // completed requests from kernel context, outside any request span.
+  Collected Collect(const CollectRequest& request) const override {
+    return profiler_.Collect(request);
   }
   void Reset() override { profiler_.Reset(); }
 

@@ -230,10 +230,11 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
 
   result.sim_cycles = kernel.now();
   for (const osprofilers::ProfilerSink* sink : sinks) {
-    result.layers.emplace(sink->layer(), sink->Collect());
-    if (const osprof::LayeredProfileSet* lp = sink->CollectLayered();
-        lp != nullptr && !lp->empty()) {
-      result.layered.emplace(sink->layer(), *lp);
+    osprofilers::Collected collected =
+        sink->Collect(osprofilers::CollectRequest{});
+    result.layers.emplace(sink->layer(), std::move(collected.profiles));
+    if (collected.layered != nullptr && !collected.layered->empty()) {
+      result.layered.emplace(sink->layer(), *collected.layered);
     }
   }
 

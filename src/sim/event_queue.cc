@@ -1,34 +1,175 @@
 #include "src/sim/event_queue.h"
 
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
 namespace osim {
+namespace {
+
+// Calendar sizing bounds.  64 buckets is plenty for an idle queue; the
+// upper bound keeps a resize from allocating absurdly for huge backlogs.
+constexpr std::size_t kMinBuckets = 64;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+// Widths above 2^40 cycles (~11 min simulated) add nothing: the global-
+// minimum fallback handles arbitrarily sparse queues.
+constexpr int kMaxWidthLog2 = 40;
+
+// After this many consecutive empty-year scans, the width no longer
+// matches the event population; re-profile the calendar in place.
+constexpr int kMaxGlobalScans = 4;
+
+}  // namespace
+
+EventQueue::EventQueue() : buckets_(kMinBuckets) {
+  cursor_day_end_ = width();
+}
 
 void EventQueue::At(Cycles when, Action action) {
   if (when < now_) {
     throw std::logic_error("EventQueue: scheduling into the past");
   }
-  events_.push(Event{when, next_seq_++, std::move(action)});
+  const bool was_empty = size_ == 0;
+  buckets_[BucketFor(when)].push_back(Event{when, next_seq_++,
+                                            std::move(action)});
+  ++size_;
+  min_valid_ = false;
+  if (was_empty || when < cursor_day_end_ - width()) {
+    // The new event is the earliest (or the queue restarted): snap the
+    // cursor to its day so the invariant -- nothing before the current
+    // day -- holds without scanning.
+    SeekTo(when);
+  }
+  if (size_ > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+    Resize(buckets_.size() * 2);
+  }
+}
+
+void EventQueue::FindMin() {
+  if (min_valid_) {
+    return;
+  }
+  std::size_t nbuckets = buckets_.size();
+  std::size_t scanned = 0;
+  while (true) {
+    const std::vector<Event>& day = buckets_[cursor_bucket_];
+    std::size_t best = day.size();
+    for (std::size_t i = 0; i < day.size(); ++i) {
+      const Event& e = day[i];
+      if (e.when >= cursor_day_end_) {
+        continue;  // Same bucket, a later year.
+      }
+      if (best == day.size() || e.when < day[best].when ||
+          (e.when == day[best].when && e.seq < day[best].seq)) {
+        best = i;
+      }
+    }
+    if (best != day.size()) {
+      min_bucket_ = cursor_bucket_;
+      min_index_ = best;
+      min_valid_ = true;
+      return;
+    }
+    cursor_bucket_ = (cursor_bucket_ + 1) & (nbuckets - 1);
+    cursor_day_end_ += width();
+    if (++scanned < nbuckets) {
+      continue;
+    }
+    // A whole year without an event: the population is sparse relative to
+    // the year span.  Find the global minimum directly and jump the
+    // cursor to its day; if this keeps happening, the width is stale --
+    // re-profile the calendar and retry (the rebuilt cursor starts at the
+    // minimum's day, so the next scan hits immediately).
+    if (++global_scans_ >= kMaxGlobalScans) {
+      global_scans_ = 0;
+      Resize(buckets_.size());
+      nbuckets = buckets_.size();
+      scanned = 0;
+      continue;
+    }
+    std::size_t gb = 0;
+    std::size_t gi = 0;
+    bool found = false;
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+      for (std::size_t i = 0; i < buckets_[b].size(); ++i) {
+        const Event& e = buckets_[b][i];
+        if (!found || e.when < buckets_[gb][gi].when ||
+            (e.when == buckets_[gb][gi].when &&
+             e.seq < buckets_[gb][gi].seq)) {
+          gb = b;
+          gi = i;
+          found = true;
+        }
+      }
+    }
+    // size_ > 0, so the scan found something.
+    SeekTo(buckets_[gb][gi].when);
+    min_bucket_ = gb;
+    min_index_ = gi;
+    min_valid_ = true;
+    return;
+  }
+}
+
+void EventQueue::Resize(std::size_t nbuckets) {
+  std::vector<std::vector<Event>> old = std::move(buckets_);
+  buckets_.assign(nbuckets, {});
+  if (size_ == 0) {
+    SeekTo(now_);
+    min_valid_ = false;
+    return;
+  }
+  // Width tracks the mean event gap (rounded up to a power of two for
+  // shift indexing): about one event per day keeps extraction scans O(1).
+  Cycles min_when = ~Cycles{0};
+  Cycles max_when = 0;
+  for (const std::vector<Event>& day : old) {
+    for (const Event& e : day) {
+      min_when = e.when < min_when ? e.when : min_when;
+      max_when = e.when > max_when ? e.when : max_when;
+    }
+  }
+  const Cycles gap = (max_when - min_when) / size_;
+  int log2 = static_cast<int>(std::bit_width(gap));
+  width_log2_ = log2 > kMaxWidthLog2 ? kMaxWidthLog2 : log2;
+  for (std::vector<Event>& day : old) {
+    for (Event& e : day) {
+      buckets_[BucketFor(e.when)].push_back(std::move(e));
+    }
+  }
+  SeekTo(min_when);
+  min_valid_ = false;
 }
 
 bool EventQueue::Step() {
-  if (events_.empty()) {
+  if (size_ == 0) {
     return false;
   }
-  // priority_queue::top() is const; move out via const_cast is the standard
-  // workaround, safe because we pop immediately.
-  Event event = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
+  FindMin();
+  std::vector<Event>& day = buckets_[min_bucket_];
+  Event event = std::move(day[min_index_]);
+  if (min_index_ != day.size() - 1) {
+    day[min_index_] = std::move(day.back());
+  }
+  day.pop_back();
+  --size_;
+  min_valid_ = false;
   now_ = event.when;
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4) {
+    Resize(buckets_.size() / 2);
+  }
   event.action();
   return true;
 }
 
 std::uint64_t EventQueue::RunUntil(Cycles until) {
   std::uint64_t executed = 0;
-  while (!events_.empty() && events_.top().when <= until) {
-    Step();
+  while (size_ > 0) {
+    FindMin();
+    if (buckets_[min_bucket_][min_index_].when > until) {
+      break;
+    }
+    Step();  // Reuses the cached minimum.
     ++executed;
   }
   if (now_ < until) {

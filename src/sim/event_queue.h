@@ -3,13 +3,21 @@
 // Time is measured in CPU cycles of the simulated machine (1.7 GHz by
 // default, matching the paper's hardware).  Events at equal timestamps run
 // in insertion order, which keeps the simulation deterministic.
+//
+// The scheduler is a calendar queue (Brown, CACM 1988): events hash into
+// power-of-two-width day buckets by `when >> width_log2`, a cursor walks
+// the current year bucket by bucket, and extraction scans only the events
+// of the current day.  With the width resized to track the mean event gap,
+// insert and extract-min are O(1) amortized -- the std::priority_queue it
+// replaced cost O(log n) per operation and a full heap's cache misses
+// (ISSUE 6).  Ordering is exactly the old comparator's: ascending `when`,
+// ties in ascending insertion sequence.
 
 #ifndef OSPROF_SRC_SIM_EVENT_QUEUE_H_
 #define OSPROF_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/core/clock.h"
@@ -21,6 +29,8 @@ using osprof::Cycles;
 class EventQueue {
  public:
   using Action = std::function<void()>;
+
+  EventQueue();
 
   Cycles now() const { return now_; }
 
@@ -34,8 +44,8 @@ class EventQueue {
   // same-timestamp events.
   void Now(Action action) { At(now_, std::move(action)); }
 
-  bool empty() const { return events_.empty(); }
-  std::size_t size() const { return events_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   // Runs the next event, advancing time.  Returns false if none remain.
   bool Step();
@@ -53,18 +63,42 @@ class EventQueue {
     std::uint64_t seq;
     Action action;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
-  };
+
+  Cycles width() const { return Cycles{1} << width_log2_; }
+  std::size_t BucketFor(Cycles when) const {
+    return static_cast<std::size_t>(when >> width_log2_) &
+           (buckets_.size() - 1);
+  }
+  // Points the cursor at the day containing `when`.
+  void SeekTo(Cycles when) {
+    cursor_bucket_ = BucketFor(when);
+    cursor_day_end_ = (when >> width_log2_ << width_log2_) + width();
+  }
+  // Locates the minimum (when, seq) event and caches its position in
+  // (min_bucket_, min_index_).  Requires size_ > 0.
+  void FindMin();
+  // Rebuilds the calendar with `nbuckets` buckets and a width matched to
+  // the current event population's span.
+  void Resize(std::size_t nbuckets);
 
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::size_t size_ = 0;
+
+  int width_log2_ = 14;
+  std::vector<std::vector<Event>> buckets_;
+  // The cursor year: the bucket being scanned and the exclusive end of
+  // its current day.  Invariant: no queued event is earlier than the
+  // current day's start.
+  std::size_t cursor_bucket_ = 0;
+  Cycles cursor_day_end_ = 0;
+  // Cached position of the minimum event (valid until insert/extract), so
+  // RunUntil's peek-then-step pattern scans each day once.
+  bool min_valid_ = false;
+  std::size_t min_bucket_ = 0;
+  std::size_t min_index_ = 0;
+  // Empty-year fallbacks since the last width re-profile (see FindMin).
+  int global_scans_ = 0;
 };
 
 }  // namespace osim

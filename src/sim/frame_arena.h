@@ -1,0 +1,124 @@
+// Slab arena for coroutine frames (ISSUE 6: no per-Wrap heap traffic).
+//
+// Every simulated operation is a Task<T> coroutine, and every
+// SimProfiler::Wrap adds a second coroutine frame around it, so the
+// ~80 ns/Wrap measured in BENCH_micro_core.json was dominated by two
+// malloc/free pairs per wrapped operation.  FrameArena replaces them with
+// a size-class free list carved out of 64 KiB slabs: steady-state
+// allocation is "pop a node", deallocation is "push a node", and the
+// general-purpose allocator is touched only when a size class sees a new
+// high-water mark.
+//
+// The arena is thread-local.  A kernel and all of its tasks live on one
+// host thread (the runner gives every trial a whole kernel per worker;
+// tests and tools are single-threaded), so frames are always freed on the
+// thread that allocated them and the free lists need no locking.  Frames
+// must not outlive the thread that created them -- true for every Task in
+// the tree, whose lifetime is bounded by its kernel's run loop.
+//
+// Each block carries a 16-byte header recording its size class, so both
+// the sized and unsized operator delete forms work, and blocks that
+// outgrow the largest class fall through to the global heap transparently.
+
+#ifndef OSPROF_SRC_SIM_FRAME_ARENA_H_
+#define OSPROF_SRC_SIM_FRAME_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace osim::detail {
+
+class FrameArena {
+ public:
+  // Header granularity and block alignment.  Coroutine frames assume at
+  // most alignof(max_align_t); slabs come 16-aligned from operator new
+  // and block sizes are multiples of 64, so payloads stay 16-aligned.
+  static constexpr std::size_t kHeaderBytes = 16;
+  static constexpr std::size_t kGranularity = 64;
+  // Largest arena-served block; bigger frames use the global heap.
+  static constexpr std::size_t kMaxBlockBytes = 8192;
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  static void* Allocate(std::size_t bytes) {
+    return Local().AllocateImpl(bytes);
+  }
+
+  static void Deallocate(void* payload) noexcept {
+    char* raw = static_cast<char*>(payload) - kHeaderBytes;
+    const std::uint32_t cls = reinterpret_cast<Header*>(raw)->size_class;
+    if (cls == kHeapClass) {
+      ::operator delete(raw);
+      return;
+    }
+    Local().Release(raw, cls);
+  }
+
+ private:
+  struct Header {
+    std::uint32_t size_class;
+  };
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t kNumClasses = kMaxBlockBytes / kGranularity;
+  static constexpr std::uint32_t kHeapClass = 0xffffffffu;
+
+  static FrameArena& Local() {
+    thread_local FrameArena arena;
+    return arena;
+  }
+
+  void* AllocateImpl(std::size_t bytes) {
+    const std::size_t need = bytes + kHeaderBytes;
+    if (need > kMaxBlockBytes) {
+      char* raw = static_cast<char*>(::operator new(need));
+      reinterpret_cast<Header*>(raw)->size_class = kHeapClass;
+      return raw + kHeaderBytes;
+    }
+    const std::uint32_t cls =
+        static_cast<std::uint32_t>((need - 1) / kGranularity);
+    char* raw;
+    if (free_lists_[cls] != nullptr) {
+      FreeNode* node = free_lists_[cls];
+      free_lists_[cls] = node->next;
+      raw = reinterpret_cast<char*>(node);
+    } else {
+      const std::size_t block = (cls + 1) * kGranularity;
+      if (slab_remaining_ < block) {
+        NewSlab();
+      }
+      raw = slab_cursor_;
+      slab_cursor_ += block;
+      slab_remaining_ -= block;
+    }
+    reinterpret_cast<Header*>(raw)->size_class = cls;
+    return raw + kHeaderBytes;
+  }
+
+  void Release(char* raw, std::uint32_t cls) noexcept {
+    // The header is dead until the block is reissued; reuse its bytes as
+    // the free-list link.
+    FreeNode* node = reinterpret_cast<FreeNode*>(raw);
+    node->next = free_lists_[cls];
+    free_lists_[cls] = node;
+  }
+
+  void NewSlab() {
+    slabs_.push_back(std::make_unique<char[]>(kSlabBytes));
+    slab_cursor_ = slabs_.back().get();
+    slab_remaining_ = kSlabBytes;
+  }
+
+  FreeNode* free_lists_[kNumClasses] = {};
+  char* slab_cursor_ = nullptr;
+  std::size_t slab_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> slabs_;
+};
+
+}  // namespace osim::detail
+
+#endif  // OSPROF_SRC_SIM_FRAME_ARENA_H_

@@ -22,16 +22,6 @@ Kernel::Kernel(KernelConfig config)
   lock_order_.set_context(&context_);
 }
 
-Cycles Kernel::ReadTsc() const {
-  const Cycles base = events_.now();
-  if (current_ != nullptr && current_->cpu_ >= 0) {
-    const std::int64_t skew =
-        config_.tsc_skew[static_cast<std::size_t>(current_->cpu_)];
-    return static_cast<Cycles>(static_cast<std::int64_t>(base) + skew);
-  }
-  return base;
-}
-
 SimThread* Kernel::Spawn(std::string name, Task<void> body) {
   const int id = static_cast<int>(threads_.size());
   threads_.push_back(std::make_unique<SimThread>(id, std::move(name)));

@@ -103,6 +103,10 @@ class SimThread {
   // Bookkeeping for spinlock waits.
   Cycles spin_started_ = 0;
 
+  // Locks this thread currently holds, for the lock-order tracker.
+  // Embedded here so the tracker's hot paths need no thread-id lookup.
+  HeldLockStack held_locks_;
+
   // Wait attribution for the request context: when the thread last became
   // runnable, when it last parked, and which LayerComponent (or -1 for an
   // unattributed park, e.g. Sleep) that park charges at wakeup.
@@ -159,8 +163,30 @@ class Kernel {
   const RequestContext& context() const { return context_; }
 
   // Reads the TSC of the CPU the current thread runs on (includes that
-  // CPU's skew).  Callable from thread context only.
-  Cycles ReadTsc() const;
+  // CPU's skew).  Callable from thread context only.  Inline: this is a
+  // per-probe call on the Wrap fast path.
+  Cycles ReadTsc() const {
+    const Cycles base = events_.now();
+    if (current_ != nullptr && current_->cpu_ >= 0) {
+      const std::int64_t skew =
+          config_.tsc_skew[static_cast<std::size_t>(current_->cpu_)];
+      return static_cast<Cycles>(static_cast<std::int64_t>(base) + skew);
+    }
+    return base;
+  }
+
+  // Samples the global clock and the current CPU's TSC together; the span
+  // entry/exit paths take one sample instead of two clock calls.
+  osprof::ClockSample SampleClocks() const {
+    const Cycles base = events_.now();
+    osprof::ClockSample s{base, base};
+    if (current_ != nullptr && current_->cpu_ >= 0) {
+      s.tsc = static_cast<Cycles>(
+          static_cast<std::int64_t>(base) +
+          config_.tsc_skew[static_cast<std::size_t>(current_->cpu_)]);
+    }
+    return s;
+  }
 
   // The thread whose code is executing right now, or nullptr when the
   // kernel itself (event callbacks) runs.

@@ -8,51 +8,54 @@
 
 namespace osim {
 
-void LockOrderTracker::OnAcquired(const void* lock, const std::string& name,
-                                  int thread_id) {
-  if (!enabled_ || thread_id < 0) {
-    return;
-  }
-  if (static_cast<std::size_t>(thread_id) >= held_.size()) {
-    held_.resize(thread_id + 1);
-  }
-  std::vector<Held>& held = held_[thread_id];
-  // The innermost profiled span of the acquiring thread, resolved once per
-  // acquisition from the shared context (no per-Wrap string copies).
-  const osprof::OpTable* ops = nullptr;
-  osprof::OpId op = osprof::kInvalidOpId;
-  const bool in_span = context_ != nullptr && !held.empty() &&
-                       context_->TopOp(thread_id, &ops, &op);
-  for (const Held& h : held) {
-    if (h.lock == lock) {
-      // Recursive acquisition of a counted semaphore: same instance, no
-      // ordering information.
-      continue;
-    }
-    Edge& e = edges_[{*h.name, name}];
-    e.from = *h.name;
-    e.to = name;
-    ++e.count;
-    if (in_span) {
-      e.ops.insert(ops->Name(op));
+void LockOrderTracker::AcquiredSlow(const void* lock, const std::string& name,
+                                    HeldLockStack& held, int thread_id) {
+  if (enabled_) {
+    // The innermost profiled span of the acquiring thread, resolved once
+    // per acquisition from the shared context (no per-Wrap string copies).
+    const osprof::OpTable* ops = nullptr;
+    osprof::OpId op = osprof::kInvalidOpId;
+    const bool in_span = context_ != nullptr && held.depth > 0 &&
+                         context_->TopOp(thread_id, &ops, &op);
+    for (std::uint32_t i = 0; i < held.depth; ++i) {
+      const HeldLock& h = held.At(i);
+      if (h.lock == lock) {
+        // Recursive acquisition of a counted semaphore: same instance, no
+        // ordering information.
+        continue;
+      }
+      Edge& e = edges_[{*h.name, name}];
+      e.from = *h.name;
+      e.to = name;
+      ++e.count;
+      if (in_span) {
+        e.ops.insert(ops->Name(op));
+      }
     }
   }
-  held.push_back(Held{lock, &name});
+  if (held.depth < HeldLockStack::kInlineDepth) {
+    held.frames[held.depth] = HeldLock{lock, &name};
+  } else {
+    held.spill.push_back(HeldLock{lock, &name});
+  }
+  ++held.depth;
 }
 
-void LockOrderTracker::OnReleased(const void* lock, int thread_id) {
-  if (!enabled_ || thread_id < 0 ||
-      static_cast<std::size_t>(thread_id) >= held_.size()) {
-    return;
-  }
-  std::vector<Held>& held = held_[thread_id];
+void LockOrderTracker::ReleasedSlow(const void* lock, HeldLockStack& held) {
   // Most-recent first: matches nested acquire/release; out-of-order
   // release still finds its entry.
-  for (auto rit = held.rbegin(); rit != held.rend(); ++rit) {
-    if (rit->lock == lock) {
-      held.erase(std::next(rit).base());
-      return;
+  for (std::uint32_t i = held.depth; i > 0; --i) {
+    if (held.At(i - 1).lock != lock) {
+      continue;
     }
+    for (std::uint32_t j = i; j < held.depth; ++j) {
+      held.At(j - 1) = held.At(j);
+    }
+    if (held.depth > HeldLockStack::kInlineDepth) {
+      held.spill.pop_back();
+    }
+    --held.depth;
+    return;
   }
 }
 
@@ -198,9 +201,6 @@ std::string LockOrderTracker::Report() const {
   return os.str();
 }
 
-void LockOrderTracker::Reset() {
-  held_.clear();
-  edges_.clear();
-}
+void LockOrderTracker::Reset() { edges_.clear(); }
 
 }  // namespace osim

@@ -18,9 +18,14 @@
 // the resulting graph is a deadlock-capable lock order; a 2-cycle is the
 // classic ABBA inversion.
 //
-// Tracking is off by default: with the tracker disabled every hook is a
-// single branch, and enabling it never advances simulated time, so golden
-// profiles are byte-identical either way.
+// Edge recording is off by default.  The held-lock stacks themselves are
+// maintained unconditionally -- they are a property of the sync
+// primitives, not of the analysis -- so enabling the tracker mid-run sees
+// a consistent picture of what every thread already holds, and the cost
+// of *enabling* it is confined to nested acquisitions (where edges are
+// recorded).  Flat acquire/release paths never even read the enabled
+// flag.  Nothing here advances simulated time, so golden profiles are
+// byte-identical with recording on or off.
 
 #ifndef OSPROF_SRC_SIM_LOCK_ORDER_H_
 #define OSPROF_SRC_SIM_LOCK_ORDER_H_
@@ -35,6 +40,35 @@
 namespace osim {
 
 class RequestContext;
+
+// One held-lock record.  `name` points at the sync primitive's own name
+// member: a lock outlives every record for it (records are erased on
+// release), so the hot path never copies a string.
+struct HeldLock {
+  const void* lock;
+  const std::string* name;
+};
+
+// One thread's stack of held locks, embedded in its SimThread so the
+// tracker's hot paths reach it with zero table lookups.  The first
+// kInlineDepth entries live in a fixed array so the common cases --
+// acquiring with nothing held, releasing the top of the stack -- are an
+// indexed store or a counter decrement with no vector size/capacity
+// traffic; nesting deeper than kInlineDepth spills to a heap vector
+// (entries kInlineDepth..depth-1).
+struct HeldLockStack {
+  static constexpr std::uint32_t kInlineDepth = 8;
+  HeldLock frames[kInlineDepth];
+  std::uint32_t depth = 0;
+  std::vector<HeldLock> spill;
+
+  HeldLock& At(std::uint32_t i) {
+    return i < kInlineDepth ? frames[i] : spill[i - kInlineDepth];
+  }
+  const HeldLock& At(std::uint32_t i) const {
+    return i < kInlineDepth ? frames[i] : spill[i - kInlineDepth];
+  }
+};
 
 class LockOrderTracker {
  public:
@@ -53,10 +87,37 @@ class LockOrderTracker {
   // `lock` identifies the instance (self-acquisition of a counted
   // semaphore adds no edge); `name` is the graph node and must stay
   // alive until the matching OnReleased (callers pass the primitive's
-  // own name member; the tracker holds a pointer, not a copy).
+  // own name member; the tracker holds a pointer, not a copy).  `held` is
+  // the acquiring thread's own stack (SimThread::held_locks_); passing it
+  // in keeps the hot paths free of any thread-id table lookup.
 
-  void OnAcquired(const void* lock, const std::string& name, int thread_id);
-  void OnReleased(const void* lock, int thread_id);
+  // Both hooks are inline fast paths over out-of-line slow tails, and the
+  // stack upkeep runs whether or not recording is enabled: the common
+  // cases -- acquiring with nothing held, releasing the most recent
+  // acquisition -- are one load and a store or two on the thread's
+  // embedded stack, and the enabled flag is only consulted on the nested
+  // path.  Enabling the tracker therefore costs nothing on flat locking.
+
+  void OnAcquired(const void* lock, const std::string& name,
+                  HeldLockStack& held, int thread_id) {
+    if (held.depth != 0) {
+      AcquiredSlow(lock, name, held, thread_id);
+      return;
+    }
+    // Nothing held: no ordering edges to record either way.
+    held.frames[0] = HeldLock{lock, &name};
+    held.depth = 1;
+  }
+
+  void OnReleased(const void* lock, HeldLockStack& held) {
+    const std::uint32_t d = held.depth;
+    if (d != 0 && d <= HeldLockStack::kInlineDepth &&
+        held.frames[d - 1].lock == lock) {
+      held.depth = d - 1;
+      return;
+    }
+    ReleasedSlow(lock, held);
+  }
 
   // --- Op context --------------------------------------------------------
   // The kernel installs its RequestContext at construction; edges are
@@ -87,24 +148,19 @@ class LockOrderTracker {
   // Human-readable edge list plus cycle verdicts.
   std::string Report() const;
 
-  // Drops all recorded state (not the enabled flag).
+  // Drops all recorded edges (not the enabled flag).  Held-lock stacks
+  // live on the threads themselves and empty out as locks are released.
   void Reset();
 
  private:
-  struct Held {
-    const void* lock;
-    // Points at the sync primitive's own name member: a lock outlives
-    // every Held entry for it (entries are erased on release), so the
-    // hot path never copies a string.
-    const std::string* name;
-  };
+  // Slow tails of the hooks: nested acquisitions (edge recording) and
+  // out-of-order releases.
+  void AcquiredSlow(const void* lock, const std::string& name,
+                    HeldLockStack& held, int thread_id);
+  void ReleasedSlow(const void* lock, HeldLockStack& held);
 
   bool enabled_ = false;
   const RequestContext* context_ = nullptr;
-  // Indexed by thread id (small dense ints from the kernel), grown on
-  // demand; each slot is that thread's stack of held locks (erased by
-  // instance on release, so out-of-order release is fine).
-  std::vector<std::vector<Held>> held_;
   // (from, to) -> edge data.  std::map keeps iteration deterministic.
   std::map<std::pair<std::string, std::string>, Edge> edges_;
 };

@@ -4,94 +4,58 @@
 
 namespace osim {
 
-void RequestContext::Push(int tid, const void* owner,
-                          const osprof::OpTable* ops, osprof::OpId op,
-                          osprof::LayerComponent cls, Cycles now) {
-  if (tid < 0) {
-    return;
-  }
-  const auto index = static_cast<std::size_t>(tid);
-  if (index >= stacks_.size()) {
-    stacks_.resize(index + 1);
-  }
-  stacks_[index].push_back(Frame{owner, ops, op, cls, now, {}, 0});
-}
-
-RequestContext::PopResult RequestContext::Pop(int tid, Cycles now,
-                                              Cycles recorded_latency) {
-  PopResult r;
-  if (tid < 0 || static_cast<std::size_t>(tid) >= stacks_.size() ||
-      stacks_[static_cast<std::size_t>(tid)].empty()) {
-    throw std::logic_error("RequestContext::Pop with no active span");
-  }
-  std::vector<Frame>& stack = stacks_[static_cast<std::size_t>(tid)];
-  const Frame frame = stack.back();
-  stack.pop_back();
-
-  r.duration = now >= frame.entry ? now - frame.entry : 0;
-  Cycles waits = 0;
-  for (int c = osprof::kLayerSelf + 1; c < osprof::kNumLayerComponents; ++c) {
-    r.components[c] = frame.comp[c];
-    waits += frame.comp[c];
-  }
-  // Self-CPU is what no wait accounted for.  Clamped: an untagged park
-  // inside the span cannot make self negative.
-  r.components[osprof::kLayerSelf] =
-      r.duration > waits ? r.duration - waits : 0;
-  r.owner_children = frame.owner_child_latency;
-
-  if (!stack.empty()) {
-    // Waits bubble up verbatim; an opaque child's self-CPU is charged to
-    // the parent's component for the child's layer class.  A transparent
-    // child (kLayerSelf, e.g. the user layer re-wrapping an FS op) lets
-    // its self-CPU flow into the parent's self implicitly.
-    Frame& parent = stack.back();
+void RequestContext::PopNested(Frame& frame, PopResult& r,
+                               Cycles recorded_latency) {
+  // Waits bubble up verbatim; an opaque child's self-CPU is charged to
+  // the parent's component for the child's layer class.  A transparent
+  // child (kLayerSelf, e.g. the user layer re-wrapping an FS op) lets
+  // its self-CPU flow into the parent's self implicitly.  The popped
+  // components live in `r` (zero when the child never waited), so this
+  // never reads the child's possibly-uninitialized comp[].
+  Frame& parent = pool_[frame.below];
+  const osprof::LayerComponent cls = frame.owner->cls;
+  const bool charges_class =
+      cls != osprof::kLayerSelf && r.components[osprof::kLayerSelf] != 0;
+  if (!r.self_only || charges_class) {
+    TouchWaits(parent);
     for (int c = osprof::kLayerSelf + 1; c < osprof::kNumLayerComponents;
          ++c) {
-      parent.comp[c] += frame.comp[c];
+      parent.comp[c] += r.components[c];
     }
-    if (frame.cls != osprof::kLayerSelf) {
-      parent.comp[frame.cls] += r.components[osprof::kLayerSelf];
+    if (cls != osprof::kLayerSelf) {
+      parent.comp[cls] += r.components[osprof::kLayerSelf];
     }
   }
   // Lineage is per-owner: the caller edge and child-time must skip frames
   // interleaved by other profilers.
-  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-    if (it->owner == frame.owner) {
-      r.caller = it->op;
-      it->owner_child_latency += recorded_latency;
+  for (std::uint32_t below = frame.below; below != kNilFrame;
+       below = pool_[below].below) {
+    if (pool_[below].owner == frame.owner) {
+      r.caller = pool_[below].op;
+      pool_[below].owner_child_latency += recorded_latency;
       break;
     }
   }
-  return r;
 }
 
-void RequestContext::AttributeWait(int tid, osprof::LayerComponent component,
-                                   Cycles cycles) {
-  if (tid < 0 || static_cast<std::size_t>(tid) >= stacks_.size()) {
-    return;
-  }
-  std::vector<Frame>& stack = stacks_[static_cast<std::size_t>(tid)];
-  if (stack.empty()) {
-    return;
-  }
-  stack.back().comp[component] += cycles;
+void RequestContext::GrowTops(std::size_t index) {
+  tops_.resize(index + 1, kNilFrame);
 }
 
-bool RequestContext::TopOp(int tid, const osprof::OpTable** ops,
-                           osprof::OpId* op) const {
-  if (tid < 0 || static_cast<std::size_t>(tid) >= stacks_.size()) {
-    return false;
-  }
-  const std::vector<Frame>& stack = stacks_[static_cast<std::size_t>(tid)];
-  if (stack.empty()) {
-    return false;
-  }
-  *ops = stack.back().ops;
-  *op = stack.back().op;
-  return true;
+std::uint32_t RequestContext::GrowPool() {
+  const auto slot = static_cast<std::uint32_t>(pool_.size());
+  pool_.emplace_back();
+  return slot;
 }
 
-void RequestContext::Reset() { stacks_.clear(); }
+void RequestContext::ThrowNoActiveSpan() {
+  throw std::logic_error("RequestContext::Pop with no active span");
+}
+
+void RequestContext::Reset() {
+  pool_.clear();
+  tops_.clear();
+  free_head_ = kNilFrame;
+}
 
 }  // namespace osim

@@ -15,18 +15,16 @@ bool SimSemaphore::TryAcquire() {
 }
 
 void SimSemaphore::NoteAcquired() {
-  LockOrderTracker& tracker = kernel_->lock_order();
   SimThread* t = kernel_->current();
-  if (tracker.enabled() && t != nullptr) {
-    tracker.OnAcquired(this, name_, t->id());
+  if (t != nullptr) {
+    kernel_->lock_order().OnAcquired(this, name_, t->held_locks_, t->id());
   }
 }
 
 void SimSemaphore::NoteReleased() {
-  LockOrderTracker& tracker = kernel_->lock_order();
   SimThread* t = kernel_->current();
-  if (tracker.enabled() && t != nullptr) {
-    tracker.OnReleased(this, t->id());
+  if (t != nullptr) {
+    kernel_->lock_order().OnReleased(this, t->held_locks_);
   }
 }
 
@@ -108,25 +106,20 @@ void SimSpinlock::Unlock() {
 }
 
 void SimSpinlock::NoteAcquired() {
-  LockOrderTracker& tracker = kernel_->lock_order();
   SimThread* t = kernel_->current();
-  if (tracker.enabled() && t != nullptr) {
-    tracker.OnAcquired(this, name_, t->id());
+  if (t != nullptr) {
+    kernel_->lock_order().OnAcquired(this, name_, t->held_locks_, t->id());
   }
 }
 
 void SimSpinlock::NoteHandoff(SimThread* to) {
-  LockOrderTracker& tracker = kernel_->lock_order();
-  if (tracker.enabled()) {
-    tracker.OnAcquired(this, name_, to->id());
-  }
+  kernel_->lock_order().OnAcquired(this, name_, to->held_locks_, to->id());
 }
 
 void SimSpinlock::NoteReleased() {
-  LockOrderTracker& tracker = kernel_->lock_order();
   SimThread* t = kernel_->current();
-  if (tracker.enabled() && t != nullptr) {
-    tracker.OnReleased(this, t->id());
+  if (t != nullptr) {
+    kernel_->lock_order().OnReleased(this, t->held_locks_);
   }
 }
 

@@ -74,8 +74,9 @@ class SimSemaphore {
     void await_resume() const noexcept {}
   };
 
-  // Lock-order tracking (no-ops while the kernel's tracker is disabled or
-  // outside thread context).
+  // Held-lock stack upkeep for the lock-order tracker (no-ops outside
+  // thread context; edge recording further gated by the tracker's
+  // enabled flag).
   void NoteAcquired();
   void NoteReleased();
 

@@ -269,11 +269,10 @@ LayersVerdict ScoreLayersDecomposition(
         note(layer + "/" + op + " only in measured", 1.0);
         continue;
       }
-      // Union of the sparse bucket keys, compared field by field.
-      std::map<int, const osprof::LayeredBucket*> gb;
-      for (const auto& [bucket, data] : gprofile->buckets()) {
-        gb.emplace(bucket, &data);
-      }
+      // Union of the sparse bucket keys, compared field by field.  Both
+      // views are materialized by value (LayeredProfile::buckets() returns
+      // a temporary map).
+      std::map<int, osprof::LayeredBucket> gb = gprofile->buckets();
       for (const auto& [bucket, mdata] : mprofile.buckets()) {
         const std::string where =
             layer + "/" + op + " bucket " + std::to_string(bucket);
@@ -282,7 +281,7 @@ LayersVerdict ScoreLayersDecomposition(
           note(where + " only in measured", 1.0);
           continue;
         }
-        const osprof::LayeredBucket& gdata = *bit->second;
+        const osprof::LayeredBucket gdata = bit->second;
         gb.erase(bit);
         if (gdata.count != mdata.count) {
           note(where + ": count " + std::to_string(gdata.count) + " vs " +

@@ -44,7 +44,7 @@ TEST(LayeredProfileTest, AddAccumulatesCountAndComponents) {
   comp[kLayerDriver] = 70;
   p.Add(5, comp);
   p.Add(5, comp);
-  const auto& bucket = p.buckets().at(5);
+  const LayeredBucket bucket = p.buckets().at(5);
   EXPECT_EQ(bucket.count, 2u);
   EXPECT_EQ(bucket.cycles[kLayerSelf], 60u);
   EXPECT_EQ(bucket.cycles[kLayerDriver], 140u);

@@ -101,7 +101,17 @@ TEST(LintRules, ProbeDisciplineFlagsStringLiteralOpNames) {
   const std::string src = ReadFixture("probe_discipline_violation.src");
   const std::vector<Finding> findings = LintText("src/fs/bad.cc", src);
   EXPECT_EQ(LinesOfRule(findings, kRuleProbeDiscipline),
-            (std::vector<int>{5, 6, 10, 14}));
+            (std::vector<int>{5, 6, 10, 14, 21}));
+}
+
+// The string shims survive as [[deprecated]] test-only compatibility
+// paths, so the string-key subcheck skips tests/ (the other
+// probe-discipline subchecks still apply there).
+TEST(LintRules, ProbeDisciplineExemptsStringShimsInTests) {
+  const std::string src = ReadFixture("probe_discipline_violation.src");
+  const std::vector<Finding> findings = LintText("tests/profilers/bad.cc", src);
+  EXPECT_EQ(LinesOfRule(findings, kRuleProbeDiscipline),
+            (std::vector<int>{14}));
 }
 
 TEST(LintRules, ProbeDisciplineFlagsManualRequestContextFrames) {

@@ -26,12 +26,12 @@ Task<int> Burn(Kernel* k, Cycles cycles) {
 TEST(SimProfiler, WrapMeasuresSimulatedLatency) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
-  auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
-    // osprof-lint: allow(probe-discipline)
-    const int v = co_await p->Wrap("op", Burn(kk, 1000));
+  const osprof::ProbeHandle op_h = prof.Resolve("op");
+  auto body = [](Kernel* kk, SimProfiler* p, osprof::ProbeHandle op) -> Task<void> {
+    const int v = co_await p->Wrap(op, Burn(kk, 1000));
     EXPECT_EQ(v, 7);
   };
-  k.Spawn("t", body(&k, &prof));
+  k.Spawn("t", body(&k, &prof, op_h));
   k.RunUntilThreadsFinish();
   const osprof::Profile* op = prof.profiles().Find("op");
   ASSERT_NE(op, nullptr);
@@ -43,11 +43,11 @@ TEST(SimProfiler, OverheadChargingAddsCostsAndFloor) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   prof.set_charge_overhead(true);
-  auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
-    // osprof-lint: allow(probe-discipline)
-    (void)co_await p->Wrap("noop", Burn(kk, 0));
+  const osprof::ProbeHandle noop_h = prof.Resolve("noop");
+  auto body = [](Kernel* kk, SimProfiler* p, osprof::ProbeHandle op) -> Task<void> {
+    (void)co_await p->Wrap(op, Burn(kk, 0));
   };
-  k.Spawn("t", body(&k, &prof));
+  k.Spawn("t", body(&k, &prof, noop_h));
   k.RunUntilThreadsFinish();
   const osprof::Profile* op = prof.profiles().Find("noop");
   ASSERT_NE(op, nullptr);
@@ -80,13 +80,13 @@ TEST(SimProfiler, SamplingSplitsEpochs) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   prof.EnableSampling(10'000);
-  auto body = [](Kernel* kk, SimProfiler* p) -> Task<void> {
+  const osprof::ProbeHandle op_h = prof.Resolve("op");
+  auto body = [](Kernel* kk, SimProfiler* p, osprof::ProbeHandle op) -> Task<void> {
     for (int i = 0; i < 5; ++i) {
-      // osprof-lint: allow(probe-discipline)
-      (void)co_await p->Wrap("op", Burn(kk, 4'000));
+      (void)co_await p->Wrap(op, Burn(kk, 4'000));
     }
   };
-  k.Spawn("t", body(&k, &prof));
+  k.Spawn("t", body(&k, &prof, op_h));
   k.RunUntilThreadsFinish();
   const osprof::SampledProfile* sp = prof.sampled()->Find("op");
   ASSERT_NE(sp, nullptr);
@@ -105,10 +105,9 @@ TEST(SimProfiler, CorrelatorReceivesValues) {
   slow.last_bucket = 40;
   osprof::ValueCorrelator corr("flag", {fast, slow});
   prof.AttachCorrelator("op", &corr);
-  // osprof-lint: allow(probe-discipline)
-  prof.RecordWithValue("op", 100, 1024);     // Fast peak, flag set.
-  // osprof-lint: allow(probe-discipline)
-  prof.RecordWithValue("op", 100'000, 0);    // Slow peak, flag clear.
+  const osprof::ProbeHandle op = prof.Resolve("op");
+  prof.RecordWithValue(op, 100, 1024);     // Fast peak, flag set.
+  prof.RecordWithValue(op, 100'000, 0);    // Slow peak, flag clear.
   EXPECT_EQ(corr.peak_values(0).bucket(10), 1u);
   EXPECT_EQ(corr.peak_values(1).bucket(0), 1u);
 }
@@ -117,8 +116,7 @@ TEST(SimProfiler, ResetClearsDataKeepsConfig) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   prof.EnableSampling(1'000);
-  // osprof-lint: allow(probe-discipline)
-  prof.Record("op", 100);
+  prof.Record(prof.Resolve("op"), 100);
   prof.Reset();
   EXPECT_TRUE(prof.profiles().empty());
   ASSERT_NE(prof.sampled(), nullptr);
@@ -132,8 +130,12 @@ TEST(SimProfiler, HandleRecordMatchesStringRecord) {
   const osprof::ProbeHandle op = by_handle.Resolve("op");
   for (int i = 0; i < 50; ++i) {
     const Cycles latency = static_cast<Cycles>(80 + 113 * i);
+    // The deprecated test-only shim is exactly what this test covers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     // osprof-lint: allow(probe-discipline)
     by_string.Record("op", latency);
+#pragma GCC diagnostic pop
     by_handle.Record(op, latency);
   }
   EXPECT_EQ(by_string.profiles().ToString(), by_handle.profiles().ToString());
@@ -165,8 +167,7 @@ TEST(SimProfiler, ResolvedButUnrecordedOpsInvisibleInCollect) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   (void)prof.Resolve("never_fired");
-  // osprof-lint: allow(probe-discipline)
-  prof.Record("fired", 100);
+  prof.Record(prof.Resolve("fired"), 100);
   const osprof::ProfileSet snapshot = prof.Collect();
   EXPECT_EQ(snapshot.size(), 1u);
   EXPECT_EQ(snapshot.Find("never_fired"), nullptr);

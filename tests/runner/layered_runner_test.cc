@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,34 @@ TEST(LayeredRunnerTest, ParallelMergeIsByteIdenticalToSerial) {
   EXPECT_EQ(a, b);
 }
 
+// Every layer's merged ProfileSet in .prof serialization form -- what
+// `osprof run` writes to disk.
+std::string ProfilesToString(const RunResult& result) {
+  std::ostringstream os;
+  for (const auto& [layer, lr] : result.layers) {
+    os << "== " << layer << " ==\n";
+    lr.merged.Serialize(os);
+  }
+  return os.str();
+}
+
+// The .prof counterpart of the .layers identity above: trial profiles
+// are merged in trial order regardless of which worker finished first,
+// so the serialized bytes cannot depend on the jobs value.
+TEST(LayeredRunnerTest, ParallelProfSerializationIsByteIdenticalToSerial) {
+  RunOptions serial;
+  serial.trials = 4;
+  serial.jobs = 1;
+  RunOptions parallel = serial;
+  parallel.jobs = 8;
+  const std::string a =
+      ProfilesToString(RunScenario(Builtin("fig06"), serial));
+  const std::string b =
+      ProfilesToString(RunScenario(Builtin("fig06"), parallel));
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
 TEST(LayeredRunnerTest, LayeredCountsMatchProfileHistograms) {
   RunOptions options;
   options.trials = 2;
@@ -64,12 +93,13 @@ TEST(LayeredRunnerTest, LayeredCountsMatchProfileHistograms) {
       }
       ++checked_ops;
       const osprof::Histogram& h = profile.histogram();
+      const std::map<int, osprof::LayeredBucket> lbuckets = lp->buckets();
       std::uint64_t histogram_total = 0;
       for (int b = 0; b < h.num_buckets(); ++b) {
         histogram_total += h.bucket(b);
-        const auto it = lp->buckets().find(b);
+        const auto it = lbuckets.find(b);
         const std::uint64_t layered_count =
-            it == lp->buckets().end() ? 0 : it->second.count;
+            it == lbuckets.end() ? 0 : it->second.count;
         EXPECT_EQ(layered_count, h.bucket(b))
             << layer << "/" << op << " bucket " << b;
       }

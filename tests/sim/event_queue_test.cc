@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <queue>
 #include <vector>
 
 namespace osim {
@@ -83,6 +86,88 @@ TEST(EventQueue, SchedulingIntoThePastThrows) {
   q.At(100, [] {});
   q.RunAll();
   EXPECT_THROW(q.At(50, [] {}), std::logic_error);
+}
+
+// The calendar queue must be observationally identical to the
+// std::priority_queue scheduler it replaced: ascending `when`, ties in
+// ascending insertion order.  A reference model with exactly the old
+// comparator runs in lockstep over a million randomly seeded events --
+// timestamps drawn across twenty binary orders of magnitude (so day
+// buckets see dense ties, sparse far-future years, and everything
+// between), plus follow-up events scheduled mid-run the way simulated
+// threads schedule wakeups.
+TEST(EventQueue, MatchesReferencePriorityQueueOnRandomLoad) {
+  struct Ref {
+    Cycles when;
+    std::uint64_t seq;
+  };
+  struct LaterFirst {
+    bool operator()(const Ref& a, const Ref& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Ref, std::vector<Ref>, LaterFirst> ref;
+
+  constexpr int kInitialEvents = 1'000'000;
+  constexpr int kFollowUps = 200'000;
+
+  EventQueue q;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // Deterministic LCG.
+  const auto next_random = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  std::uint64_t seq = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t mismatches = 0;
+  int follow_ups_left = kFollowUps;
+
+  std::function<void(Cycles)> schedule = [&](Cycles when) {
+    const std::uint64_t id = seq++;
+    ref.push(Ref{when, id});
+    q.At(when, [&, when, id] {
+      if (ref.empty() || ref.top().when != when || ref.top().seq != id) {
+        ++mismatches;
+      } else {
+        ref.pop();
+      }
+      ++executed;
+      if (follow_ups_left > 0 && (id & 3u) == 0) {
+        --follow_ups_left;
+        // Mixed-magnitude gap, sometimes exactly zero: a same-timestamp
+        // follow-up must still run after everything already queued for
+        // `now`.
+        const Cycles gap =
+            (id & 31u) == 0
+                ? 0
+                : next_random() & ((1ull << (8 + id % 21)) - 1);
+        schedule(q.now() + gap);
+      }
+    });
+  };
+
+  // Times come from a random walk of mixed-magnitude gaps: zero gaps
+  // make exact ties, small gaps make dense micro-bursts, 2^20-cycle
+  // jumps make sparse stretches -- the local-density shape a simulated
+  // kernel produces, at every magnitude.  The walk is then inserted in
+  // LCG-shuffled order so arrival order and time order are unrelated.
+  std::vector<Cycles> times(kInitialEvents);
+  Cycles t = 0;
+  for (int i = 0; i < kInitialEvents; ++i) {
+    t += next_random() & ((Cycles{1} << (i % 21)) - 1);
+    times[static_cast<std::size_t>(i)] = t;
+  }
+  for (std::size_t i = times.size() - 1; i > 0; --i) {
+    std::swap(times[i], times[next_random() % (i + 1)]);
+  }
+  for (const Cycles when : times) {
+    schedule(when);
+  }
+  q.RunAll();
+
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(kInitialEvents) + kFollowUps);
+  EXPECT_TRUE(ref.empty());
+  EXPECT_EQ(mismatches, 0u);
 }
 
 TEST(EventQueue, StepReturnsFalseWhenEmpty) {

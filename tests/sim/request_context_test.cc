@@ -24,14 +24,15 @@ class RequestContextTest : public ::testing::Test {
  protected:
   OpTable ops_;
   RequestContext ctx_;
-  // Two distinct owner cookies (the profilers' addresses in production).
-  const int owner_a_ = 0;
-  const int owner_b_ = 0;
+  // Two distinct owner descriptors (one per profiler in production):
+  // owner_a is transparent, owner_b charges parents as an FS layer.
+  const SpanOwner owner_a_{&ops_, osprof::kLayerSelf};
+  const SpanOwner owner_b_{&ops_, osprof::kLayerFs};
 };
 
 TEST_F(RequestContextTest, PureSelfSpan) {
   const OpId read = ops_.Intern("read");
-  ctx_.Push(0, &owner_a_, &ops_, read, osprof::kLayerSelf, 100);
+  ctx_.Push(0, &owner_a_, read, 100);
   const auto r = ctx_.Pop(0, 350, 250);
   EXPECT_EQ(r.duration, 250u);
   EXPECT_EQ(r.components[osprof::kLayerSelf], 250u);
@@ -44,7 +45,7 @@ TEST_F(RequestContextTest, PureSelfSpan) {
 
 TEST_F(RequestContextTest, WaitsSubtractFromSelfExactly) {
   const OpId read = ops_.Intern("read");
-  ctx_.Push(0, &owner_a_, &ops_, read, osprof::kLayerSelf, 0);
+  ctx_.Push(0, &owner_a_, read, 0);
   ctx_.AttributeWait(0, osprof::kLayerDriver, 600);
   ctx_.AttributeWait(0, osprof::kLayerRunQueue, 100);
   const auto r = ctx_.Pop(0, 1000, 1000);
@@ -62,7 +63,7 @@ TEST_F(RequestContextTest, SelfClampsAtZeroWhenWaitsExceedDuration) {
   // An untagged park can leave attributed waits larger than the clocked
   // duration; self must clamp, never wrap.
   const OpId op = ops_.Intern("op");
-  ctx_.Push(0, &owner_a_, &ops_, op, osprof::kLayerSelf, 500);
+  ctx_.Push(0, &owner_a_, op, 500);
   ctx_.AttributeWait(0, osprof::kLayerLockWait, 900);
   const auto r = ctx_.Pop(0, 1000, 500);
   EXPECT_EQ(r.duration, 500u);
@@ -73,8 +74,8 @@ TEST_F(RequestContextTest, SelfClampsAtZeroWhenWaitsExceedDuration) {
 TEST_F(RequestContextTest, WaitsBubbleUpToParentVerbatim) {
   const OpId user_read = ops_.Intern("user_read");
   const OpId fs_read = ops_.Intern("fs_read");
-  ctx_.Push(0, &owner_a_, &ops_, user_read, osprof::kLayerSelf, 0);
-  ctx_.Push(0, &owner_a_, &ops_, fs_read, osprof::kLayerSelf, 100);
+  ctx_.Push(0, &owner_a_, user_read, 0);
+  ctx_.Push(0, &owner_a_, fs_read, 100);
   ctx_.AttributeWait(0, osprof::kLayerDriver, 300);
   (void)ctx_.Pop(0, 500, 400);
   const auto parent = ctx_.Pop(0, 600, 600);
@@ -90,8 +91,8 @@ TEST_F(RequestContextTest, OpaqueChildChargesSelfToItsLayerClass) {
   // as the parent's `fs` component, not as parent self.
   const OpId user_read = ops_.Intern("user_read");
   const OpId fs_read = ops_.Intern("fs_read");
-  ctx_.Push(0, &owner_a_, &ops_, user_read, osprof::kLayerSelf, 0);
-  ctx_.Push(0, &owner_b_, &ops_, fs_read, osprof::kLayerFs, 100);
+  ctx_.Push(0, &owner_a_, user_read, 0);
+  ctx_.Push(0, &owner_b_, fs_read, 100);
   ctx_.AttributeWait(0, osprof::kLayerDriver, 250);
   const auto child = ctx_.Pop(0, 500, 400);
   EXPECT_EQ(child.components[osprof::kLayerSelf], 150u);
@@ -106,9 +107,9 @@ TEST_F(RequestContextTest, CallerIsNearestSameOwnerAncestor) {
   const OpId fs_read = ops_.Intern("fs_read");
   const OpId disk = ops_.Intern("disk_read");
   // owner_a wraps grep and disk_read; owner_b interleaves fs_read.
-  ctx_.Push(0, &owner_a_, &ops_, grep, osprof::kLayerSelf, 0);
-  ctx_.Push(0, &owner_b_, &ops_, fs_read, osprof::kLayerFs, 10);
-  ctx_.Push(0, &owner_a_, &ops_, disk, osprof::kLayerDriver, 20);
+  ctx_.Push(0, &owner_a_, grep, 0);
+  ctx_.Push(0, &owner_b_, fs_read, 10);
+  ctx_.Push(0, &owner_a_, disk, 20);
   const auto leaf = ctx_.Pop(0, 50, 30);
   EXPECT_EQ(leaf.caller, grep) << "must skip the other owner's frame";
   const auto mid = ctx_.Pop(0, 80, 70);
@@ -123,8 +124,8 @@ TEST_F(RequestContextTest, CallerIsNearestSameOwnerAncestor) {
 TEST_F(RequestContextTest, ThreadsHaveIndependentStacks) {
   const OpId a = ops_.Intern("a");
   const OpId b = ops_.Intern("b");
-  ctx_.Push(3, &owner_a_, &ops_, a, osprof::kLayerSelf, 0);
-  ctx_.Push(7, &owner_a_, &ops_, b, osprof::kLayerSelf, 0);
+  ctx_.Push(3, &owner_a_, a, 0);
+  ctx_.Push(7, &owner_a_, b, 0);
   ctx_.AttributeWait(7, osprof::kLayerNet, 40);
   const auto r3 = ctx_.Pop(3, 100, 100);
   EXPECT_EQ(r3.components[osprof::kLayerNet], 0u);
@@ -138,8 +139,8 @@ TEST_F(RequestContextTest, TopOpSeesInnermostActiveSpan) {
   EXPECT_FALSE(ctx_.TopOp(0, &ops, &op));
   const OpId outer = ops_.Intern("outer");
   const OpId inner = ops_.Intern("inner");
-  ctx_.Push(0, &owner_a_, &ops_, outer, osprof::kLayerSelf, 0);
-  ctx_.Push(0, &owner_a_, &ops_, inner, osprof::kLayerSelf, 0);
+  ctx_.Push(0, &owner_a_, outer, 0);
+  ctx_.Push(0, &owner_a_, inner, 0);
   ASSERT_TRUE(ctx_.TopOp(0, &ops, &op));
   EXPECT_EQ(op, inner);
   EXPECT_EQ(&ops->Name(op), &ops_.Name(inner));
@@ -150,7 +151,7 @@ TEST_F(RequestContextTest, TopOpSeesInnermostActiveSpan) {
 
 TEST_F(RequestContextTest, NegativeTidIsIgnoredAndEmptyPopThrows) {
   const OpId op = ops_.Intern("op");
-  ctx_.Push(-1, &owner_a_, &ops_, op, osprof::kLayerSelf, 0);  // No-op.
+  ctx_.Push(-1, &owner_a_, op, 0);  // No-op.
   const OpTable* ops = nullptr;
   OpId top = kInvalidOpId;
   EXPECT_FALSE(ctx_.TopOp(-1, &ops, &top));
@@ -160,7 +161,7 @@ TEST_F(RequestContextTest, NegativeTidIsIgnoredAndEmptyPopThrows) {
 
 TEST_F(RequestContextTest, ResetDropsAllFrames) {
   const OpId op = ops_.Intern("op");
-  ctx_.Push(0, &owner_a_, &ops_, op, osprof::kLayerSelf, 0);
+  ctx_.Push(0, &owner_a_, op, 0);
   ctx_.Reset();
   const OpTable* ops = nullptr;
   OpId top = kInvalidOpId;

@@ -10,6 +10,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "src/core/clock.h"
 #include "src/core/jsonw.h"
 #include "src/core/peaks.h"
@@ -53,6 +57,26 @@ inline void ShowDispersion(const osrunner::RunResult& result,
   std::printf("\n--- Cross-trial dispersion [%s] ---\n%s", layer.c_str(),
               osrunner::RenderDispersion(it->second, result.options.trials)
                   .c_str());
+}
+
+// Peak resident set size of this process, in bytes (0 where the platform
+// offers no getrusage).  Linux reports ru_maxrss in KiB, macOS in bytes.
+inline std::uint64_t PeakRssBytes() {
+#if defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#elif defined(__unix__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#else
+  return 0;
+#endif
 }
 
 inline void Header(const std::string& title) {

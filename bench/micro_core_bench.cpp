@@ -244,18 +244,16 @@ osim::Task<int> NoopWork(osim::Kernel* k) {
   co_return 0;
 }
 
-// The string-keyed baseline deliberately measures the deprecated shim.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// The string-keyed baseline: resolve-per-call, exactly what the removed
+// deprecated shims did internally (build the key, walk the name map).
 osim::Task<void> WrapStringLoop(osim::Kernel* k,
                                 osprofilers::SimProfiler* prof) {
   const std::string prefix = "fs_";
   for (int i = 0; i < kWrapIters; ++i) {
     // osprof-lint: allow(probe-discipline)
-    (void)co_await prof->Wrap(prefix + "read", NoopWork(k));
+    (void)co_await prof->Wrap(prof->Resolve(prefix + "read"), NoopWork(k));
   }
 }
-#pragma GCC diagnostic pop
 
 osim::Task<void> WrapHandleLoop(osim::Kernel* k,
                                 osprofilers::SimProfiler* prof,

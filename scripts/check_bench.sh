@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Bench-trajectory gate: compare every BENCH_*.json `checks` block in a
+# directory against the committed baseline (tests/bench_baseline/).
+#
+# A bench REGRESSES -- and this script exits nonzero -- when:
+#   * a check that passed at baseline fails now, or
+#   * a check recorded at baseline is missing from the new report, or
+#   * a bench with a committed baseline produced no JSON at all.
+#
+# New benches and new checks are improvements: reported, never fatal,
+# and folded into the baseline on the next --update.  Timing metrics are
+# deliberately NOT compared -- they move with the host machine; the
+# perf-sensitive figures each bench cares about are expressed as checks
+# (e.g. sim_throughput's ns/Wrap floor), which is what trajectory means.
+#
+# Usage:
+#   scripts/check_bench.sh <bench-json-dir> [baseline-dir]
+#   scripts/check_bench.sh --update <bench-json-dir> [baseline-dir]
+set -u
+
+update=0
+if [ "${1:-}" = "--update" ]; then
+  update=1
+  shift
+fi
+json_dir="${1:?usage: check_bench.sh [--update] <bench-json-dir> [baseline-dir]}"
+baseline_dir="${2:-$(dirname "$0")/../tests/bench_baseline}"
+
+# Flatten one bench JSON into sorted "check_name pass" lines.
+checks_of() {
+  python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for c in sorted(doc.get("checks", []), key=lambda c: c["name"]):
+    print(c["name"], "pass" if c["pass"] else "FAIL")
+EOF
+}
+
+if [ "$update" = 1 ]; then
+  mkdir -p "$baseline_dir"
+  for f in "$json_dir"/BENCH_*.json; do
+    [ -e "$f" ] || { echo "no BENCH_*.json in $json_dir" >&2; exit 1; }
+    bench="$(basename "$f" .json)"
+    checks_of "$f" > "$baseline_dir/${bench}.checks"
+    echo "baselined: ${bench} ($(wc -l < "$baseline_dir/${bench}.checks") checks)"
+  done
+  exit 0
+fi
+
+status=0
+for base in "$baseline_dir"/BENCH_*.checks; do
+  [ -e "$base" ] || { echo "no baseline in $baseline_dir" >&2; exit 1; }
+  bench="$(basename "$base" .checks)"
+  f="$json_dir/${bench}.json"
+  if [ ! -f "$f" ]; then
+    echo "REGRESSION: ${bench}: no JSON emitted (baseline expects it)"
+    status=1
+    continue
+  fi
+  now="$(checks_of "$f")"
+  while read -r name verdict; do
+    current="$(printf '%s\n' "$now" | awk -v n="$name" '$1 == n {print $2}')"
+    if [ -z "$current" ]; then
+      echo "REGRESSION: ${bench}: check '${name}' disappeared"
+      status=1
+    elif [ "$verdict" = "pass" ] && [ "$current" != "pass" ]; then
+      echo "REGRESSION: ${bench}: check '${name}' was passing, now fails"
+      status=1
+    fi
+  done < "$base"
+  new_checks="$(printf '%s\n' "$now" | awk '{print $1}' |
+    grep -vxF -f <(awk '{print $1}' "$base") || true)"
+  [ -n "$new_checks" ] &&
+    echo "note: ${bench}: new checks (not in baseline): ${new_checks}" | tr '\n' ' ' && echo
+done
+
+for f in "$json_dir"/BENCH_*.json; do
+  [ -e "$f" ] || continue
+  bench="$(basename "$f" .json)"
+  [ -f "$baseline_dir/${bench}.checks" ] ||
+    echo "note: new bench ${bench} (no baseline yet; run --update to adopt)"
+done
+
+if [ "$status" = 0 ]; then
+  echo "bench trajectory ok: $(ls "$baseline_dir"/BENCH_*.checks | wc -l) baselines held"
+fi
+exit "$status"

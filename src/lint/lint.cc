@@ -89,6 +89,7 @@ bool RequestContextAllowlisted(const std::string& path) {
       "src/profilers/callgraph_profiler.cc",
       // The context's own unit tests drive frames by hand, by design.
       "tests/sim/request_context_test.cc",
+      "tests/sim/scale_arena_test.cc",
   };
   for (const std::string& allowed : kSpine) {
     if (path.ends_with(allowed)) {
@@ -301,13 +302,10 @@ void CheckProbeDiscipline(const std::string& path,
     }
     // `Record("name", ...)` and friends: a string-keyed op name on the
     // record path re-introduces the per-record string lookup the
-    // ProbeHandle redesign removed.  The string overloads survive only as
-    // deprecated test-only shims, so tests/ is exempt; everywhere else a
-    // string literal anywhere in the first argument (including
-    // concatenations like `prefix + "read"`) is a violation.
-    if (path.find("tests/") != std::string::npos) {
-      continue;
-    }
+    // ProbeHandle redesign removed.  The deprecated string shims are gone,
+    // so the rule applies tree-wide (tests included): a string literal
+    // anywhere in the first argument (including concatenations like
+    // `prefix + "read"`) is a violation.
     if (RecordEntryPoints().count(tok.text) == 0) {
       continue;
     }

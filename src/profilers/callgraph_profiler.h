@@ -93,15 +93,6 @@ class CallGraphProfiler : public ProfilerSink {
     }
   }
 
-  // String-keyed convenience form: resolve, then dispatch.  Not a
-  // coroutine, so the name cannot dangle across a suspension.  Test-only
-  // shim; production call sites resolve a ProbeHandle at attach time.
-  template <typename T>
-  [[deprecated("resolve a ProbeHandle at attach time")]] osim::Task<T> Wrap(
-      std::string_view op, osim::Task<T> inner) {
-    return Wrap(Resolve(op), std::move(inner));
-  }
-
   // The flat per-operation profile (as SimProfiler would record).
   const osprof::ProfileSet& flat() const { return flat_; }
 

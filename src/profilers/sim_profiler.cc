@@ -19,8 +19,19 @@ osprof::ProbeHandle SimProfiler::Resolve(std::string_view op) {
     correlators_.resize(profiles_.ops().size(), nullptr);
     sampled_slots_.resize(profiles_.ops().size(), nullptr);
     layered_slots_.resize(profiles_.ops().size(), nullptr);
+    if (shards_raw_ != nullptr) {
+      shards_raw_->OnResolve(op);
+    }
   }
   return handle;
+}
+
+void SimProfiler::EnableSharding(Cycles epoch_cycles) {
+  shards_ = std::make_unique<ShardedProfileArena>(
+      &profiles_, &layered_, kernel_->config().num_cpus);
+  shards_raw_ = shards_.get();
+  shard_epoch_ = epoch_cycles;
+  next_epoch_flush_ = epoch_cycles > 0 ? kernel_->now() + epoch_cycles : 0;
 }
 
 osprof::LayerComponent SimProfiler::ComponentForLayer(
@@ -62,6 +73,11 @@ void SimProfiler::SampledRecord(osprof::ProbeHandle op, Cycles latency) {
 void SimProfiler::Reset() {
   profiles_.ClearCounts();
   layered_.ClearCounts();  // In place: cached layered_slots_ stay valid.
+  if (shards_raw_ != nullptr) {
+    shards_raw_->ClearCounts();
+    next_epoch_flush_ =
+        shard_epoch_ > 0 ? kernel_->now() + shard_epoch_ : 0;
+  }
   if (sampled_ != nullptr) {
     sampled_ = std::make_unique<osprof::SampledProfileSet>(sampling_epoch_,
                                                            resolution_);

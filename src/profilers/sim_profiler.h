@@ -30,6 +30,7 @@
 #include "src/core/op_table.h"
 #include "src/core/profile.h"
 #include "src/core/sampling.h"
+#include "src/profilers/profile_shards.h"
 #include "src/profilers/profiler_sink.h"
 #include "src/sim/disk.h"
 #include "src/sim/kernel.h"
@@ -112,13 +113,26 @@ class SimProfiler : public ProfilerSink {
   }
   int resolution() const override { return resolution_; }
   using ProfilerSink::Collect;
+  // With sharding enabled, collection folds the shards' post-epoch residue
+  // into the returned copies without disturbing the live shards (Collect is
+  // an observer): totals are identical to unsharded recording because shard
+  // merging is pure integer addition.
   Collected Collect(const CollectRequest& request) const override {
     Collected out;
     if (request.profiles) {
       out.profiles = profiles_;
+      if (shards_raw_ != nullptr) {
+        shards_raw_->MergeResidueInto(&out.profiles);
+      }
     }
     if (request.layered) {
-      out.layered = &layered_;
+      if (shards_raw_ != nullptr) {
+        layered_snapshot_ = layered_;
+        shards_raw_->MergeLayeredResidueInto(&layered_snapshot_);
+        out.layered = &layered_snapshot_;
+      } else {
+        out.layered = &layered_;
+      }
     }
     return out;
   }
@@ -137,6 +151,26 @@ class SimProfiler : public ProfilerSink {
   void EnableSampling(Cycles epoch_cycles);
   const osprof::SampledProfileSet* sampled() const { return sampled_.get(); }
 
+  // Switches recording to per-CPU shards (one ProfileSet/LayeredProfileSet
+  // pair per simulated CPU, paper §3.4's per-CPU update policy at arena
+  // scale).  A task records only into the shard of the CPU it is currently
+  // running on -- lock-free by construction -- and shards fold into the
+  // base sets every `epoch_cycles` of simulated time (0 = only at
+  // collection).  Because the fold is the associative/commutative integer
+  // Merge, collected profiles are byte-identical to unsharded recording
+  // for any CPU count and any epoch length.  Safe to call after probes
+  // were resolved; idempotent reconfiguration replaces the shards.
+  void EnableSharding(Cycles epoch_cycles = 0);
+  const ShardedProfileArena* shards() const { return shards_raw_; }
+
+  // Folds all shard residue into the base sets now (epoch boundaries do
+  // this automatically; tests and end-of-run paths can force it).
+  void FlushShards() {
+    if (shards_raw_ != nullptr) {
+      shards_raw_->FlushShards();
+    }
+  }
+
   // Interns `op` and returns the handle instrumentation should cache at
   // attach time (constructor / SetProfiler).  Resolving is idempotent and
   // does not make the operation visible in collected profiles; handles
@@ -151,7 +185,12 @@ class SimProfiler : public ProfilerSink {
   // allocation, no string compare, no tree walk (ISSUE 3 / §5.2's
   // ~100-cycle sort-and-store budget).
   void Record(osprof::ProbeHandle op, Cycles latency) {
-    profiles_.AddById(op.id(), latency);
+    if (shards_raw_ != nullptr) {
+      MaybeFlushEpoch();
+      shards_raw_->AddById(CurrentShard(), op.id(), latency);
+    } else {
+      profiles_.AddById(op.id(), latency);
+    }
     if (sampled_ != nullptr) {
       SampledRecord(op, latency);
     }
@@ -164,19 +203,6 @@ class SimProfiler : public ProfilerSink {
     if (c != nullptr) {
       c->Record(latency, value);
     }
-  }
-
-  // String-keyed convenience forms: resolve-then-dispatch shims kept for
-  // tests that exercise the compatibility path.  Production call sites
-  // resolve a ProbeHandle at attach time; osprof_lint's probe-discipline
-  // rule flags string-keyed calls anywhere outside tests/.
-  [[deprecated("resolve a ProbeHandle at attach time")]] void Record(
-      std::string_view op, Cycles latency) {
-    Record(Resolve(op), latency);
-  }
-  [[deprecated("resolve a ProbeHandle at attach time")]] void RecordWithValue(
-      std::string_view op, Cycles latency, std::uint64_t value) {
-    RecordWithValue(Resolve(op), latency, value);
   }
 
   // Split form of Wrap for coroutine bodies that time themselves with
@@ -215,15 +241,6 @@ class SimProfiler : public ProfilerSink {
   template <typename T>
   WrapAwaitable<T> Wrap(osprof::ProbeHandle op, Task<T> inner) {
     return WrapAwaitable<T>(this, op, std::move(inner));
-  }
-
-  // String-keyed Wrap: resolves then dispatches to the handle form.  The
-  // name is consumed before any suspension, so a string_view argument
-  // cannot dangle.  Test-only shim, like the string-keyed Record.
-  template <typename T>
-  [[deprecated("resolve a ProbeHandle at attach time")]] WrapAwaitable<T> Wrap(
-      std::string_view op, Task<T> inner) {
-    return Wrap(Resolve(op), std::move(inner));
   }
 
   // Like Wrap, but additionally records *`value` (read after the inner
@@ -270,12 +287,6 @@ class SimProfiler : public ProfilerSink {
       c->Record(latency, *value);
     }
     co_return std::move(result);
-  }
-
-  template <typename T>
-  [[deprecated("resolve a ProbeHandle at attach time")]] Task<T> WrapWithValue(
-      std::string_view op, Task<T> inner, const std::uint64_t* value) {
-    return WrapWithValue(Resolve(op), std::move(inner), value);
   }
 
   const osprof::ProfileSet& profiles() const { return profiles_; }
@@ -375,6 +386,10 @@ class SimProfiler : public ProfilerSink {
   void FinishSpan(osprof::ProbeHandle op, int tid, Cycles latency,
                   Cycles pop_now) {
     const int bucket = osprof::BucketIndex(latency, resolution_);
+    if (shards_raw_ != nullptr) {
+      ShardedFinishSpan(op, tid, latency, pop_now, bucket);
+      return;
+    }
     profiles_.AddById(op.id(), bucket, latency);
     if (sampled_ != nullptr) {
       SampledRecord(op, latency);
@@ -382,6 +397,52 @@ class SimProfiler : public ProfilerSink {
     if (tid >= 0) {
       RecordLayered(op, bucket,
                     kernel_->context().Pop(tid, pop_now, latency));
+    }
+  }
+
+  // FinishSpan with per-CPU sharding on: identical bookkeeping, but the
+  // flat increment and the layered decomposition land in the current
+  // CPU's private shard.  Out of the unsharded path's way so goldens run
+  // the exact code they always did.
+  void ShardedFinishSpan(osprof::ProbeHandle op, int tid, Cycles latency,
+                         Cycles pop_now, int bucket) {
+    MaybeFlushEpoch();
+    const int shard = CurrentShard();
+    shards_raw_->AddById(shard, op.id(), bucket, latency);
+    if (sampled_ != nullptr) {
+      SampledRecord(op, latency);
+    }
+    if (tid >= 0) {
+      const osim::RequestContext::PopResult span =
+          kernel_->context().Pop(tid, pop_now, latency);
+      if (span.self_only) {
+        shards_raw_->AddLayeredSelfOnly(shard, op.id(), bucket,
+                                        span.components[osprof::kLayerSelf]);
+      } else {
+        shards_raw_->AddLayered(shard, op.id(), bucket, span.components);
+      }
+    }
+  }
+
+  // The shard a record lands in: the current thread's CPU, or shard 0 for
+  // records made from kernel context (e.g. DriverProfiler's completion
+  // observer firing during interrupt handling).
+  int CurrentShard() const {
+    const osim::SimThread* t = kernel_->current();
+    if (t == nullptr) {
+      return 0;
+    }
+    const int cpu = t->cpu();
+    return cpu >= 0 ? cpu : 0;
+  }
+
+  // Epoch boundary check, run before every sharded record: folding at the
+  // deadline (rather than on a timer thread) keeps the merge on the single
+  // real thread and adds one compare to the hot path.
+  void MaybeFlushEpoch() {
+    if (shard_epoch_ > 0 && kernel_->now() >= next_epoch_flush_) {
+      shards_raw_->FlushShards();
+      next_epoch_flush_ = kernel_->now() + shard_epoch_;
     }
   }
 
@@ -407,6 +468,17 @@ class SimProfiler : public ProfilerSink {
   std::vector<osprof::SampledProfile*> sampled_slots_;
   std::vector<osprof::LayeredProfile*> layered_slots_;
   Cycles sampling_epoch_ = 0;
+  // Per-CPU sharding (EnableSharding): null means the classic unsharded
+  // paths above run untouched.  shards_raw_ mirrors shards_.get() so the
+  // hot-path branch is one pointer load, no unique_ptr indirection.
+  std::unique_ptr<ShardedProfileArena> shards_;
+  ShardedProfileArena* shards_raw_ = nullptr;
+  Cycles shard_epoch_ = 0;
+  Cycles next_epoch_flush_ = 0;
+  // Collect()-time scratch: base layered plus shard residue, handed out as
+  // Collected.layered ("valid until the next Reset()" per the sink
+  // contract -- the snapshot lives until the next Collect or Reset).
+  mutable osprof::LayeredProfileSet layered_snapshot_;
 };
 
 // The awaitable returned by SimProfiler::Wrap.  The uncharged fast path

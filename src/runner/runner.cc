@@ -157,6 +157,7 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
   std::optional<osim::SimSemaphore> clone_lock;
   std::vector<osworkloads::GrepStats> grep_stats;
   osworkloads::PostmarkStats postmark_stats;
+  osworkloads::TrafficStats traffic_stats;
 
   if (const auto* grep = std::get_if<GrepSpec>(&scenario.workload)) {
     osworkloads::BuildSourceTree(&fs, grep->root, grep->tree);
@@ -218,12 +219,26 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
     attach_fs_instrumentation();
     kernel.Spawn("postmark", osworkloads::PostmarkWorkload(&kernel, &fs, pcfg,
                                                            &postmark_stats));
+  } else if (const auto* traffic = std::get_if<TrafficSpec>(&scenario.workload)) {
+    osworkloads::TrafficConfig tcfg = traffic->config;
+    tcfg.seed += static_cast<std::uint64_t>(trial);
+    osworkloads::CreateTrafficFiles(&fs, tcfg);
+    attach_fs_instrumentation();
+    kernel.Spawn("traffic", osworkloads::OpenLoopTraffic(&kernel, &fs, tcfg,
+                                                         &traffic_stats));
   } else {
     throw std::logic_error("RunTrial: unhandled workload variant");
   }
 
   if (driver.has_value()) {
     sinks.push_back(&*driver);
+  }
+
+  // Per-CPU sharded recording: enabling after all probes attach is fine --
+  // existing ops are replayed into the shards and later Resolve() calls
+  // propagate, so the order is immaterial to the serialized output.
+  if (scenario.profilers.per_cpu_shards) {
+    sim_profiler.EnableSharding(scenario.profilers.shard_epoch);
   }
 
   kernel.RunUntilThreadsFinish();
@@ -258,6 +273,25 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
     result.counters["deletes"] = postmark_stats.deletes;
     result.counters["reads"] = postmark_stats.reads;
     result.counters["appends"] = postmark_stats.appends;
+  }
+  if (std::holds_alternative<TrafficSpec>(scenario.workload)) {
+    result.counters["sessions"] = traffic_stats.sessions_finished;
+    result.counters["requests"] = traffic_stats.requests_completed;
+    result.counters["reads"] = traffic_stats.reads;
+    result.counters["writes"] = traffic_stats.writes;
+    result.counters["bytes_read"] = traffic_stats.bytes_read;
+    result.counters["bytes_written"] = traffic_stats.bytes_written;
+    result.counters["peak_live_sessions"] = traffic_stats.peak_live_sessions;
+    // The kernel's own memory accounting, so scale benches can check the
+    // simulator heap without host RSS noise.
+    const osim::KernelMemoryStats mem = kernel.MemoryStats();
+    result.counters["spawned_threads"] = mem.spawned_threads;
+    result.counters["reaped_threads"] = mem.reaped_threads;
+    result.counters["run_queue_peak"] = mem.run_queue_peak_depth;
+    result.counters["sim_heap_bytes"] = mem.TotalBytes();
+    if (scenario.profilers.per_cpu_shards && sim_profiler.shards() != nullptr) {
+      result.counters["shard_flushes"] = sim_profiler.shards()->flushes();
+    }
   }
 
   result.lock_cycles = kernel.lock_order().CycleDescriptions();

@@ -150,6 +150,51 @@ Scenario Postmark() {
   return s;
 }
 
+// The million-task scale scenario: >= 1M open-loop requests across 64
+// simulated CPUs.  Session churn exercises thread reaping, the arrival
+// curve (ramp / plateau / ramp-down) keeps dozens-to-hundreds of sessions
+// live at once, and per-CPU profile shards absorb the record traffic.
+Scenario Scale1M() {
+  Scenario s;
+  s.name = "scale_1m";
+  s.description =
+      "Million-request open-loop traffic on 64 CPUs (sharded profiles, "
+      "session reaping)";
+  s.kernel.num_cpus = 64;
+  s.kernel.seed = 71;
+  s.kernel.reap_finished = true;
+  s.profilers.per_cpu_shards = true;
+  s.profilers.shard_epoch = osim::Cycles{1} << 24;
+  TrafficSpec t;
+  // 10,500 sessions x 100 requests = 1,050,000 requests, exact by
+  // construction (stratified arrivals).
+  t.config.phases = {{1500, osim::Cycles{30'000'000}},
+                     {7500, osim::Cycles{90'000'000}},
+                     {1500, osim::Cycles{30'000'000}}};
+  t.config.requests_per_session = 100;
+  s.workload = t;
+  return s;
+}
+
+// The same shape at test scale: seconds of wall clock, not minutes.
+Scenario ScaleSmoke() {
+  Scenario s;
+  s.name = "scale_smoke";
+  s.description = "scale_1m's shape at smoke-test size (3,000 requests)";
+  s.kernel.num_cpus = 8;
+  s.kernel.seed = 71;
+  s.kernel.reap_finished = true;
+  s.profilers.per_cpu_shards = true;
+  s.profilers.shard_epoch = osim::Cycles{1} << 22;
+  TrafficSpec t;
+  t.config.phases = {{40, osim::Cycles{4'000'000}},
+                     {80, osim::Cycles{8'000'000}}};
+  t.config.requests_per_session = 25;
+  t.config.file_pool = 64;
+  s.workload = t;
+  return s;
+}
+
 }  // namespace
 
 ScenarioRegistry& BuiltinScenarios() {
@@ -166,6 +211,8 @@ ScenarioRegistry& BuiltinScenarios() {
     r->Register(Fig07Driver());
     r->Register(Fig07Cifs());
     r->Register(Postmark());
+    r->Register(Scale1M());
+    r->Register(ScaleSmoke());
     return r;
   }();
   return *registry;

@@ -26,6 +26,7 @@
 #include "src/net/cifs.h"
 #include "src/sim/disk.h"
 #include "src/sim/kernel.h"
+#include "src/workloads/traffic.h"
 #include "src/workloads/workloads.h"
 
 namespace osrunner {
@@ -41,6 +42,13 @@ struct ProfilerSpec {
                            // replaces the FS-level SimProfiler (collected
                            // under layer "callgraph", flat view).
   int resolution = 1;
+  // Per-CPU profile sharding (million-task scale): the SimProfiler records
+  // into private per-CPU shards, folded into the base sets every
+  // `shard_epoch` cycles (0 = only at collection).  Serialized output is
+  // byte-identical to the unsharded profiler for any CPU count or epoch
+  // length -- merging is exact integer addition.
+  bool per_cpu_shards = false;
+  osim::Cycles shard_epoch = 0;
 };
 
 // --- Workloads --------------------------------------------------------------
@@ -89,8 +97,15 @@ struct PostmarkSpec {
   osworkloads::PostmarkConfig config;
 };
 
+// Open-loop traffic over the FS (the scale_1m scenario): an arrival-rate
+// curve spawns short-lived client sessions independent of completions
+// (src/workloads/traffic.h).
+struct TrafficSpec {
+  osworkloads::TrafficConfig config;
+};
+
 using WorkloadSpec = std::variant<GrepSpec, ZeroByteReadSpec, RandomReadSpec,
-                                  CloneSpec, PostmarkSpec>;
+                                  CloneSpec, PostmarkSpec, TrafficSpec>;
 
 // --- The scenario -----------------------------------------------------------
 

@@ -57,6 +57,16 @@ class EventQueue {
   // Runs events until the queue drains.
   std::uint64_t RunAll();
 
+  // Approximate heap footprint: the calendar's bucket arrays plus queued
+  // events (std::function targets are counted at their inline size).
+  std::size_t ApproxBytes() const {
+    std::size_t bytes = buckets_.capacity() * sizeof(buckets_[0]);
+    for (const auto& bucket : buckets_) {
+      bytes += bucket.capacity() * sizeof(Event);
+    }
+    return bytes;
+  }
+
  private:
   struct Event {
     Cycles when;

@@ -19,6 +19,7 @@ Kernel::Kernel(KernelConfig config)
   }
   cpus_.resize(static_cast<std::size_t>(config_.num_cpus));
   config_.tsc_skew.resize(static_cast<std::size_t>(config_.num_cpus), 0);
+  idle_cpus_ = config_.num_cpus;
   lock_order_.set_context(&context_);
 }
 
@@ -32,6 +33,7 @@ SimThread* Kernel::Spawn(std::string name, Task<void> body) {
   }
   t->resume_point_ = t->body_.handle();
   ++live_threads_;
+  ++spawned_threads_;
   MakeRunnable(t);
   return t;
 }
@@ -52,6 +54,15 @@ void Kernel::MakeRunnable(SimThread* t) {
 }
 
 void Kernel::DispatchIdleCpus() {
+  // Fast path: under load every CPU is busy, and a wakeup must not pay an
+  // O(num_cpus) scan to learn that (million-task churn makes this the
+  // hottest scheduler branch).  The counter only skips the scan; when a
+  // CPU is free the scan below runs in the same ascending order as
+  // always, so thread placement -- and with it per-CPU TSC skew -- is
+  // unchanged.
+  if (idle_cpus_ == 0) {
+    return;
+  }
   for (int c = 0; c < config_.num_cpus; ++c) {
     if (run_queue_.empty()) {
       return;
@@ -65,6 +76,7 @@ void Kernel::DispatchIdleCpus() {
 
 void Kernel::BeginSwitch(int c) {
   cpus_[static_cast<std::size_t>(c)].switching = true;
+  --idle_cpus_;
   ++context_switches_;
   events_.After(config_.context_switch_cost, [this, c] { CompleteSwitch(c); });
 }
@@ -73,6 +85,7 @@ void Kernel::CompleteSwitch(int c) {
   CpuState& cpu = cpus_[static_cast<std::size_t>(c)];
   cpu.switching = false;
   if (run_queue_.empty()) {
+    ++idle_cpus_;
     return;  // Everyone found a CPU elsewhere; stay idle.
   }
   SimThread* t = run_queue_.front();
@@ -107,6 +120,9 @@ void Kernel::ResumeThread(SimThread* t) {
     // Propagate escaped exceptions to the simulation driver: a crashed
     // simulated thread is a bug in the scenario, not something to swallow.
     t->body_.RethrowIfFailed();
+    if (config_.reap_finished) {
+      ReapThread(t);
+    }
     return;
   }
   // Otherwise the awaitable that suspended the thread has already moved it
@@ -118,6 +134,7 @@ void Kernel::ReleaseCpuOf(SimThread* t) {
   if (t->cpu_ >= 0) {
     cpus_[static_cast<std::size_t>(t->cpu_)].running = nullptr;
     t->cpu_ = -1;
+    ++idle_cpus_;
     DispatchIdleCpus();
   }
 }
@@ -222,12 +239,46 @@ void Kernel::RunFor(Cycles duration) { RunUntil(events_.now() + duration); }
 
 void Kernel::RunUntil(Cycles until) { events_.RunUntil(until); }
 
+void Kernel::ReapThread(SimThread* t) {
+  reaped_forced_preemptions_ += t->forced_preemptions_;
+  reaped_voluntary_switches_ += t->voluntary_switches_;
+  reaped_cpu_time_ += t->cpu_time_;
+  reaped_user_time_ += t->user_time_;
+  ++reaped_threads_;
+  // Destroying the SimThread destroys its Task<void> body, releasing the
+  // coroutine frame -- the dominant per-task allocation.  The id-indexed
+  // slot stays (null) so ids remain stable and monotonic.
+  threads_[static_cast<std::size_t>(t->id_)].reset();
+}
+
 std::uint64_t Kernel::total_forced_preemptions() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = reaped_forced_preemptions_;
   for (const auto& t : threads_) {
-    total += t->forced_preemptions_;
+    if (t != nullptr) {
+      total += t->forced_preemptions_;
+    }
   }
   return total;
+}
+
+KernelMemoryStats Kernel::MemoryStats() const {
+  KernelMemoryStats stats;
+  stats.live_threads = live_threads_;
+  stats.spawned_threads = spawned_threads_;
+  stats.reaped_threads = reaped_threads_;
+  stats.thread_bytes = threads_.capacity() * sizeof(threads_[0]);
+  for (const auto& t : threads_) {
+    if (t != nullptr) {
+      stats.thread_bytes += sizeof(SimThread);
+    }
+  }
+  stats.run_queue_bytes = run_queue_.ApproxBytes();
+  stats.run_queue_peak_depth = run_queue_.peak_size();
+  stats.event_queue_bytes = events_.ApproxBytes();
+  stats.events_pending = events_.size();
+  stats.context_bytes = context_.ApproxBytes();
+  stats.context_pool_frames = context_.pool_frames();
+  return stats;
 }
 
 // --- Awaitable implementations ---------------------------------------------

@@ -27,7 +27,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,6 +37,7 @@
 #include "src/sim/lock_order.h"
 #include "src/sim/request_context.h"
 #include "src/sim/rng.h"
+#include "src/sim/run_queue.h"
 #include "src/sim/task.h"
 
 namespace osim {
@@ -140,6 +140,40 @@ struct KernelConfig {
   // Per-CPU TSC offsets (clock skew, §3.4).  Sized/expanded to num_cpus.
   std::vector<std::int64_t> tsc_skew;
   std::uint64_t seed = 42;
+  // Free a thread's SimThread + coroutine frame the moment it finishes
+  // (its lifetime statistics are folded into kernel aggregates first).
+  // Required for million-task churn workloads, where keeping every dead
+  // thread would grow memory without bound; off by default because
+  // tests/tools that inspect threads() post-mortem expect the objects to
+  // survive.  Thread ids stay monotonic either way.
+  bool reap_finished = false;
+};
+
+// Heap footprint of the simulation substrate, surfaced through the kernel
+// so scale workloads can assert memory stays bounded (ROADMAP item 2).
+// All figures are approximations computed from container capacities --
+// cheap enough to sample mid-run.
+struct KernelMemoryStats {
+  int live_threads = 0;
+  std::uint64_t spawned_threads = 0;
+  std::uint64_t reaped_threads = 0;
+  // Live SimThread objects plus the id-indexed slot vector's capacity.
+  std::size_t thread_bytes = 0;
+  // Scheduler queue: chunks held (including recycled ones) and the
+  // deepest the queue has ever been.
+  std::size_t run_queue_bytes = 0;
+  std::size_t run_queue_peak_depth = 0;
+  // Calendar event queue: bucket arrays plus queued events.
+  std::size_t event_queue_bytes = 0;
+  std::size_t events_pending = 0;
+  // Request-context span arena: frame pool plus per-thread tops.
+  std::size_t context_bytes = 0;
+  std::size_t context_pool_frames = 0;
+
+  std::size_t TotalBytes() const {
+    return thread_bytes + run_queue_bytes + event_queue_bytes +
+           context_bytes;
+  }
 };
 
 class Kernel {
@@ -225,9 +259,19 @@ class Kernel {
   std::uint64_t context_switches() const { return context_switches_; }
   std::uint64_t timer_interrupts_delivered() const { return timer_irqs_; }
 
+  // Id-indexed thread slots.  With reap_finished set, a finished thread's
+  // slot is null; callers iterating post-mortem must skip nulls then.
   const std::vector<std::unique_ptr<SimThread>>& threads() const {
     return threads_;
   }
+
+  // Threads ever spawned / reaped (monotonic; reaped is 0 unless
+  // config().reap_finished).
+  std::uint64_t spawned_threads() const { return spawned_threads_; }
+  std::uint64_t reaped_threads() const { return reaped_threads_; }
+
+  // Snapshot of the substrate's heap footprint; see KernelMemoryStats.
+  KernelMemoryStats MemoryStats() const;
 
  private:
   friend class SimSemaphore;
@@ -285,18 +329,34 @@ class Kernel {
   // Resume a spinlock waiter on its own CPU after charging the spin time.
   void GrantSpin(SimThread* t);
 
+  // Folds a finishing thread's lifetime statistics into the kernel-level
+  // aggregates and frees its slot (reap_finished only).
+  void ReapThread(SimThread* t);
+
   KernelConfig config_;
   EventQueue events_;
   Rng rng_;
   LockOrderTracker lock_order_;
   RequestContext context_;
   std::vector<CpuState> cpus_;
-  std::deque<SimThread*> run_queue_;
+  ChunkedQueue<SimThread*> run_queue_;
   std::vector<std::unique_ptr<SimThread>> threads_;
   SimThread* current_ = nullptr;
   int live_threads_ = 0;
+  // CPUs with no running thread and no switch in flight: MakeRunnable's
+  // dispatch can skip the per-CPU scan entirely when this is zero (the
+  // common case under load, and the scan was O(num_cpus) per wakeup).
+  int idle_cpus_ = 0;
   std::uint64_t context_switches_ = 0;
   std::uint64_t timer_irqs_ = 0;
+  std::uint64_t spawned_threads_ = 0;
+  std::uint64_t reaped_threads_ = 0;
+  // Statistics of reaped threads, folded in at reap time so kernel-wide
+  // totals survive the SimThread objects.
+  std::uint64_t reaped_forced_preemptions_ = 0;
+  std::uint64_t reaped_voluntary_switches_ = 0;
+  Cycles reaped_cpu_time_ = 0;
+  Cycles reaped_user_time_ = 0;
 };
 
 }  // namespace osim

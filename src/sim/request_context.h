@@ -185,6 +185,16 @@ class RequestContext {
   // Drops all frames (between runs; never while spans are active).
   void Reset();
 
+  // Frames in the pool (the high-water mark of simultaneously open spans;
+  // frames are recycled, never released).
+  std::size_t pool_frames() const { return pool_.size(); }
+
+  // Approximate heap footprint: frame pool plus the per-thread tops.
+  std::size_t ApproxBytes() const {
+    return pool_.capacity() * sizeof(Frame) +
+           tops_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   // Index of "no frame", for both stack bottoms and the free-list end.
   static constexpr std::uint32_t kNilFrame = 0xffffffffu;

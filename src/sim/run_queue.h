@@ -1,0 +1,132 @@
+// Chunked FIFO for scheduler-scale queues (ROADMAP item 2: sustain
+// O(10^6) runnable tasks).
+//
+// Semantically a std::deque<T>: strict FIFO, push_back / front /
+// pop_front, same ordering for any interleaving -- which is what keeps
+// committed goldens byte-identical after the kernel switched to it.  The
+// representation differs where scale hurts: elements live in fixed-size
+// chunks linked into a list, a drained chunk is recycled onto a free list
+// instead of being returned to the allocator, and the queue remembers its
+// high-water depth for the kernel's memory accounting.  Steady-state
+// push/pop touch one chunk header each -- no per-element allocation, no
+// deque map reallocation, and a burst of a million runnable threads costs
+// exactly ceil(1e6 / kChunkCapacity) chunk allocations, reused forever
+// after.
+//
+// Single-real-threaded like the rest of the sim: no locks by construction.
+
+#ifndef OSPROF_SRC_SIM_RUN_QUEUE_H_
+#define OSPROF_SRC_SIM_RUN_QUEUE_H_
+
+#include <cstddef>
+#include <utility>
+
+namespace osim {
+
+template <typename T, std::size_t kChunkCapacity = 512>
+class ChunkedQueue {
+ public:
+  ChunkedQueue() = default;
+  ChunkedQueue(const ChunkedQueue&) = delete;
+  ChunkedQueue& operator=(const ChunkedQueue&) = delete;
+  ~ChunkedQueue() {
+    FreeList(head_);
+    FreeList(free_);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T value) {
+    if (tail_ == nullptr || tail_->tail == kChunkCapacity) {
+      Chunk* chunk = TakeChunk();
+      if (tail_ == nullptr) {
+        head_ = chunk;
+      } else {
+        tail_->next = chunk;
+      }
+      tail_ = chunk;
+    }
+    tail_->items[tail_->tail++] = std::move(value);
+    ++size_;
+    if (size_ > peak_size_) {
+      peak_size_ = size_;
+    }
+  }
+
+  T& front() { return head_->items[head_->head]; }
+  const T& front() const { return head_->items[head_->head]; }
+
+  void pop_front() {
+    ++head_->head;
+    --size_;
+    if (head_->head == head_->tail) {
+      // Drained chunk: recycle it unless it is also the tail (then just
+      // rewind, keeping the one hot chunk in place).
+      if (head_ == tail_) {
+        head_->head = 0;
+        head_->tail = 0;
+      } else {
+        Chunk* drained = head_;
+        head_ = drained->next;
+        RecycleChunk(drained);
+      }
+    }
+  }
+
+  // Deepest the queue has ever been (for memory/scale reporting).
+  std::size_t peak_size() const { return peak_size_; }
+
+  // Chunks currently held, counting the free list (they are never
+  // returned to the allocator before destruction).
+  std::size_t chunk_count() const { return chunk_count_; }
+
+  std::size_t ApproxBytes() const {
+    return chunk_count_ * sizeof(Chunk) + sizeof(*this);
+  }
+
+ private:
+  struct Chunk {
+    T items[kChunkCapacity];
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    Chunk* next = nullptr;
+  };
+
+  Chunk* TakeChunk() {
+    if (free_ != nullptr) {
+      Chunk* chunk = free_;
+      free_ = chunk->next;
+      chunk->head = 0;
+      chunk->tail = 0;
+      chunk->next = nullptr;
+      return chunk;
+    }
+    ++chunk_count_;
+    return new Chunk();
+  }
+
+  void RecycleChunk(Chunk* chunk) {
+    chunk->next = free_;
+    free_ = chunk;
+  }
+
+  void FreeList(Chunk* chunk) {
+    while (chunk != nullptr) {
+      Chunk* next = chunk->next;
+      delete chunk;
+      chunk = next;
+    }
+  }
+
+  Chunk* head_ = nullptr;
+  Chunk* tail_ = nullptr;
+  Chunk* free_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t peak_size_ = 0;
+  std::size_t chunk_count_ = 0;
+};
+
+}  // namespace osim
+
+#endif  // OSPROF_SRC_SIM_RUN_QUEUE_H_

@@ -1,0 +1,119 @@
+#include "src/workloads/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/sim/rng.h"
+
+namespace osworkloads {
+namespace {
+
+using osim::Cycles;
+using osim::Kernel;
+using osim::Rng;
+using osim::Task;
+
+std::string PoolPath(const TrafficConfig& config, std::uint64_t index) {
+  return config.directory + "/t" + std::to_string(index);
+}
+
+// Truncated Pareto: floor / U^(1/alpha), capped.  alpha in (1, 2) gives
+// the bursty, heavy-tailed gaps of interactive clients.
+Cycles ThinkTime(Rng* rng, const TrafficConfig& config) {
+  double u = rng->Uniform();
+  if (u < 1e-12) {
+    u = 1e-12;
+  }
+  const double think = static_cast<double>(config.think_floor) *
+                       std::pow(u, -1.0 / config.think_alpha);
+  const double capped =
+      std::min(think, static_cast<double>(config.think_cap));
+  return static_cast<Cycles>(capped);
+}
+
+// One client session: open a pool file, run the request loop with think
+// gaps, close, exit.  Owns its config copy -- at million-session scale the
+// driver often finishes (and its frame dies) while late sessions drain.
+Task<void> Session(Kernel* kernel, osfs::Vfs* vfs, TrafficConfig config,
+                   TrafficStats* stats, Rng rng) {
+  ++stats->live_sessions;
+  stats->peak_live_sessions =
+      std::max(stats->peak_live_sessions, stats->live_sessions);
+  const int fd = co_await vfs->Open(
+      PoolPath(config, rng.Below(static_cast<std::uint64_t>(config.file_pool))),
+      false);
+  const std::uint64_t read_span =
+      config.file_bytes > config.read_chunk
+          ? config.file_bytes - config.read_chunk
+          : 1;
+  for (int r = 0; r < config.requests_per_session; ++r) {
+    co_await kernel->Sleep(ThinkTime(&rng, config));
+    if (rng.Chance(config.read_fraction)) {
+      co_await vfs->Llseek(fd, rng.Below(read_span));
+      const std::int64_t got = co_await vfs->Read(fd, config.read_chunk);
+      stats->bytes_read += static_cast<std::uint64_t>(got);
+      ++stats->reads;
+    } else {
+      co_await vfs->Llseek(fd, rng.Below(config.file_bytes));
+      const std::int64_t put = co_await vfs->Write(fd, config.write_chunk);
+      stats->bytes_written += static_cast<std::uint64_t>(put);
+      ++stats->writes;
+    }
+    ++stats->requests_completed;
+  }
+  co_await vfs->Close(fd);
+  --stats->live_sessions;
+  ++stats->sessions_finished;
+}
+
+}  // namespace
+
+std::uint64_t PlannedRequests(const TrafficConfig& config) {
+  std::uint64_t total = 0;
+  for (const TrafficPhase& phase : config.phases) {
+    total += static_cast<std::uint64_t>(phase.sessions) *
+             static_cast<std::uint64_t>(config.requests_per_session);
+  }
+  return total;
+}
+
+void CreateTrafficFiles(osfs::Ext2SimFs* fs, const TrafficConfig& config) {
+  fs->AddDir(config.directory);
+  for (int f = 0; f < config.file_pool; ++f) {
+    fs->AddFile(PoolPath(config, static_cast<std::uint64_t>(f)),
+                config.file_bytes);
+  }
+}
+
+Task<void> OpenLoopTraffic(Kernel* kernel, osfs::Vfs* vfs,
+                           TrafficConfig config, TrafficStats* stats) {
+  Rng arrivals(config.seed);
+  Cycles phase_start = kernel->now();
+  for (const TrafficPhase& phase : config.phases) {
+    const double slice =
+        phase.sessions > 0
+            ? static_cast<double>(phase.duration) / phase.sessions
+            : 0.0;
+    for (int i = 0; i < phase.sessions; ++i) {
+      // Stratified arrival: jittered uniformly inside session i's slice.
+      // Strictly increasing in i, so the schedule needs no sort.
+      const Cycles at =
+          phase_start +
+          static_cast<Cycles>((i + arrivals.Uniform()) * slice);
+      if (at > kernel->now()) {
+        co_await kernel->Sleep(at - kernel->now());
+      }
+      ++stats->sessions_started;
+      // Short name: stays inside SSO, no heap churn per session.
+      kernel->Spawn("s", Session(kernel, vfs, config, stats,
+                                 arrivals.Split()));
+    }
+    phase_start += phase.duration;
+    if (phase_start > kernel->now()) {
+      co_await kernel->Sleep(phase_start - kernel->now());
+    }
+  }
+}
+
+}  // namespace osworkloads

@@ -1,0 +1,103 @@
+// Declarative open-loop traffic generation (the scale_1m scenario).
+//
+// The figure workloads are closed loops: a fixed set of processes issue
+// the next request only after the previous one returns, so offered load
+// tracks service capacity.  Server profiling needs the opposite regime --
+// clients arrive on their own schedule whether or not the system keeps up
+// (Schroeder et al., "Open Versus Closed", NSDI 2006).  TrafficConfig
+// captures that regime declaratively:
+//
+//  * an arrival-rate curve (TrafficPhase list: N sessions over D cycles),
+//  * client churn: each session opens a file from a shared pool, issues a
+//    short request loop, closes and exits,
+//  * heavy-tailed think times between requests (truncated Pareto),
+//  * a read/write mix over the FS stack.
+//
+// Arrivals are stratified within each phase: session i of S lands
+// uniformly at random inside its own D/S slice, so the inter-arrival
+// jitter is random but the session count -- and therefore the total
+// request count -- is exact and independent of completions (open loop).
+// All randomness flows from TrafficConfig::seed through osim::Rng, so a
+// run is reproducible bit-for-bit.
+
+#ifndef OSPROF_SRC_WORKLOADS_TRAFFIC_H_
+#define OSPROF_SRC_WORKLOADS_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fs/ext2fs.h"
+#include "src/fs/vfs.h"
+#include "src/sim/kernel.h"
+#include "src/sim/task.h"
+
+namespace osworkloads {
+
+// One segment of the arrival-rate curve: `sessions` clients arrive over
+// `duration` cycles.  Back-to-back phases with different ratios express
+// ramps, plateaus and bursts.
+struct TrafficPhase {
+  int sessions = 0;
+  osim::Cycles duration = 0;
+};
+
+struct TrafficConfig {
+  std::vector<TrafficPhase> phases;  // The arrival-rate curve.
+
+  // Session shape (churn): requests issued between open and close.
+  int requests_per_session = 100;
+
+  // Request mix.  A request is llseek(random) + read(read_chunk) with
+  // probability read_fraction, else llseek(random) + write(write_chunk).
+  double read_fraction = 0.875;
+  std::uint64_t read_chunk = 4'096;
+  std::uint64_t write_chunk = 512;
+
+  // Think time between requests: truncated Pareto,
+  // floor / U^(1/alpha) capped at `cap` -- heavy-tailed like interactive
+  // clients, but with bounded worst case so phases drain.
+  osim::Cycles think_floor = 2'000;
+  double think_alpha = 1.3;
+  osim::Cycles think_cap = 5'000'000;
+
+  // The shared file pool sessions pick from (built at mkfs time).
+  int file_pool = 512;
+  std::uint64_t file_bytes = 16'384;
+  std::string directory = "/traffic";
+
+  std::uint64_t seed = 99;
+};
+
+struct TrafficStats {
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_finished = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  // Concurrency the open loop actually reached (sessions alive at once).
+  std::uint64_t live_sessions = 0;
+  std::uint64_t peak_live_sessions = 0;
+};
+
+// The request count the curve commits to: sum of phase sessions times
+// requests_per_session.  Exact, not an expectation -- arrivals are
+// stratified, so every configured session runs.
+std::uint64_t PlannedRequests(const TrafficConfig& config);
+
+// mkfs-time construction of the file pool (directory plus
+// `file_pool` files of `file_bytes` each).
+void CreateTrafficFiles(osfs::Ext2SimFs* fs, const TrafficConfig& config);
+
+// The open-loop driver: spawn as one kernel thread.  It sleeps to each
+// arrival time and spawns a session thread per arrival; the kernel drains
+// once the curve ends and the last session closes.  Pair with
+// KernelConfig::reap_finished at scale -- sessions are born to die.
+osim::Task<void> OpenLoopTraffic(osim::Kernel* kernel, osfs::Vfs* vfs,
+                                 TrafficConfig config, TrafficStats* stats);
+
+}  // namespace osworkloads
+
+#endif  // OSPROF_SRC_WORKLOADS_TRAFFIC_H_

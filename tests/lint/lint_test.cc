@@ -104,14 +104,14 @@ TEST(LintRules, ProbeDisciplineFlagsStringLiteralOpNames) {
             (std::vector<int>{5, 6, 10, 14, 21}));
 }
 
-// The string shims survive as [[deprecated]] test-only compatibility
-// paths, so the string-key subcheck skips tests/ (the other
-// probe-discipline subchecks still apply there).
-TEST(LintRules, ProbeDisciplineExemptsStringShimsInTests) {
+// The deprecated string shims are gone, and with them the tests/
+// carve-out: the string-key subcheck applies tree-wide, so a test file
+// gets exactly the findings a src/ file does.
+TEST(LintRules, ProbeDisciplineAppliesToTests) {
   const std::string src = ReadFixture("probe_discipline_violation.src");
   const std::vector<Finding> findings = LintText("tests/profilers/bad.cc", src);
   EXPECT_EQ(LinesOfRule(findings, kRuleProbeDiscipline),
-            (std::vector<int>{14}));
+            (std::vector<int>{5, 6, 10, 14, 21}));
 }
 
 TEST(LintRules, ProbeDisciplineFlagsManualRequestContextFrames) {

@@ -31,7 +31,8 @@ Task<void> Parent(Kernel* k, CallGraphProfiler* cg) {
 }
 
 Task<void> Root(Kernel* k, CallGraphProfiler* cg) {
-  co_await cg->Wrap(cg->Resolve("parent"), Parent(k, cg));
+  const osprof::ProbeHandle parent = cg->Resolve("parent");
+  co_await cg->Wrap(parent, Parent(k, cg));
 }
 
 TEST(CallGraphProfiler, SplitsSelfAndChildTime) {
@@ -60,8 +61,10 @@ TEST(CallGraphProfiler, EdgeSummariesSortByWeight) {
   Kernel k(QuietConfig());
   CallGraphProfiler cg(&k);
   auto body = [](Kernel* kk, CallGraphProfiler* c) -> Task<void> {
-    co_await c->Wrap(c->Resolve("heavy"), Leaf(kk, 100'000));
-    co_await c->Wrap(c->Resolve("light"), Leaf(kk, 100));
+    const osprof::ProbeHandle heavy = c->Resolve("heavy");
+    const osprof::ProbeHandle light = c->Resolve("light");
+    co_await c->Wrap(heavy, Leaf(kk, 100'000));
+    co_await c->Wrap(light, Leaf(kk, 100));
   };
   k.Spawn("t", body(&k, &cg));
   k.RunUntilThreadsFinish();
@@ -165,7 +168,8 @@ TEST(CallGraphProfiler, ResetWhileInFlightThrows) {
   Kernel k(QuietConfig());
   CallGraphProfiler cg(&k);
   auto body = [](Kernel* kk, CallGraphProfiler* c) -> Task<void> {
-    co_await c->Wrap(c->Resolve("op"),
+    const osprof::ProbeHandle op = c->Resolve("op");
+    co_await c->Wrap(op,
                      [](Kernel* kkk, CallGraphProfiler* cc) -> Task<void> {
                        EXPECT_THROW(cc->Reset(), std::logic_error);
                        co_await kkk->Cpu(1);
@@ -180,12 +184,8 @@ TEST(CallGraphProfiler, ResetWhileInFlightThrows) {
 TEST(CallGraphProfiler, OutsideThreadContextThrows) {
   Kernel k(QuietConfig());
   CallGraphProfiler cg(&k);
-  // Via the deprecated string-keyed shim: doubles as its only coverage.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  // osprof-lint: allow(probe-discipline)
-  osim::Task<void> wrapped = cg.Wrap("op", Leaf(&k, 1));
-#pragma GCC diagnostic pop
+  const osprof::ProbeHandle op = cg.Resolve("op");
+  osim::Task<void> wrapped = cg.Wrap(op, Leaf(&k, 1));
   // Driving the coroutine outside a simulated thread must fail loudly
   // (the exception is stored in the promise and rethrown on inspection).
   wrapped.handle().resume();

@@ -116,29 +116,33 @@ TEST(SimProfiler, ResetClearsDataKeepsConfig) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   prof.EnableSampling(1'000);
-  prof.Record(prof.Resolve("op"), 100);
+  const osprof::ProbeHandle op = prof.Resolve("op");
+  prof.Record(op, 100);
   prof.Reset();
   EXPECT_TRUE(prof.profiles().empty());
   ASSERT_NE(prof.sampled(), nullptr);
   EXPECT_EQ(prof.sampled()->OperationNames().size(), 0u);
 }
 
-TEST(SimProfiler, HandleRecordMatchesStringRecord) {
+TEST(SimProfiler, ResolveOrderDoesNotAffectSerialization) {
   Kernel k(QuietConfig());
-  SimProfiler by_string(&k);
-  SimProfiler by_handle(&k);
-  const osprof::ProbeHandle op = by_handle.Resolve("op");
+  SimProfiler forward(&k);
+  SimProfiler reverse(&k);
+  // Intern the same ops in opposite orders: the dense ids differ, but the
+  // serialized sets must not (iteration is by sorted name, not by id).
+  const osprof::ProbeHandle fwd_a = forward.Resolve("alpha");
+  const osprof::ProbeHandle fwd_b = forward.Resolve("beta");
+  const osprof::ProbeHandle rev_b = reverse.Resolve("beta");
+  const osprof::ProbeHandle rev_a = reverse.Resolve("alpha");
+  EXPECT_NE(fwd_a.id(), rev_a.id());
   for (int i = 0; i < 50; ++i) {
     const Cycles latency = static_cast<Cycles>(80 + 113 * i);
-    // The deprecated test-only shim is exactly what this test covers.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    // osprof-lint: allow(probe-discipline)
-    by_string.Record("op", latency);
-#pragma GCC diagnostic pop
-    by_handle.Record(op, latency);
+    forward.Record(fwd_a, latency);
+    forward.Record(fwd_b, latency * 2);
+    reverse.Record(rev_a, latency);
+    reverse.Record(rev_b, latency * 2);
   }
-  EXPECT_EQ(by_string.profiles().ToString(), by_handle.profiles().ToString());
+  EXPECT_EQ(forward.profiles().ToString(), reverse.profiles().ToString());
 }
 
 TEST(SimProfiler, HandlesSurviveReset) {
@@ -167,7 +171,8 @@ TEST(SimProfiler, ResolvedButUnrecordedOpsInvisibleInCollect) {
   Kernel k(QuietConfig());
   SimProfiler prof(&k);
   (void)prof.Resolve("never_fired");
-  prof.Record(prof.Resolve("fired"), 100);
+  const osprof::ProbeHandle fired = prof.Resolve("fired");
+  prof.Record(fired, 100);
   const osprof::ProfileSet snapshot = prof.Collect();
   EXPECT_EQ(snapshot.size(), 1u);
   EXPECT_EQ(snapshot.Find("never_fired"), nullptr);
@@ -220,7 +225,8 @@ TEST(SimProfiler, CorrelatorRoutesThroughHandles) {
   EXPECT_EQ(corr.peak_values(0).bucket(10), 1u);
   EXPECT_EQ(corr.peak_values(1).bucket(0), 1u);
   // An op without a correlator attached is a no-op routing-wise.
-  prof.RecordWithValue(prof.Resolve("other"), 50, 7);
+  const osprof::ProbeHandle other = prof.Resolve("other");
+  prof.RecordWithValue(other, 50, 7);
   ASSERT_NE(prof.profiles().Find("other"), nullptr);
 }
 

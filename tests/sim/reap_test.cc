@@ -1,0 +1,90 @@
+// KernelConfig::reap_finished: finished threads fold their stats into
+// kernel aggregates and free their SimThread + coroutine frame, leaving a
+// null id slot.  Off by default -- post-mortem inspection of threads() is
+// part of many tests' contract -- so these tests cover both modes.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/kernel.h"
+
+namespace osim {
+namespace {
+
+KernelConfig ReapConfig() {
+  KernelConfig cfg;
+  cfg.num_cpus = 2;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  cfg.reap_finished = true;
+  return cfg;
+}
+
+Task<void> Work(Kernel* k, Cycles cycles) { co_await k->Cpu(cycles); }
+
+TEST(ThreadReaping, FreesFinishedThreadsAndKeepsIdsMonotonic) {
+  Kernel kernel(ReapConfig());
+  for (int i = 0; i < 50; ++i) {
+    kernel.Spawn("w", Work(&kernel, 100));
+  }
+  kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(kernel.live_threads(), 0);
+  EXPECT_EQ(kernel.spawned_threads(), 50u);
+  EXPECT_EQ(kernel.reaped_threads(), 50u);
+  // Slots stay (ids are stable and monotonic) but hold nothing.
+  ASSERT_EQ(kernel.threads().size(), 50u);
+  for (const auto& slot : kernel.threads()) {
+    EXPECT_EQ(slot, nullptr);
+  }
+  // New spawns continue the id sequence past the reaped range.
+  SimThread* next = kernel.Spawn("w", Work(&kernel, 100));
+  EXPECT_EQ(next->id(), 50);
+}
+
+TEST(ThreadReaping, StatsFoldIntoKernelAggregates) {
+  // Two competing threads on one CPU with a tiny quantum force
+  // preemptions; the counts must survive the threads' destruction.
+  KernelConfig cfg = ReapConfig();
+  cfg.num_cpus = 1;
+  cfg.quantum = 64;
+  Kernel kernel(cfg);
+  kernel.Spawn("a", Work(&kernel, 10'000));
+  kernel.Spawn("b", Work(&kernel, 10'000));
+  kernel.RunUntilThreadsFinish();
+  EXPECT_GT(kernel.total_forced_preemptions(), 0u);
+  const KernelMemoryStats stats = kernel.MemoryStats();
+  EXPECT_EQ(stats.reaped_threads, 2u);
+  EXPECT_EQ(stats.live_threads, 0);
+}
+
+TEST(ThreadReaping, MemoryStaysFlatUnderChurn) {
+  // The scale property reaping exists for: thread_bytes tracks the live
+  // set, not history.  10x the spawns must not grow the footprint beyond
+  // the (slot-table) baseline of the smaller run.
+  const auto churn = [](int count) {
+    Kernel kernel(ReapConfig());
+    for (int i = 0; i < count; ++i) {
+      kernel.Spawn("w", Work(&kernel, 10));
+    }
+    kernel.RunUntilThreadsFinish();
+    // Live SimThread payload: total minus the id-slot table.
+    const KernelMemoryStats stats = kernel.MemoryStats();
+    return stats.thread_bytes -
+           kernel.threads().capacity() * sizeof(std::unique_ptr<SimThread>);
+  };
+  EXPECT_EQ(churn(100), 0u);
+  EXPECT_EQ(churn(1'000), 0u);
+}
+
+TEST(ThreadReaping, OffByDefaultKeepsThreadsInspectable) {
+  KernelConfig cfg = ReapConfig();
+  cfg.reap_finished = false;
+  Kernel kernel(cfg);
+  kernel.Spawn("w", Work(&kernel, 100));
+  kernel.RunUntilThreadsFinish();
+  ASSERT_EQ(kernel.threads().size(), 1u);
+  ASSERT_NE(kernel.threads()[0], nullptr);
+  EXPECT_EQ(kernel.reaped_threads(), 0u);
+}
+
+}  // namespace
+}  // namespace osim

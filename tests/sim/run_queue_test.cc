@@ -1,0 +1,94 @@
+#include "src/sim/run_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "src/sim/kernel.h"
+#include "src/sim/rng.h"
+
+namespace osim {
+namespace {
+
+// Small chunks so a short test crosses many chunk boundaries.
+using SmallQueue = ChunkedQueue<int, 8>;
+
+TEST(ChunkedQueue, MatchesDequeUnderRandomizedOps) {
+  SmallQueue queue;
+  std::deque<int> reference;
+  Rng rng(404);
+  for (int step = 0; step < 20'000; ++step) {
+    if (reference.empty() || rng.Chance(0.55)) {
+      queue.push_back(step);
+      reference.push_back(step);
+    } else {
+      ASSERT_EQ(queue.front(), reference.front()) << "step " << step;
+      queue.pop_front();
+      reference.pop_front();
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+  while (!reference.empty()) {
+    ASSERT_EQ(queue.front(), reference.front());
+    queue.pop_front();
+    reference.pop_front();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(ChunkedQueue, PeakSizeIsTheHighWaterMark) {
+  SmallQueue queue;
+  for (int i = 0; i < 100; ++i) {
+    queue.push_back(i);
+  }
+  for (int i = 0; i < 100; ++i) {
+    queue.pop_front();
+  }
+  for (int i = 0; i < 10; ++i) {
+    queue.push_back(i);
+  }
+  EXPECT_EQ(queue.peak_size(), 100u);
+  EXPECT_EQ(queue.size(), 10u);
+}
+
+TEST(ChunkedQueue, RecyclesChunksInsteadOfAllocating) {
+  SmallQueue queue;
+  // Fill to the high-water mark once...
+  for (int i = 0; i < 64; ++i) {
+    queue.push_back(i);
+  }
+  const std::size_t chunks_at_peak = queue.chunk_count();
+  EXPECT_EQ(chunks_at_peak, 8u);  // 64 elements / 8 per chunk.
+  // ...then churn through many times that volume at the same depth.  The
+  // window straddles one extra partial chunk (head and tail both mid-way),
+  // after which the free list feeds every new chunk: the allocation count
+  // freezes no matter how long the churn runs.
+  for (int i = 0; i < 640; ++i) {
+    queue.pop_front();
+    queue.push_back(i);
+  }
+  const std::size_t chunks_steady = queue.chunk_count();
+  EXPECT_LE(chunks_steady, chunks_at_peak + 1);
+  for (int i = 0; i < 6'400; ++i) {
+    queue.pop_front();
+    queue.push_back(i);
+  }
+  EXPECT_EQ(queue.chunk_count(), chunks_steady);
+  EXPECT_GT(queue.ApproxBytes(), 0u);
+}
+
+TEST(ChunkedQueue, SingleChunkRewindsInPlace) {
+  SmallQueue queue;
+  // Stay below one chunk's capacity forever: no second chunk is ever
+  // allocated because a drained solo chunk rewinds instead of recycling.
+  for (int round = 0; round < 1'000; ++round) {
+    queue.push_back(round);
+    queue.push_back(round + 1);
+    queue.pop_front();
+    queue.pop_front();
+  }
+  EXPECT_EQ(queue.chunk_count(), 1u);
+}
+
+}  // namespace
+}  // namespace osim

@@ -83,6 +83,7 @@ bool RequestContextAllowlisted(const std::string& path) {
   static const std::vector<std::string> kSpine = {
       "src/sim/request_context.h",      "src/sim/request_context.cc",
       "src/sim/kernel.h",               "src/sim/kernel.cc",
+      "src/sim/interference.h",         "src/sim/interference.cc",
       "src/sim/lock_order.h",           "src/sim/lock_order.cc",
       "src/profilers/sim_profiler.h",   "src/profilers/sim_profiler.cc",
       "src/profilers/callgraph_profiler.h",

@@ -1,0 +1,214 @@
+#include "src/profilers/noise_profiler.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace osprofilers {
+
+using osim::Cycles;
+using osim::InterferenceEvent;
+using osim::InterferenceKind;
+
+NoiseProfiler::NoiseProfiler(osim::Kernel* kernel, int resolution)
+    : kernel_(kernel), resolution_(resolution), profiles_(resolution) {
+  kernel_->channel().Subscribe(this);
+}
+
+NoiseProfiler::~NoiseProfiler() { kernel_->channel().Unsubscribe(this); }
+
+osim::Task<void> NoiseProfiler::NoiseTask(int index, std::uint64_t samples,
+                                          Cycles burst) {
+  // Size the state eagerly, before any body runs: coroutines are lazy,
+  // and a later NoiseTask call must not reallocate tasks_/ops_ while an
+  // earlier body holds a slot.
+  const std::size_t slot = static_cast<std::size_t>(index);
+  if (tasks_.size() <= slot) {
+    tasks_.resize(slot + 1);
+    ops_.resize(slot + 1);
+  }
+  tasks_[slot].name = "noise" + std::to_string(index);
+  ops_[slot] = profiles_.Resolve(tasks_[slot].name);
+  return RunNoiseTask(slot, samples, burst);
+}
+
+osim::Task<void> NoiseProfiler::RunNoiseTask(std::size_t slot,
+                                             std::uint64_t samples,
+                                             Cycles burst) {
+  // First resume: latch the thread id so OnInterference can route this
+  // thread's events here.  (The dispatch that started this very resume
+  // predates the latch and is deliberately not counted -- it is spawn
+  // cost, not noise within a sample.)
+  tasks_[slot].thread_id = kernel_->current()->id();
+  tasks_[slot].last_cpu = kernel_->current()->cpu();
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const Cycles before = kernel_->now();
+    co_await kernel_->Cpu(burst);
+    const Cycles wall = kernel_->now() - before;
+    const Cycles gap = wall > burst ? wall - burst : 0;
+    NoiseTaskStats& stats = tasks_[slot];
+    ++stats.samples;
+    stats.runtime += wall;
+    stats.noise += gap;
+    stats.max_single = std::max(stats.max_single, gap);
+    profiles_.AddById(ops_[slot].id(), wall);
+  }
+}
+
+NoiseTaskStats* NoiseProfiler::SlotFor(int thread_id) {
+  for (NoiseTaskStats& stats : tasks_) {
+    if (stats.thread_id == thread_id) {
+      return &stats;
+    }
+  }
+  return nullptr;
+}
+
+void NoiseProfiler::OnInterference(const InterferenceEvent& event) {
+  NoiseTaskStats* stats = SlotFor(event.thread_id);
+  if (stats == nullptr) {
+    return;
+  }
+  switch (event.kind) {
+    case InterferenceKind::kDispatch:
+      stats->runq_cycles += event.cycles;
+      stats->last_cpu = event.cpu;
+      break;
+    case InterferenceKind::kMigrate:
+      ++stats->migrations;
+      break;
+    case InterferenceKind::kPreempt:
+      ++stats->preemptions;
+      break;
+    case InterferenceKind::kTimerTick:
+      stats->timer_ticks += event.count;
+      stats->stolen_cycles += event.cycles;
+      break;
+    case InterferenceKind::kLockHandoff:
+      ++stats->lock_handoffs;
+      stats->lock_cycles += event.cycles;
+      break;
+    case InterferenceKind::kWakeup:
+      if (event.component == osprof::kLayerLockWait) {
+        stats->lock_cycles += event.cycles;
+      }
+      break;
+    case InterferenceKind::kPark:
+      break;
+  }
+}
+
+void NoiseProfiler::Reset() {
+  profiles_.ClearCounts();
+  for (NoiseTaskStats& stats : tasks_) {
+    const std::string name = stats.name;
+    const int tid = stats.thread_id;
+    stats = NoiseTaskStats{};
+    stats.name = name;
+    stats.thread_id = tid;
+  }
+}
+
+std::uint64_t NoiseProfiler::TotalSamples() const {
+  std::uint64_t total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.samples;
+  return total;
+}
+
+std::uint64_t NoiseProfiler::TotalPreemptions() const {
+  std::uint64_t total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.preemptions;
+  return total;
+}
+
+std::uint64_t NoiseProfiler::TotalMigrations() const {
+  std::uint64_t total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.migrations;
+  return total;
+}
+
+std::uint64_t NoiseProfiler::TotalTimerTicks() const {
+  std::uint64_t total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.timer_ticks;
+  return total;
+}
+
+Cycles NoiseProfiler::TotalRuntime() const {
+  Cycles total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.runtime;
+  return total;
+}
+
+Cycles NoiseProfiler::TotalNoise() const {
+  Cycles total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.noise;
+  return total;
+}
+
+Cycles NoiseProfiler::TotalStolen() const {
+  Cycles total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.stolen_cycles;
+  return total;
+}
+
+Cycles NoiseProfiler::TotalRunQueue() const {
+  Cycles total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.runq_cycles;
+  return total;
+}
+
+std::uint64_t NoiseProfiler::TotalLockHandoffs() const {
+  std::uint64_t total = 0;
+  for (const NoiseTaskStats& s : tasks_) total += s.lock_handoffs;
+  return total;
+}
+
+Cycles NoiseProfiler::MaxSingle() const {
+  Cycles max = 0;
+  for (const NoiseTaskStats& s : tasks_) max = std::max(max, s.max_single);
+  return max;
+}
+
+std::string NoiseProfiler::RenderSummary() const {
+  std::ostringstream out;
+  out << "OS noise summary (cycles; noise = wall - nominal burst)\n";
+  out << std::left << std::setw(10) << "TASK" << std::right << std::setw(5)
+      << "THR" << std::setw(5) << "CPU" << std::setw(14) << "RUNTIME"
+      << std::setw(12) << "NOISE" << std::setw(9) << "%AVAIL" << std::setw(12)
+      << "MAXSINGLE" << std::setw(9) << "PREEMPT" << std::setw(9) << "MIGRATE"
+      << std::setw(7) << "TICKS" << std::setw(12) << "IRQSTOLEN"
+      << std::setw(12) << "RUNQWAIT" << std::setw(9) << "HANDOFF" << "\n";
+  NoiseTaskStats total;
+  total.name = "TOTAL";
+  for (const NoiseTaskStats& s : tasks_) {
+    out << std::left << std::setw(10) << s.name << std::right << std::setw(5)
+        << s.thread_id << std::setw(5) << s.last_cpu << std::setw(14)
+        << s.runtime << std::setw(12) << s.noise << std::setw(9) << std::fixed
+        << std::setprecision(4) << s.PercentAvailable() << std::setw(12)
+        << s.max_single << std::setw(9) << s.preemptions << std::setw(9)
+        << s.migrations << std::setw(7) << s.timer_ticks << std::setw(12)
+        << s.stolen_cycles << std::setw(12) << s.runq_cycles << std::setw(9)
+        << s.lock_handoffs << "\n";
+    total.samples += s.samples;
+    total.runtime += s.runtime;
+    total.noise += s.noise;
+    total.max_single = std::max(total.max_single, s.max_single);
+    total.preemptions += s.preemptions;
+    total.migrations += s.migrations;
+    total.timer_ticks += s.timer_ticks;
+    total.stolen_cycles += s.stolen_cycles;
+    total.runq_cycles += s.runq_cycles;
+    total.lock_handoffs += s.lock_handoffs;
+  }
+  out << std::left << std::setw(10) << total.name << std::right << std::setw(5)
+      << "-" << std::setw(5) << "-" << std::setw(14) << total.runtime
+      << std::setw(12) << total.noise << std::setw(9) << std::fixed
+      << std::setprecision(4) << total.PercentAvailable() << std::setw(12)
+      << total.max_single << std::setw(9) << total.preemptions << std::setw(9)
+      << total.migrations << std::setw(7) << total.timer_ticks << std::setw(12)
+      << total.stolen_cycles << std::setw(12) << total.runq_cycles
+      << std::setw(9) << total.lock_handoffs << "\n";
+  return out.str();
+}
+
+}  // namespace osprofilers

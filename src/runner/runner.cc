@@ -14,6 +14,7 @@
 #include "src/core/clock.h"
 #include "src/core/peaks.h"
 #include "src/profilers/callgraph_profiler.h"
+#include "src/profilers/noise_profiler.h"
 #include "src/profilers/profiler_sink.h"
 #include "src/profilers/sim_profiler.h"
 #include "src/sim/sync.h"
@@ -138,6 +139,7 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
   if (scenario.profilers.driver) {
     driver.emplace(&kernel, &disk, resolution);
   }
+  std::optional<osprofilers::NoiseProfiler> noise;
 
   std::vector<osprofilers::ProfilerSink*> sinks;
   // In-FS instrumentation: the call-graph profiler takes precedence over
@@ -226,6 +228,15 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
     attach_fs_instrumentation();
     kernel.Spawn("traffic", osworkloads::OpenLoopTraffic(&kernel, &fs, tcfg,
                                                          &traffic_stats));
+  } else if (const auto* ns = std::get_if<NoiseSpec>(&scenario.workload)) {
+    // The noise profiler subscribes to the kernel's interference channel;
+    // its tasks are the workload.
+    noise.emplace(&kernel, resolution);
+    for (int i = 0; i < ns->tasks; ++i) {
+      kernel.Spawn("noise" + std::to_string(i),
+                   noise->NoiseTask(i, ns->samples, ns->burst));
+    }
+    sinks.push_back(&*noise);
   } else {
     throw std::logic_error("RunTrial: unhandled workload variant");
   }
@@ -273,6 +284,18 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
     result.counters["deletes"] = postmark_stats.deletes;
     result.counters["reads"] = postmark_stats.reads;
     result.counters["appends"] = postmark_stats.appends;
+  }
+  if (noise.has_value()) {
+    result.counters["noise_samples"] = noise->TotalSamples();
+    result.counters["noise_runtime_cycles"] = noise->TotalRuntime();
+    result.counters["noise_cycles"] = noise->TotalNoise();
+    result.counters["noise_max_single"] = noise->MaxSingle();
+    result.counters["noise_preemptions"] = noise->TotalPreemptions();
+    result.counters["noise_migrations"] = noise->TotalMigrations();
+    result.counters["noise_timer_ticks"] = noise->TotalTimerTicks();
+    result.counters["noise_stolen_cycles"] = noise->TotalStolen();
+    result.counters["noise_runq_cycles"] = noise->TotalRunQueue();
+    result.counters["noise_lock_handoffs"] = noise->TotalLockHandoffs();
   }
   if (std::holds_alternative<TrafficSpec>(scenario.workload)) {
     result.counters["sessions"] = traffic_stats.sessions_finished;

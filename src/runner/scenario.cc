@@ -176,6 +176,45 @@ Scenario Scale1M() {
   return s;
 }
 
+// The OS-noise scenario (ROADMAP item 3): four always-runnable noise
+// tasks on two CPUs under a small quantum, so forced preemption is the
+// dominant interference and its measured frequency is large enough to
+// validate §3.3 Equation 3 tightly.  Per task: samples * burst cycles of
+// CPU under quantum Q = 2^20 predicts samples * burst / Q forced
+// preemptions (375 at the defaults); the gate's noise rater checks the
+// measured total against that via ExpectedPreemptedRequests.
+Scenario Noise() {
+  Scenario s;
+  s.name = "noise";
+  s.description =
+      "OS-noise tracer: 4 noise tasks on 2 CPUs, preemption-dominated "
+      "(Equation 3 validation)";
+  s.kernel.num_cpus = 2;
+  s.kernel.quantum = osim::Cycles{1} << 20;
+  s.kernel.seed = 33;
+  s.profilers.fs = false;  // No file system: the workload is pure CPU.
+  s.workload = NoiseSpec{};
+  return s;
+}
+
+// One task on one CPU: no competition, so no preemption or migration --
+// the residual noise is timer-interrupt service alone, the osnoise
+// tracer's idle-system baseline.
+Scenario NoiseIdle() {
+  Scenario s;
+  s.name = "noise_idle";
+  s.description =
+      "OS-noise tracer baseline: 1 task on 1 CPU, timer ticks only";
+  s.kernel.num_cpus = 1;
+  s.kernel.quantum = osim::Cycles{1} << 20;
+  s.kernel.seed = 33;
+  s.profilers.fs = false;
+  NoiseSpec n;
+  n.tasks = 1;
+  s.workload = n;
+  return s;
+}
+
 // The same shape at test scale: seconds of wall clock, not minutes.
 Scenario ScaleSmoke() {
   Scenario s;
@@ -211,6 +250,8 @@ ScenarioRegistry& BuiltinScenarios() {
     r->Register(Fig07Driver());
     r->Register(Fig07Cifs());
     r->Register(Postmark());
+    r->Register(Noise());
+    r->Register(NoiseIdle());
     r->Register(Scale1M());
     r->Register(ScaleSmoke());
     return r;

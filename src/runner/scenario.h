@@ -104,8 +104,25 @@ struct TrafficSpec {
   osworkloads::TrafficConfig config;
 };
 
+// The rtla/osnoise-style OS-noise workload: `tasks` clock-reading loops of
+// `samples` bursts of `burst` cycles each, with every wall-clock excess
+// attributed to its interference source via the InterferenceChannel
+// (src/profilers/noise_profiler.h).  The default burst is 3/2 * 2^16 --
+// the exact mid-latency of bucket 16 -- so the §3.3 Equation 3 prediction
+// computed from the sample histogram carries no bucket-rounding error and
+// the gate's noise rater can hold a tight tolerance.
+struct NoiseSpec {
+  int tasks = 4;
+  std::uint64_t samples = 4000;
+  osim::Cycles burst = 98'304;
+  // Relative |measured - predicted| / predicted the gate's Equation 3
+  // rater accepts (the paper reports agreement within a third).
+  double eq3_tolerance = 0.25;
+};
+
 using WorkloadSpec = std::variant<GrepSpec, ZeroByteReadSpec, RandomReadSpec,
-                                  CloneSpec, PostmarkSpec, TrafficSpec>;
+                                  CloneSpec, PostmarkSpec, TrafficSpec,
+                                  NoiseSpec>;
 
 // --- The scenario -----------------------------------------------------------
 

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 #include <utility>
@@ -19,10 +20,20 @@ constexpr int kMaxWidthLog2 = 40;
 // matches the event population; re-profile the calendar in place.
 constexpr int kMaxGlobalScans = 4;
 
+// A day longer than this flips from scan-on-extract to a min-heap (see
+// heaped_ in event_queue.h).  Resizing keeps typical days near one event,
+// so only same-timestamp pileups -- which no width can spread -- cross it.
+constexpr std::size_t kHeapThreshold = 64;
+
 }  // namespace
 
-EventQueue::EventQueue() : buckets_(kMinBuckets) {
+EventQueue::EventQueue() : buckets_(kMinBuckets), heaped_(kMinBuckets, 0) {
   cursor_day_end_ = width();
+}
+
+void EventQueue::HeapifyBucket(std::size_t b) {
+  std::make_heap(buckets_[b].begin(), buckets_[b].end(), LaterEvent);
+  heaped_[b] = 1;
 }
 
 void EventQueue::At(Cycles when, Action action) {
@@ -30,8 +41,14 @@ void EventQueue::At(Cycles when, Action action) {
     throw std::logic_error("EventQueue: scheduling into the past");
   }
   const bool was_empty = size_ == 0;
-  buckets_[BucketFor(when)].push_back(Event{when, next_seq_++,
-                                            std::move(action)});
+  const std::size_t b = BucketFor(when);
+  std::vector<Event>& day = buckets_[b];
+  day.push_back(Event{when, next_seq_++, std::move(action)});
+  if (heaped_[b]) {
+    std::push_heap(day.begin(), day.end(), LaterEvent);
+  } else if (day.size() > kHeapThreshold) {
+    HeapifyBucket(b);
+  }
   ++size_;
   min_valid_ = false;
   if (was_empty || when < cursor_day_end_ - width()) {
@@ -54,14 +71,22 @@ void EventQueue::FindMin() {
   while (true) {
     const std::vector<Event>& day = buckets_[cursor_bucket_];
     std::size_t best = day.size();
-    for (std::size_t i = 0; i < day.size(); ++i) {
-      const Event& e = day[i];
-      if (e.when >= cursor_day_end_) {
-        continue;  // Same bucket, a later year.
+    if (heaped_[cursor_bucket_]) {
+      // front() is the bucket's global minimum; if it lies in a later
+      // year, so does every event here and the day is empty.
+      if (!day.empty() && day.front().when < cursor_day_end_) {
+        best = 0;
       }
-      if (best == day.size() || e.when < day[best].when ||
-          (e.when == day[best].when && e.seq < day[best].seq)) {
-        best = i;
+    } else {
+      for (std::size_t i = 0; i < day.size(); ++i) {
+        const Event& e = day[i];
+        if (e.when >= cursor_day_end_) {
+          continue;  // Same bucket, a later year.
+        }
+        if (best == day.size() || e.when < day[best].when ||
+            (e.when == day[best].when && e.seq < day[best].seq)) {
+          best = i;
+        }
       }
     }
     if (best != day.size()) {
@@ -114,6 +139,7 @@ void EventQueue::FindMin() {
 void EventQueue::Resize(std::size_t nbuckets) {
   std::vector<std::vector<Event>> old = std::move(buckets_);
   buckets_.assign(nbuckets, {});
+  heaped_.assign(nbuckets, 0);
   if (size_ == 0) {
     SeekTo(now_);
     min_valid_ = false;
@@ -137,6 +163,11 @@ void EventQueue::Resize(std::size_t nbuckets) {
       buckets_[BucketFor(e.when)].push_back(std::move(e));
     }
   }
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    if (buckets_[b].size() > kHeapThreshold) {
+      HeapifyBucket(b);
+    }
+  }
   SeekTo(min_when);
   min_valid_ = false;
 }
@@ -147,9 +178,16 @@ bool EventQueue::Step() {
   }
   FindMin();
   std::vector<Event>& day = buckets_[min_bucket_];
-  Event event = std::move(day[min_index_]);
-  if (min_index_ != day.size() - 1) {
-    day[min_index_] = std::move(day.back());
+  Event event;
+  if (heaped_[min_bucket_]) {
+    // FindMin on a heaped bucket always selects front().
+    std::pop_heap(day.begin(), day.end(), LaterEvent);
+    event = std::move(day.back());
+  } else {
+    event = std::move(day[min_index_]);
+    if (min_index_ != day.size() - 1) {
+      day[min_index_] = std::move(day.back());
+    }
   }
   day.pop_back();
   --size_;

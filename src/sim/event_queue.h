@@ -74,6 +74,13 @@ class EventQueue {
     Action action;
   };
 
+  // Heap comparator: `a` sorts after `b`.  std::push_heap et al. build a
+  // max-heap under this, so a heaped bucket's front() is the earliest
+  // (when, seq) -- the same unique total order the linear scan selects by.
+  static bool LaterEvent(const Event& a, const Event& b) {
+    return a.when > b.when || (a.when == b.when && a.seq > b.seq);
+  }
+
   Cycles width() const { return Cycles{1} << width_log2_; }
   std::size_t BucketFor(Cycles when) const {
     return static_cast<std::size_t>(when >> width_log2_) &
@@ -90,6 +97,9 @@ class EventQueue {
   // Rebuilds the calendar with `nbuckets` buckets and a width matched to
   // the current event population's span.
   void Resize(std::size_t nbuckets);
+  // Converts a bucket that outgrew the scan threshold into a min-heap on
+  // (when, seq); see kHeapThreshold in event_queue.cc.
+  void HeapifyBucket(std::size_t b);
 
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -97,6 +107,17 @@ class EventQueue {
 
   int width_log2_ = 14;
   std::vector<std::vector<Event>> buckets_;
+  // Per-bucket representation flag.  A bucket is normally an unordered
+  // array scanned on extraction -- optimal while the width keeps days
+  // near one event.  But events piling onto one timestamp all hash to a
+  // single day no matter the width (a million wakeups scheduled for the
+  // same instant), and rescanning that day per extraction degenerates to
+  // O(n^2).  Past a threshold the bucket flips to a min-heap on
+  // (when, seq): front() is the day minimum (O(1) peek, O(log n)
+  // push/pop), and because (when, seq) is a unique total order the
+  // extraction sequence is bit-for-bit the scan's.  The flag persists
+  // until the next Resize redistributes the calendar.
+  std::vector<std::uint8_t> heaped_;
   // The cursor year: the bucket being scanned and the exclusive end of
   // its current day.  Invariant: no queued event is earlier than the
   // current day's start.

@@ -1,0 +1,46 @@
+#include "src/sim/interference.h"
+
+#include <algorithm>
+
+namespace osim {
+
+const char* InterferenceKindName(InterferenceKind kind) {
+  switch (kind) {
+    case InterferenceKind::kPark:
+      return "park";
+    case InterferenceKind::kWakeup:
+      return "wakeup";
+    case InterferenceKind::kDispatch:
+      return "dispatch";
+    case InterferenceKind::kMigrate:
+      return "migrate";
+    case InterferenceKind::kPreempt:
+      return "preempt";
+    case InterferenceKind::kTimerTick:
+      return "timer_tick";
+    case InterferenceKind::kLockHandoff:
+      return "lock_handoff";
+  }
+  return "unknown";
+}
+
+void InterferenceChannel::Subscribe(InterferenceSubscriber* subscriber) {
+  if (std::find(subscribers_.begin(), subscribers_.end(), subscriber) ==
+      subscribers_.end()) {
+    subscribers_.push_back(subscriber);
+  }
+}
+
+void InterferenceChannel::Unsubscribe(InterferenceSubscriber* subscriber) {
+  subscribers_.erase(
+      std::remove(subscribers_.begin(), subscribers_.end(), subscriber),
+      subscribers_.end());
+}
+
+void InterferenceChannel::Publish(const InterferenceEvent& event) {
+  for (InterferenceSubscriber* s : subscribers_) {
+    s->OnInterference(event);
+  }
+}
+
+}  // namespace osim

@@ -21,6 +21,7 @@ Kernel::Kernel(KernelConfig config)
   config_.tsc_skew.resize(static_cast<std::size_t>(config_.num_cpus), 0);
   idle_cpus_ = config_.num_cpus;
   lock_order_.set_context(&context_);
+  channel_.Bind(&context_, &lock_order_);
 }
 
 SimThread* Kernel::Spawn(std::string name, Task<void> body) {
@@ -41,10 +42,11 @@ SimThread* Kernel::Spawn(std::string name, Task<void> body) {
 void Kernel::MakeRunnable(SimThread* t) {
   if (t->blocked_component_ >= 0) {
     // The park that blocked this thread was tagged (lock, disk, net):
-    // charge the blocked interval to the thread's innermost active span.
-    context_.AttributeWait(
+    // the channel charges the blocked interval to the thread's innermost
+    // active span.
+    channel_.Wakeup(
         t->id_, static_cast<osprof::LayerComponent>(t->blocked_component_),
-        events_.now() - t->blocked_since_);
+        events_.now() - t->blocked_since_, events_.now());
     t->blocked_component_ = -1;
   }
   t->runnable_since_ = events_.now();
@@ -92,8 +94,10 @@ void Kernel::CompleteSwitch(int c) {
   run_queue_.pop_front();
   // Runnable-to-running interval (queue wait plus the switch itself) is
   // run-queue wait from the profiled request's point of view (§3.3).
-  context_.AttributeWait(t->id_, osprof::kLayerRunQueue,
-                         events_.now() - t->runnable_since_);
+  const bool migrated = t->last_cpu_ >= 0 && t->last_cpu_ != c;
+  channel_.Dispatch(t->id_, events_.now() - t->runnable_since_, c, migrated,
+                    events_.now());
+  t->last_cpu_ = c;
   t->cpu_ = c;
   cpu.running = t;
   t->quantum_remaining_ = config_.quantum;
@@ -156,6 +160,7 @@ void Kernel::ScheduleSlice(SimThread* t) {
     if (preemptible && !run_queue_.empty()) {
       // Forced preemption: the quantum is gone and someone is waiting.
       ++t->forced_preemptions_;
+      channel_.Preempt(t->id_, t->cpu_, events_.now());
       t->runnable_since_ = events_.now();
       t->state_ = ThreadState::kRunnable;
       run_queue_.push_back(t);
@@ -169,7 +174,7 @@ void Kernel::ScheduleSlice(SimThread* t) {
     slice = t->quantum_remaining_;
   }
   t->slice_in_flight_ = slice;
-  const Cycles wall = WallClockFor(events_.now(), slice);
+  const Cycles wall = WallClockFor(t, events_.now(), slice);
   events_.After(wall, [this, t] { OnSliceEnd(t); });
 }
 
@@ -190,7 +195,7 @@ void Kernel::OnSliceEnd(SimThread* t) {
   ResumeThread(t);
 }
 
-Cycles Kernel::WallClockFor(Cycles start, Cycles slice) {
+Cycles Kernel::WallClockFor(const SimThread* t, Cycles start, Cycles slice) {
   const Cycles period = config_.timer_tick_period;
   const Cycles irq_cost = config_.timer_irq_cost;
   if (period == 0 || irq_cost == 0 || slice == 0) {
@@ -202,21 +207,24 @@ Cycles Kernel::WallClockFor(Cycles start, Cycles slice) {
   Cycles wall = slice;
   std::uint64_t ticks = 0;
   for (int i = 0; i < 8; ++i) {
-    const std::uint64_t t = (start + wall) / period - start / period;
-    const Cycles next = slice + t * irq_cost;
-    ticks = t;
+    const std::uint64_t n = (start + wall) / period - start / period;
+    const Cycles next = slice + n * irq_cost;
+    ticks = n;
     if (next == wall) {
       break;
     }
     wall = next;
   }
   timer_irqs_ += ticks;
+  if (ticks > 0) {
+    channel_.TimerTicks(t->id_, ticks, ticks * irq_cost, start);
+  }
   return wall;
 }
 
 void Kernel::GrantSpin(SimThread* t) {
   const Cycles spun = events_.now() - t->spin_started_;
-  context_.AttributeWait(t->id_, osprof::kLayerLockWait, spun);
+  channel_.LockHandoff(t->id_, spun, events_.now());
   t->spin_wait_time_ += spun;
   t->cpu_time_ += spun;
   // Spinning burns quantum; kernel spinlock sections are not preemption

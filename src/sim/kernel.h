@@ -34,6 +34,7 @@
 
 #include "src/core/clock.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/interference.h"
 #include "src/sim/lock_order.h"
 #include "src/sim/request_context.h"
 #include "src/sim/rng.h"
@@ -93,6 +94,9 @@ class SimThread {
   std::coroutine_handle<> resume_point_;
   ThreadState state_ = ThreadState::kCreated;
   int cpu_ = -1;
+  // Last CPU this thread ran on; a dispatch to a different one is a
+  // migration (reported on the interference channel).
+  int last_cpu_ = -1;
 
   // Current CPU burst, if any.
   Cycles burst_remaining_ = 0;
@@ -195,6 +199,13 @@ class Kernel {
   // and sync primitives attribute waits to the innermost active span.
   RequestContext& context() { return context_; }
   const RequestContext& context() const { return context_; }
+
+  // The single emission point for every scheduling/interference event the
+  // kernel produces (see src/sim/interference.h).  Analyzers such as the
+  // noise profiler subscribe here instead of hooking individual call
+  // sites.
+  InterferenceChannel& channel() { return channel_; }
+  const InterferenceChannel& channel() const { return channel_; }
 
   // Reads the TSC of the CPU the current thread runs on (includes that
   // CPU's skew).  Callable from thread context only.  Inline: this is a
@@ -319,9 +330,9 @@ class Kernel {
   void OnSliceEnd(SimThread* t);
   void ReleaseCpuOf(SimThread* t);
   bool BurstPreemptible(const SimThread* t) const;
-  // Wall-clock duration of a CPU slice including timer-interrupt service
-  // time stolen within it.
-  Cycles WallClockFor(Cycles start, Cycles slice);
+  // Wall-clock duration of `t`'s CPU slice including timer-interrupt
+  // service time stolen within it.
+  Cycles WallClockFor(const SimThread* t, Cycles start, Cycles slice);
 
   // Used by sync primitives: park the current thread (state kBlocked is
   // handled by the caller via awaitable) / wake a parked thread.
@@ -338,6 +349,7 @@ class Kernel {
   Rng rng_;
   LockOrderTracker lock_order_;
   RequestContext context_;
+  InterferenceChannel channel_;
   std::vector<CpuState> cpus_;
   ChunkedQueue<SimThread*> run_queue_;
   std::vector<std::unique_ptr<SimThread>> threads_;

@@ -17,14 +17,14 @@ bool SimSemaphore::TryAcquire() {
 void SimSemaphore::NoteAcquired() {
   SimThread* t = kernel_->current();
   if (t != nullptr) {
-    kernel_->lock_order().OnAcquired(this, name_, t->held_locks_, t->id());
+    kernel_->channel().LockAcquired(this, name_, t->held_locks_, t->id());
   }
 }
 
 void SimSemaphore::NoteReleased() {
   SimThread* t = kernel_->current();
   if (t != nullptr) {
-    kernel_->lock_order().OnReleased(this, t->held_locks_);
+    kernel_->channel().LockReleased(this, t->held_locks_);
   }
 }
 
@@ -38,6 +38,8 @@ void SimSemaphore::ParkAwaitable::await_suspend(std::coroutine_handle<> h) {
   t->state_ = ThreadState::kBlocked;
   t->blocked_since_ = s->kernel_->now();
   t->blocked_component_ = static_cast<int>(osprof::kLayerLockWait);
+  s->kernel_->channel().Park(t->id(), osprof::kLayerLockWait,
+                             s->kernel_->now());
   s->waiters_.push_back(t);
   s->kernel_->ReleaseCpuOf(t);
 }
@@ -108,18 +110,18 @@ void SimSpinlock::Unlock() {
 void SimSpinlock::NoteAcquired() {
   SimThread* t = kernel_->current();
   if (t != nullptr) {
-    kernel_->lock_order().OnAcquired(this, name_, t->held_locks_, t->id());
+    kernel_->channel().LockAcquired(this, name_, t->held_locks_, t->id());
   }
 }
 
 void SimSpinlock::NoteHandoff(SimThread* to) {
-  kernel_->lock_order().OnAcquired(this, name_, to->held_locks_, to->id());
+  kernel_->channel().LockAcquired(this, name_, to->held_locks_, to->id());
 }
 
 void SimSpinlock::NoteReleased() {
   SimThread* t = kernel_->current();
   if (t != nullptr) {
-    kernel_->lock_order().OnReleased(this, t->held_locks_);
+    kernel_->channel().LockReleased(this, t->held_locks_);
   }
 }
 
@@ -134,6 +136,9 @@ void WaitQueue::WaitAwaitable::await_suspend(std::coroutine_handle<> h) {
   if (q->tag_ >= 0) {
     t->blocked_since_ = q->kernel_->now();
     t->blocked_component_ = q->tag_;
+    q->kernel_->channel().Park(t->id(),
+                               static_cast<osprof::LayerComponent>(q->tag_),
+                               q->kernel_->now());
   }
   q->waiters_.push_back(t);
   q->kernel_->ReleaseCpuOf(t);

@@ -1,6 +1,7 @@
 #include "src/tools/gate_command.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -9,12 +10,15 @@
 #include <sstream>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "src/core/analysis.h"
 #include "src/core/compare.h"
+#include "src/core/histogram.h"
 #include "src/core/jsonw.h"
 #include "src/core/layered.h"
+#include "src/core/preemption.h"
 #include "src/core/profile.h"
 #include "src/runner/runner.h"
 #include "src/runner/scenario.h"
@@ -309,9 +313,57 @@ LayersVerdict ScoreLayersDecomposition(
   return v;
 }
 
+// The §3.3 Equation 3 rater, checked only for noise scenarios: every
+// sample is one burst of NoiseSpec::burst CPU cycles, so a synthetic
+// histogram with all tasks * samples * trials records in the burst's
+// bucket feeds Equation 3's sum n_b * mid(b) / Q directly.  The default
+// burst is bucket 16's exact mid-latency, which makes the prediction free
+// of bucket-rounding error and lets the tolerance stay tight.
+struct NoiseVerdict {
+  bool checked = false;  // False unless the workload is a NoiseSpec.
+  double predicted = 0.0;
+  double measured = 0.0;
+  double rel_err = 0.0;
+  double tolerance = 0.0;
+  bool pass() const { return !checked || rel_err <= tolerance; }
+};
+
+NoiseVerdict ScoreNoiseEquation3(const osrunner::Scenario& scenario,
+                                 const osrunner::RunResult& result,
+                                 int trials) {
+  NoiseVerdict v;
+  const auto* ns = std::get_if<osrunner::NoiseSpec>(&scenario.workload);
+  if (ns == nullptr) {
+    return v;
+  }
+  v.checked = true;
+  v.tolerance = ns->eq3_tolerance;
+  // Equation 3's preemption term assumes a competitor is waiting; the sim
+  // (like a real scheduler) re-dispatches a quantum-expired thread when
+  // the run queue is empty.  With no CPU oversubscription the model
+  // therefore predicts zero forced preemptions.
+  if (ns->tasks > scenario.kernel.num_cpus) {
+    osprof::Histogram samples;
+    samples.set_bucket(
+        osprof::BucketIndex(ns->burst),
+        static_cast<std::uint64_t>(ns->tasks) * ns->samples *
+            static_cast<std::uint64_t>(trials));
+    v.predicted = osprof::ExpectedPreemptedRequests(
+        samples, static_cast<double>(scenario.kernel.quantum));
+  }
+  v.measured = static_cast<double>(result.TotalCounter("noise_preemptions"));
+  if (v.predicted > 0.0) {
+    v.rel_err = std::abs(v.measured - v.predicted) / v.predicted;
+  } else if (v.measured > 0.0) {
+    v.rel_err = 1.0;  // Preemptions where the model predicts none.
+  }
+  return v;
+}
+
 osjson::Value VerdictJson(const GateFlags& flags,
                           const std::vector<LayerVerdict>& layers,
                           const LayersVerdict& layered,
+                          const NoiseVerdict& noise,
                           const std::vector<std::string>& lock_cycles,
                           bool pass) {
   osjson::Value doc = osjson::Value::Object();
@@ -367,6 +419,14 @@ osjson::Value VerdictJson(const GateFlags& flags,
   }
   ld.Set("mismatches", std::move(mismatch_array));
   doc.Set("layered", std::move(ld));
+  osjson::Value nv = osjson::Value::Object();
+  nv.Set("checked", osjson::Value::Bool(noise.checked));
+  nv.Set("predicted_preemptions", osjson::Value::Double(noise.predicted));
+  nv.Set("measured_preemptions", osjson::Value::Double(noise.measured));
+  nv.Set("rel_err", osjson::Value::Double(noise.rel_err));
+  nv.Set("tolerance", osjson::Value::Double(noise.tolerance));
+  nv.Set("pass", osjson::Value::Bool(noise.pass()));
+  doc.Set("noise", std::move(nv));
   return doc;
 }
 
@@ -465,6 +525,9 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
     layers.push_back(std::move(verdict));
   }
 
+  const NoiseVerdict noise =
+      ScoreNoiseEquation3(*scenario, result, flags->run.trials);
+
   LayersVerdict layered;
   layered.baseline_path = flags->baseline_prefix + ".layers";
   if (!measured_layers.empty()) {
@@ -545,6 +608,18 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
           << " more)\n";
     }
   }
+  // Equation 3 (§3.3) on noise scenarios: the measured forced-preemption
+  // count must agree with the model's prediction from the sample budget.
+  if (noise.checked) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "[noise] Eq.3 predicted %.1f forced preemptions, measured "
+                  "%.0f (rel err %.4f, tolerance %.2f) %s\n",
+                  noise.predicted, noise.measured, noise.rel_err,
+                  noise.tolerance, noise.pass() ? "PASS" : "REGRESSION");
+    out << line;
+    pass = pass && noise.pass();
+  }
   out << (pass ? "gate PASS" : "gate REGRESSION") << "\n";
 
   if (!flags->json_path.empty()) {
@@ -553,7 +628,8 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
       err << "osprof_tool gate: cannot write " << flags->json_path << "\n";
       return 2;
     }
-    json << VerdictJson(*flags, layers, layered, lock_cycles, pass).Dump();
+    json << VerdictJson(*flags, layers, layered, noise, lock_cycles, pass)
+                .Dump();
     out << "wrote " << flags->json_path << "\n";
   }
   return pass ? 0 : 3;

@@ -1,0 +1,111 @@
+#include "src/tools/noise_command.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <variant>
+
+#include "src/core/histogram.h"
+#include "src/core/preemption.h"
+#include "src/profilers/noise_profiler.h"
+#include "src/runner/scenario.h"
+#include "src/sim/kernel.h"
+
+namespace ostools {
+namespace {
+
+constexpr const char* kNoiseUsage =
+    "usage: osprof_tool noise [scenario]\n"
+    "  Runs a noise scenario (default \"noise\") on one simulated machine\n"
+    "  and prints the rtla/osnoise-style per-task interference table plus\n"
+    "  the Equation 3 forced-preemption check.  Noise scenarios:\n"
+    "  noise, noise_idle.\n";
+
+}  // namespace
+
+int RunNoiseCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  std::string scenario_name = "noise";
+  bool named = false;
+  for (const std::string& arg : args) {
+    if (arg == "--help") {
+      out << kNoiseUsage;
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      err << "osprof_tool noise: unknown flag '" << arg << "'\n"
+          << kNoiseUsage;
+      return 1;
+    }
+    if (named) {
+      err << kNoiseUsage;
+      return 1;
+    }
+    scenario_name = arg;
+    named = true;
+  }
+  const osrunner::Scenario* scenario =
+      osrunner::BuiltinScenarios().Find(scenario_name);
+  if (scenario == nullptr) {
+    err << "osprof_tool noise: unknown scenario '" << scenario_name << "'\n";
+    return 2;
+  }
+  const auto* spec = std::get_if<osrunner::NoiseSpec>(&scenario->workload);
+  if (spec == nullptr) {
+    err << "osprof_tool noise: scenario '" << scenario_name
+        << "' is not a noise workload (noise scenarios: noise, noise_idle)\n";
+    return 2;
+  }
+
+  // One machine, one trial: the tracer's table is a per-task view, and the
+  // multi-trial merge lives in `run`/`gate`.
+  osim::Kernel kernel(scenario->kernel);
+  osprofilers::NoiseProfiler profiler(&kernel, scenario->profilers.resolution);
+  for (int i = 0; i < spec->tasks; ++i) {
+    kernel.Spawn("noise" + std::to_string(i),
+                 profiler.NoiseTask(i, spec->samples, spec->burst));
+  }
+  kernel.RunUntilThreadsFinish();
+
+  out << scenario->name << ": " << scenario->description << "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%d task(s) x %llu samples of %llu-cycle bursts, %d CPU(s), "
+                "quantum %llu, seed %llu\n",
+                spec->tasks,
+                static_cast<unsigned long long>(spec->samples),
+                static_cast<unsigned long long>(spec->burst),
+                scenario->kernel.num_cpus,
+                static_cast<unsigned long long>(scenario->kernel.quantum),
+                static_cast<unsigned long long>(scenario->kernel.seed));
+  out << line;
+  out << profiler.RenderSummary();
+
+  // The §3.3 Equation 3 check the gate's noise rater automates: all
+  // samples sit in the burst's bucket, so the expected forced-preemption
+  // count is samples * mid(bucket) / Q, surfacing near bucket log2(Q).
+  // The preemption term assumes a waiting competitor, so without CPU
+  // oversubscription the model predicts zero.
+  const double quantum = static_cast<double>(scenario->kernel.quantum);
+  double predicted = 0.0;
+  if (spec->tasks > scenario->kernel.num_cpus) {
+    osprof::Histogram samples;
+    samples.set_bucket(
+        osprof::BucketIndex(spec->burst),
+        static_cast<std::uint64_t>(spec->tasks) * spec->samples);
+    predicted = osprof::ExpectedPreemptedRequests(samples, quantum);
+  }
+  const double measured = static_cast<double>(profiler.TotalPreemptions());
+  const double rel_err =
+      predicted > 0.0 ? std::abs(measured - predicted) / predicted
+                      : (measured > 0.0 ? 1.0 : 0.0);
+  std::snprintf(line, sizeof(line),
+                "Eq.3: predicted %.1f forced preemptions (bucket %d), "
+                "measured %.0f, rel err %.4f (tolerance %.2f)\n",
+                predicted, osprof::PreemptionBucket(quantum), measured,
+                rel_err, spec->eq3_tolerance);
+  out << line;
+  return rel_err <= spec->eq3_tolerance ? 0 : 3;
+}
+
+}  // namespace ostools

@@ -1,0 +1,24 @@
+// The `osprof_tool noise` subcommand: run a noise scenario's tracer loop
+// on one simulated machine and print the rtla/osnoise-style per-task
+// interference table (runtime, noise, %available, preemptions, migrations,
+// timer ticks, run-queue wait) plus the §3.3 Equation 3 preemption check.
+
+#ifndef OSPROF_SRC_TOOLS_NOISE_COMMAND_H_
+#define OSPROF_SRC_TOOLS_NOISE_COMMAND_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ostools {
+
+// args are the tokens after "noise":
+//   noise [scenario]
+// The scenario must carry a NoiseSpec workload (default: "noise").
+// Returns the process exit code (0 ok, 1 usage, 2 runtime failure).
+int RunNoiseCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace ostools
+
+#endif  // OSPROF_SRC_TOOLS_NOISE_COMMAND_H_

@@ -16,6 +16,7 @@
 #include "src/tools/gate_command.h"
 #include "src/tools/layers_command.h"
 #include "src/tools/lint_command.h"
+#include "src/tools/noise_command.h"
 #include "src/tools/run_command.h"
 
 namespace ostools {
@@ -43,6 +44,8 @@ constexpr const char* kUsage =
     "  layers  <scenario> [--trials=N] [--jobs=J] [--json=FILE] [--out=FILE]\n"
     "                                       exact layered latency "
     "decomposition\n"
+    "  noise   [scenario]                   OS-noise tracer table + Eq.3 "
+    "check\n"
     "  lint    [paths...] [--rules=r1,r2] [--json=FILE]\n"
     "                                       in-tree static analysis\n"
     "  lint    --list-rules                 lint rule names\n"
@@ -340,6 +343,10 @@ int RunProfileTool(const std::vector<std::string>& args, std::ostream& out,
   }
   if (cmd == "layers" && n >= 2) {
     return RunLayersCommand(
+        std::vector<std::string>(args.begin() + 1, args.end()), out, err);
+  }
+  if (cmd == "noise") {
+    return RunNoiseCommand(
         std::vector<std::string>(args.begin() + 1, args.end()), out, err);
   }
   if (cmd == "lint") {

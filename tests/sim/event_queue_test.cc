@@ -170,6 +170,40 @@ TEST(EventQueue, MatchesReferencePriorityQueueOnRandomLoad) {
   EXPECT_EQ(mismatches, 0u);
 }
 
+TEST(EventQueue, MillionSameTimestampEventsExtractLinearly) {
+  // Every event hashes to one day no matter the calendar width, the
+  // degenerate load PR 7 flagged: scan-on-extract rescanned the full
+  // million-entry day per event (~10^12 comparisons, hours).  The bucket
+  // flips to a min-heap past kHeapThreshold, so this must finish well
+  // inside the quick-tier timeout -- while preserving exact insertion
+  // order across the pileup and correct ordering for events scheduled
+  // after it.
+  constexpr std::uint64_t kEvents = 1'000'000;
+  constexpr Cycles kWhen = 123'456;
+
+  EventQueue q;
+  std::uint64_t executed = 0;
+  std::uint64_t out_of_order = 0;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    q.At(kWhen, [&executed, &out_of_order, i] {
+      if (executed != i) {
+        ++out_of_order;
+      }
+      ++executed;
+    });
+  }
+  // A straggler after the pileup, in the same bucket's next year.
+  bool straggler_ran = false;
+  q.At(kWhen + (Cycles{1} << 40), [&] {
+    straggler_ran = executed == kEvents;
+  });
+  q.RunAll();
+
+  EXPECT_EQ(executed, kEvents);
+  EXPECT_EQ(out_of_order, 0u);
+  EXPECT_TRUE(straggler_ran);
+}
+
 TEST(EventQueue, StepReturnsFalseWhenEmpty) {
   EventQueue q;
   EXPECT_FALSE(q.Step());

@@ -1,0 +1,101 @@
+// TrafficPhase edge cases for the open-loop generator: an empty curve, a
+// zero-rate phase in the middle of a ramp, and the minimal single-session
+// curve.  The generator's contract is exactness -- every configured
+// session runs and issues exactly requests_per_session requests -- and
+// these are the configurations where off-by-one slicing bugs would live.
+
+#include "src/workloads/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fs/ext2fs.h"
+#include "src/sim/disk.h"
+#include "src/sim/kernel.h"
+
+namespace osworkloads {
+namespace {
+
+using osfs::Ext2SimFs;
+using osim::Kernel;
+using osim::KernelConfig;
+using osim::SimDisk;
+
+KernelConfig QuietConfig(int cpus = 2) {
+  KernelConfig cfg;
+  cfg.num_cpus = cpus;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TrafficConfig SmallPool() {
+  TrafficConfig config;
+  config.file_pool = 4;
+  config.file_bytes = 8'192;
+  config.requests_per_session = 6;
+  return config;
+}
+
+TrafficStats Drive(const TrafficConfig& config) {
+  Kernel kernel(QuietConfig());
+  SimDisk disk(&kernel);
+  Ext2SimFs fs(&kernel, &disk);
+  CreateTrafficFiles(&fs, config);
+  TrafficStats stats;
+  kernel.Spawn("traffic", OpenLoopTraffic(&kernel, &fs, config, &stats));
+  kernel.RunUntilThreadsFinish();
+  return stats;
+}
+
+TEST(Traffic, EmptyPhaseListPlansAndDeliversNothing) {
+  TrafficConfig config = SmallPool();
+  config.phases = {};
+  EXPECT_EQ(PlannedRequests(config), 0u);
+  const TrafficStats stats = Drive(config);
+  EXPECT_EQ(stats.sessions_started, 0u);
+  EXPECT_EQ(stats.sessions_finished, 0u);
+  EXPECT_EQ(stats.requests_completed, 0u);
+  EXPECT_EQ(stats.peak_live_sessions, 0u);
+}
+
+TEST(Traffic, ZeroRatePhaseIsAQuietGapNotAStall) {
+  // A 0-session phase models a lull between bursts: the driver must sleep
+  // through it and still deliver both bursts exactly.
+  TrafficConfig config = SmallPool();
+  config.phases = {{3, osim::Cycles{400'000}},
+                   {0, osim::Cycles{600'000}},
+                   {2, osim::Cycles{400'000}}};
+  EXPECT_EQ(PlannedRequests(config), 5u * 6u);
+  const TrafficStats stats = Drive(config);
+  EXPECT_EQ(stats.sessions_started, 5u);
+  EXPECT_EQ(stats.sessions_finished, 5u);
+  EXPECT_EQ(stats.requests_completed, 5u * 6u);
+  EXPECT_EQ(stats.reads + stats.writes, stats.requests_completed);
+}
+
+TEST(Traffic, SingleSessionChurnRunsToCompletion) {
+  TrafficConfig config = SmallPool();
+  config.phases = {{1, osim::Cycles{100'000}}};
+  EXPECT_EQ(PlannedRequests(config), 6u);
+  const TrafficStats stats = Drive(config);
+  EXPECT_EQ(stats.sessions_started, 1u);
+  EXPECT_EQ(stats.sessions_finished, 1u);
+  EXPECT_EQ(stats.requests_completed, 6u);
+  EXPECT_EQ(stats.peak_live_sessions, 1u);
+  EXPECT_GT(stats.bytes_read + stats.bytes_written, 0u);
+}
+
+TEST(Traffic, ZeroRequestSessionsStillChurn) {
+  // Sessions that open and immediately close: the churn machinery
+  // (spawn, open, close, exit) must survive an empty request loop.
+  TrafficConfig config = SmallPool();
+  config.requests_per_session = 0;
+  config.phases = {{4, osim::Cycles{200'000}}};
+  EXPECT_EQ(PlannedRequests(config), 0u);
+  const TrafficStats stats = Drive(config);
+  EXPECT_EQ(stats.sessions_started, 4u);
+  EXPECT_EQ(stats.sessions_finished, 4u);
+  EXPECT_EQ(stats.requests_completed, 0u);
+}
+
+}  // namespace
+}  // namespace osworkloads

@@ -28,6 +28,8 @@ Ext2SimFs::Ext2SimFs(osim::Kernel* kernel, osim::SimDisk* disk,
       disk_(disk),
       config_(config),
       cache_(kernel, disk, config.cache_pages),
+      inodes_(*kernel, "ext2.inodes"),
+      next_alloc_(*kernel, "ext2.next_alloc", 64),
       alloc_rng_(kernel->rng().Split()) {
   NewInode(/*is_dir=*/true);  // Root directory, inode 0.
 }
@@ -56,7 +58,8 @@ void Ext2SimFs::ResolveProbes() {
 }
 
 int Ext2SimFs::NewInode(bool is_dir) {
-  const int id = static_cast<int>(inodes_.size());
+  auto& table = OSIM_SHARED_RW(inodes_);
+  const int id = static_cast<int>(table.size());
   auto node = std::make_unique<Inode>();
   node->id = id;
   node->is_dir = is_dir;
@@ -66,31 +69,33 @@ int Ext2SimFs::NewInode(bool is_dir) {
     node->first_block = AllocateBlocks(kBlocksPerPage * 8);
     node->capacity_blocks = kBlocksPerPage * 8;
   }
-  inodes_.push_back(std::move(node));
+  table.push_back(std::move(node));
   return id;
 }
 
 std::uint64_t Ext2SimFs::AllocateBlocks(std::uint64_t blocks) {
+  std::uint64_t& next = OSIM_SHARED_RW(next_alloc_);
   const std::uint64_t device = disk_->config().num_blocks;
   if (config_.fragmentation > 0.0 &&
       alloc_rng_.Chance(config_.fragmentation)) {
     // Jump to a random track start, leaving headroom at the disk's end.
     const std::uint64_t per_track = disk_->config().blocks_per_track;
     const std::uint64_t tracks = (device - blocks) / per_track;
-    next_alloc_ = alloc_rng_.Below(tracks) * per_track;
+    next = alloc_rng_.Below(tracks) * per_track;
   }
-  if (next_alloc_ + blocks >= device) {
-    next_alloc_ = 64;
+  if (next + blocks >= device) {
+    next = 64;
   }
-  const std::uint64_t start = next_alloc_;
-  next_alloc_ += blocks;
+  const std::uint64_t start = next;
+  next += blocks;
   return start;
 }
 
 int Ext2SimFs::ResolvePath(const std::string& path) const {
+  const auto& table = OSIM_SHARED_RO(inodes_);
   int id = 0;  // Root.
   for (const std::string& part : SplitPath(path)) {
-    const Inode& node = *inodes_[static_cast<std::size_t>(id)];
+    const Inode& node = *table[static_cast<std::size_t>(id)];
     if (!node.is_dir) {
       return -1;
     }
@@ -109,12 +114,13 @@ std::pair<int, std::string> Ext2SimFs::ResolveParent(
   if (parts.empty()) {
     return {-1, ""};
   }
+  const auto& table = OSIM_SHARED_RO(inodes_);
   int id = 0;
   for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
-    const Inode& node = *inodes_[static_cast<std::size_t>(id)];
+    const Inode& node = *table[static_cast<std::size_t>(id)];
     auto it = node.entries.find(parts[i]);
     if (it == node.entries.end() ||
-        !inodes_[static_cast<std::size_t>(it->second)]->is_dir) {
+        !table[static_cast<std::size_t>(it->second)]->is_dir) {
       return {-1, ""};
     }
     id = it->second;
@@ -194,7 +200,7 @@ std::uint64_t Ext2SimFs::FileSize(const std::string& path) const {
   if (id < 0) {
     throw std::invalid_argument("FileSize: no such path: " + path);
   }
-  const Inode& node = *inodes_[static_cast<std::size_t>(id)];
+  const Inode& node = *OSIM_SHARED_RO(inodes_)[static_cast<std::size_t>(id)];
   return node.is_dir ? DirSizeBytes(node) : node.size;
 }
 

@@ -36,6 +36,7 @@
 #include "src/profilers/sim_profiler.h"
 #include "src/sim/disk.h"
 #include "src/sim/kernel.h"
+#include "src/sim/race_tracker.h"
 #include "src/sim/rng.h"
 #include "src/sim/sync.h"
 
@@ -230,7 +231,9 @@ class Ext2SimFs : public Vfs {
     return inode.entry_order.size() * kDirentBytes;
   }
   std::uint64_t AllocateBlocks(std::uint64_t blocks);
-  Inode& inode(int id) { return *inodes_[static_cast<std::size_t>(id)]; }
+  Inode& inode(int id) {
+    return *OSIM_SHARED_RO(inodes_)[static_cast<std::size_t>(id)];
+  }
   OpenFile& file(int fd);
   int AllocFd(int inode_id, bool direct_io);
   int NewInode(bool is_dir);
@@ -251,11 +254,17 @@ class Ext2SimFs : public Vfs {
   SimProfiler* profiler_ = nullptr;
   osprofilers::CallGraphProfiler* callgraph_ = nullptr;
   OpProbes probes_;
-  std::vector<std::unique_ptr<Inode>> inodes_;
+  // The inode table's protocol spans awaits (path resolution re-reads it
+  // after I/O waits; create/unlink grow it), so it is a race-checked cell.
+  osim::Shared<std::vector<std::unique_ptr<Inode>>> inodes_;
   // Deque: open/close during coroutine suspension must not invalidate
-  // OpenFile references held across awaits.
+  // OpenFile references held across awaits.  The fd allocator itself is
+  // single-turn-atomic (no await between probe and claim), so it is
+  // deliberately not a Shared cell.
   std::deque<OpenFile> fds_;
-  std::uint64_t next_alloc_ = 64;  // Leave room for "superblock" area.
+  // Allocator cursor; create/write paths bump it across awaits.
+  // Initialized to 64 to leave room for the "superblock" area.
+  osim::Shared<std::uint64_t> next_alloc_;
   osim::Rng alloc_rng_;
 };
 

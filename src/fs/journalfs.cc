@@ -6,7 +6,8 @@ JournalFs::JournalFs(osim::Kernel* kernel, osim::SimDisk* disk,
                      Ext2Config config, JournalConfig journal)
     : Ext2SimFs(kernel, disk, config),
       journal_(journal),
-      super_lock_(kernel, 1, "reiserfs_super_lock") {}
+      super_lock_(kernel, 1, "reiserfs_super_lock"),
+      write_super_count_(*kernel, "journal.write_super_count") {}
 
 Task<std::int64_t> JournalFs::ReadImpl(int fd, std::uint64_t bytes) {
   // The coarse lock covers the read path; while write_super commits the
@@ -41,7 +42,7 @@ Task<void> JournalFs::WriteSuperImpl() {
         journal_.journal_lba + static_cast<std::uint64_t>(i) * kBlocksPerPage;
     (void)co_await disk_->SyncWrite(lba, kBlocksPerPage);
   }
-  ++write_super_count_;
+  ++OSIM_SHARED_RW(write_super_count_);
   co_await kernel_->Cpu(config_.costs.sem_op);
   super_lock_.Release();
 }

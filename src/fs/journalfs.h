@@ -37,7 +37,9 @@ class JournalFs : public Ext2SimFs {
   // Spawns the flush daemon that calls WriteSuper every super_interval.
   void SpawnSuperDaemon();
 
-  std::uint64_t write_super_count() const { return write_super_count_; }
+  std::uint64_t write_super_count() const {
+    return OSIM_SHARED_RO(write_super_count_);
+  }
   const osim::SimSemaphore& super_lock() const { return super_lock_; }
 
  protected:
@@ -49,7 +51,9 @@ class JournalFs : public Ext2SimFs {
 
   JournalConfig journal_;
   osim::SimSemaphore super_lock_;
-  std::uint64_t write_super_count_ = 0;
+  // Bumped after a commit that spans many awaits; the super_lock_
+  // acquire/release pair provides its happens-before cover.
+  osim::Shared<std::uint64_t> write_super_count_;
 };
 
 }  // namespace osfs

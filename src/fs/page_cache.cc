@@ -4,11 +4,15 @@ namespace osfs {
 
 PageCache::PageCache(Kernel* kernel, SimDisk* disk,
                      std::uint64_t capacity_pages)
-    : kernel_(kernel), disk_(disk), capacity_pages_(capacity_pages) {}
+    : kernel_(kernel),
+      disk_(disk),
+      capacity_pages_(capacity_pages),
+      pages_(*kernel, "page_cache.pages") {}
 
 bool PageCache::Contains(const PageKey& key) {
-  auto it = pages_.find(key);
-  if (it != pages_.end() && it->second.valid) {
+  auto& pages = OSIM_SHARED_RW(pages_);  // Refreshes LRU state.
+  auto it = pages.find(key);
+  if (it != pages.end() && it->second.valid) {
     ++hits_;
     Touch(key, it->second);
     return true;
@@ -18,8 +22,9 @@ bool PageCache::Contains(const PageKey& key) {
 }
 
 bool PageCache::IoInProgress(const PageKey& key) const {
-  auto it = pages_.find(key);
-  return it != pages_.end() && it->second.io_in_progress;
+  const auto& pages = OSIM_SHARED_RO(pages_);
+  auto it = pages.find(key);
+  return it != pages.end() && it->second.io_in_progress;
 }
 
 void PageCache::Touch(const PageKey& key, PageState& state) {
@@ -32,7 +37,7 @@ void PageCache::Touch(const PageKey& key, PageState& state) {
 }
 
 void PageCache::StartRead(const PageKey& key, std::uint64_t lba) {
-  PageState& state = pages_[key];
+  PageState& state = OSIM_SHARED_RW(pages_)[key];
   if (state.valid || state.io_in_progress) {
     return;
   }
@@ -41,8 +46,11 @@ void PageCache::StartRead(const PageKey& key, std::uint64_t lba) {
   ++reads_started_;
   disk_->Submit(osim::DiskOp::kRead, lba, kBlocksPerPage,
                 [this, key](const osim::DiskRequestInfo&) {
-                  auto it = pages_.find(key);
-                  if (it == pages_.end()) {
+                  // Completion runs in kernel context (exempt at runtime);
+                  // the access still routes through the cell for uniformity.
+                  auto& pages = OSIM_SHARED_RW(pages_);
+                  auto it = pages.find(key);
+                  if (it == pages.end()) {
                     return;  // Dropped while in flight.
                   }
                   PageState& s = it->second;
@@ -58,11 +66,14 @@ void PageCache::StartRead(const PageKey& key, std::uint64_t lba) {
 
 Task<void> PageCache::WaitForPage(PageKey key) {
   while (true) {
-    auto it = pages_.find(key);
-    if (it != pages_.end() && it->second.valid) {
+    // Re-resolved each turn: the read is inside the loop so every
+    // wakeup re-checks against the accessor's advanced clock.
+    auto& pages = OSIM_SHARED_RW(pages_);
+    auto it = pages.find(key);
+    if (it != pages.end() && it->second.valid) {
       co_return;
     }
-    if (it == pages_.end()) {
+    if (it == pages.end()) {
       // Nobody started the read; nothing will ever wake us.
       throw std::logic_error("WaitForPage without StartRead");
     }
@@ -76,7 +87,7 @@ Task<void> PageCache::WaitForPage(PageKey key) {
 }
 
 void PageCache::MarkValid(const PageKey& key, std::uint64_t lba) {
-  PageState& state = pages_[key];
+  PageState& state = OSIM_SHARED_RW(pages_)[key];
   state.valid = true;
   state.lba = lba;
   Touch(key, state);
@@ -84,7 +95,7 @@ void PageCache::MarkValid(const PageKey& key, std::uint64_t lba) {
 }
 
 void PageCache::MarkDirty(const PageKey& key, std::uint64_t lba) {
-  PageState& state = pages_[key];
+  PageState& state = OSIM_SHARED_RW(pages_)[key];
   if (!state.valid) {
     state.valid = true;  // Full-page overwrite semantics.
   }
@@ -98,13 +109,15 @@ void PageCache::MarkDirty(const PageKey& key, std::uint64_t lba) {
 }
 
 bool PageCache::IsDirty(const PageKey& key) const {
-  auto it = pages_.find(key);
-  return it != pages_.end() && it->second.dirty;
+  const auto& pages = OSIM_SHARED_RO(pages_);
+  auto it = pages.find(key);
+  return it != pages.end() && it->second.dirty;
 }
 
 Task<void> PageCache::WriteBack(PageKey key) {
-  auto it = pages_.find(key);
-  if (it == pages_.end() || !it->second.dirty) {
+  auto& pages = OSIM_SHARED_RW(pages_);
+  auto it = pages.find(key);
+  if (it == pages.end() || !it->second.dirty) {
     co_return;
   }
   it->second.dirty = false;
@@ -116,7 +129,7 @@ Task<void> PageCache::WriteBack(PageKey key) {
 int PageCache::FlushOlderThan(Cycles min_age) {
   const Cycles now = kernel_->now();
   int submitted = 0;
-  for (auto& [key, state] : pages_) {
+  for (auto& [key, state] : OSIM_SHARED_RW(pages_)) {
     if (state.dirty && now - state.dirtied_at >= min_age) {
       state.dirty = false;
       ++writebacks_;
@@ -143,14 +156,15 @@ void PageCache::SpawnFlusher(Cycles interval, Cycles min_age) {
 }
 
 void PageCache::DropClean() {
-  for (auto it = pages_.begin(); it != pages_.end();) {
+  auto& pages = OSIM_SHARED_RW(pages_);
+  for (auto it = pages.begin(); it != pages.end();) {
     PageState& state = it->second;
     if (state.valid && !state.dirty && !state.io_in_progress &&
         (state.waiters == nullptr || state.waiters->waiters() == 0)) {
       if (state.in_lru) {
         lru_.erase(state.lru_pos);
       }
-      it = pages_.erase(it);
+      it = pages.erase(it);
     } else {
       ++it;
     }
@@ -158,10 +172,12 @@ void PageCache::DropClean() {
 }
 
 void PageCache::EvictIfNeeded() {
+  // Internal: always reached through an access-checked public entry.
+  auto& pages = pages_.Write(__func__);
   while (lru_.size() > capacity_pages_ && !lru_.empty()) {
     const PageKey victim = lru_.back();
-    auto it = pages_.find(victim);
-    if (it == pages_.end()) {
+    auto it = pages.find(victim);
+    if (it == pages.end()) {
       lru_.pop_back();
       continue;
     }
@@ -178,7 +194,7 @@ void PageCache::EvictIfNeeded() {
       disk_->Submit(osim::DiskOp::kWrite, state.lba, kBlocksPerPage, nullptr);
     }
     lru_.pop_back();
-    pages_.erase(it);
+    pages.erase(it);
     ++evictions_;
   }
 }

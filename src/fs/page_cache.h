@@ -21,6 +21,7 @@
 
 #include "src/sim/disk.h"
 #include "src/sim/kernel.h"
+#include "src/sim/race_tracker.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 
@@ -90,7 +91,7 @@ class PageCache {
   std::uint64_t reads_started() const { return reads_started_; }
   std::uint64_t writebacks() const { return writebacks_; }
   std::uint64_t evictions() const { return evictions_; }
-  std::uint64_t resident_pages() const { return pages_.size(); }
+  std::uint64_t resident_pages() const { return OSIM_SHARED_RO(pages_).size(); }
 
  private:
   struct PageState {
@@ -110,7 +111,11 @@ class PageCache {
   Kernel* kernel_;
   SimDisk* disk_;
   std::uint64_t capacity_pages_;
-  std::map<PageKey, PageState> pages_;
+  // The page table's protocol spans awaits (StartRead submits, the caller
+  // sleeps in WaitForPage, the completion validates), so it is a
+  // race-checked cell.  lru_ and the counters below share its protocol:
+  // every mutation goes through an access recorded on this cell.
+  osim::Shared<std::map<PageKey, PageState>> pages_;
   std::list<PageKey> lru_;  // Front = most recently used.
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -83,8 +83,12 @@ class Lexer {
     while (pos_ < src_.size() && src_[pos_] != '\n') {
       ++pos_;
     }
+    std::size_t end = pos_;
+    if (end > begin && src_[end - 1] == '\r') {
+      --end;  // CRLF: the '\r' belongs to the line ending, not the text.
+    }
     result_.comments.push_back(
-        Comment{std::string(src_.substr(begin, pos_ - begin)), begin_line,
+        Comment{std::string(src_.substr(begin, end - begin)), begin_line,
                 begin_line});
   }
 
@@ -112,9 +116,17 @@ class Lexer {
     ++pos_;  // Skip '#'.
     const std::size_t begin = pos_;
     while (pos_ < src_.size()) {
+      // Backslash continuations, in both LF and CRLF encodings: the
+      // directive swallows the newline and later tokens keep correct
+      // line numbers.
       if (src_[pos_] == '\\' && Peek(1) == '\n') {
         ++line_;
         pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\\' && Peek(1) == '\r' && Peek(2) == '\n') {
+        ++line_;
+        pos_ += 3;
         continue;
       }
       if (src_[pos_] == '\n') {

@@ -85,6 +85,7 @@ bool RequestContextAllowlisted(const std::string& path) {
       "src/sim/kernel.h",               "src/sim/kernel.cc",
       "src/sim/interference.h",         "src/sim/interference.cc",
       "src/sim/lock_order.h",           "src/sim/lock_order.cc",
+      "src/sim/race_tracker.h",         "src/sim/race_tracker.cc",
       "src/profilers/sim_profiler.h",   "src/profilers/sim_profiler.cc",
       "src/profilers/callgraph_profiler.h",
       "src/profilers/callgraph_profiler.cc",
@@ -144,38 +145,78 @@ bool IsHeaderPath(const std::string& path) { return path.ends_with(".h"); }
 //
 // covers every line the comment spans plus the line below it, so the
 // comment works both trailing the offending line and on its own line
-// above it.
+// above it.  Suppressions are parsed into a structured form first so the
+// suppression-hygiene rule can audit each one against the raw findings.
+
+struct SuppressionComment {
+  int line = 0;      // First covered line (the comment's first line).
+  int end_line = 0;  // Last comment line; coverage extends one line past.
+  std::vector<std::string> rules;  // As written, in order.
+};
 
 using SuppressionMap = std::unordered_map<int, std::set<std::string>>;
 
-void ParseSuppressions(const Comment& comment, SuppressionMap* map) {
-  const std::string& text = comment.text;
-  const std::size_t marker = text.find("osprof-lint:");
-  if (marker == std::string::npos) {
-    return;
-  }
-  const std::size_t open = text.find("allow(", marker);
-  if (open == std::string::npos) {
-    return;
-  }
-  const std::size_t close = text.find(')', open);
-  if (close == std::string::npos) {
-    return;
-  }
-  std::string rules = text.substr(open + 6, close - open - 6);
-  std::stringstream ss(rules);
-  std::string rule;
-  while (std::getline(ss, rule, ',')) {
-    const std::size_t first = rule.find_first_not_of(" \t");
-    if (first == std::string::npos) {
+std::vector<SuppressionComment> ParseSuppressionComments(
+    const std::vector<Comment>& comments) {
+  std::vector<SuppressionComment> parsed;
+  for (const Comment& comment : comments) {
+    const std::string& text = comment.text;
+    const std::size_t marker = text.find("osprof-lint:");
+    if (marker == std::string::npos) {
       continue;
     }
-    const std::size_t last = rule.find_last_not_of(" \t");
-    const std::string name = rule.substr(first, last - first + 1);
-    for (int line = comment.line; line <= comment.end_line + 1; ++line) {
-      (*map)[line].insert(name);
+    const std::size_t open = text.find("allow(", marker);
+    if (open == std::string::npos) {
+      continue;
+    }
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) {
+      continue;
+    }
+    SuppressionComment entry;
+    entry.line = comment.line;
+    entry.end_line = comment.end_line;
+    std::string rules = text.substr(open + 6, close - open - 6);
+    std::stringstream ss(rules);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const std::size_t first = rule.find_first_not_of(" \t");
+      if (first == std::string::npos) {
+        continue;
+      }
+      const std::size_t last = rule.find_last_not_of(" \t");
+      std::string name = rule.substr(first, last - first + 1);
+      // Rule names are kebab-case identifiers.  Anything else (the
+      // `allow(rule[, rule...])` placeholders in documentation, say) is
+      // not a suppression and must not reach the hygiene audit.
+      const bool well_formed =
+          !name.empty() &&
+          std::all_of(name.begin(), name.end(), [](char c) {
+            return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                   c == '-';
+          });
+      if (well_formed) {
+        entry.rules.push_back(std::move(name));
+      }
+    }
+    if (!entry.rules.empty()) {
+      parsed.push_back(std::move(entry));
     }
   }
+  return parsed;
+}
+
+SuppressionMap BuildSuppressionMap(
+    const std::vector<SuppressionComment>& comments) {
+  SuppressionMap map;
+  for (const SuppressionComment& comment : comments) {
+    for (const std::string& rule : comment.rules) {
+      for (int line = comment.line; line <= comment.end_line + 1; ++line) {
+        map[line].insert(rule);
+      }
+    }
+  }
+  return map;
 }
 
 bool Suppressed(const SuppressionMap& map, const std::string& rule, int line) {
@@ -414,14 +455,134 @@ void CheckHeaderHygiene(const std::string& path,
   }
 }
 
+// shared-state: mutable static/thread_local data in simulated code must
+// be an osim::Shared<T> cell so SimRace observes every access.  A lexer
+// cannot see scopes, so the rule triggers on the storage keywords and
+// then classifies the declaration by scanning ahead: a '(' directly
+// after an identifier means a function declaration (skipped); const/
+// constexpr/constinit or a Shared wrapper anywhere before the terminator
+// means the data is immutable or already checked (skipped).
+void CheckSharedState(const std::string& path,
+                      const std::vector<Token>& tokens,
+                      std::vector<Finding>* findings) {
+  if (!InLockingScope(path)) {
+    return;
+  }
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (tok.kind != TokKind::kIdentifier ||
+        (tok.text != "static" && tok.text != "thread_local")) {
+      continue;
+    }
+    // `static thread_local` / `thread_local static`: treat as one
+    // declaration, anchored at the first keyword.
+    std::size_t j = i + 1;
+    if (j < tokens.size() && tokens[j].kind == TokKind::kIdentifier &&
+        (tokens[j].text == "static" || tokens[j].text == "thread_local")) {
+      ++j;
+    }
+    bool is_mutable_data = true;
+    int depth = 0;
+    // Bounded scan: a declaration that runs longer than this is not
+    // something a lexer should classify; give it the benefit of doubt.
+    const std::size_t limit = std::min(tokens.size(), j + 64);
+    for (; j < limit; ++j) {
+      const Token& ahead = tokens[j];
+      if (ahead.kind == TokKind::kDirective) {
+        break;  // Preprocessor boundary: stop guessing.
+      }
+      if (ahead.kind == TokKind::kIdentifier) {
+        if (ahead.text == "const" || ahead.text == "constexpr" ||
+            ahead.text == "constinit" || ahead.text == "consteval" ||
+            ahead.text == "Shared") {
+          is_mutable_data = false;
+          break;
+        }
+        continue;
+      }
+      if (ahead.kind != TokKind::kPunct) {
+        continue;
+      }
+      if (ahead.text == "<" || ahead.text == "[") {
+        ++depth;
+      } else if (ahead.text == ">" || ahead.text == "]") {
+        --depth;
+      } else if (depth == 0 && ahead.text == "(") {
+        // `static Ret Name(...)`: a function declaration, not data.
+        is_mutable_data = j > 0 && tokens[j - 1].kind == TokKind::kIdentifier
+                              ? false
+                              : is_mutable_data;
+        break;
+      } else if (depth == 0 &&
+                 (ahead.text == ";" || ahead.text == "=" ||
+                  ahead.text == "{")) {
+        break;  // Variable terminator reached with no exemption.
+      }
+    }
+    if (is_mutable_data && j < limit) {
+      findings->push_back(Finding{
+          kRuleSharedState, path, tok.line,
+          "mutable " + tok.text +
+              " data in simulated code; wrap it in an osim::Shared<T> "
+              "race-checked cell (src/sim/race_tracker.h) so SimRace "
+              "observes every access"});
+    }
+  }
+}
+
+// suppression-hygiene: audits every allow(...) against the raw findings
+// (before suppression filtering).  A suppression naming a rule that does
+// not fire on its covered lines is dead weight that silently rots; a
+// misspelled rule name suppresses nothing while looking like it does.
+// These findings are themselves unsuppressible.
+void CheckSuppressionHygiene(
+    const std::string& path,
+    const std::vector<SuppressionComment>& suppressions,
+    const std::vector<Finding>& raw, std::vector<Finding>* findings) {
+  const std::vector<std::string> known = AllRules();
+  for (const SuppressionComment& comment : suppressions) {
+    for (const std::string& rule : comment.rules) {
+      if (rule == kRuleSuppressionHygiene) {
+        findings->push_back(Finding{
+            kRuleSuppressionHygiene, path, comment.line,
+            "allow(" + rule + "): suppression-hygiene findings cannot "
+            "be suppressed"});
+        continue;
+      }
+      if (std::find(known.begin(), known.end(), rule) == known.end()) {
+        findings->push_back(Finding{
+            kRuleSuppressionHygiene, path, comment.line,
+            "allow(" + rule + ") names an unknown rule; known rules are "
+            "listed by `osprof_tool lint --help`"});
+        continue;
+      }
+      bool fires = false;
+      for (const Finding& f : raw) {
+        if (f.rule == rule && f.line >= comment.line &&
+            f.line <= comment.end_line + 1) {
+          fires = true;
+          break;
+        }
+      }
+      if (!fires) {
+        findings->push_back(Finding{
+            kRuleSuppressionHygiene, path, comment.line,
+            "allow(" + rule + ") suppresses nothing: the rule reports no "
+            "finding on the lines this comment covers"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Public API.
 
 std::vector<std::string> AllRules() {
-  return {kRuleDeterminism, kRuleProbeDiscipline, kRuleLocking,
-          kRuleHeaderHygiene};
+  return {kRuleDeterminism,  kRuleProbeDiscipline,    kRuleLocking,
+          kRuleHeaderHygiene, kRuleSharedState,
+          kRuleSuppressionHygiene};
 }
 
 bool LintConfig::RuleEnabled(std::string_view rule) const {
@@ -436,28 +597,29 @@ std::vector<Finding> LintText(const std::string& path,
                               const LintConfig& config) {
   const LexResult lexed = Lex(source);
 
-  SuppressionMap suppressions;
-  for (const Comment& comment : lexed.comments) {
-    ParseSuppressions(comment, &suppressions);
-  }
+  const std::vector<SuppressionComment> suppression_comments =
+      ParseSuppressionComments(lexed.comments);
+  const SuppressionMap suppressions =
+      BuildSuppressionMap(suppression_comments);
 
+  // Raw findings are computed for every base rule regardless of the
+  // config's filter: suppression-hygiene must judge an allow(locking)
+  // against the locking findings even when only hygiene is requested.
   std::vector<Finding> raw;
-  if (config.RuleEnabled(kRuleDeterminism)) {
-    CheckDeterminism(path, lexed.tokens, &raw);
-  }
-  if (config.RuleEnabled(kRuleProbeDiscipline)) {
-    CheckProbeDiscipline(path, lexed.tokens, &raw);
-  }
-  if (config.RuleEnabled(kRuleLocking)) {
-    CheckLocking(path, lexed.tokens, &raw);
-  }
-  if (config.RuleEnabled(kRuleHeaderHygiene)) {
-    CheckHeaderHygiene(path, lexed.tokens, &raw);
-  }
+  CheckDeterminism(path, lexed.tokens, &raw);
+  CheckProbeDiscipline(path, lexed.tokens, &raw);
+  CheckLocking(path, lexed.tokens, &raw);
+  CheckHeaderHygiene(path, lexed.tokens, &raw);
+  CheckSharedState(path, lexed.tokens, &raw);
 
   std::vector<Finding> findings;
+  if (config.RuleEnabled(kRuleSuppressionHygiene)) {
+    // Hygiene findings bypass the suppression filter by construction;
+    // they are emitted before `raw` is consumed below.
+    CheckSuppressionHygiene(path, suppression_comments, raw, &findings);
+  }
   for (Finding& f : raw) {
-    if (!Suppressed(suppressions, f.rule, f.line)) {
+    if (config.RuleEnabled(f.rule) && !Suppressed(suppressions, f.rule, f.line)) {
       findings.push_back(std::move(f));
     }
   }

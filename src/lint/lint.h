@@ -19,7 +19,15 @@
 //                     simulated time);
 //  * header-hygiene -- every header carries a guard (#pragma once or
 //                     #ifndef/#define) and no header writes
-//                     `using namespace`.
+//                     `using namespace`;
+//  * shared-state  -- mutable static/thread_local data in src/sim, src/fs
+//                     and src/net must be wrapped in an osim::Shared<T>
+//                     race-checked cell (src/sim/race_tracker.h) or carry
+//                     an explicit allow, so SimRace sees every access;
+//  * suppression-hygiene -- every `osprof-lint: allow(...)` must name
+//                     known rules that actually fire on the lines the
+//                     comment covers; stale or misspelled suppressions
+//                     are findings themselves and cannot be suppressed.
 //
 // Rules are individually suppressible at the offending line with
 //   // osprof-lint: allow(rule[, rule...])
@@ -44,6 +52,8 @@ inline constexpr const char* kRuleDeterminism = "determinism";
 inline constexpr const char* kRuleProbeDiscipline = "probe-discipline";
 inline constexpr const char* kRuleLocking = "locking";
 inline constexpr const char* kRuleHeaderHygiene = "header-hygiene";
+inline constexpr const char* kRuleSharedState = "shared-state";
+inline constexpr const char* kRuleSuppressionHygiene = "suppression-hygiene";
 
 // All rules, in reporting order.
 std::vector<std::string> AllRules();

@@ -14,7 +14,11 @@ CifsMount::CifsMount(osim::Kernel* kernel, osfs::Vfs* server_fs,
       config_(config),
       c2s_(kernel, config.net, "client", &trace_),
       s2c_(kernel, config.net, "server", &trace_),
-      server_ledger_(kernel) {
+      server_ledger_(kernel),
+      attr_cache_(*kernel, "cifs.attr_cache"),
+      page_cache_(*kernel, "cifs.page_cache"),
+      server_listings_(*kernel, "cifs.server_listings"),
+      server_requests_(*kernel, "cifs.server_requests") {
   client_ack_ = std::make_unique<DelayedAckPolicy>(kernel, config.net, &c2s_,
                                                    &server_ledger_);
   client_ack_->set_delayed_ack_enabled(config.client_delayed_ack);
@@ -78,7 +82,7 @@ void CifsMount::SendRequest(const std::string& label,
 // --- Server-side helpers ----------------------------------------------------
 
 Task<void> CifsMount::ServerEnsureListing(const std::string& path) {
-  ServerListing& listing = server_listings_[path];
+  ServerListing& listing = OSIM_SHARED_RW(server_listings_)[path];
   if (listing.loaded) {
     co_return;
   }
@@ -96,16 +100,16 @@ Task<void> CifsMount::ServerEnsureListing(const std::string& path) {
         // each entry while building the listing.
         const osfs::FileAttr attr =
             co_await server_fs_->Stat(path + "/" + name);
-        server_listings_[path].names.push_back(name);
-        server_listings_[path].attrs.push_back(
-            RemoteAttr{attr.size, attr.is_dir});
+        auto& listings = OSIM_SHARED_RW(server_listings_);
+        listings[path].names.push_back(name);
+        listings[path].attrs.push_back(RemoteAttr{attr.size, attr.is_dir});
       }
     }
     co_await server_fs_->Close(fd);
   }
   // ServerEnsureListing may have suspended; re-resolve (map iterators are
   // stable, but be explicit about the single mutation point).
-  server_listings_[path].loaded = true;
+  OSIM_SHARED_RW(server_listings_)[path].loaded = true;
 }
 
 void CifsMount::SendBatchBurst(const std::string& label, std::uint32_t bytes,
@@ -126,11 +130,11 @@ void CifsMount::SendBatchBurst(const std::string& label, std::uint32_t bytes,
 
 Task<void> CifsMount::ServerFindHandler(std::string path, DirState* dir,
                                         FindTransaction* txn) {
-  ++server_requests_;
+  ++OSIM_SHARED_RW(server_requests_);
   const bool first = !dir->started;
   co_await kernel_->Cpu(config_.server_op_cpu);
   co_await ServerEnsureListing(path);
-  const ServerListing& listing = server_listings_[path];
+  const ServerListing& listing = OSIM_SHARED_RO(server_listings_).at(path);
 
   std::uint64_t cookie = dir->cookie;
   const std::uint64_t total = listing.names.size();
@@ -171,7 +175,7 @@ Task<void> CifsMount::ServerFindHandler(std::string path, DirState* dir,
 Task<void> CifsMount::ServerReadPageHandler(std::string path,
                                             std::uint64_t page,
                                             FindTransaction* txn) {
-  ++server_requests_;
+  ++OSIM_SHARED_RW(server_requests_);
   co_await kernel_->Cpu(config_.server_op_cpu);
   // Real server-side read: open + seek + read on the exported fs (the
   // server's own page cache and disk produce the service-time spread).
@@ -215,7 +219,7 @@ Task<void> CifsMount::FindTransactionOp(const std::string& path,
   for (std::size_t i = 0; i < txn.names.size(); ++i) {
     // Cache the metadata that rode along with each entry, so subsequent
     // stat/open of listed files stays client-local.
-    attr_cache_[path + "/" + txn.names[i]] = txn.attrs[i];
+    OSIM_SHARED_RW(attr_cache_)[path + "/" + txn.names[i]] = txn.attrs[i];
     dir->names.push_back(std::move(txn.names[i]));
   }
   dir->cookie = txn.next_cookie;
@@ -236,7 +240,7 @@ Task<void> CifsMount::RemoteReadPage(const std::string& path,
   while (!txn.complete) {
     co_await txn.done->Wait();
   }
-  page_cache_.insert({path, page});
+  OSIM_SHARED_RW(page_cache_).insert({path, page});
 }
 
 std::string CifsMount::SmallOpLabel(SmallOp op) {
@@ -257,12 +261,12 @@ std::string CifsMount::SmallOpLabel(SmallOp op) {
 
 Task<void> CifsMount::ServerSmallOpHandler(SmallOpArgs args,
                                            FindTransaction* txn) {
-  ++server_requests_;
+  ++OSIM_SHARED_RW(server_requests_);
   co_await kernel_->Cpu(config_.server_op_cpu);
   switch (args.op) {
     case SmallOp::kStat: {
       const osfs::FileAttr attr = co_await server_fs_->Stat(args.path);
-      attr_cache_[args.path] = RemoteAttr{attr.size, attr.is_dir};
+      OSIM_SHARED_RW(attr_cache_)[args.path] = RemoteAttr{attr.size, attr.is_dir};
       break;
     }
     case SmallOp::kWrite: {
@@ -312,7 +316,7 @@ Task<void> CifsMount::SmallRoundTrip(SmallOpArgs args) {
 }
 
 Task<void> CifsMount::FetchAttr(const std::string& path) {
-  if (attr_cache_.count(path) != 0) {
+  if (OSIM_SHARED_RO(attr_cache_).count(path) != 0) {
     co_return;
   }
   SmallOpArgs args;
@@ -331,7 +335,7 @@ Task<int> CifsMount::Open(const std::string& path, bool direct_io) {
   const Cycles start = kernel_->ReadTsc();
   co_await kernel_->Cpu(config_.client_op_cpu);
   co_await FetchAttr(path);
-  const RemoteAttr attr = attr_cache_[path];
+  const RemoteAttr attr = OSIM_SHARED_RO(attr_cache_).at(path);
   const int fd = AllocFd();
   ClientFile& f = file(fd);
   f.path = path;
@@ -371,7 +375,7 @@ Task<std::int64_t> CifsMount::Read(int fd, std::uint64_t bytes) {
     const std::uint64_t first_page = f.pos / osfs::kPageBytes;
     const std::uint64_t last_page = (end - 1) / osfs::kPageBytes;
     for (std::uint64_t page = first_page; page <= last_page; ++page) {
-      if (page_cache_.count({f.path, page}) == 0) {
+      if (OSIM_SHARED_RO(page_cache_).count({f.path, page}) == 0) {
         co_await RemoteReadPage(f.path, page);
       }
       co_await kernel_->Cpu(1'400);  // Local copy-out.
@@ -405,7 +409,7 @@ Task<std::int64_t> CifsMount::Write(int fd, std::uint64_t bytes) {
   ClientFile& f2 = file(fd);
   f2.pos += bytes;
   f2.attr.size = std::max(f2.attr.size, f2.pos);
-  attr_cache_[path] = f2.attr;
+  OSIM_SHARED_RW(attr_cache_)[path] = f2.attr;
   if (profiler_ != nullptr) {
     profiler_->EndSpan(probes_.write, kernel_->ReadTsc() - start);
   }
@@ -488,11 +492,11 @@ Task<int> CifsMount::Create(const std::string& path) {
   args.op = SmallOp::kCreate;
   args.path = path;
   co_await SmallRoundTrip(std::move(args));
-  attr_cache_[path] = RemoteAttr{0, false};
+  OSIM_SHARED_RW(attr_cache_)[path] = RemoteAttr{0, false};
   const int fd = AllocFd();
   ClientFile& f = file(fd);
   f.path = path;
-  f.attr = attr_cache_[path];
+  f.attr = OSIM_SHARED_RO(attr_cache_).at(path);
   if (profiler_ != nullptr) {
     profiler_->EndSpan(probes_.create, kernel_->ReadTsc() - start);
   }
@@ -508,7 +512,7 @@ Task<void> CifsMount::Unlink(const std::string& path) {
   args.op = SmallOp::kUnlink;
   args.path = path;
   co_await SmallRoundTrip(std::move(args));
-  attr_cache_.erase(path);
+  OSIM_SHARED_RW(attr_cache_).erase(path);
   if (profiler_ != nullptr) {
     profiler_->EndSpan(probes_.unlink, kernel_->ReadTsc() - start);
   }
@@ -522,7 +526,8 @@ Task<osfs::FileAttr> CifsMount::Stat(const std::string& path) {
   co_await kernel_->Cpu(config_.client_op_cpu / 4);
   co_await FetchAttr(path);
   osfs::FileAttr attr;
-  const RemoteAttr& cached = attr_cache_[path];
+  // FetchAttr guarantees presence; [] would record a write on a miss.
+  const RemoteAttr& cached = OSIM_SHARED_RO(attr_cache_).at(path);
   attr.size = cached.size;
   attr.is_dir = cached.is_dir;
   if (profiler_ != nullptr) {

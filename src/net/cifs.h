@@ -40,6 +40,7 @@
 #include "src/fs/vfs.h"
 #include "src/net/net.h"
 #include "src/profilers/sim_profiler.h"
+#include "src/sim/race_tracker.h"
 
 namespace osnet {
 
@@ -87,7 +88,9 @@ class CifsMount : public osfs::Vfs {
   PacketTrace& trace() { return trace_; }
   DelayedAckPolicy& client_ack_policy() { return *client_ack_; }
 
-  std::uint64_t server_requests() const { return server_requests_; }
+  std::uint64_t server_requests() const {
+    return OSIM_SHARED_RO(server_requests_);
+  }
   // How often the server's synchronous push actually stalled on ACKs.
   std::uint64_t delayed_ack_stalls() const {
     return server_ledger_.blocked_waits();
@@ -188,11 +191,15 @@ class CifsMount : public osfs::Vfs {
   };
   Probes probes_;
 
+  // Single-turn-atomic fd allocator: not a Shared cell (see race_tracker.h).
   std::deque<ClientFile> fds_;
-  std::map<std::string, RemoteAttr> attr_cache_;
-  std::set<std::pair<std::string, std::uint64_t>> page_cache_;
-  std::map<std::string, ServerListing> server_listings_;
-  std::uint64_t server_requests_ = 0;
+  // Client- and server-side caches whose fill protocols span network
+  // round trips; the request/reply token chain provides their
+  // happens-before cover, so unsynchronized access is a real race.
+  osim::Shared<std::map<std::string, RemoteAttr>> attr_cache_;
+  osim::Shared<std::set<std::pair<std::string, std::uint64_t>>> page_cache_;
+  osim::Shared<std::map<std::string, ServerListing>> server_listings_;
+  osim::Shared<std::uint64_t> server_requests_;
 };
 
 }  // namespace osnet

@@ -40,6 +40,25 @@ void NetPipe::Send(std::uint32_t bytes, PacketKind kind,
   record.bytes = bytes;
   Kernel* k = kernel_;
   PacketTrace* trace = trace_;
+  if (k->races().enabled()) {
+    // Race-tracking path: the sender's happens-before history travels
+    // with the packet and is adopted around delivery, so handlers the
+    // delivery spawns (smbd) or tasks it wakes inherit it.  A separate
+    // path so the common closure never carries the token.
+    k->events().At(arrive, [k, record = std::move(record), trace,
+                            deliver = std::move(deliver),
+                            token = k->races().Capture()]() mutable {
+      if (trace != nullptr) {
+        trace->Record(std::move(record));
+      }
+      k->races().Adopt(token);
+      if (deliver) {
+        deliver();
+      }
+      k->races().Drop();
+    });
+    return;
+  }
   k->events().At(arrive, [record = std::move(record), trace,
                           deliver = std::move(deliver)]() mutable {
     if (trace != nullptr) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/sim/kernel.h"
+#include "src/sim/race_tracker.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 
@@ -105,28 +106,34 @@ class NetPipe {
 class AckLedger {
  public:
   explicit AckLedger(Kernel* kernel)
-      : waiters_(kernel, osprof::kLayerNet) {}
+      : counts_(*kernel, "net.ack_ledger"), waiters_(kernel, osprof::kLayerNet) {}
 
-  void OnSegmentSent() { ++sent_; }
+  void OnSegmentSent() { ++OSIM_SHARED_RW(counts_).sent; }
 
   // A cumulative ACK covering the first `upto` segments arrived.
   void OnAckReceived(std::uint64_t upto) {
-    if (upto > acked_) {
-      acked_ = upto;
+    AckCounts& counts = OSIM_SHARED_RW(counts_);
+    if (upto > counts.acked) {
+      counts.acked = upto;
       waiters_.WakeAll();
     }
   }
 
-  bool AllAcked() const { return acked_ >= sent_; }
-  std::uint64_t sent() const { return sent_; }
-  std::uint64_t acked() const { return acked_; }
+  bool AllAcked() const {
+    const AckCounts& counts = OSIM_SHARED_RO(counts_);
+    return counts.acked >= counts.sent;
+  }
+  std::uint64_t sent() const { return OSIM_SHARED_RO(counts_).sent; }
+  std::uint64_t acked() const { return OSIM_SHARED_RO(counts_).acked; }
   // How many WaitAllAcked calls actually had to block: the count of
   // synchronous-push stalls.
-  std::uint64_t blocked_waits() const { return blocked_waits_; }
+  std::uint64_t blocked_waits() const {
+    return OSIM_SHARED_RO(counts_).blocked_waits;
+  }
 
   Task<void> WaitAllAcked() {
     if (!AllAcked()) {
-      ++blocked_waits_;
+      ++OSIM_SHARED_RW(counts_).blocked_waits;
     }
     while (!AllAcked()) {
       co_await waiters_.Wait();
@@ -134,9 +141,16 @@ class AckLedger {
   }
 
  private:
-  std::uint64_t sent_ = 0;
-  std::uint64_t acked_ = 0;
-  std::uint64_t blocked_waits_ = 0;
+  // Sent/acked counters mutate from both the sender task and ACK-delivery
+  // callbacks while the server blocks in WaitAllAcked, so they live in one
+  // race-checked cell (the callbacks run kernel-context and adopt the
+  // sender's token, keeping the protocol ordered).
+  struct AckCounts {
+    std::uint64_t sent = 0;
+    std::uint64_t acked = 0;
+    std::uint64_t blocked_waits = 0;
+  };
+  osim::Shared<AckCounts> counts_;
   osim::WaitQueue waiters_;
 };
 

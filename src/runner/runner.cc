@@ -111,6 +111,14 @@ std::vector<std::string> RunResult::LockCycles() const {
   return {unique.begin(), unique.end()};
 }
 
+std::vector<std::string> RunResult::RaceReports() const {
+  std::set<std::string> unique;
+  for (const TrialResult& t : trials) {
+    unique.insert(t.race_reports.begin(), t.race_reports.end());
+  }
+  return {unique.begin(), unique.end()};
+}
+
 TrialResult RunTrial(const Scenario& scenario, int trial) {
   const osprof::WallTimer timer;
   TrialResult result;
@@ -126,6 +134,9 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
   // Lock-order analysis rides along on every trial: tracking consumes no
   // simulated time, so profiles are byte-identical with it on.
   kernel.lock_order().set_enabled(true);
+  // SimRace happens-before tracking: same zero-simulated-time contract
+  // (src/sim/race_tracker.h); scale scenarios opt out via the spec.
+  kernel.races().set_enabled(scenario.track_races);
   osim::SimDisk disk(&kernel, scenario.disk);
   osfs::Ext2SimFs fs(&kernel, &disk, scenario.fs);
 
@@ -157,6 +168,7 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
   // Long-lived workload state; must survive until the simulation finishes.
   std::optional<osnet::CifsMount> cifs;
   std::optional<osim::SimSemaphore> clone_lock;
+  std::optional<osim::Shared<std::uint64_t>> race_cell;
   std::vector<osworkloads::GrepStats> grep_stats;
   osworkloads::PostmarkStats postmark_stats;
   osworkloads::TrafficStats traffic_stats;
@@ -228,6 +240,41 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
     attach_fs_instrumentation();
     kernel.Spawn("traffic", osworkloads::OpenLoopTraffic(&kernel, &fs, tcfg,
                                                          &traffic_stats));
+  } else if (const auto* race =
+                 std::get_if<RaceFixtureSpec>(&scenario.workload)) {
+    // Syscall-boundary recording so the race reports carry op names.
+    sim_profiler.set_layer("user");
+    sinks.push_back(&sim_profiler);
+    race_cell.emplace(kernel, "fixture.cell");
+    if (race->kind == RaceFixtureSpec::Kind::kLockedControl) {
+      clone_lock.emplace(&kernel, 1, "fixture_lock");
+    }
+    for (int p = 0; p < race->tasks; ++p) {
+      osim::Task<void> body = [&]() -> osim::Task<void> {
+        switch (race->kind) {
+          case RaceFixtureSpec::Kind::kReaders:
+            // Task 0 publishes; the rest scan.
+            if (p == 0) {
+              return osworkloads::RacePublishWorkload(
+                  &kernel, &sim_profiler, &*race_cell, race->rounds,
+                  race->stride);
+            }
+            return osworkloads::RaceScanWorkload(&kernel, &sim_profiler,
+                                                 &*race_cell, race->rounds,
+                                                 race->stride);
+          case RaceFixtureSpec::Kind::kLockedControl:
+            return osworkloads::RaceLockedWorkload(
+                &kernel, &sim_profiler, &*race_cell, &*clone_lock,
+                race->rounds, race->stride);
+          case RaceFixtureSpec::Kind::kCounter:
+            break;
+        }
+        return osworkloads::RaceCounterWorkload(&kernel, &sim_profiler,
+                                                &*race_cell, race->rounds,
+                                                race->stride);
+      }();
+      kernel.Spawn("racer" + std::to_string(p), std::move(body));
+    }
   } else if (const auto* ns = std::get_if<NoiseSpec>(&scenario.workload)) {
     // The noise profiler subscribes to the kernel's interference channel;
     // its tasks are the workload.
@@ -318,6 +365,14 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
   }
 
   result.lock_cycles = kernel.lock_order().CycleDescriptions();
+  if (scenario.track_races) {
+    const osim::RaceTracker& races = kernel.races();
+    result.race_reports = races.ReportDescriptions();
+    result.counters["race_reports"] = races.report_count();
+    result.counters["race_racy_accesses"] = races.racy_accesses();
+    result.counters["race_accesses_checked"] = races.accesses_checked();
+    result.counters["race_cells_tracked"] = races.cells_tracked();
+  }
 
   result.wall_seconds = timer.Seconds();
   return result;

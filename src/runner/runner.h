@@ -57,6 +57,9 @@ struct TrialResult {
   // Lock-order analysis (src/sim/lock_order.h): one description per
   // deadlock-capable cycle observed in this trial's lock graph.
   std::vector<std::string> lock_cycles;
+  // SimRace analysis (src/sim/race_tracker.h): one description per
+  // deduped data race observed in this trial.
+  std::vector<std::string> race_reports;
 };
 
 // Cross-trial dispersion of one operation's histogram.
@@ -97,6 +100,10 @@ struct RunResult {
   // Union of the trials' lock-order cycles, deduplicated and sorted.
   // Empty means no trial observed a deadlock-capable acquisition order.
   std::vector<std::string> LockCycles() const;
+
+  // Union of the trials' SimRace reports, deduplicated and sorted.
+  // Empty means no trial observed a happens-before violation.
+  std::vector<std::string> RaceReports() const;
 };
 
 // Runs a single trial synchronously (seed = scenario.kernel.seed + trial).

@@ -163,6 +163,7 @@ Scenario Scale1M() {
   s.kernel.num_cpus = 64;
   s.kernel.seed = 71;
   s.kernel.reap_finished = true;
+  s.track_races = false;  // Reaping reuses thread ids; see Scenario.
   s.profilers.per_cpu_shards = true;
   s.profilers.shard_epoch = osim::Cycles{1} << 24;
   TrafficSpec t;
@@ -215,6 +216,24 @@ Scenario NoiseIdle() {
   return s;
 }
 
+// The SimRace fixture family.  Two CPUs so racing turns genuinely
+// interleave; the fs profiler is off (there is no file system in these
+// workloads -- the profiler attaches at the syscall boundary as "user").
+Scenario RaceFixture(RaceFixtureSpec::Kind kind, std::string name,
+                     std::string what) {
+  Scenario s;
+  s.name = std::move(name);
+  s.description = "SimRace fixture: " + what;
+  s.kernel.num_cpus = 2;
+  s.kernel.seed = 99;
+  s.profilers.fs = false;
+  RaceFixtureSpec spec;
+  spec.kind = kind;
+  spec.tasks = kind == RaceFixtureSpec::Kind::kReaders ? 3 : 2;
+  s.workload = spec;
+  return s;
+}
+
 // The same shape at test scale: seconds of wall clock, not minutes.
 Scenario ScaleSmoke() {
   Scenario s;
@@ -223,6 +242,7 @@ Scenario ScaleSmoke() {
   s.kernel.num_cpus = 8;
   s.kernel.seed = 71;
   s.kernel.reap_finished = true;
+  s.track_races = false;  // Reaping reuses thread ids; see Scenario.
   s.profilers.per_cpu_shards = true;
   s.profilers.shard_epoch = osim::Cycles{1} << 22;
   TrafficSpec t;
@@ -254,6 +274,16 @@ ScenarioRegistry& BuiltinScenarios() {
     r->Register(NoiseIdle());
     r->Register(Scale1M());
     r->Register(ScaleSmoke());
+    r->Register(RaceFixture(RaceFixtureSpec::Kind::kCounter,
+                            "race_fixture_counter",
+                            "unsynchronized read-modify-write counter"));
+    r->Register(RaceFixture(RaceFixtureSpec::Kind::kReaders,
+                            "race_fixture_readers",
+                            "unsynchronized publish vs concurrent scans"));
+    r->Register(RaceFixture(RaceFixtureSpec::Kind::kLockedControl,
+                            "race_control_locked",
+                            "the counter under a semaphore (negative "
+                            "control: no races)"));
     return r;
   }();
   return *registry;

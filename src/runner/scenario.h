@@ -120,9 +120,22 @@ struct NoiseSpec {
   double eq3_tolerance = 0.25;
 };
 
+// SimRace fixture family (src/sim/race_tracker.h): `tasks` coroutines
+// hammering one Shared cell.  kCounter and kReaders race by
+// construction and seed the gate's [races] true-positive check;
+// kLockedControl runs the same access pattern under a semaphore and
+// must come back clean.
+struct RaceFixtureSpec {
+  enum class Kind { kCounter, kReaders, kLockedControl };
+  Kind kind = Kind::kCounter;
+  int tasks = 2;
+  int rounds = 4;
+  osim::Cycles stride = 2'000;
+};
+
 using WorkloadSpec = std::variant<GrepSpec, ZeroByteReadSpec, RandomReadSpec,
                                   CloneSpec, PostmarkSpec, TrafficSpec,
-                                  NoiseSpec>;
+                                  NoiseSpec, RaceFixtureSpec>;
 
 // --- The scenario -----------------------------------------------------------
 
@@ -137,6 +150,12 @@ struct Scenario {
   osfs::Ext2Config fs;
   ProfilerSpec profilers;
   WorkloadSpec workload = GrepSpec{};
+  // SimRace happens-before tracking (src/sim/race_tracker.h).  Free in
+  // simulated time, so profiles are byte-identical either way; the scale
+  // scenarios turn it off because thread reaping reuses ids faster than
+  // the per-task clocks can follow (and their hot paths should skip
+  // token capture anyway).
+  bool track_races = true;
 };
 
 // --- Registry ---------------------------------------------------------------

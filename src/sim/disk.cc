@@ -16,7 +16,8 @@ void SimDisk::Submit(DiskOp op, std::uint64_t lba, std::uint64_t count,
   if (count == 0 || lba + count > config_.num_blocks) {
     throw std::out_of_range("disk request outside device");
   }
-  queue_.push_back(Request{op, lba, count, std::move(done), kernel_->now()});
+  queue_.push_back(Request{op, lba, count, std::move(done), kernel_->now(),
+                           kernel_->races().Capture()});
   if (!busy_) {
     StartNext();
   }
@@ -71,6 +72,27 @@ void SimDisk::StartNext() {
   info.cache_hit = cache_hit;
 
   Completion done = std::move(request.done);
+  if (kernel_->races().enabled()) {
+    // Tracking path: adopt the submitter's history around the completion
+    // so tasks it wakes or spawns are ordered after the submit.  Kept
+    // separate so the common path's closure never carries the token.
+    kernel_->events().After(service, [this, info, done = std::move(done),
+                                      token = std::move(request.token)]() mutable {
+      DiskRequestInfo completed = info;
+      completed.completed_at = kernel_->now();
+      ++completed_;
+      if (observer_) {
+        observer_(completed);
+      }
+      kernel_->races().Adopt(token);
+      if (done) {
+        done(completed);
+      }
+      kernel_->races().Drop();
+      StartNext();
+    });
+    return;
+  }
   kernel_->events().After(service, [this, info, done = std::move(done)]() mutable {
     DiskRequestInfo completed = info;
     completed.completed_at = kernel_->now();

@@ -115,6 +115,9 @@ class SimDisk {
     std::uint64_t count;
     Completion done;
     Cycles queued_at;
+    // Submitter's happens-before history, adopted around `done` so work
+    // the completion triggers inherits it (empty when tracking is off).
+    RaceClock token;
   };
 
   void StartNext();

@@ -68,6 +68,9 @@ class FrameArena {
   static constexpr std::uint32_t kHeapClass = 0xffffffffu;
 
   static FrameArena& Local() {
+    // The coroutine-frame allocator itself: below the level SimRace
+    // instruments, and per-real-thread by construction.
+    // osprof-lint: allow(shared-state)
     thread_local FrameArena arena;
     return arena;
   }

@@ -21,6 +21,11 @@
 //  * LockOrderTracker -- acquisition/release hooks forward unconditionally
 //    because held-lock stack upkeep is mandatory bookkeeping, not
 //    analysis (see src/sim/lock_order.h).
+//  * RaceTracker -- the happens-before engine consumes the same stream
+//    (task lifecycle, wakeups, lock transfers) as vector-clock edges;
+//    hardwired for the same reason as the lock tracker, and every hook is
+//    an inline enabled-flag test when detection is off (see
+//    src/sim/race_tracker.h).
 //
 // Everything else subscribes.  With no subscribers an emit is the same
 // inline RequestContext call as before plus one vector-empty test; with
@@ -38,6 +43,7 @@
 #include "src/core/clock.h"
 #include "src/core/layered.h"
 #include "src/sim/lock_order.h"
+#include "src/sim/race_tracker.h"
 #include "src/sim/request_context.h"
 
 namespace osim {
@@ -79,13 +85,22 @@ class InterferenceChannel {
  public:
   // Installs the hardwired consumers (called once, by the owning Kernel's
   // constructor, before any emit).
-  void Bind(RequestContext* context, LockOrderTracker* lock_order) {
+  void Bind(RequestContext* context, LockOrderTracker* lock_order,
+            RaceTracker* races) {
     context_ = context;
     lock_order_ = lock_order;
+    races_ = races;
   }
 
   // Subscribers receive events in subscription order.  Subscribing is
   // idempotent; both calls are setup-time operations, not hot paths.
+  //
+  // Mutation during publish is defined (and locked in by tests): a
+  // subscriber added from inside a callback does not see the event being
+  // fanned out (only later ones); unsubscribing -- yourself or a peer --
+  // from inside a callback takes effect immediately (the removed
+  // subscriber receives no further callbacks for the current event) and
+  // never disturbs delivery to the remaining subscribers.
   void Subscribe(InterferenceSubscriber* subscriber);
   void Unsubscribe(InterferenceSubscriber* subscriber);
   bool has_subscribers() const { return !subscribers_.empty(); }
@@ -160,16 +175,37 @@ class InterferenceChannel {
   }
 
   // --- Lock graph hooks -------------------------------------------------
-  // Forwarded to the tracker unconditionally: the held-lock stacks must
-  // stay consistent whether or not anyone analyzes them.
+  // Forwarded to the trackers unconditionally: the held-lock stacks must
+  // stay consistent whether or not anyone analyzes them, and the race
+  // tracker's hooks are inline flag tests while disabled.  A lock
+  // transfer is also a happens-before edge: release joins the holder's
+  // clock into the lock, acquire joins the lock's clock into the taker.
 
   void LockAcquired(const void* lock, const std::string& name,
                     HeldLockStack& held, int thread_id) {
     lock_order_->OnAcquired(lock, name, held, thread_id);
+    races_->OnAcquire(lock, thread_id);
   }
 
-  void LockReleased(const void* lock, HeldLockStack& held) {
+  void LockReleased(const void* lock, HeldLockStack& held, int thread_id) {
     lock_order_->OnReleased(lock, held);
+    races_->OnRelease(lock, thread_id);
+  }
+
+  // --- Task lifecycle hooks (race detection) ----------------------------
+  // Spawn/exit/wake are the scheduler-level happens-before edges: a child
+  // inherits its spawner's history, an exit folds into the root clock,
+  // a wake carries the waker's history to the wakee.  Negative ids mean
+  // kernel context (event callbacks, host code).
+
+  void TaskSpawned(int parent_id, int child_id) {
+    races_->OnSpawn(parent_id, child_id);
+  }
+
+  void TaskExited(int thread_id) { races_->OnExit(thread_id); }
+
+  void TaskWoken(int waker_id, int wakee_id) {
+    races_->OnWake(waker_id, wakee_id);
   }
 
  private:
@@ -178,7 +214,12 @@ class InterferenceChannel {
 
   RequestContext* context_ = nullptr;
   LockOrderTracker* lock_order_ = nullptr;
+  RaceTracker* races_ = nullptr;
+  // May hold nullptr tombstones while a publish is in flight (mid-publish
+  // unsubscription); compacted when the outermost publish returns.
   std::vector<InterferenceSubscriber*> subscribers_;
+  int publish_depth_ = 0;
+  bool needs_compaction_ = false;
 };
 
 }  // namespace osim

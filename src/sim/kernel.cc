@@ -21,7 +21,9 @@ Kernel::Kernel(KernelConfig config)
   config_.tsc_skew.resize(static_cast<std::size_t>(config_.num_cpus), 0);
   idle_cpus_ = config_.num_cpus;
   lock_order_.set_context(&context_);
-  channel_.Bind(&context_, &lock_order_);
+  race_tracker_.set_context(&context_);
+  race_tracker_.BindKernel(this);
+  channel_.Bind(&context_, &lock_order_, &race_tracker_);
 }
 
 SimThread* Kernel::Spawn(std::string name, Task<void> body) {
@@ -35,6 +37,7 @@ SimThread* Kernel::Spawn(std::string name, Task<void> body) {
   t->resume_point_ = t->body_.handle();
   ++live_threads_;
   ++spawned_threads_;
+  channel_.TaskSpawned(current_ != nullptr ? current_->id_ : -1, id);
   MakeRunnable(t);
   return t;
 }
@@ -49,6 +52,7 @@ void Kernel::MakeRunnable(SimThread* t) {
         events_.now() - t->blocked_since_, events_.now());
     t->blocked_component_ = -1;
   }
+  channel_.TaskWoken(current_ != nullptr ? current_->id_ : -1, t->id_);
   t->runnable_since_ = events_.now();
   t->state_ = ThreadState::kRunnable;
   run_queue_.push_back(t);
@@ -124,6 +128,7 @@ void Kernel::ResumeThread(SimThread* t) {
     // Propagate escaped exceptions to the simulation driver: a crashed
     // simulated thread is a bug in the scenario, not something to swallow.
     t->body_.RethrowIfFailed();
+    channel_.TaskExited(t->id_);
     if (config_.reap_finished) {
       ReapThread(t);
     }

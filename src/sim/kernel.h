@@ -36,6 +36,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/interference.h"
 #include "src/sim/lock_order.h"
+#include "src/sim/race_tracker.h"
 #include "src/sim/request_context.h"
 #include "src/sim/rng.h"
 #include "src/sim/run_queue.h"
@@ -194,6 +195,12 @@ class Kernel {
   LockOrderTracker& lock_order() { return lock_order_; }
   const LockOrderTracker& lock_order() const { return lock_order_; }
 
+  // Happens-before race detection over simulated tasks; disabled by
+  // default, see src/sim/race_tracker.h.  The scheduler and sync
+  // primitives feed it edges through the interference channel.
+  RaceTracker& races() { return race_tracker_; }
+  const RaceTracker& races() const { return race_tracker_; }
+
   // The per-task span stack shared by every profiling consumer (see
   // src/sim/request_context.h).  Profilers push/pop frames; the scheduler
   // and sync primitives attribute waits to the innermost active span.
@@ -348,6 +355,7 @@ class Kernel {
   EventQueue events_;
   Rng rng_;
   LockOrderTracker lock_order_;
+  RaceTracker race_tracker_;
   RequestContext context_;
   InterferenceChannel channel_;
   std::vector<CpuState> cpus_;

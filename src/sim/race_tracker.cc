@@ -1,0 +1,247 @@
+#include "src/sim/race_tracker.h"
+
+#include <algorithm>
+
+#include "src/sim/kernel.h"
+#include "src/sim/request_context.h"
+
+namespace osim {
+namespace {
+
+// Renders one side of a report: "write cell@func (op name [layer])", or
+// "(no op)" for accesses outside any profiled span.
+std::string Describe(const char* cell_name, const RaceAccess& access) {
+  std::string s = access.is_write ? "write " : "read ";
+  s += cell_name;
+  s += '@';
+  s += access.func != nullptr ? access.func : "?";
+  if (access.ops != nullptr && access.op != osprof::kInvalidOpId) {
+    s += " (op ";
+    s += access.ops->Name(access.op);
+    s += " [";
+    s += osprof::LayerComponentName(access.cls);
+    s += "])";
+  } else {
+    s += " (no op)";
+  }
+  return s;
+}
+
+}  // namespace
+
+RaceTracker& RaceTrackerOf(Kernel& kernel) { return kernel.races(); }
+
+int RaceTracker::CurrentTid() const {
+  if (kernel_ == nullptr) {
+    return -1;
+  }
+  const SimThread* t = kernel_->current();
+  return t != nullptr ? t->id() : -1;
+}
+
+void RaceTracker::Join(VectorClock& into, const VectorClock& from) {
+  if (from.size() > into.size()) {
+    into.resize(from.size(), 0);
+  }
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+RaceTracker::VectorClock& RaceTracker::ClockOf(int tid) {
+  const auto index = static_cast<std::size_t>(tid);
+  if (index >= clocks_.size()) {
+    clocks_.resize(index + 1);
+  }
+  VectorClock& c = clocks_[index];
+  if (index >= c.size()) {
+    c.resize(index + 1, 0);
+  }
+  if (c[index] == 0) {
+    // First sighting (a task spawned before the tracker was enabled):
+    // seed its epoch so accesses are distinguishable from "never ran".
+    c[index] = 1;
+  }
+  return c;
+}
+
+void RaceTracker::KernelClockInto(VectorClock& out) const {
+  Join(out, root_);
+  for (const VectorClock& token : adopted_) {
+    Join(out, token);
+  }
+}
+
+void RaceTracker::SpawnSlow(int parent, int child) {
+  if (child < 0) {
+    return;
+  }
+  VectorClock base;
+  if (parent >= 0) {
+    VectorClock& p = ClockOf(parent);
+    base = p;
+    // The spawn is a send: the parent's later work is not ordered before
+    // anything the child does.
+    ++p[static_cast<std::size_t>(parent)];
+  } else {
+    // Kernel/host context: the child inherits everything that finished
+    // plus whatever completion history was adopted around this callback.
+    KernelClockInto(base);
+  }
+  VectorClock& c = ClockOf(child);
+  Join(c, base);
+}
+
+void RaceTracker::ExitSlow(int tid) {
+  if (static_cast<std::size_t>(tid) < clocks_.size()) {
+    Join(root_, clocks_[static_cast<std::size_t>(tid)]);
+  }
+}
+
+void RaceTracker::WakeSlow(int waker, int wakee) {
+  if (wakee < 0) {
+    return;
+  }
+  VectorClock& c = ClockOf(wakee);
+  if (waker >= 0) {
+    VectorClock& w = ClockOf(waker);
+    Join(c, w);
+    ++w[static_cast<std::size_t>(waker)];
+  } else {
+    VectorClock base;
+    KernelClockInto(base);
+    Join(c, base);
+  }
+}
+
+void RaceTracker::AcquireSlow(const void* lock, int tid) {
+  auto it = locks_.find(lock);
+  if (it != locks_.end()) {
+    Join(ClockOf(tid), it->second);
+  }
+}
+
+void RaceTracker::ReleaseSlow(const void* lock, int tid) {
+  VectorClock& c = ClockOf(tid);
+  Join(locks_[lock], c);
+  ++c[static_cast<std::size_t>(tid)];
+}
+
+RaceClock RaceTracker::CaptureSlow() {
+  const int tid = CurrentTid();
+  if (tid >= 0) {
+    VectorClock& c = ClockOf(tid);
+    RaceClock token = c;
+    // The capture is a send: post-submit work must not look ordered
+    // before the completion that adopts this token.
+    ++c[static_cast<std::size_t>(tid)];
+    return token;
+  }
+  // Kernel context (a completion chaining into another submit): forward
+  // the already-adopted history.
+  VectorClock token;
+  KernelClockInto(token);
+  return token;
+}
+
+bool RaceTracker::OrderedBefore(const RaceAccess& access, int tid,
+                                const VectorClock& now) {
+  if (access.tid == tid) {
+    return true;  // Program order.
+  }
+  const auto index = static_cast<std::size_t>(access.tid);
+  return index < now.size() && access.clock <= now[index];
+}
+
+RaceAccess RaceTracker::MakeAccess(int tid, const char* func,
+                                   bool is_write) const {
+  RaceAccess access;
+  access.tid = tid;
+  access.clock = 0;  // Filled by the caller from the task's own epoch.
+  access.is_write = is_write;
+  access.func = func;
+  if (context_ != nullptr) {
+    context_->TopSpan(tid, &access.ops, &access.op, &access.cls);
+  }
+  return access;
+}
+
+void RaceTracker::Report(const char* cell_name, const RaceAccess& prior,
+                         const RaceAccess& current) {
+  ++racy_accesses_;
+  std::string a = Describe(cell_name, prior);
+  std::string b = Describe(cell_name, current);
+  if (b < a) {
+    std::swap(a, b);
+  }
+  ++reports_[{std::move(a), std::move(b)}];
+}
+
+void RaceTracker::OnSharedAccess(RaceCellState* cell, const char* cell_name,
+                                 const char* func, bool is_write) {
+  const int tid = CurrentTid();
+  if (tid < 0) {
+    // Kernel context: event callbacks and host-side setup/introspection
+    // are scheduler-atomic by construction, never racy.
+    return;
+  }
+  if (cell->generation != generation_) {
+    *cell = RaceCellState{};
+    cell->generation = generation_;
+  }
+  if (!cell->registered) {
+    cell->registered = true;
+    ++cells_tracked_;
+  }
+  ++accesses_checked_;
+
+  const VectorClock& now = ClockOf(tid);
+  RaceAccess current = MakeAccess(tid, func, is_write);
+  current.clock = now[static_cast<std::size_t>(tid)];
+
+  if (cell->has_write && !OrderedBefore(cell->last_write, tid, now)) {
+    Report(cell_name, cell->last_write, current);
+  }
+  if (is_write) {
+    for (const RaceAccess& read : cell->reads) {
+      if (!OrderedBefore(read, tid, now)) {
+        Report(cell_name, read, current);
+      }
+    }
+    cell->last_write = current;
+    cell->has_write = true;
+    cell->reads.clear();
+    return;
+  }
+  // A read: remember the latest read per thread since the last write.
+  for (RaceAccess& read : cell->reads) {
+    if (read.tid == tid) {
+      read = current;
+      return;
+    }
+  }
+  cell->reads.push_back(current);
+}
+
+std::vector<std::string> RaceTracker::ReportDescriptions() const {
+  std::vector<std::string> out;
+  out.reserve(reports_.size());
+  for (const auto& [key, count] : reports_) {
+    out.push_back("data race: " + key.first + " vs " + key.second);
+  }
+  return out;
+}
+
+void RaceTracker::Reset() {
+  clocks_.clear();
+  root_.clear();
+  adopted_.clear();
+  locks_.clear();
+  reports_.clear();
+  racy_accesses_ = 0;
+  accesses_checked_ = 0;
+  cells_tracked_ = 0;
+  ++generation_;
+}
+
+}  // namespace osim

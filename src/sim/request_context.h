@@ -182,6 +182,23 @@ class RequestContext {
     return true;
   }
 
+  // TopOp plus the owner's layer class, for consumers (the race tracker)
+  // that tag reports with the layer the op belongs to.
+  bool TopSpan(int tid, const osprof::OpTable** ops, osprof::OpId* op,
+               osprof::LayerComponent* cls) const {
+    if (tid < 0 || static_cast<std::size_t>(tid) >= tops_.size()) {
+      return false;
+    }
+    const std::uint32_t top = tops_[static_cast<std::size_t>(tid)];
+    if (top == kNilFrame) {
+      return false;
+    }
+    *ops = pool_[top].owner->ops;
+    *op = pool_[top].op;
+    *cls = pool_[top].owner->cls;
+    return true;
+  }
+
   // Drops all frames (between runs; never while spans are active).
   void Reset();
 

@@ -24,7 +24,7 @@ void SimSemaphore::NoteAcquired() {
 void SimSemaphore::NoteReleased() {
   SimThread* t = kernel_->current();
   if (t != nullptr) {
-    kernel_->channel().LockReleased(this, t->held_locks_);
+    kernel_->channel().LockReleased(this, t->held_locks_, t->id());
   }
 }
 
@@ -121,7 +121,7 @@ void SimSpinlock::NoteHandoff(SimThread* to) {
 void SimSpinlock::NoteReleased() {
   SimThread* t = kernel_->current();
   if (t != nullptr) {
-    kernel_->channel().LockReleased(this, t->held_locks_);
+    kernel_->channel().LockReleased(this, t->held_locks_, t->id());
   }
 }
 

@@ -42,6 +42,9 @@ constexpr const char* kGateUsage =
     "                     generated (default 1)\n"
     "  --jobs=J           worker threads (does not affect merged output)\n"
     "  --json=FILE        write the machine-readable verdict to FILE\n"
+    "  --no-races         disable SimRace happens-before tracking (profiles\n"
+    "                     are byte-identical either way; this skips the\n"
+    "                     [races] verdict)\n"
     "  --update           regenerate the golden files from this run\n";
 
 // The §5.3 raters the gate scores with, in their CLI spelling.
@@ -83,6 +86,7 @@ struct GateFlags {
   std::string json_path;
   bool update = false;
   bool list = false;
+  bool no_races = false;
 };
 
 // Returns nullopt (and prints to err) on a usage error.
@@ -94,6 +98,8 @@ std::optional<GateFlags> ParseFlags(const std::vector<std::string>& args,
       flags.list = true;
     } else if (arg == "--update") {
       flags.update = true;
+    } else if (arg == "--no-races") {
+      flags.no_races = true;
     } else if (const auto v = FlagValue(arg, "--baseline=")) {
       flags.baseline_prefix = *v;
     } else if (const auto v = FlagValue(arg, "--json=")) {
@@ -360,12 +366,27 @@ NoiseVerdict ScoreNoiseEquation3(const osrunner::Scenario& scenario,
   return v;
 }
 
+// The SimRace verdict (src/sim/race_tracker.h).  Ordinary scenarios must
+// come back race-free; the seeded race_fixture_* family must race --
+// that is the gate's true-positive check on the detector itself.
+struct RacesVerdict {
+  bool checked = false;   // False under --no-races / untracked scenarios.
+  bool expected = false;  // race_fixture_*: races are the point.
+  std::vector<std::string> reports;
+  bool pass() const {
+    if (!checked) {
+      return true;
+    }
+    return expected ? !reports.empty() : reports.empty();
+  }
+};
+
 osjson::Value VerdictJson(const GateFlags& flags,
                           const std::vector<LayerVerdict>& layers,
                           const LayersVerdict& layered,
                           const NoiseVerdict& noise,
                           const std::vector<std::string>& lock_cycles,
-                          bool pass) {
+                          const RacesVerdict& races, bool pass) {
   osjson::Value doc = osjson::Value::Object();
   doc.Set("schema", osjson::Value::Str("osprof-gate-v1"));
   doc.Set("scenario", osjson::Value::Str(flags.scenario));
@@ -380,6 +401,17 @@ osjson::Value VerdictJson(const GateFlags& flags,
   }
   lock_order.Set("cycles", std::move(cycle_array));
   doc.Set("lock_order", std::move(lock_order));
+  osjson::Value races_obj = osjson::Value::Object();
+  races_obj.Set("checked", osjson::Value::Bool(races.checked));
+  races_obj.Set("expected", osjson::Value::Bool(races.expected));
+  races_obj.Set("found", osjson::Value::Bool(!races.reports.empty()));
+  osjson::Value report_array = osjson::Value::Array();
+  for (const std::string& report : races.reports) {
+    report_array.Append(osjson::Value::Str(report));
+  }
+  races_obj.Set("reports", std::move(report_array));
+  races_obj.Set("pass", osjson::Value::Bool(races.pass()));
+  doc.Set("races", std::move(races_obj));
   osjson::Value layer_array = osjson::Value::Array();
   for (const LayerVerdict& layer : layers) {
     osjson::Value l = osjson::Value::Object();
@@ -451,13 +483,25 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
 
+  // --no-races runs the identical scenario with SimRace off: profiles and
+  // goldens are byte-identical either way (the drift CI loop checks both).
+  osrunner::Scenario gated = *scenario;
+  if (flags->no_races) {
+    gated.track_races = false;
+  }
+
   osrunner::RunResult result;
   try {
-    result = osrunner::RunScenario(*scenario, flags->run);
+    result = osrunner::RunScenario(gated, flags->run);
   } catch (const std::exception& e) {
     err << "osprof_tool gate: " << e.what() << "\n";
     return 2;
   }
+
+  RacesVerdict races;
+  races.checked = gated.track_races;
+  races.expected = flags->scenario.rfind("race_fixture_", 0) == 0;
+  races.reports = result.RaceReports();
 
   // The merged layered decomposition, for the exactness check and
   // --update (empty when no instrumented layer recorded one).
@@ -565,6 +609,29 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
       out << "  " << cycle << "\n";
     }
   }
+  // SimRace assertion: ordinary scenarios must be race-free; the seeded
+  // race_fixture_* family must race (true-positive check on the detector).
+  if (!races.checked) {
+    out << "[races] tracking disabled; skipped\n";
+  } else if (races.expected) {
+    if (races.pass()) {
+      out << "[races] fixture raced as designed:\n";
+      for (const std::string& report : races.reports) {
+        out << "  " << report << "\n";
+      }
+    } else {
+      pass = false;
+      out << "[races] FIXTURE SILENT: expected data races, found none\n";
+    }
+  } else if (races.pass()) {
+    out << "[races] no data races\n";
+  } else {
+    pass = false;
+    out << "[races] DATA RACES:\n";
+    for (const std::string& report : races.reports) {
+      out << "  " << report << "\n";
+    }
+  }
   for (const LayerVerdict& layer : layers) {
     out << "[" << layer.layer << "] golden " << layer.golden_ops
         << " ops vs measured " << layer.measured_ops << " ops ("
@@ -628,7 +695,8 @@ int RunGateCommand(const std::vector<std::string>& args, std::ostream& out,
       err << "osprof_tool gate: cannot write " << flags->json_path << "\n";
       return 2;
     }
-    json << VerdictJson(*flags, layers, layered, noise, lock_cycles, pass)
+    json << VerdictJson(*flags, layers, layered, noise, lock_cycles, races,
+                        pass)
                 .Dump();
     out << "wrote " << flags->json_path << "\n";
   }

@@ -17,6 +17,7 @@
 #include "src/tools/layers_command.h"
 #include "src/tools/lint_command.h"
 #include "src/tools/noise_command.h"
+#include "src/tools/races_command.h"
 #include "src/tools/run_command.h"
 
 namespace ostools {
@@ -46,6 +47,8 @@ constexpr const char* kUsage =
     "decomposition\n"
     "  noise   [scenario]                   OS-noise tracer table + Eq.3 "
     "check\n"
+    "  races   <scenario> [--trials=N] [--jobs=J] [--json=FILE]\n"
+    "                                       SimRace data-race report\n"
     "  lint    [paths...] [--rules=r1,r2] [--json=FILE]\n"
     "                                       in-tree static analysis\n"
     "  lint    --list-rules                 lint rule names\n"
@@ -347,6 +350,10 @@ int RunProfileTool(const std::vector<std::string>& args, std::ostream& out,
   }
   if (cmd == "noise") {
     return RunNoiseCommand(
+        std::vector<std::string>(args.begin() + 1, args.end()), out, err);
+  }
+  if (cmd == "races") {
+    return RunRacesCommand(
         std::vector<std::string>(args.begin() + 1, args.end()), out, err);
   }
   if (cmd == "lint") {

@@ -1,0 +1,24 @@
+// The `osprof_tool races` subcommand: run a scenario with SimRace
+// happens-before tracking (src/sim/race_tracker.h) and print every data
+// race observed, deduplicated across trials.  Machine-readable output is
+// the osprof-races-v1 JSON document (reports plus the race_* counters).
+
+#ifndef OSPROF_SRC_TOOLS_RACES_COMMAND_H_
+#define OSPROF_SRC_TOOLS_RACES_COMMAND_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ostools {
+
+// args are the tokens after "races":
+//   races <scenario> [--trials=N] [--jobs=J] [--json=FILE]
+// Returns the process exit code: 0 race-free, 1 usage error, 2 runtime
+// failure (unknown scenario, unwritable JSON), 3 data races found.
+int RunRacesCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace ostools
+
+#endif  // OSPROF_SRC_TOOLS_RACES_COMMAND_H_

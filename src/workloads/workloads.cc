@@ -341,4 +341,87 @@ Task<void> CompileWorkload(Kernel* kernel, osfs::Vfs* vfs,
   }
 }
 
+// --- SimRace fixtures -------------------------------------------------------
+
+namespace {
+
+// The racy core: the await between the read and the write is what makes
+// the read-modify-write span scheduler turns and lose updates.
+Task<void> RaceIncrementOnce(Kernel* kernel,
+                             osim::Shared<std::uint64_t>* cell,
+                             Cycles stride) {
+  const std::uint64_t seen = OSIM_SHARED_RO(*cell);
+  co_await kernel->Cpu(stride);
+  OSIM_SHARED_RW(*cell) = seen + 1;
+}
+
+Task<void> RacePublishOnce(Kernel* kernel, osim::Shared<std::uint64_t>* cell,
+                           int round, Cycles stride) {
+  OSIM_SHARED_RW(*cell) = static_cast<std::uint64_t>(round);
+  co_await kernel->Cpu(stride);
+}
+
+Task<void> RaceScanOnce(Kernel* kernel, osim::Shared<std::uint64_t>* cell,
+                        std::uint64_t* acc, Cycles stride) {
+  *acc += OSIM_SHARED_RO(*cell);
+  co_await kernel->Cpu(stride);
+}
+
+Task<void> RaceLockedIncrementOnce(Kernel* kernel,
+                                   osim::Shared<std::uint64_t>* cell,
+                                   osim::SimSemaphore* lock, Cycles stride) {
+  co_await lock->Acquire();
+  const std::uint64_t seen = OSIM_SHARED_RO(*cell);
+  co_await kernel->Cpu(stride);
+  OSIM_SHARED_RW(*cell) = seen + 1;
+  lock->Release();
+}
+
+}  // namespace
+
+Task<void> RaceCounterWorkload(Kernel* kernel, SimProfiler* profiler,
+                               osim::Shared<std::uint64_t>* cell, int rounds,
+                               Cycles stride) {
+  const osprof::ProbeHandle increment = profiler->Resolve("increment");
+  for (int i = 0; i < rounds; ++i) {
+    co_await profiler->Wrap(increment,
+                            RaceIncrementOnce(kernel, cell, stride));
+    co_await kernel->Sleep(stride);
+  }
+}
+
+Task<void> RacePublishWorkload(Kernel* kernel, SimProfiler* profiler,
+                               osim::Shared<std::uint64_t>* cell, int rounds,
+                               Cycles stride) {
+  const osprof::ProbeHandle publish = profiler->Resolve("publish");
+  for (int i = 0; i < rounds; ++i) {
+    co_await profiler->Wrap(publish,
+                            RacePublishOnce(kernel, cell, i, stride));
+    co_await kernel->Sleep(stride);
+  }
+}
+
+Task<void> RaceScanWorkload(Kernel* kernel, SimProfiler* profiler,
+                            osim::Shared<std::uint64_t>* cell, int rounds,
+                            Cycles stride) {
+  const osprof::ProbeHandle scan = profiler->Resolve("scan");
+  std::uint64_t sum = 0;
+  for (int i = 0; i < rounds; ++i) {
+    co_await profiler->Wrap(scan, RaceScanOnce(kernel, cell, &sum, stride));
+    co_await kernel->Sleep(stride);
+  }
+}
+
+Task<void> RaceLockedWorkload(Kernel* kernel, SimProfiler* profiler,
+                              osim::Shared<std::uint64_t>* cell,
+                              osim::SimSemaphore* lock, int rounds,
+                              Cycles stride) {
+  const osprof::ProbeHandle increment = profiler->Resolve("increment");
+  for (int i = 0; i < rounds; ++i) {
+    co_await profiler->Wrap(
+        increment, RaceLockedIncrementOnce(kernel, cell, lock, stride));
+    co_await kernel->Sleep(stride);
+  }
+}
+
 }  // namespace osworkloads

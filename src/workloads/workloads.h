@@ -28,6 +28,7 @@
 #include "src/fs/vfs.h"
 #include "src/profilers/sim_profiler.h"
 #include "src/sim/kernel.h"
+#include "src/sim/race_tracker.h"
 #include "src/sim/rng.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -121,6 +122,38 @@ struct PostmarkStats {
 // The directory must already exist as an fs dir (AddDir).
 Task<void> PostmarkWorkload(Kernel* kernel, osfs::Vfs* vfs,
                             PostmarkConfig config, PostmarkStats* stats);
+
+// --- SimRace fixtures (src/sim/race_tracker.h) ------------------------------
+//
+// Tiny workloads whose only purpose is to race -- or, for the locked
+// control, to demonstrably not race -- on one osim::Shared cell.  The
+// race_fixture_* scenarios seed the gate's [races] true-positive check;
+// everything else in the suite must come back clean.
+
+// Lost-update read-modify-write: each round reads the counter, loses the
+// CPU across an await, then writes back seen + 1.  Two unsynchronized
+// tasks doing this race by construction.  Recorded under op "increment".
+Task<void> RaceCounterWorkload(Kernel* kernel, SimProfiler* profiler,
+                               osim::Shared<std::uint64_t>* cell, int rounds,
+                               Cycles stride);
+
+// One writer republishing the cell each round (op "publish") against
+// readers scanning it (op "scan"): the classic unsynchronized
+// publish/subscribe write-read race.
+Task<void> RacePublishWorkload(Kernel* kernel, SimProfiler* profiler,
+                               osim::Shared<std::uint64_t>* cell, int rounds,
+                               Cycles stride);
+Task<void> RaceScanWorkload(Kernel* kernel, SimProfiler* profiler,
+                            osim::Shared<std::uint64_t>* cell, int rounds,
+                            Cycles stride);
+
+// The negative control: the same read-modify-write as
+// RaceCounterWorkload, but under `lock`.  The acquire/release clock
+// chain orders every round, so SimRace must stay silent.
+Task<void> RaceLockedWorkload(Kernel* kernel, SimProfiler* profiler,
+                              osim::Shared<std::uint64_t>* cell,
+                              osim::SimSemaphore* lock, int rounds,
+                              Cycles stride);
 
 // --- Compilation (§3.1's non-monotonic workload) ----------------------------
 

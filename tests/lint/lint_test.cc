@@ -77,6 +77,33 @@ TEST(LintLexer, RawStringsDoNotLeakContents) {
   }
 }
 
+TEST(LintLexer, CrlfLineCommentsDropTheCarriageReturn) {
+  const LexResult lexed =
+      Lex("int x;  // osprof-lint: allow(locking)\r\nint y;\r\n");
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  // The '\r' belongs to the line ending, not the comment text; a stray
+  // trailing '\r' would break suppression parsing on CRLF sources.
+  EXPECT_EQ(lexed.comments[0].text.back(), ')');
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens.back().line, 2);
+}
+
+TEST(LintLexer, DirectiveContinuationsSpanLfAndCrlfLines) {
+  const LexResult lf = Lex("#define ADD(a, b) \\\n  ((a) + (b))\nint x;\n");
+  ASSERT_GE(lf.tokens.size(), 2u);
+  EXPECT_EQ(lf.tokens[0].kind, TokKind::kDirective);
+  EXPECT_EQ(lf.tokens[1].text, "int");
+  EXPECT_EQ(lf.tokens[1].line, 3);
+
+  const LexResult crlf =
+      Lex("#define ADD(a, b) \\\r\n  ((a) + (b))\r\nint x;\r\n");
+  ASSERT_GE(crlf.tokens.size(), 2u);
+  EXPECT_EQ(crlf.tokens[0].kind, TokKind::kDirective);
+  EXPECT_EQ(crlf.tokens[1].text, "int");
+  EXPECT_EQ(crlf.tokens[1].line, 3);
+}
+
 // --- determinism ----------------------------------------------------------
 
 TEST(LintRules, DeterminismFlagsWallClockAndRandomness) {
@@ -163,15 +190,90 @@ TEST(LintRules, HeaderHygieneFlagsMissingGuardAndUsingNamespace) {
   EXPECT_TRUE(LintText("bad.cc", src).empty());
 }
 
+// --- shared-state ---------------------------------------------------------
+
+TEST(LintRules, SharedStateFlagsMutableStaticsOnly) {
+  const std::string src = ReadFixture("shared_state_violation.src");
+  const std::vector<Finding> findings = LintText("src/sim/bad.cc", src);
+  // const/constexpr data, function declarations, Shared cells and the
+  // allow()ed registry are all exempt.
+  EXPECT_EQ(LinesOfRule(findings, kRuleSharedState),
+            (std::vector<int>{6, 7}));
+}
+
+TEST(LintRules, SharedStateIsScopedToSimFsNet) {
+  const std::string src = ReadFixture("shared_state_violation.src");
+  LintConfig only_shared;
+  only_shared.rules = {kRuleSharedState};
+  EXPECT_TRUE(LintText("src/tools/bad.cc", src, only_shared).empty());
+  EXPECT_TRUE(LintText("src/runner/bad.cc", src, only_shared).empty());
+  EXPECT_FALSE(LintText("src/fs/bad.cc", src, only_shared).empty());
+  EXPECT_FALSE(LintText("src/net/bad.cc", src, only_shared).empty());
+}
+
+// --- suppression-hygiene --------------------------------------------------
+
+TEST(LintRules, SuppressionHygieneFlagsUnknownRules) {
+  const std::vector<Finding> findings = LintText(
+      "src/fs/bad.cc",
+      "// osprof-lint: allow(determinsm)\n"
+      "long T() { return time(nullptr); }\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, kRuleSuppressionHygiene);
+  EXPECT_NE(findings[0].message.find("unknown rule"), std::string::npos);
+  // The misspelled allow suppresses nothing: determinism still fires.
+  EXPECT_EQ(findings[1].rule, kRuleDeterminism);
+}
+
+TEST(LintRules, SuppressionHygieneCannotSuppressItself) {
+  const std::vector<Finding> findings =
+      LintText("src/fs/bad.cc",
+               "// osprof-lint: allow(suppression-hygiene)\nint x = 0;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleSuppressionHygiene);
+  EXPECT_NE(findings[0].message.find("cannot be suppressed"),
+            std::string::npos);
+}
+
+TEST(LintRules, SuppressionHygieneIgnoresDocumentationPlaceholders) {
+  // Prose that *shows* the comment form (like lint.h's own header) is
+  // not a suppression: placeholder names are not kebab-case identifiers.
+  EXPECT_TRUE(
+      LintText("src/fs/doc.cc",
+               "// Suppress via osprof-lint: allow(rule[, rule...]).\n"
+               "// osprof-lint: allow(...)\n"
+               "int x = 0;\n")
+          .empty());
+}
+
+TEST(LintRules, SuppressionHygieneSurvivesRuleFiltering) {
+  // A stale allow is reported even when only the hygiene rule runs: raw
+  // findings are computed for every rule before the config filter.
+  LintConfig only_hygiene;
+  only_hygiene.rules = {kRuleSuppressionHygiene};
+  const std::vector<Finding> findings =
+      LintText("src/sim/bad.cc", "// osprof-lint: allow(locking)\nint x = 0;\n",
+               only_hygiene);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleSuppressionHygiene);
+  EXPECT_NE(findings[0].message.find("suppresses nothing"), std::string::npos);
+}
+
 // --- suppressions ---------------------------------------------------------
 
 TEST(LintRules, SuppressionsCoverOwnLineAndNextAndAreRuleSpecific) {
   const std::string src = ReadFixture("suppressed.src");
   const std::vector<Finding> findings = LintText("src/fs/bad.cc", src);
-  // Everything is suppressed except the wrong-rule allow at the bottom.
-  ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].rule, kRuleDeterminism);
+  // Everything is suppressed except the wrong-rule allow at the bottom:
+  // it fails to cover the determinism finding on the next line, and the
+  // stale allow(locking) itself draws a suppression-hygiene finding.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, kRuleSuppressionHygiene);
   EXPECT_EQ(findings[0].line, 22);
+  EXPECT_NE(findings[0].message.find("suppresses nothing"),
+            std::string::npos);
+  EXPECT_EQ(findings[1].rule, kRuleDeterminism);
+  EXPECT_EQ(findings[1].line, 23);
 }
 
 // --- clean file -----------------------------------------------------------

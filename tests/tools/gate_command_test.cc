@@ -253,5 +253,41 @@ TEST_F(GateCommandTest, CommittedGoldenCorpusPasses) {
   }
 }
 
+// The [races] verdict: a seeded fixture must race -- and that is its
+// passing state -- a clean scenario must not, and --no-races skips the
+// check while gating the identical profiles against the same goldens
+// (tracking consumes no simulated time).
+TEST_F(GateCommandTest, RacesVerdictCoversFixturesCleanRunsAndOptOut) {
+  const std::string golden_dir = std::string(OSPROF_SOURCE_DIR) +
+                                 "/tests/golden/";
+  const std::string fixture = "race_fixture_counter";
+  EXPECT_EQ(Run({fixture, "--baseline=" + golden_dir + fixture,
+                 "--json=" + json_path_}),
+            0)
+      << out_.str() << err_.str();
+  EXPECT_NE(out_.str().find("[races] fixture raced as designed:"),
+            std::string::npos);
+  std::ifstream json_file(json_path_);
+  ASSERT_TRUE(json_file.good());
+  std::stringstream buffer;
+  buffer << json_file.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"races\""), std::string::npos);
+  EXPECT_NE(json.find("\"expected\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"found\": true"), std::string::npos);
+  EXPECT_NE(json.find("RaceIncrementOnce"), std::string::npos);
+
+  EXPECT_EQ(Run({fixture, "--baseline=" + golden_dir + fixture,
+                 "--no-races"}),
+            0)
+      << out_.str() << err_.str();
+  EXPECT_NE(out_.str().find("[races] tracking disabled; skipped"),
+            std::string::npos);
+
+  EXPECT_EQ(Run({kScenario, "--baseline=" + golden_dir + kScenario}), 0)
+      << out_.str() << err_.str();
+  EXPECT_NE(out_.str().find("[races] no data races"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ostools

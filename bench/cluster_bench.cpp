@@ -1,0 +1,118 @@
+// The cluster FS + DLM scenarios (ROADMAP item 4): runs the shared-write
+// ping-pong and the read-mostly contrast, prints the DLM traffic
+// summary, and checks the headline attribution criterion -- the slowest
+// write peak of cluster_write_shared decomposes >= 80% into lock_wait +
+// net, i.e. the stall is the revoke protocol, not the write's own work.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/core/layered.h"
+#include "src/core/peaks.h"
+#include "src/runner/runner.h"
+#include "src/runner/scenario.h"
+
+namespace {
+
+void ShowDlmTraffic(const osrunner::RunResult& result) {
+  std::printf(
+      "  %llu acquires (%llu cache hits), %llu remote requests, %llu "
+      "queued\n  %llu BASTs, %llu downgrades, %llu fabric messages, %llu "
+      "pages flushed\n",
+      static_cast<unsigned long long>(result.TotalCounter("dlm_acquires")),
+      static_cast<unsigned long long>(result.TotalCounter("dlm_cache_hits")),
+      static_cast<unsigned long long>(
+          result.TotalCounter("dlm_remote_requests")),
+      static_cast<unsigned long long>(
+          result.TotalCounter("dlm_queued_waits")),
+      static_cast<unsigned long long>(result.TotalCounter("dlm_basts")),
+      static_cast<unsigned long long>(result.TotalCounter("dlm_downgrades")),
+      static_cast<unsigned long long>(result.TotalCounter("net_messages")),
+      static_cast<unsigned long long>(result.TotalCounter("pages_flushed")));
+}
+
+// Fraction of the slowest write peak's cycles attributed to lock_wait +
+// net in the "cluster" layer; -1.0 if the decomposition is missing.
+double SlowestWritePeakLockNetShare(const osrunner::RunResult& result) {
+  const auto it = result.layers.find("cluster");
+  if (it == result.layers.end()) {
+    return -1.0;
+  }
+  const osprof::Histogram* histogram = nullptr;
+  for (const auto& [op, profile] : it->second.merged) {
+    if (op == "write") {
+      histogram = &profile.histogram();
+    }
+  }
+  const osprof::LayeredProfile* layered = it->second.layered.Find("write");
+  if (histogram == nullptr || layered == nullptr) {
+    return -1.0;
+  }
+  const auto peaks = osprof::FindPeaks(*histogram);
+  if (peaks.empty()) {
+    return -1.0;
+  }
+  const osprof::Peak& slowest = peaks.back();
+  osprof::Cycles lock_net = 0;
+  osprof::Cycles total = 0;
+  for (const auto& [bucket, lb] : layered->buckets()) {
+    if (bucket < slowest.first_bucket || bucket > slowest.last_bucket) {
+      continue;
+    }
+    lock_net += lb.cycles[osprof::kLayerLockWait];
+    lock_net += lb.cycles[osprof::kLayerNet];
+    total += lb.TotalCycles();
+  }
+  return total == 0 ? -1.0
+                    : static_cast<double>(lock_net) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  osbench::Header("Cluster FS over a DLM: lock ping-pong attribution");
+  osbench::JsonReport report("cluster");
+  const osrunner::RunOptions options = osbench::ParseRunCli(argc, argv);
+
+  osbench::Section("cluster_write_shared: 2 nodes, pure shared writes");
+  const osrunner::Scenario* write_shared =
+      osrunner::BuiltinScenarios().Find("cluster_write_shared");
+  const osrunner::RunResult ws = osrunner::RunScenario(*write_shared, options);
+  report.RecordRun(ws);
+  osbench::ShowRunSummary(ws);
+  ShowDlmTraffic(ws);
+
+  const double share = SlowestWritePeakLockNetShare(ws);
+  std::printf("  slowest write peak: %.1f%% lock_wait+net (want >= 80%%)\n",
+              100.0 * share);
+  report.Metric("slowest_write_peak_lock_net_share", share);
+  report.Check("slowest_write_peak_lock_net_share", share >= 0.8);
+  report.Check("write_shared_ping_pongs",
+               ws.TotalCounter("dlm_basts") > 0 &&
+                   ws.TotalCounter("dlm_downgrades") > 0 &&
+                   ws.TotalCounter("pages_flushed") > 0);
+  report.Check("write_shared_race_free", ws.RaceReports().empty());
+
+  osbench::Section("cluster_read_mostly: cached PR grants, rare revokes");
+  const osrunner::Scenario* read_mostly =
+      osrunner::BuiltinScenarios().Find("cluster_read_mostly");
+  const osrunner::RunResult rm = osrunner::RunScenario(*read_mostly, options);
+  report.RecordRun(rm);
+  osbench::ShowRunSummary(rm);
+  ShowDlmTraffic(rm);
+
+  const std::uint64_t rm_acquires = rm.TotalCounter("dlm_acquires");
+  const std::uint64_t rm_hits = rm.TotalCounter("dlm_cache_hits");
+  std::printf("  cache-hit rate %.1f%% (reads ride the cached PR grant)\n",
+              rm_acquires > 0
+                  ? 100.0 * static_cast<double>(rm_hits) /
+                        static_cast<double>(rm_acquires)
+                  : 0.0);
+  report.Check("read_mostly_grants_stay_cached",
+               rm_hits * 2 > rm_acquires);
+  report.Check("read_mostly_race_free", rm.RaceReports().empty());
+  return report.Finish();
+}

@@ -1,6 +1,6 @@
 // §3 bucket-resolution ablation: r = 1 vs higher resolutions.
 //
-// The paper: "r = 2, for example, would double the prole resolution
+// The paper: "r = 2, for example, would double the profile resolution
 // (bucket density) with a negligible increase in CPU overheads and
 // doubled (yet small overall) memory overheads."  This bench shows the
 // payoff: two execution paths whose latencies differ by ~1.7x land in

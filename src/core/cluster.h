@@ -1,5 +1,5 @@
 // Cluster-scale profile aggregation (the paper's future work, §7:
-// "Because of the compactness of our proles, we believe that OSprof is
+// "Because of the compactness of our profiles, we believe that OSprof is
 // suitable for clusters and distributed systems").
 //
 // Profile sets are tiny and text-serializable, so a fleet can ship one

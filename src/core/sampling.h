@@ -106,7 +106,7 @@ class SampledProfileSet {
 };
 
 // Change-point detection over a sampled profile (§3.1: "In this case we
-// are also comparing one set of proles against another, as they progress
+// are also comparing one set of profiles against another, as they progress
 // in time").  An epoch is a change point when its histogram's distance
 // from the previous non-empty epoch exceeds `threshold` under the Earth
 // Mover's Distance -- the same rater the automated tool trusts most.

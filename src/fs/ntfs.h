@@ -2,7 +2,7 @@
 //
 // Two behaviours from the paper distinguish it from the Ext2 model:
 //
-//  * §4 ("Windows le-systemlevel prolers"): most I/O requests are
+//  * §4 ("Windows file-system-level profilers"): most I/O requests are
 //    described by an IRP, whose allocation/dispatch overhead dominates
 //    cheap cached operations, so Windows provides Fast I/O to bypass the
 //    intermediate layers when data is cached.  Reads here take the cheap

@@ -171,6 +171,23 @@ void PageCache::DropClean() {
   }
 }
 
+void PageCache::DropCleanForInode(int inode) {
+  auto& pages = OSIM_SHARED_RW(pages_);
+  for (auto it = pages.begin(); it != pages.end();) {
+    PageState& state = it->second;
+    if (it->first.inode == inode && state.valid && !state.dirty &&
+        !state.io_in_progress &&
+        (state.waiters == nullptr || state.waiters->waiters() == 0)) {
+      if (state.in_lru) {
+        lru_.erase(state.lru_pos);
+      }
+      it = pages.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void PageCache::EvictIfNeeded() {
   // Internal: always reached through an access-checked public entry.
   auto& pages = pages_.Write(__func__);

@@ -85,6 +85,11 @@ class PageCache {
   // pages survive.
   void DropClean();
 
+  // Drops one inode's clean pages: cluster-coherence invalidation
+  // (ClusterFs calls this when the DLM tells it another node wrote the
+  // inode, so the next read refetches from the shared disk).
+  void DropCleanForInode(int inode);
+
   // Statistics.
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

@@ -48,7 +48,7 @@ class Vfs {
   // Appends/overwrites `bytes` at the current position, advancing it and
   // extending the file as needed.  Buffered writes return after dirtying
   // the page cache; their disk latency is only visible to a driver-level
-  // profiler (§4, "Driver-level prolers").
+  // profiler (§4, "Driver-level profilers").
   virtual Task<std::int64_t> Write(int fd, std::uint64_t bytes) = 0;
 
   // Sets the file position.  On an unpatched fs this is

@@ -1,6 +1,6 @@
 // Function-granularity layered profiling (paper §3.1: "Layered proling
 // can be extended even to the granularity of a single function call.
-// This way, one can capture proles for many functions even if these
+// This way, one can capture profiles for many functions even if these
 // functions call each other", via gcc -p style entry/exit hooks).
 //
 // CallGraphProfiler augments SimProfiler-style latency recording with

@@ -3,7 +3,7 @@
 // This is the paper's user-level profiling path, unchanged in spirit: each
 // system call is replaced by a wrapper that reads the TSC, executes the
 // call, reads the TSC again, and sorts the latency into a log2 bucket
-// (paper §4, "POSIX user-level prolers").  Because only the interface is
+// (paper §4, "POSIX user-level profilers").  Because only the interface is
 // instrumented, the kernel runs unmodified; the per-call overhead is two
 // TSC reads and a bucket store.
 //

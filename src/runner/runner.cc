@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -13,11 +14,13 @@
 
 #include "src/core/clock.h"
 #include "src/core/peaks.h"
+#include "src/net/fabric.h"
 #include "src/profilers/callgraph_profiler.h"
 #include "src/profilers/noise_profiler.h"
 #include "src/profilers/profiler_sink.h"
 #include "src/profilers/sim_profiler.h"
 #include "src/sim/sync.h"
+#include "src/workloads/cluster_clients.h"
 
 namespace osrunner {
 namespace {
@@ -172,6 +175,13 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
   std::vector<osworkloads::GrepStats> grep_stats;
   osworkloads::PostmarkStats postmark_stats;
   osworkloads::TrafficStats traffic_stats;
+  std::optional<osnet::Fabric> fabric;
+  std::optional<osnet::Dlm> dlm;
+  std::optional<osfs::ClusterVolume> cluster_volume;
+  std::vector<std::unique_ptr<osfs::ClusterFsNode>> cluster_mounts;
+  std::vector<osworkloads::ClusterClientStats> cluster_stats;
+  int cluster_remaining = 0;
+  std::optional<osim::WaitQueue> cluster_done;
 
   if (const auto* grep = std::get_if<GrepSpec>(&scenario.workload)) {
     osworkloads::BuildSourceTree(&fs, grep->root, grep->tree);
@@ -275,6 +285,61 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
       }();
       kernel.Spawn("racer" + std::to_string(p), std::move(body));
     }
+  } else if (const auto* cl = std::get_if<ClusterSpec>(&scenario.workload)) {
+    if (kernel.num_nodes() != cl->nodes) {
+      throw std::invalid_argument(
+          "RunTrial: ClusterSpec.nodes must match kernel.num_nodes");
+    }
+    fabric.emplace(&kernel, cl->net);
+    dlm.emplace(&kernel, &*fabric, cl->dlm);
+    cluster_volume.emplace(&kernel, &disk);
+    // mkfs: every parent directory of the shared path, then the file.
+    std::string prefix;
+    std::size_t pos = 1;
+    for (std::size_t slash = cl->path.find('/', pos);
+         slash != std::string::npos; slash = cl->path.find('/', pos)) {
+      prefix = cl->path.substr(0, slash);
+      cluster_volume->AddDir(prefix);
+      pos = slash + 1;
+    }
+    cluster_volume->AddFile(cl->path, cl->file_bytes);
+    if (scenario.profilers.fs) {
+      // One profiler across all mounts: the cluster-wide view, with each
+      // op still node-tagged through the interference channel.
+      sim_profiler.set_layer("cluster");
+      sinks.push_back(&sim_profiler);
+    }
+    // Mounts after the DLM exists: the ctor registers the node's
+    // downgrade hook (the pre-grant flush that makes revokes coherent).
+    for (int n = 0; n < cl->nodes; ++n) {
+      cluster_mounts.push_back(std::make_unique<osfs::ClusterFsNode>(
+          &*cluster_volume, &*dlm, n, cl->cfs));
+      if (scenario.profilers.fs) {
+        cluster_mounts.back()->SetProfiler(&sim_profiler);
+      }
+    }
+    dlm->Start();
+    cluster_remaining = cl->nodes * cl->clients_per_node;
+    cluster_done.emplace(&kernel);
+    cluster_stats.resize(static_cast<std::size_t>(cluster_remaining));
+    for (int n = 0; n < cl->nodes; ++n) {
+      for (int c = 0; c < cl->clients_per_node; ++c) {
+        const int index = n * cl->clients_per_node + c;
+        kernel.SpawnOn(
+            n, "client" + std::to_string(n) + "." + std::to_string(c),
+            osworkloads::ClusterClientWorkload(
+                &kernel, cluster_mounts[static_cast<std::size_t>(n)].get(),
+                cl->path, cl->iterations, cl->write_ratio, cl->io_bytes,
+                cl->file_bytes, cl->think_cycles,
+                kcfg.seed + 7'919u * static_cast<std::uint64_t>(index),
+                &cluster_stats[static_cast<std::size_t>(index)],
+                &cluster_remaining, &*cluster_done));
+      }
+    }
+    kernel.Spawn("cluster_ctl",
+                 osworkloads::ClusterControl(&kernel, &*dlm,
+                                             &cluster_remaining,
+                                             &*cluster_done));
   } else if (const auto* ns = std::get_if<NoiseSpec>(&scenario.workload)) {
     // The noise profiler subscribes to the kernel's interference channel;
     // its tasks are the workload.
@@ -331,6 +396,26 @@ TrialResult RunTrial(const Scenario& scenario, int trial) {
     result.counters["deletes"] = postmark_stats.deletes;
     result.counters["reads"] = postmark_stats.reads;
     result.counters["appends"] = postmark_stats.appends;
+  }
+  if (std::holds_alternative<ClusterSpec>(scenario.workload)) {
+    for (const osworkloads::ClusterClientStats& s : cluster_stats) {
+      result.counters["reads"] += s.reads;
+      result.counters["writes"] += s.writes;
+      result.counters["bytes_read"] += s.bytes_read;
+      result.counters["bytes_written"] += s.bytes_written;
+    }
+    result.counters["dlm_acquires"] = dlm->acquires();
+    result.counters["dlm_cache_hits"] = dlm->cache_hits();
+    result.counters["dlm_remote_requests"] = dlm->remote_requests();
+    result.counters["dlm_queued_waits"] = dlm->queued_waits();
+    result.counters["dlm_basts"] = dlm->basts_sent();
+    result.counters["dlm_downgrades"] = dlm->downgrades();
+    result.counters["net_messages"] = fabric->messages_sent();
+    result.counters["net_bytes"] = fabric->bytes_sent();
+    for (const auto& mount : cluster_mounts) {
+      result.counters["cache_invalidations"] += mount->invalidations();
+      result.counters["pages_flushed"] += mount->pages_flushed();
+    }
   }
   if (noise.has_value()) {
     result.counters["noise_samples"] = noise->TotalSamples();

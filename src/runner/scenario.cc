@@ -254,6 +254,26 @@ Scenario ScaleSmoke() {
   return s;
 }
 
+// The ROADMAP item 4 cluster: N nodes on one Kernel, one shared file,
+// every client on every node hitting it.  cluster_write_shared is the
+// DLM ping-pong worst case (pure writes: every EX acquire revokes the
+// peer's cached grant and waits out its flush), the attribution test the
+// golden's slowest-write-peak >= 80% lock_wait+net criterion pins.
+// cluster_read_mostly is the contrast: PR grants shared by all nodes,
+// occasionally revoked by a write.
+Scenario Cluster(double write_ratio, std::string name, std::string what) {
+  Scenario s;
+  s.name = std::move(name);
+  s.description = "Shared-disk cluster FS over a DLM: " + what;
+  ClusterSpec c;
+  c.write_ratio = write_ratio;
+  s.kernel.num_cpus = 2 * c.nodes;  // Two CPUs per node.
+  s.kernel.num_nodes = c.nodes;
+  s.kernel.seed = 47;
+  s.workload = c;
+  return s;
+}
+
 }  // namespace
 
 ScenarioRegistry& BuiltinScenarios() {
@@ -284,6 +304,11 @@ ScenarioRegistry& BuiltinScenarios() {
                             "race_control_locked",
                             "the counter under a semaphore (negative "
                             "control: no races)"));
+    r->Register(Cluster(1.0, "cluster_write_shared",
+                        "2 nodes, shared-write lock ping-pong"));
+    r->Register(Cluster(0.1, "cluster_read_mostly",
+                        "2 nodes, cached PR grants with occasional "
+                        "revoking writes"));
     return r;
   }();
   return *registry;

@@ -22,8 +22,11 @@
 #include <variant>
 #include <vector>
 
+#include "src/fs/cluster_fs.h"
 #include "src/fs/ext2fs.h"
 #include "src/net/cifs.h"
+#include "src/net/dlm.h"
+#include "src/net/net.h"
 #include "src/sim/disk.h"
 #include "src/sim/kernel.h"
 #include "src/workloads/traffic.h"
@@ -133,9 +136,28 @@ struct RaceFixtureSpec {
   osim::Cycles stride = 2'000;
 };
 
+// The N-node shared-disk cluster (ROADMAP item 4): one ClusterVolume on
+// a shared SimDisk, one ClusterFsNode mount per node, clients_per_node
+// tasks per node hammering one shared file through the DLM.  The
+// scenario's kernel config must partition num_cpus into `nodes` nodes
+// (the builders below set kernel.num_nodes = nodes).
+struct ClusterSpec {
+  int nodes = 2;
+  int clients_per_node = 1;
+  int iterations = 300;
+  double write_ratio = 1.0;        // 1.0 = pure shared-write ping-pong.
+  std::string path = "/shared/data";
+  std::uint64_t file_bytes = 1 << 20;
+  std::uint64_t io_bytes = 16'384;
+  osim::Cycles think_cycles = 30'000;
+  osnet::NetConfig net;            // The fabric's per-link wire model.
+  osnet::DlmConfig dlm;
+  osfs::ClusterFsConfig cfs;
+};
+
 using WorkloadSpec = std::variant<GrepSpec, ZeroByteReadSpec, RandomReadSpec,
                                   CloneSpec, PostmarkSpec, TrafficSpec,
-                                  NoiseSpec, RaceFixtureSpec>;
+                                  NoiseSpec, RaceFixtureSpec, ClusterSpec>;
 
 // --- The scenario -----------------------------------------------------------
 

@@ -73,6 +73,7 @@ struct InterferenceEvent {
   osprof::LayerComponent component = osprof::kLayerSelf;
   Cycles cycles = 0;        // Interval; meaning depends on `kind`.
   std::uint64_t count = 0;  // Tick count of a kTimerTick.
+  int node = -1;            // Node the thread belongs to, -1 if unknown.
 };
 
 class InterferenceSubscriber {
@@ -113,20 +114,22 @@ class InterferenceChannel {
 
   // A thread parked on a component-tagged wait (semaphore, tagged
   // WaitQueue).  The matching wakeup charges the blocked interval.
-  void Park(int thread_id, osprof::LayerComponent component, Cycles now) {
+  void Park(int thread_id, osprof::LayerComponent component, Cycles now,
+            int node = -1) {
     if (!subscribers_.empty()) {
-      Publish({InterferenceKind::kPark, now, thread_id, -1, component, 0, 0});
+      Publish({InterferenceKind::kPark, now, thread_id, -1, component, 0, 0,
+               node});
     }
   }
 
   // A tagged park ended: charge the blocked interval to the thread's
   // innermost active span as `component`.
   void Wakeup(int thread_id, osprof::LayerComponent component, Cycles waited,
-              Cycles now) {
+              Cycles now, int node = -1) {
     context_->AttributeWait(thread_id, component, waited);
     if (!subscribers_.empty()) {
       Publish({InterferenceKind::kWakeup, now, thread_id, -1, component,
-               waited, 0});
+               waited, 0, node});
     }
   }
 
@@ -134,43 +137,43 @@ class InterferenceChannel {
   // runnable-to-running interval (run-queue wait plus the switch itself,
   // §3.3), charged as kLayerRunQueue.
   void Dispatch(int thread_id, Cycles queued, int cpu, bool migrated,
-                Cycles now) {
+                Cycles now, int node = -1) {
     context_->AttributeWait(thread_id, osprof::kLayerRunQueue, queued);
     if (!subscribers_.empty()) {
       Publish({InterferenceKind::kDispatch, now, thread_id, cpu,
-               osprof::kLayerRunQueue, queued, 0});
+               osprof::kLayerRunQueue, queued, 0, node});
       if (migrated) {
         Publish({InterferenceKind::kMigrate, now, thread_id, cpu,
-                 osprof::kLayerSelf, 0, 0});
+                 osprof::kLayerSelf, 0, 0, node});
       }
     }
   }
 
   // Forced preemption at quantum expiry (the event Equation 3 predicts).
-  void Preempt(int thread_id, int cpu, Cycles now) {
+  void Preempt(int thread_id, int cpu, Cycles now, int node = -1) {
     if (!subscribers_.empty()) {
       Publish({InterferenceKind::kPreempt, now, thread_id, cpu,
-               osprof::kLayerSelf, 0, 0});
+               osprof::kLayerSelf, 0, 0, node});
     }
   }
 
   // `ticks` timer IRQs will be serviced within the slice starting at
   // `now`, stealing `stolen` cycles from `thread_id`.
   void TimerTicks(int thread_id, std::uint64_t ticks, Cycles stolen,
-                  Cycles now) {
+                  Cycles now, int node = -1) {
     if (!subscribers_.empty()) {
       Publish({InterferenceKind::kTimerTick, now, thread_id, -1,
-               osprof::kLayerSelf, stolen, ticks});
+               osprof::kLayerSelf, stolen, ticks, node});
     }
   }
 
   // A spinlock was handed to a spinning waiter after `spun` cycles of
   // busy-waiting, charged as lock wait.
-  void LockHandoff(int thread_id, Cycles spun, Cycles now) {
+  void LockHandoff(int thread_id, Cycles spun, Cycles now, int node = -1) {
     context_->AttributeWait(thread_id, osprof::kLayerLockWait, spun);
     if (!subscribers_.empty()) {
       Publish({InterferenceKind::kLockHandoff, now, thread_id, -1,
-               osprof::kLayerLockWait, spun, 0});
+               osprof::kLayerLockWait, spun, 0, node});
     }
   }
 

@@ -1,5 +1,6 @@
 #include "src/sim/kernel.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace osim {
@@ -17,19 +18,64 @@ Kernel::Kernel(KernelConfig config)
   if (config_.quantum == 0) {
     throw std::invalid_argument("quantum must be positive");
   }
+  if (config_.num_nodes < 1 || config_.num_nodes > config_.num_cpus ||
+      config_.num_cpus % config_.num_nodes != 0) {
+    throw std::invalid_argument(
+        "num_nodes must divide num_cpus (contiguous even partition)");
+  }
   cpus_.resize(static_cast<std::size_t>(config_.num_cpus));
   config_.tsc_skew.resize(static_cast<std::size_t>(config_.num_cpus), 0);
-  idle_cpus_ = config_.num_cpus;
+  const int per_node = config_.num_cpus / config_.num_nodes;
+  nodes_.resize(static_cast<std::size_t>(config_.num_nodes));
+  node_of_cpu_.resize(static_cast<std::size_t>(config_.num_cpus));
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    Node& node = nodes_[static_cast<std::size_t>(n)];
+    node.id_ = n;
+    node.first_cpu_ = n * per_node;
+    node.num_cpus_ = per_node;
+    node.idle_cpus_ = per_node;
+    for (int c = node.first_cpu_; c < node.first_cpu_ + per_node; ++c) {
+      node_of_cpu_[static_cast<std::size_t>(c)] = n;
+    }
+  }
   lock_order_.set_context(&context_);
   race_tracker_.set_context(&context_);
   race_tracker_.BindKernel(this);
   channel_.Bind(&context_, &lock_order_, &race_tracker_);
 }
 
+void Kernel::NoteLockAcquired(const void* lock, const std::string& name) {
+  if (current_ != nullptr) {
+    channel_.LockAcquired(lock, name, current_->held_locks_, current_->id_);
+  }
+}
+
+void Kernel::NoteLockReleased(const void* lock) {
+  if (current_ != nullptr) {
+    channel_.LockReleased(lock, current_->held_locks_, current_->id_);
+  }
+}
+
 SimThread* Kernel::Spawn(std::string name, Task<void> body) {
+  // A child starts on its parent's node (node 0 from kernel context), so
+  // single-node code never names a node and multi-node workloads fan out
+  // naturally from one SpawnOn'd root per node.
+  return SpawnImpl(current_ != nullptr ? current_->node_ : 0, std::move(name),
+                   std::move(body));
+}
+
+SimThread* Kernel::SpawnOn(int node, std::string name, Task<void> body) {
+  if (node < 0 || node >= num_nodes()) {
+    throw std::invalid_argument("SpawnOn: no such node");
+  }
+  return SpawnImpl(node, std::move(name), std::move(body));
+}
+
+SimThread* Kernel::SpawnImpl(int node, std::string name, Task<void> body) {
   const int id = static_cast<int>(threads_.size());
   threads_.push_back(std::make_unique<SimThread>(id, std::move(name)));
   SimThread* t = threads_.back().get();
+  t->node_ = node;
   t->body_ = std::move(body);
   if (!t->body_.valid()) {
     throw std::invalid_argument("Spawn requires a valid coroutine body");
@@ -49,58 +95,62 @@ void Kernel::MakeRunnable(SimThread* t) {
     // active span.
     channel_.Wakeup(
         t->id_, static_cast<osprof::LayerComponent>(t->blocked_component_),
-        events_.now() - t->blocked_since_, events_.now());
+        events_.now() - t->blocked_since_, events_.now(), t->node_);
     t->blocked_component_ = -1;
   }
   channel_.TaskWoken(current_ != nullptr ? current_->id_ : -1, t->id_);
   t->runnable_since_ = events_.now();
   t->state_ = ThreadState::kRunnable;
-  run_queue_.push_back(t);
-  DispatchIdleCpus();
+  Node& node = nodes_[static_cast<std::size_t>(t->node_)];
+  node.run_queue_.push_back(t);
+  DispatchIdle(node);
 }
 
-void Kernel::DispatchIdleCpus() {
+void Kernel::DispatchIdle(Node& node) {
   // Fast path: under load every CPU is busy, and a wakeup must not pay an
   // O(num_cpus) scan to learn that (million-task churn makes this the
   // hottest scheduler branch).  The counter only skips the scan; when a
   // CPU is free the scan below runs in the same ascending order as
   // always, so thread placement -- and with it per-CPU TSC skew -- is
-  // unchanged.
-  if (idle_cpus_ == 0) {
+  // unchanged.  The scan covers only this node's CPU slice: a node's run
+  // queue never feeds another node's CPUs.
+  if (node.idle_cpus_ == 0) {
     return;
   }
-  for (int c = 0; c < config_.num_cpus; ++c) {
-    if (run_queue_.empty()) {
+  for (int c = node.first_cpu_; c < node.first_cpu_ + node.num_cpus_; ++c) {
+    if (node.run_queue_.empty()) {
       return;
     }
     CpuState& cpu = cpus_[static_cast<std::size_t>(c)];
     if (cpu.running == nullptr && !cpu.switching) {
-      BeginSwitch(c);
+      BeginSwitch(node, c);
     }
   }
 }
 
-void Kernel::BeginSwitch(int c) {
+void Kernel::BeginSwitch(Node& node, int c) {
   cpus_[static_cast<std::size_t>(c)].switching = true;
-  --idle_cpus_;
+  --node.idle_cpus_;
   ++context_switches_;
   events_.After(config_.context_switch_cost, [this, c] { CompleteSwitch(c); });
 }
 
 void Kernel::CompleteSwitch(int c) {
   CpuState& cpu = cpus_[static_cast<std::size_t>(c)];
+  Node& node = nodes_[static_cast<std::size_t>(
+      node_of_cpu_[static_cast<std::size_t>(c)])];
   cpu.switching = false;
-  if (run_queue_.empty()) {
-    ++idle_cpus_;
+  if (node.run_queue_.empty()) {
+    ++node.idle_cpus_;
     return;  // Everyone found a CPU elsewhere; stay idle.
   }
-  SimThread* t = run_queue_.front();
-  run_queue_.pop_front();
+  SimThread* t = node.run_queue_.front();
+  node.run_queue_.pop_front();
   // Runnable-to-running interval (queue wait plus the switch itself) is
   // run-queue wait from the profiled request's point of view (§3.3).
   const bool migrated = t->last_cpu_ >= 0 && t->last_cpu_ != c;
   channel_.Dispatch(t->id_, events_.now() - t->runnable_since_, c, migrated,
-                    events_.now());
+                    events_.now(), t->node_);
   t->last_cpu_ = c;
   t->cpu_ = c;
   cpu.running = t;
@@ -143,8 +193,9 @@ void Kernel::ReleaseCpuOf(SimThread* t) {
   if (t->cpu_ >= 0) {
     cpus_[static_cast<std::size_t>(t->cpu_)].running = nullptr;
     t->cpu_ = -1;
-    ++idle_cpus_;
-    DispatchIdleCpus();
+    Node& node = nodes_[static_cast<std::size_t>(t->node_)];
+    ++node.idle_cpus_;
+    DispatchIdle(node);
   }
 }
 
@@ -161,14 +212,16 @@ void Kernel::StartBurst(SimThread* t, Cycles cycles, ExecMode mode) {
 
 void Kernel::ScheduleSlice(SimThread* t) {
   const bool preemptible = BurstPreemptible(t);
+  Node& node = nodes_[static_cast<std::size_t>(t->node_)];
   if (t->quantum_remaining_ == 0) {
-    if (preemptible && !run_queue_.empty()) {
-      // Forced preemption: the quantum is gone and someone is waiting.
+    if (preemptible && !node.run_queue_.empty()) {
+      // Forced preemption: the quantum is gone and someone on this node
+      // is waiting.
       ++t->forced_preemptions_;
-      channel_.Preempt(t->id_, t->cpu_, events_.now());
+      channel_.Preempt(t->id_, t->cpu_, events_.now(), t->node_);
       t->runnable_since_ = events_.now();
       t->state_ = ThreadState::kRunnable;
-      run_queue_.push_back(t);
+      node.run_queue_.push_back(t);
       ReleaseCpuOf(t);
       return;
     }
@@ -222,14 +275,14 @@ Cycles Kernel::WallClockFor(const SimThread* t, Cycles start, Cycles slice) {
   }
   timer_irqs_ += ticks;
   if (ticks > 0) {
-    channel_.TimerTicks(t->id_, ticks, ticks * irq_cost, start);
+    channel_.TimerTicks(t->id_, ticks, ticks * irq_cost, start, t->node_);
   }
   return wall;
 }
 
 void Kernel::GrantSpin(SimThread* t) {
   const Cycles spun = events_.now() - t->spin_started_;
-  channel_.LockHandoff(t->id_, spun, events_.now());
+  channel_.LockHandoff(t->id_, spun, events_.now(), t->node_);
   t->spin_wait_time_ += spun;
   t->cpu_time_ += spun;
   // Spinning burns quantum; kernel spinlock sections are not preemption
@@ -285,8 +338,13 @@ KernelMemoryStats Kernel::MemoryStats() const {
       stats.thread_bytes += sizeof(SimThread);
     }
   }
-  stats.run_queue_bytes = run_queue_.ApproxBytes();
-  stats.run_queue_peak_depth = run_queue_.peak_size();
+  stats.run_queue_bytes = 0;
+  stats.run_queue_peak_depth = 0;
+  for (const Node& node : nodes_) {
+    stats.run_queue_bytes += node.run_queue_.ApproxBytes();
+    stats.run_queue_peak_depth =
+        std::max(stats.run_queue_peak_depth, node.run_queue_.peak_size());
+  }
   stats.event_queue_bytes = events_.ApproxBytes();
   stats.events_pending = events_.size();
   stats.context_bytes = context_.ApproxBytes();

@@ -21,12 +21,22 @@
 // Sleep, Yield and the sync/disk primitives); the C++ code between awaits
 // is zero simulated time.  The kernel is single-real-threaded and
 // deterministic.
+//
+// One Kernel event loop can simulate an N-node cluster: KernelConfig
+// partitions the CPUs into `num_nodes` contiguous slices, each owned by an
+// osim::Node with its own run queue, so threads never migrate across node
+// boundaries and per-node scheduling is independent -- while the single
+// event queue keeps the whole cluster deterministic.  Cross-node traffic
+// (DLM grants, RPC) goes over the osnet fabric, never through the
+// scheduler.  With num_nodes == 1 (the default) the node layer is
+// invisible and scheduling is byte-identical to the pre-node kernel.
 
 #ifndef OSPROF_SRC_SIM_KERNEL_H_
 #define OSPROF_SRC_SIM_KERNEL_H_
 
 #include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -72,6 +82,8 @@ class SimThread {
   const std::string& name() const { return name_; }
   ThreadState state() const { return state_; }
   int cpu() const { return cpu_; }
+  // The node this thread is pinned to (threads never cross nodes).
+  int node() const { return node_; }
 
   // Lifetime statistics.
   Cycles cpu_time() const { return cpu_time_; }
@@ -94,6 +106,7 @@ class SimThread {
   Task<void> body_;
   std::coroutine_handle<> resume_point_;
   ThreadState state_ = ThreadState::kCreated;
+  int node_ = 0;
   int cpu_ = -1;
   // Last CPU this thread ran on; a dispatch to a different one is a
   // migration (reported on the interference channel).
@@ -130,6 +143,11 @@ class SimThread {
 
 struct KernelConfig {
   int num_cpus = 1;
+  // Nodes the machine's CPUs are partitioned into (a cluster simulated by
+  // one event loop).  num_cpus must divide evenly; node i owns the
+  // contiguous CPUs [i*per_node, (i+1)*per_node).  1 = the classic
+  // single-machine kernel, byte-identical to the pre-node scheduler.
+  int num_nodes = 1;
   double cpu_hz = osprof::kPaperCpuHz;
   // Scheduling quantum Q.  The paper measures ~58ms and models Q = 2^26
   // cycles (~39ms at 1.7 GHz); we use 2^26 so Figure 3's preempted
@@ -179,6 +197,33 @@ struct KernelMemoryStats {
     return thread_bytes + run_queue_bytes + event_queue_bytes +
            context_bytes;
   }
+};
+
+// A kernel-owned node identity: one simulated machine of the cluster.  A
+// node bundles a contiguous slice of the kernel's CPUs with its own run
+// queue; the osnet fabric gives each node a NIC endpoint addressed by the
+// node id, and cluster file systems instantiate their per-node state
+// (page cache, fd table, DLM endpoint) against the same id.  Threads are
+// pinned to the node that spawned them: the scheduler dispatches a node's
+// run queue onto that node's CPUs only.
+class Node {
+ public:
+  int id() const { return id_; }
+  int first_cpu() const { return first_cpu_; }
+  int num_cpus() const { return num_cpus_; }
+  // Runnable threads currently queued on this node.
+  std::size_t queue_depth() const { return run_queue_.size(); }
+
+ private:
+  friend class Kernel;
+  int id_ = 0;
+  int first_cpu_ = 0;
+  int num_cpus_ = 0;
+  // CPUs of this node with no running thread and no switch in flight:
+  // a wakeup skips the per-CPU scan entirely when this is zero (the
+  // common case under load; the scan was O(num_cpus) per wakeup).
+  int idle_cpus_ = 0;
+  ChunkedQueue<SimThread*> run_queue_;
 };
 
 class Kernel {
@@ -246,8 +291,38 @@ class Kernel {
 
   // Creates a thread running `body`.  The body coroutine must have been
   // created suspended (all Task<void> coroutines are).  Threads become
-  // runnable immediately.
+  // runnable immediately, on the spawner's node (node 0 from kernel
+  // context) -- like fork, a child starts where its parent runs.
   SimThread* Spawn(std::string name, Task<void> body);
+
+  // Spawn pinned to a specific node (multi-node scenarios place their
+  // per-node clients and daemons explicitly).
+  SimThread* SpawnOn(int node, std::string name, Task<void> body);
+
+  // --- Cluster topology -------------------------------------------------
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  int node_of_cpu(int cpu) const {
+    return node_of_cpu_[static_cast<std::size_t>(cpu)];
+  }
+  // Node of the currently executing thread, or -1 in kernel context.
+  int current_node() const {
+    return current_ != nullptr ? current_->node_ : -1;
+  }
+
+  // --- Lock bookkeeping for primitives outside src/sim ------------------
+  // Records an acquisition/release of a lock-like object by the current
+  // thread with the lock-order and race trackers, exactly as the in-tree
+  // primitives (SimSemaphore, SimSpinlock) do.  The DLM (src/net/dlm.h)
+  // reports its cluster-wide resource locks here so cross-node
+  // acquired-while-held edges land in one merged lock graph and grants
+  // order data accesses for SimRace.  `name` must stay alive until the
+  // matching release; both calls are no-ops in kernel context.
+  void NoteLockAcquired(const void* lock, const std::string& name);
+  void NoteLockReleased(const void* lock);
 
   // --- Awaitables usable inside thread coroutines -----------------------
 
@@ -326,10 +401,13 @@ class Kernel {
     void await_resume() const noexcept {}
   };
 
-  // Scheduler internals.
+  SimThread* SpawnImpl(int node, std::string name, Task<void> body);
+
+  // Scheduler internals.  Dispatch and preemption are per-node: a node's
+  // run queue feeds that node's CPUs only.
   void MakeRunnable(SimThread* t);
-  void DispatchIdleCpus();
-  void BeginSwitch(int cpu);
+  void DispatchIdle(Node& node);
+  void BeginSwitch(Node& node, int cpu);
   void CompleteSwitch(int cpu);
   void ResumeThread(SimThread* t);
   void StartBurst(SimThread* t, Cycles cycles, ExecMode mode);
@@ -359,14 +437,13 @@ class Kernel {
   RequestContext context_;
   InterferenceChannel channel_;
   std::vector<CpuState> cpus_;
-  ChunkedQueue<SimThread*> run_queue_;
+  // Per-node scheduling state (run queue + idle-CPU count), deque because
+  // Node embeds a non-movable ChunkedQueue.  Sized once at construction.
+  std::deque<Node> nodes_;
+  std::vector<int> node_of_cpu_;
   std::vector<std::unique_ptr<SimThread>> threads_;
   SimThread* current_ = nullptr;
   int live_threads_ = 0;
-  // CPUs with no running thread and no switch in flight: MakeRunnable's
-  // dispatch can skip the per-CPU scan entirely when this is zero (the
-  // common case under load, and the scan was O(num_cpus) per wakeup).
-  int idle_cpus_ = 0;
   std::uint64_t context_switches_ = 0;
   std::uint64_t timer_irqs_ = 0;
   std::uint64_t spawned_threads_ = 0;

@@ -39,7 +39,7 @@ void SimSemaphore::ParkAwaitable::await_suspend(std::coroutine_handle<> h) {
   t->blocked_since_ = s->kernel_->now();
   t->blocked_component_ = static_cast<int>(osprof::kLayerLockWait);
   s->kernel_->channel().Park(t->id(), osprof::kLayerLockWait,
-                             s->kernel_->now());
+                             s->kernel_->now(), t->node());
   s->waiters_.push_back(t);
   s->kernel_->ReleaseCpuOf(t);
 }
@@ -138,7 +138,7 @@ void WaitQueue::WaitAwaitable::await_suspend(std::coroutine_handle<> h) {
     t->blocked_component_ = q->tag_;
     q->kernel_->channel().Park(t->id(),
                                static_cast<osprof::LayerComponent>(q->tag_),
-                               q->kernel_->now());
+                               q->kernel_->now(), t->node());
   }
   q->waiters_.push_back(t);
   q->kernel_->ReleaseCpuOf(t);

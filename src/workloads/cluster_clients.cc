@@ -1,0 +1,56 @@
+#include "src/workloads/cluster_clients.h"
+
+#include <stdexcept>
+
+#include "src/sim/rng.h"
+
+namespace osworkloads {
+
+Task<void> ClusterClientWorkload(Kernel* kernel, osfs::Vfs* vfs,
+                                 std::string path, int iterations,
+                                 double write_ratio, std::uint64_t io_bytes,
+                                 std::uint64_t file_bytes,
+                                 osim::Cycles think_cycles,
+                                 std::uint64_t seed,
+                                 ClusterClientStats* stats, int* remaining,
+                                 osim::WaitQueue* done) {
+  osim::Rng rng(seed);
+  const int fd = co_await vfs->Open(path, /*direct_io=*/false);
+  if (fd < 0) {
+    throw std::invalid_argument("ClusterClientWorkload: no such file: " +
+                                path);
+  }
+  const std::uint64_t slots =
+      file_bytes > io_bytes ? file_bytes / io_bytes : 1;
+  for (int i = 0; i < iterations; ++i) {
+    co_await kernel->CpuUser(think_cycles);
+    const std::uint64_t offset = rng.Below(slots) * io_bytes;
+    co_await vfs->Llseek(fd, offset);
+    if (rng.Chance(write_ratio)) {
+      const std::int64_t n = co_await vfs->Write(fd, io_bytes);
+      ++stats->writes;
+      stats->bytes_written += static_cast<std::uint64_t>(n > 0 ? n : 0);
+    } else {
+      const std::int64_t n = co_await vfs->Read(fd, io_bytes);
+      ++stats->reads;
+      stats->bytes_read += static_cast<std::uint64_t>(n > 0 ? n : 0);
+    }
+  }
+  co_await vfs->Close(fd);
+  // Single-turn-atomic join: decrement and wake with no await between.
+  --(*remaining);
+  if (*remaining == 0) {
+    done->WakeAll();
+  }
+}
+
+Task<void> ClusterControl(Kernel* kernel, osnet::Dlm* dlm, int* remaining,
+                          osim::WaitQueue* done) {
+  (void)kernel;
+  while (*remaining > 0) {
+    co_await done->Wait();
+  }
+  dlm->Shutdown();
+}
+
+}  // namespace osworkloads

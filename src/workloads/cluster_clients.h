@@ -1,0 +1,59 @@
+// Cluster FS client workloads (ROADMAP item 4).
+//
+// Each client opens the shared file on its node's ClusterFsNode mount
+// and issues a deterministic mix of llseek + read/write operations.  With
+// write_ratio 1.0 and clients on every node, each write's EX acquire
+// revokes the peers' cached grants -- the DLM lock ping-pong whose
+// profile the cluster_write_shared golden pins down.
+//
+// Shutdown protocol: the DLM daemons run forever, so the runner spawns
+// ClusterControl alongside the clients; every client decrements
+// `remaining` when done (single-turn-atomic: decrement and wake in one
+// step, no await between -- deliberately not a Shared cell), and the
+// controller shuts the DLM down once the count hits zero, letting
+// RunUntilThreadsFinish return.
+
+#ifndef OSPROF_SRC_WORKLOADS_CLUSTER_CLIENTS_H_
+#define OSPROF_SRC_WORKLOADS_CLUSTER_CLIENTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/fs/vfs.h"
+#include "src/net/dlm.h"
+#include "src/sim/kernel.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace osworkloads {
+
+using osim::Kernel;
+using osim::Task;
+
+struct ClusterClientStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+// One client: `iterations` of llseek(random, io_bytes-aligned) followed
+// by a write with probability `write_ratio` (else a read) of `io_bytes`,
+// with `think_cycles` of user time between operations.  Offsets stay
+// within [0, file_bytes), so the file never grows.
+Task<void> ClusterClientWorkload(Kernel* kernel, osfs::Vfs* vfs,
+                                 std::string path, int iterations,
+                                 double write_ratio, std::uint64_t io_bytes,
+                                 std::uint64_t file_bytes,
+                                 osim::Cycles think_cycles,
+                                 std::uint64_t seed,
+                                 ClusterClientStats* stats, int* remaining,
+                                 osim::WaitQueue* done);
+
+// Waits for `remaining` to reach zero, then stops the DLM daemons.
+Task<void> ClusterControl(Kernel* kernel, osnet::Dlm* dlm, int* remaining,
+                          osim::WaitQueue* done);
+
+}  // namespace osworkloads
+
+#endif  // OSPROF_SRC_WORKLOADS_CLUSTER_CLIENTS_H_

@@ -176,7 +176,7 @@ struct CompileStats {
 // A make-like build: per source, read it (I/O phase), burn compile CPU
 // (CPU phase), write the object (write phase); finally re-read all
 // objects and write the linked binary.  The phases give sampled (3-D)
-// profiles their non-monotonic structure (paper §3.1, "Prole sampling").
+// profiles their non-monotonic structure (paper §3.1, "Profile sampling").
 Task<void> CompileWorkload(Kernel* kernel, osfs::Vfs* vfs,
                            CompileConfig config, CompileStats* stats);
 

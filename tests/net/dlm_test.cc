@@ -1,0 +1,204 @@
+// DLM tests: mode compatibility, grant caching, revoke ping-pong, the
+// downgrade hook's pre-grant flush, and the cross-node lock-order merge
+// (a two-node ABBA over DLM grants must land in the kernel's lock graph
+// exactly like a local semaphore inversion).
+
+#include "src/net/dlm.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/sim/kernel.h"
+
+namespace osnet {
+namespace {
+
+osim::KernelConfig ClusterConfig(int nodes) {
+  osim::KernelConfig cfg;
+  cfg.num_cpus = 2 * nodes;
+  cfg.num_nodes = nodes;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+struct Cluster {
+  explicit Cluster(int nodes)
+      : kernel(ClusterConfig(nodes)), fabric(&kernel), dlm(&kernel, &fabric) {}
+  osim::Kernel kernel;
+  Fabric fabric;
+  Dlm dlm;
+};
+
+TEST(DlmMode, Compatibility) {
+  EXPECT_TRUE(DlmCompatible(DlmMode::kProtectedRead, DlmMode::kProtectedRead));
+  EXPECT_FALSE(DlmCompatible(DlmMode::kProtectedRead, DlmMode::kExclusive));
+  EXPECT_FALSE(DlmCompatible(DlmMode::kExclusive, DlmMode::kExclusive));
+  EXPECT_TRUE(DlmCompatible(DlmMode::kNull, DlmMode::kExclusive));
+}
+
+TEST(Dlm, MasterPlacementIsDeterministic) {
+  Cluster c(4);
+  const int m = c.dlm.MasterOf("inode:7");
+  EXPECT_GE(m, 0);
+  EXPECT_LT(m, 4);
+  EXPECT_EQ(m, c.dlm.MasterOf("inode:7"));
+}
+
+osim::Task<void> AcquireNTimes(Cluster* c, std::string res,
+                               DlmMode mode, int n, int* done) {
+  for (int i = 0; i < n; ++i) {
+    co_await c->dlm.Acquire(res, mode);
+    co_await c->kernel.Cpu(1'000);
+    c->dlm.Release(res, mode);
+  }
+  --(*done);
+  if (*done == 0) {
+    c->dlm.Shutdown();
+  }
+}
+
+TEST(Dlm, RepeatedLocalAcquiresAreCacheHits) {
+  Cluster c(2);
+  c.dlm.Start();
+  int done = 1;
+  c.kernel.SpawnOn(0, "client",
+                   AcquireNTimes(&c, "res", DlmMode::kExclusive, 10, &done));
+  c.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(c.dlm.acquires(), 10u);
+  // First acquire goes to the master; the grant stays cached (no revoke
+  // ever arrives), so the other nine hit the node-local lock cache.
+  EXPECT_EQ(c.dlm.cache_hits(), 9u);
+  EXPECT_EQ(c.dlm.basts_sent(), 0u);
+  EXPECT_EQ(c.dlm.downgrades(), 0u);
+}
+
+TEST(Dlm, SharedReadGrantsDontRevoke) {
+  Cluster c(2);
+  c.dlm.Start();
+  int done = 2;
+  for (int n = 0; n < 2; ++n) {
+    c.kernel.SpawnOn(
+        n, "reader" + std::to_string(n),
+        AcquireNTimes(&c, "res", DlmMode::kProtectedRead, 5, &done));
+  }
+  c.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(c.dlm.acquires(), 10u);
+  // PR grants are mutually compatible: both nodes cache one and no BAST
+  // is ever sent.
+  EXPECT_EQ(c.dlm.basts_sent(), 0u);
+  EXPECT_EQ(c.dlm.downgrades(), 0u);
+}
+
+TEST(Dlm, ConflictingWritersPingPong) {
+  Cluster c(2);
+  c.dlm.Start();
+  int done = 2;
+  for (int n = 0; n < 2; ++n) {
+    c.kernel.SpawnOn(
+        n, "writer" + std::to_string(n),
+        AcquireNTimes(&c, "res", DlmMode::kExclusive, 5, &done));
+  }
+  c.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(c.dlm.acquires(), 10u);
+  // Every handoff between the nodes is a BAST-driven revoke.
+  EXPECT_GT(c.dlm.basts_sent(), 0u);
+  EXPECT_GT(c.dlm.downgrades(), 0u);
+  EXPECT_GT(c.dlm.queued_waits(), 0u);
+  EXPECT_GT(c.fabric.messages_sent(), 0u);
+}
+
+osim::Task<void> HoldThenRelease(Cluster* c, std::string res,
+                                 osim::Cycles hold, int* done) {
+  co_await c->dlm.Acquire(res, DlmMode::kExclusive);
+  co_await c->kernel.Cpu(hold);
+  c->dlm.Release(res, DlmMode::kExclusive);
+  --(*done);
+  if (*done == 0) {
+    c->dlm.Shutdown();
+  }
+}
+
+osim::Task<void> LateAcquire(Cluster* c, std::string res,
+                             std::vector<std::string>* flushed, int* done) {
+  co_await c->kernel.Sleep(1'000'000);
+  co_await c->dlm.Acquire(res, DlmMode::kExclusive);
+  // By grant time the previous holder's downgrade hook has run.
+  EXPECT_EQ(flushed->size(), 1u);
+  EXPECT_EQ((*flushed)[0], "res");
+  c->dlm.Release(res, DlmMode::kExclusive);
+  --(*done);
+  if (*done == 0) {
+    c->dlm.Shutdown();
+  }
+}
+
+TEST(Dlm, DowngradeHookRunsBeforeTheGrantMoves) {
+  Cluster c(2);
+  std::vector<std::string> flushed;
+  c.dlm.SetDowngradeHook(0, [&](const std::string& res) -> osim::Task<void> {
+    flushed.push_back(res);
+    co_return;
+  });
+  c.dlm.Start();
+  int done = 2;
+  c.kernel.SpawnOn(0, "holder", HoldThenRelease(&c, "res", 2'000'000, &done));
+  c.kernel.SpawnOn(1, "waiter", LateAcquire(&c, "res", &flushed, &done));
+  c.kernel.RunUntilThreadsFinish();
+  EXPECT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(c.dlm.downgrades(), 1u);
+}
+
+// The satellite's cross-node ABBA: node 0 takes dlm:A then dlm:B; node 1,
+// staggered so the run cannot actually deadlock, takes dlm:B then dlm:A.
+// Both orders flow through Kernel::NoteLockAcquired under the cluster-wide
+// resource identity, so the merged lock graph shows the inversion.
+osim::Task<void> GrabPair(Cluster* c, std::string first,
+                          std::string second, osim::Cycles delay,
+                          int* done) {
+  if (delay > 0) {
+    co_await c->kernel.Sleep(delay);
+  }
+  co_await c->dlm.Acquire(first, DlmMode::kExclusive);
+  co_await c->kernel.Cpu(10'000);
+  co_await c->dlm.Acquire(second, DlmMode::kExclusive);
+  co_await c->kernel.Cpu(10'000);
+  c->dlm.Release(second, DlmMode::kExclusive);
+  c->dlm.Release(first, DlmMode::kExclusive);
+  --(*done);
+  if (*done == 0) {
+    c->dlm.Shutdown();
+  }
+}
+
+TEST(Dlm, CrossNodeAbbaLandsInTheMergedLockGraph) {
+  Cluster c(2);
+  c.kernel.lock_order().set_enabled(true);
+  c.dlm.Start();
+  int done = 2;
+  c.kernel.SpawnOn(0, "t0", GrabPair(&c, "A", "B", 0, &done));
+  c.kernel.SpawnOn(1, "t1", GrabPair(&c, "B", "A", 5'000'000, &done));
+  c.kernel.RunUntilThreadsFinish();
+
+  ASSERT_TRUE(c.kernel.lock_order().DeadlockCapable());
+  const auto cycles = c.kernel.lock_order().FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], (std::vector<std::string>{"dlm:A", "dlm:B"}));
+}
+
+TEST(Dlm, ConsistentCrossNodeOrderIsClean) {
+  Cluster c(2);
+  c.kernel.lock_order().set_enabled(true);
+  c.dlm.Start();
+  int done = 2;
+  c.kernel.SpawnOn(0, "t0", GrabPair(&c, "A", "B", 0, &done));
+  c.kernel.SpawnOn(1, "t1", GrabPair(&c, "A", "B", 5'000'000, &done));
+  c.kernel.RunUntilThreadsFinish();
+  EXPECT_FALSE(c.kernel.lock_order().DeadlockCapable());
+}
+
+}  // namespace
+}  // namespace osnet

@@ -1,0 +1,130 @@
+// Multi-node topology tests: the Kernel partitions its CPUs into
+// contiguous per-node slices, SpawnOn pins threads to a node's run queue,
+// and children inherit their spawner's node (src/sim/kernel.h).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/kernel.h"
+
+namespace osim {
+namespace {
+
+KernelConfig NodeConfig(int cpus, int nodes) {
+  KernelConfig cfg;
+  cfg.num_cpus = cpus;
+  cfg.num_nodes = nodes;
+  cfg.context_switch_cost = 0;
+  cfg.timer_tick_period = 0;
+  return cfg;
+}
+
+TEST(NodeTopology, ContiguousEvenPartition) {
+  Kernel k(NodeConfig(8, 4));
+  ASSERT_EQ(k.num_nodes(), 4);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(k.node(n).id(), n);
+    EXPECT_EQ(k.node(n).first_cpu(), 2 * n);
+    EXPECT_EQ(k.node(n).num_cpus(), 2);
+  }
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_EQ(k.node_of_cpu(c), c / 2);
+  }
+}
+
+TEST(NodeTopology, SingleNodeIsTheDefault) {
+  KernelConfig cfg;
+  cfg.num_cpus = 4;
+  Kernel k(cfg);
+  ASSERT_EQ(k.num_nodes(), 1);
+  EXPECT_EQ(k.node(0).num_cpus(), 4);
+  EXPECT_EQ(k.node_of_cpu(3), 0);
+}
+
+TEST(NodeTopology, RejectsUnevenPartition) {
+  EXPECT_THROW(Kernel(NodeConfig(3, 2)), std::invalid_argument);
+  EXPECT_THROW(Kernel(NodeConfig(2, 4)), std::invalid_argument);
+  EXPECT_THROW(Kernel(NodeConfig(2, 0)), std::invalid_argument);
+}
+
+TEST(NodeTopology, CurrentNodeIsMinusOneInKernelContext) {
+  Kernel k(NodeConfig(4, 2));
+  EXPECT_EQ(k.current_node(), -1);
+}
+
+Task<void> RecordNode(Kernel* k, int* node_seen, int* cpu_seen) {
+  co_await k->Cpu(100);
+  *node_seen = k->current_node();
+  *cpu_seen = k->current()->cpu();
+}
+
+TEST(NodeTopology, SpawnOnPinsToTheNodesCpus) {
+  Kernel k(NodeConfig(4, 2));
+  int node_seen[2] = {-2, -2};
+  int cpu_seen[2] = {-2, -2};
+  k.SpawnOn(0, "n0", RecordNode(&k, &node_seen[0], &cpu_seen[0]));
+  k.SpawnOn(1, "n1", RecordNode(&k, &node_seen[1], &cpu_seen[1]));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(node_seen[0], 0);
+  EXPECT_EQ(node_seen[1], 1);
+  // Node 0 owns CPUs {0,1}, node 1 owns {2,3}: pinning is by slice.
+  EXPECT_EQ(k.node_of_cpu(cpu_seen[0]), 0);
+  EXPECT_EQ(k.node_of_cpu(cpu_seen[1]), 1);
+}
+
+TEST(NodeTopology, SpawnOnRejectsUnknownNode) {
+  Kernel k(NodeConfig(4, 2));
+  EXPECT_THROW(
+      k.SpawnOn(2, "x", [](Kernel* kk) -> Task<void> {
+        co_await kk->Yield();
+      }(&k)),
+      std::invalid_argument);
+}
+
+Task<void> RecordNodeOnly(Kernel* k, int* node_seen) {
+  co_await k->Cpu(100);
+  *node_seen = k->current_node();
+}
+
+Task<void> SpawnChildOnMyNode(Kernel* k, int* child_node) {
+  co_await k->Cpu(100);
+  k->Spawn("child", RecordNodeOnly(k, child_node));
+}
+
+TEST(NodeTopology, SpawnInheritsTheSpawnersNode) {
+  Kernel k(NodeConfig(4, 2));
+  int child_node = -2;
+  k.SpawnOn(1, "parent", SpawnChildOnMyNode(&k, &child_node));
+  k.RunUntilThreadsFinish();
+  EXPECT_EQ(child_node, 1);
+}
+
+Task<void> SpinOnNode(Kernel* k, int rounds, std::vector<int>* cpus) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await k->Cpu(5'000);
+    cpus->push_back(k->current()->cpu());
+    co_await k->Yield();
+  }
+}
+
+TEST(NodeTopology, SchedulerNeverMigratesAcrossNodes) {
+  // Four always-runnable threads on node 0 of a two-node box: they
+  // contend for node 0's two CPUs and must never run on node 1's.
+  Kernel k(NodeConfig(4, 2));
+  std::vector<int> cpus[4];
+  for (int t = 0; t < 4; ++t) {
+    k.SpawnOn(0, "spin" + std::to_string(t), SpinOnNode(&k, 50, &cpus[t]));
+  }
+  k.RunUntilThreadsFinish();
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(cpus[t].size(), 50u);
+    for (const int c : cpus[t]) {
+      EXPECT_EQ(k.node_of_cpu(c), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osim

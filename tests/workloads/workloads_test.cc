@@ -207,7 +207,7 @@ TEST(CompileWorkload, CompilesEverySourceAndLinks) {
 }
 
 TEST(CompileWorkload, PhasesShowUpInSampledProfiles) {
-  // §3.1: sampling is "useful when ... analyzing proles generated by
+  // §3.1: sampling is "useful when ... analyzing profiles generated by
   // non-monotonic workload generators (e.g., a program compilation)".
   Kernel k(QuietConfig());
   SimDisk disk(&k);
